@@ -1,0 +1,172 @@
+//! Criterion micro-benchmarks of the computational kernels behind the
+//! experiment harness: the ODE right-hand side at Digg scale, threshold
+//! and equilibrium computation, single integrator steps, the Jacobian
+//! eigenvalue analysis, and agent-based simulation steps.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rumor_core::control::ConstantControl;
+use rumor_core::equilibrium::{positive_equilibrium, r0, solve_theta_star, zero_equilibrium};
+use rumor_core::functions::{AcceptanceRate, Infectivity};
+use rumor_core::model::RumorModel;
+use rumor_core::params::ModelParams;
+use rumor_core::stability::jacobian_reduced;
+use rumor_core::state::NetworkState;
+use rumor_datasets::digg::{DiggConfig, DiggDataset};
+use rumor_net::generators::barabasi_albert;
+use rumor_numerics::eigen::spectral_abscissa;
+use rumor_ode::steppers::{Dopri5, Rk4, Stepper};
+use rumor_ode::system::OdeSystem;
+use rumor_sim::abm::{self, AbmConfig};
+
+/// Parameter bundles at two scales: the fast test scale and the full
+/// 848-class Digg scale the paper evaluates on.
+fn digg_params(full: bool) -> ModelParams {
+    let cfg = if full {
+        DiggConfig::default()
+    } else {
+        DiggConfig::small()
+    };
+    let ds = DiggDataset::synthesize(cfg).expect("dataset");
+    ModelParams::builder(ds.classes().clone())
+        .alpha(0.01)
+        .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.01 })
+        .infectivity(Infectivity::paper_default())
+        .build()
+        .expect("params")
+}
+
+fn bench_rhs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rumor_rhs");
+    for (label, full) in [("digg_small", false), ("digg_full", true)] {
+        let params = digg_params(full);
+        let model = RumorModel::new(&params, ConstantControl::new(0.2, 0.05));
+        let y = NetworkState::initial_uniform(params.n_classes(), 0.1)
+            .expect("state")
+            .to_flat();
+        let mut dydt = vec![0.0; y.len()];
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                model.rhs(black_box(0.0), black_box(&y), &mut dydt);
+                black_box(dydt[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_threshold_and_equilibria(c: &mut Criterion) {
+    let params = digg_params(false);
+    c.bench_function("r0_threshold", |b| {
+        b.iter(|| r0(black_box(&params), 0.2, 0.05).expect("r0"))
+    });
+    c.bench_function("zero_equilibrium", |b| {
+        b.iter(|| zero_equilibrium(black_box(&params), 0.2, 0.05).expect("E0"))
+    });
+    // Supercritical setting for the fixed-point solve.
+    let sup = ModelParams::builder(params.classes().clone())
+        .alpha(0.002)
+        .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.01 })
+        .infectivity(Infectivity::paper_default())
+        .build()
+        .expect("params");
+    assert!(r0(&sup, 0.002, 0.004).expect("r0") > 1.0);
+    c.bench_function("theta_star_fixed_point", |b| {
+        b.iter(|| solve_theta_star(black_box(&sup), 0.002, 0.004).expect("theta*"))
+    });
+    c.bench_function("positive_equilibrium", |b| {
+        b.iter(|| positive_equilibrium(black_box(&sup), 0.002, 0.004).expect("E+"))
+    });
+}
+
+fn bench_steppers(c: &mut Criterion) {
+    let params = digg_params(false);
+    let model = RumorModel::new(&params, ConstantControl::new(0.2, 0.05));
+    let y = NetworkState::initial_uniform(params.n_classes(), 0.1)
+        .expect("state")
+        .to_flat();
+    let mut out = vec![0.0; y.len()];
+    let mut err = vec![0.0; y.len()];
+    let mut group = c.benchmark_group("stepper_single_step");
+    group.bench_function("rk4", |b| {
+        let mut s = Rk4::new();
+        b.iter(|| {
+            s.step(&model, 0.0, black_box(&y), 0.01, &mut out);
+            black_box(out[0])
+        })
+    });
+    group.bench_function("dopri5_with_error", |b| {
+        let mut s = Dopri5::new();
+        b.iter(|| {
+            s.step_with_error(&model, 0.0, black_box(&y), 0.01, &mut out, &mut err);
+            black_box(out[0])
+        })
+    });
+    group.finish();
+}
+
+fn bench_stability(c: &mut Criterion) {
+    // Moderate class count: the eigenvalue solve is O(n^3)-ish.
+    let ds = DiggDataset::synthesize(DiggConfig {
+        nodes: 2_000,
+        k_max: 120,
+        target_mean_degree: 15.0,
+        ..DiggConfig::small()
+    })
+    .expect("dataset");
+    let params = ModelParams::builder(ds.classes().clone())
+        .alpha(0.01)
+        .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.01 })
+        .infectivity(Infectivity::paper_default())
+        .build()
+        .expect("params");
+    let e0 = zero_equilibrium(&params, 0.2, 0.05).expect("E0");
+    c.bench_function("jacobian_assembly", |b| {
+        b.iter(|| jacobian_reduced(black_box(&params), &e0, 0.2, 0.05).expect("jacobian"))
+    });
+    let jac = jacobian_reduced(&params, &e0, 0.2, 0.05).expect("jacobian");
+    c.bench_function("jacobian_eigenvalues", |b| {
+        b.iter(|| spectral_abscissa(black_box(&jac)).expect("abscissa"))
+    });
+}
+
+fn bench_abm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = barabasi_albert(2_000, 3, &mut rng).expect("graph");
+    let classes = rumor_net::degree::DegreeClasses::from_graph(&g).expect("classes");
+    let params = ModelParams::builder(classes)
+        .alpha(0.0)
+        .acceptance(AcceptanceRate::LinearInDegree { lambda0: 1.0 })
+        .infectivity(Infectivity::paper_default())
+        .build()
+        .expect("params");
+    let cfg = AbmConfig {
+        alpha: 0.0,
+        dt: 0.1,
+        tf: 5.0,
+        eps1: 0.01,
+        eps2: 0.1,
+        initial_infected: 0.05,
+        record_every: 50,
+    };
+    c.bench_function("abm_sync_2k_nodes_50_steps", |b| {
+        b.iter(|| {
+            let mut run_rng = StdRng::seed_from_u64(1);
+            abm::run(black_box(&g), &params, &cfg, &mut run_rng).expect("abm")
+        })
+    });
+    c.bench_function("gillespie_2k_nodes_5tu", |b| {
+        b.iter(|| {
+            let mut run_rng = StdRng::seed_from_u64(1);
+            rumor_sim::gillespie::run(black_box(&g), &params, &cfg, &mut run_rng).expect("ssa")
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rhs, bench_threshold_and_equilibria, bench_steppers, bench_stability, bench_abm
+}
+criterion_main!(kernels);

@@ -1,0 +1,324 @@
+//! Ablation experiments beyond the paper's figures (DESIGN.md §4):
+//!
+//! 1. **Heterogeneity** — degree-resolved vs degree-blind (homogeneous)
+//!    SIR predictions on the same aggregate scenario.
+//! 2. **Infectivity family** — constant vs linear vs saturating `ω(k)`,
+//!    the design choice the paper argues for in Section III.
+//! 3. **ODE solver** — accuracy/steps of Euler, Heun, RK4 and DOPRI5 on
+//!    the rumor system.
+//! 4. **Mean field vs agent-based** — maximum deviation of the ODE from
+//!    ensembles of the microscopic process.
+//!
+//! Writes `results/ablation_*.csv`.
+//!
+//! ```sh
+//! cargo run --release -p rumor-bench --bin ablation
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rumor_bench::write_csv;
+use rumor_core::control::ConstantControl;
+use rumor_core::equilibrium::r0;
+use rumor_core::functions::{AcceptanceRate, Infectivity};
+use rumor_core::model::RumorModel;
+use rumor_core::params::ModelParams;
+use rumor_core::simulate::{simulate, SimulateOptions};
+use rumor_core::state::NetworkState;
+use rumor_models::homogeneous::HomogeneousSir;
+use rumor_net::degree::DegreeClasses;
+use rumor_net::generators::barabasi_albert;
+use rumor_ode::integrator::{Adaptive, FixedStep};
+use rumor_ode::steppers::{Euler, Heun, Rk4, Stepper};
+use rumor_sim::abm::AbmConfig;
+use rumor_sim::ensemble::{max_deviation, mean_field_reference, run_ensemble, Simulator};
+
+fn scale_free_classes(n: usize, seed: u64) -> (rumor_net::graph::Graph, DegreeClasses) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = barabasi_albert(n, 3, &mut rng).expect("ba graph");
+    let c = DegreeClasses::from_graph(&g).expect("classes");
+    (g, c)
+}
+
+fn params_with(classes: DegreeClasses, lambda0: f64, infectivity: Infectivity) -> ModelParams {
+    ModelParams::builder(classes)
+        .alpha(0.01)
+        .acceptance(AcceptanceRate::LinearInDegree { lambda0 })
+        .infectivity(infectivity)
+        .build()
+        .expect("params")
+}
+
+fn main() {
+    heterogeneity_ablation();
+    infectivity_ablation();
+    solver_ablation();
+    abm_ablation();
+    allocation_ablation();
+    adjoint_ablation();
+}
+
+/// Heterogeneous vs homogeneous predictions across spreading strengths.
+fn heterogeneity_ablation() {
+    println!("=== ablation 1: network heterogeneity ===");
+    let (_, classes) = scale_free_classes(3_000, 41);
+    let (eps1, eps2) = (0.05, 0.05);
+    println!("{:>9}  {:>8}  {:>12}  {:>12}", "lambda0", "r0", "het final I", "hom final I");
+    let mut rows = Vec::new();
+    for lambda0 in [0.002, 0.005, 0.01, 0.02, 0.05] {
+        let het = params_with(classes.clone(), lambda0, Infectivity::paper_default());
+        let init = NetworkState::initial_uniform(het.n_classes(), 0.1).expect("init");
+        let traj = simulate(
+            &het,
+            ConstantControl::new(eps1, eps2),
+            &init,
+            120.0,
+            &SimulateOptions::default(),
+        )
+        .expect("het simulation");
+        let het_final = traj.last_state().total_infected() / het.n_classes() as f64;
+
+        // Homogeneous surrogate with the matched coupling strength.
+        let beta = het.lambda_phi_sum() / het.mean_degree();
+        let hom = HomogeneousSir::new(het.alpha(), beta, ConstantControl::new(eps1, eps2));
+        let sol = Adaptive::new()
+            .integrate(&hom, 0.0, &[0.9, 0.1, 0.0], 120.0)
+            .expect("hom simulation");
+        let hom_final = sol.last_state()[1];
+
+        let threshold = r0(&het, eps1, eps2).expect("r0");
+        println!("{lambda0:>9}  {threshold:>8.3}  {het_final:>12.5}  {hom_final:>12.5}");
+        rows.push(vec![lambda0, threshold, het_final, hom_final]);
+    }
+    let path = write_csv("ablation_heterogeneity.csv", "lambda0,r0,het_final_i,hom_final_i", &rows);
+    println!("-> {}\n", path.display());
+}
+
+/// Infectivity families: how ω(k) shapes the threshold and the outcome.
+fn infectivity_ablation() {
+    println!("=== ablation 2: infectivity family omega(k) ===");
+    let (_, classes) = scale_free_classes(3_000, 42);
+    let (eps1, eps2) = (0.05, 0.05);
+    let families: Vec<(&str, Infectivity)> = vec![
+        ("constant(1)", Infectivity::Constant { c: 1.0 }),
+        ("linear k", Infectivity::Linear),
+        ("saturating", Infectivity::paper_default()),
+    ];
+    println!("{:>12}  {:>10}  {:>12}", "omega(k)", "r0", "final I");
+    let mut rows = Vec::new();
+    for (idx, (name, fam)) in families.into_iter().enumerate() {
+        let p = params_with(classes.clone(), 0.01, fam);
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.1).expect("init");
+        let traj = simulate(
+            &p,
+            ConstantControl::new(eps1, eps2),
+            &init,
+            120.0,
+            &SimulateOptions::default(),
+        )
+        .expect("simulation");
+        let final_i = traj.last_state().total_infected() / p.n_classes() as f64;
+        let threshold = r0(&p, eps1, eps2).expect("r0");
+        println!("{name:>12}  {threshold:>10.3}  {final_i:>12.5}");
+        rows.push(vec![idx as f64, threshold, final_i]);
+    }
+    let path = write_csv("ablation_infectivity.csv", "family_idx,r0,final_i", &rows);
+    println!("(linear omega inflates hub infectivity; the saturating form bounds it)");
+    println!("-> {}\n", path.display());
+}
+
+/// Fixed-step solver accuracy on the rumor system vs a tight reference.
+fn solver_ablation() {
+    println!("=== ablation 3: ODE solvers on the rumor system ===");
+    let (_, classes) = scale_free_classes(800, 43);
+    let p = params_with(classes, 0.02, Infectivity::paper_default());
+    let model = RumorModel::new(&p, ConstantControl::new(0.05, 0.05));
+    let y0 = NetworkState::initial_uniform(p.n_classes(), 0.1)
+        .expect("init")
+        .to_flat();
+    let tf = 30.0;
+    // Reference: tight adaptive run.
+    let reference = Adaptive::with_config(rumor_ode::integrator::AdaptiveConfig {
+        rtol: 1e-12,
+        atol: 1e-13,
+        ..Default::default()
+    })
+    .integrate(&model, 0.0, &y0, tf)
+    .expect("reference");
+    let y_ref = reference.last_state().to_vec();
+    let err_of = |y: &[f64]| -> f64 {
+        y.iter()
+            .zip(&y_ref)
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    };
+
+    println!("{:>16}  {:>8}  {:>12}", "method", "steps", "max error");
+    let mut rows = Vec::new();
+    let h = 0.05;
+    let steppers: Vec<(&str, Box<dyn Stepper>)> = vec![
+        ("euler h=0.05", Box::new(Euler::new())),
+        ("heun h=0.05", Box::new(Heun::new())),
+        ("rk4 h=0.05", Box::new(Rk4::new())),
+    ];
+    for (idx, (name, mut stepper)) in steppers.into_iter().enumerate() {
+        let mut y = y0.clone();
+        let mut out = vec![0.0; y.len()];
+        let n_steps = (tf / h) as usize;
+        for k in 0..n_steps {
+            stepper.step(&model, k as f64 * h, &y, h, &mut out);
+            y.copy_from_slice(&out);
+        }
+        let err = err_of(&y);
+        println!("{name:>16}  {n_steps:>8}  {err:>12.3e}");
+        rows.push(vec![idx as f64, n_steps as f64, err]);
+    }
+    // Adaptive DOPRI5 at default tolerance.
+    let mut drv = Adaptive::new();
+    let run = drv.run(&model, 0.0, &y0, tf, None).expect("dopri5");
+    let err = err_of(run.solution.last_state());
+    println!("{:>16}  {:>8}  {err:>12.3e}", "dopri5 adaptive", run.accepted);
+    rows.push(vec![3.0, run.accepted as f64, err]);
+    let path = write_csv("ablation_solvers.csv", "method_idx,steps,max_error", &rows);
+    println!("-> {}\n", path.display());
+    let _ = FixedStep::new(Rk4::new(), h); // silence unused-import pedantry paths
+}
+
+/// Mean-field deviation from the microscopic process.
+fn abm_ablation() {
+    println!("=== ablation 4: mean field vs agent-based process ===");
+    let (g, classes) = scale_free_classes(2_000, 44);
+    let p = ModelParams::builder(classes)
+        .alpha(0.0)
+        .acceptance(AcceptanceRate::LinearInDegree { lambda0: 1.0 })
+        .infectivity(Infectivity::paper_default())
+        .build()
+        .expect("params");
+    let cfg = AbmConfig {
+        alpha: 0.0,
+        dt: 0.1,
+        tf: 50.0,
+        eps1: 0.01,
+        eps2: 0.12,
+        initial_infected: 0.05,
+        record_every: 50,
+    };
+    println!("{:>14}  {:>10}  {:>10}", "simulator", "max dev", "tail dev");
+    let mut rows = Vec::new();
+    for (idx, sim) in [Simulator::Synchronous, Simulator::Gillespie].iter().enumerate() {
+        let ens = run_ensemble(&g, &p, &cfg, *sim, 8, 17).expect("ensemble");
+        let mf = mean_field_reference(&p, &cfg, &ens.times).expect("mean field");
+        let dev = max_deviation(&ens, &mf).expect("deviation");
+        let tail = (ens.i_mean.last().expect("tail") - mf.last().expect("tail")).abs();
+        let name = match sim {
+            Simulator::Synchronous => "synchronous",
+            Simulator::Gillespie => "gillespie",
+        };
+        println!("{name:>14}  {dev:>10.4}  {tail:>10.4}");
+        rows.push(vec![idx as f64, dev, tail]);
+    }
+    let path = write_csv("ablation_abm.csv", "simulator_idx,max_deviation,tail_deviation", &rows);
+    println!("-> {}", path.display());
+}
+
+/// Countermeasure allocation across degree classes at equal population
+/// budget: uniform vs hub-only boost vs the r0-optimal Lagrange profile
+/// `ε_i ∝ (C_i/P_i)^(1/3)`.
+fn allocation_ablation() {
+    use rumor_core::targeted::{targeted_r0, ClassRates, TargetedModel};
+    println!("\n=== ablation 5: budget allocation across degree classes ===");
+    let (_, classes) = scale_free_classes(3_000, 45);
+    let p = params_with(classes, 0.02, Infectivity::paper_default());
+    let budget = 0.1;
+    let policies: Vec<(&str, ClassRates)> = vec![
+        (
+            "uniform",
+            ClassRates::uniform(p.n_classes(), budget, budget).expect("uniform"),
+        ),
+        (
+            "hub-only",
+            ClassRates::hub_targeted(p.classes(), (0.02, 0.02), (0.08, 0.08), 0.2)
+                .expect("hub"),
+        ),
+        (
+            "r0-optimal",
+            ClassRates::r0_optimal(&p, budget, budget).expect("optimal"),
+        ),
+    ];
+    println!("{:>12}  {:>10}  {:>14}", "policy", "r0", "final I (pop)");
+    let mut rows = Vec::new();
+    let y0 = NetworkState::initial_uniform(p.n_classes(), 0.1).expect("init").to_flat();
+    for (idx, (name, rates)) in policies.into_iter().enumerate() {
+        let threshold = targeted_r0(&p, &rates).expect("targeted r0");
+        let model = TargetedModel::new(&p, rates).expect("model");
+        let sol = Adaptive::new().integrate(&model, 0.0, &y0, 120.0).expect("integrate");
+        let st = NetworkState::from_flat(sol.last_state()).expect("state");
+        let final_i: f64 = st
+            .i()
+            .iter()
+            .zip(p.classes().probabilities())
+            .map(|(i, pr)| i * pr)
+            .sum();
+        println!("{name:>12}  {threshold:>10.4}  {final_i:>14.6}");
+        rows.push(vec![idx as f64, threshold, final_i]);
+    }
+    let path = write_csv("ablation_allocation.csv", "policy_idx,r0,final_i_pop", &rows);
+    println!("(hub-only starving the periphery backfires: its r0 is ~10x worse; the");
+    println!(" smooth optimal profile minimizes r0 at equal budget)");
+    println!("-> {}", path.display());
+}
+
+/// Exact vs paper-printed (diagonal) adjoint in the forward-backward
+/// sweep: schedules and objective values.
+fn adjoint_ablation() {
+    use rumor_control::costate::AdjointVariant;
+    use rumor_control::fbsm::{optimize, FbsmOptions};
+    use rumor_control::{ControlBounds, CostWeights};
+    println!("\n=== ablation 6: exact vs paper-printed adjoint in the FBSM ===");
+    let (_, classes) = scale_free_classes(1_200, 46);
+    let p = params_with(classes, 0.01, Infectivity::paper_default());
+    let p = p
+        .with_acceptance(rumor_core::functions::AcceptanceRate::LinearInDegree { lambda0: 0.15 })
+        .expect("params");
+    let initial = NetworkState::initial_uniform(p.n_classes(), 0.05).expect("init");
+    let bounds = ControlBounds::new(0.7, 0.7).expect("bounds");
+    let weights = CostWeights::paper_default();
+    println!("{:>16}  {:>8}  {:>10}  {:>10}", "adjoint", "iters", "J", "terminal I");
+    let mut rows = Vec::new();
+    for (idx, (name, variant)) in [
+        ("exact", AdjointVariant::Exact),
+        ("paper-diagonal", AdjointVariant::PaperDiagonal),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let result = optimize(
+            &p,
+            &initial,
+            60.0,
+            &bounds,
+            &weights,
+            &FbsmOptions {
+                n_nodes: 61,
+                max_iterations: 250,
+                tolerance: 1e-4,
+                relaxation: 0.3,
+                adjoint: variant,
+                ..Default::default()
+            },
+        )
+        .expect("sweep");
+        let terminal = result.trajectory.last_state().total_infected();
+        println!(
+            "{name:>16}  {:>8}  {:>10.4}  {:>10.4}",
+            result.iterations,
+            result.cost.total(),
+            terminal
+        );
+        rows.push(vec![idx as f64, result.cost.total(), terminal]);
+    }
+    let path = write_csv("ablation_adjoint.csv", "variant_idx,objective,terminal_i", &rows);
+    println!("(both variants land at comparable objectives on this instance; the exact");
+    println!(" adjoint is the true Hamiltonian gradient, the diagonal one drops the");
+    println!(" cross-class feedback and steers to a different schedule)");
+    println!("-> {}", path.display());
+}

@@ -1,0 +1,85 @@
+//! Regenerates Table I — the model-parameter glossary — with the
+//! Digg-calibrated values of both experiment regimes, plus the dataset
+//! statistics the paper quotes in Section V.
+//!
+//! ```sh
+//! cargo run --release -p rumor-bench --bin table1
+//! RUMOR_SCALE=full cargo run --release -p rumor-bench --bin table1
+//! ```
+
+use rumor_bench::{digg_dataset, fig2_regime, fig3_regime, Scale};
+use rumor_core::equilibrium::r0;
+
+fn main() {
+    let scale = Scale::from_env();
+    let dataset = digg_dataset(scale);
+    let summary = dataset.summary();
+
+    println!("=== Dataset (paper Section V) ===");
+    println!("{summary}");
+    println!("  published reference: 71367 nodes, 1731658 arcs, 848 classes, k in [1, 995], <k> ~ 24");
+
+    println!("\n=== Table I: major parameters in the dynamic model ===");
+    println!("{:<10} {:<58} value(s)", "symbol", "definition");
+    let rows: Vec<(&str, &str, String)> = vec![
+        (
+            "k_i",
+            "social connectivity (degree) of group i",
+            format!("{} classes in [{}, {}]", summary.degree_classes, summary.min_degree, summary.max_degree),
+        ),
+        (
+            "alpha",
+            "rate of new individuals entering the OSN",
+            "0.01 (fig2) / 0.002 (fig3)".into(),
+        ),
+        (
+            "lambda(k)",
+            "rumor acceptance rate of susceptibles in group i",
+            "lambda0 * k, lambda0 calibrated per regime".into(),
+        ),
+        (
+            "eps1",
+            "proportion of susceptibles immunized (truth) at t",
+            "0.2 (fig2) / 0.002 (fig3) / optimized (fig4)".into(),
+        ),
+        (
+            "eps2",
+            "proportion of infected blocked at t",
+            "0.05 (fig2) / 0.004 (fig3; paper prints 1e-4, see DESIGN.md) / optimized".into(),
+        ),
+        (
+            "P(k)",
+            "probability of a node having degree k",
+            format!("power law, gamma = {:.4}", dataset.gamma()),
+        ),
+        (
+            "<k>",
+            "average degree of the OSN",
+            format!("{:.3}", summary.mean_degree),
+        ),
+        (
+            "omega(k)",
+            "infectivity of an infected individual with degree k",
+            "k^0.5 / (1 + k^0.5)".into(),
+        ),
+    ];
+    for (sym, def, val) in rows {
+        println!("{sym:<10} {def:<58} {val}");
+    }
+
+    println!("\n=== Calibrated thresholds ===");
+    let f2 = fig2_regime(&dataset);
+    let f3 = fig3_regime(&dataset);
+    println!(
+        "fig2 regime: r0 = {:.4} (target 0.7220) under (eps1, eps2) = ({}, {})",
+        r0(&f2.params, f2.eps1, f2.eps2).expect("fig2 r0"),
+        f2.eps1,
+        f2.eps2
+    );
+    println!(
+        "fig3 regime: r0 = {:.4} (target 2.1661) under (eps1, eps2) = ({}, {})",
+        r0(&f3.params, f3.eps1, f3.eps2).expect("fig3 r0"),
+        f3.eps1,
+        f3.eps2
+    );
+}

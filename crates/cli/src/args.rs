@@ -1,0 +1,150 @@
+//! Minimal flag parsing (no external dependencies).
+//!
+//! Supports `--key value` pairs and positional arguments. Unknown keys
+//! are rejected up front so typos fail loudly instead of silently using
+//! defaults.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: positionals plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+}
+
+/// A parse failure, including the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgsError(pub String);
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parses raw tokens, validating option names against `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] for unknown options, missing option values,
+    /// or duplicated options.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I, allowed: &[&str]) -> Result<Self, ArgsError> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if !allowed.contains(&key) {
+                    return Err(ArgsError(format!(
+                        "unknown option --{key} (expected one of: {})",
+                        allowed
+                            .iter()
+                            .map(|a| format!("--{a}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )));
+                }
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgsError(format!("option --{key} needs a value")))?;
+                if out.options.insert(key.to_string(), value).is_some() {
+                    return Err(ArgsError(format!("option --{key} given twice")));
+                }
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The positional arguments in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Looks up a string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Parses an option as `f64`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] if the value does not parse.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, ArgsError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| ArgsError(format!("--{key} {v:?} is not a number: {e}"))),
+        }
+    }
+
+    /// Parses an option as `usize`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] if the value does not parse.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, ArgsError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| ArgsError(format!("--{key} {v:?} is not an integer: {e}"))),
+        }
+    }
+
+    /// Parses an option as `u64`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] if the value does not parse.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, ArgsError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| ArgsError(format!("--{key} {v:?} is not an integer: {e}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positionals_and_options() {
+        let a = Args::parse(toks(&["run", "--eps1", "0.2", "extra"]), &["eps1"]).unwrap();
+        assert_eq!(a.positional(), &["run", "extra"]);
+        assert_eq!(a.get("eps1"), Some("0.2"));
+        assert_eq!(a.get_f64("eps1", 0.0).unwrap(), 0.2);
+        assert_eq!(a.get_f64("missing", 7.0).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn rejects_unknown_and_duplicate_options() {
+        assert!(Args::parse(toks(&["--bogus", "1"]), &["eps1"]).is_err());
+        assert!(Args::parse(toks(&["--eps1", "1", "--eps1", "2"]), &["eps1"]).is_err());
+        assert!(Args::parse(toks(&["--eps1"]), &["eps1"]).is_err());
+    }
+
+    #[test]
+    fn numeric_parse_errors_are_reported() {
+        let a = Args::parse(toks(&["--n", "abc"]), &["n"]).unwrap();
+        assert!(a.get_usize("n", 0).is_err());
+        assert!(a.get_f64("n", 0.0).is_err());
+        assert!(a.get_u64("n", 0).is_err());
+        let b = Args::parse(toks(&["--n", "12"]), &["n"]).unwrap();
+        assert_eq!(b.get_usize("n", 0).unwrap(), 12);
+        assert_eq!(b.get_u64("n", 0).unwrap(), 12);
+    }
+}

@@ -1,0 +1,299 @@
+//! The `rumor` subcommands.
+
+use crate::args::Args;
+use rumor_control::fbsm::{optimize as fbsm_optimize, FbsmOptions};
+use rumor_control::{ControlBounds, CostWeights};
+use rumor_core::control::ConstantControl;
+use rumor_core::equilibrium::{positive_equilibrium, r0, zero_equilibrium};
+use rumor_core::functions::{AcceptanceRate, Infectivity};
+use rumor_core::params::ModelParams;
+use rumor_core::simulate::{simulate as run_simulation, SimulateOptions};
+use rumor_core::sensitivity::{critical_countermeasure_scale, r0_sensitivity};
+use rumor_core::stability::theorem2_consistency;
+use rumor_core::state::NetworkState;
+use rumor_datasets::digg::{DiggConfig, DiggDataset};
+use rumor_datasets::edgelist::read_edge_list;
+use rumor_datasets::summary::DatasetSummary;
+use rumor_net::degree::DegreeClasses;
+use rumor_net::graph::{EdgeKind, Graph};
+use rumor_sim::abm::AbmConfig;
+use rumor_sim::ensemble::{max_deviation, mean_field_reference, run_ensemble, Simulator};
+use std::io::Write;
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// The network a command operates on: its degree partition plus, when an
+/// actual graph is available or required, the graph itself.
+struct Network {
+    classes: DegreeClasses,
+    graph: Option<Graph>,
+    summary: DatasetSummary,
+}
+
+fn load_network(args: &Args, need_graph: bool) -> Result<Network, Box<dyn std::error::Error>> {
+    if let Some(path) = args.get("edges") {
+        let file = std::fs::File::open(path)
+            .map_err(|e| format!("cannot open edge list {path:?}: {e}"))?;
+        let graph = read_edge_list(file, EdgeKind::Undirected)?;
+        let classes = DegreeClasses::from_graph(&graph)?;
+        let summary = DatasetSummary::from_graph(path.to_string(), &graph)?;
+        return Ok(Network {
+            classes,
+            graph: Some(graph),
+            summary,
+        });
+    }
+    let nodes = args.get_usize("nodes", 5_000)?;
+    let k_max = args.get_usize("kmax", 300)?;
+    let mean = args.get_f64("mean-degree", 24.0)?;
+    let seed = args.get_u64("seed", 2_009)?;
+    let dataset = DiggDataset::synthesize(DiggConfig {
+        nodes,
+        k_min: 1,
+        k_max,
+        target_mean_degree: mean,
+        seed,
+    })?;
+    let graph = if need_graph {
+        Some(dataset.realize_graph()?)
+    } else {
+        None
+    };
+    Ok(Network {
+        classes: dataset.classes().clone(),
+        graph,
+        summary: dataset.summary(),
+    })
+}
+
+fn model_params(args: &Args, classes: DegreeClasses) -> Result<ModelParams, Box<dyn std::error::Error>> {
+    Ok(ModelParams::builder(classes)
+        .alpha(args.get_f64("alpha", 0.01)?)
+        .acceptance(AcceptanceRate::LinearInDegree {
+            lambda0: args.get_f64("lambda0", 0.02)?,
+        })
+        .infectivity(Infectivity::paper_default())
+        .build()?)
+}
+
+/// `rumor analyze`: dataset statistics, threshold, equilibria, stability.
+pub fn analyze(args: &Args) -> CliResult {
+    let net = load_network(args, false)?;
+    let params = model_params(args, net.classes)?;
+    let (eps1, eps2) = (args.get_f64("eps1", 0.2)?, args.get_f64("eps2", 0.05)?);
+
+    println!("{}", net.summary);
+    println!("\nmodel: alpha = {}, lambda(k) = {}k, omega(k) = sqrt(k)/(1+sqrt(k))",
+        params.alpha(),
+        args.get_f64("lambda0", 0.02)?);
+    let (threshold, verdict, consistent) = theorem2_consistency(&params, eps1, eps2)?;
+    println!("countermeasures: eps1 = {eps1}, eps2 = {eps2}");
+    println!("\nthreshold r0 = {threshold:.4}");
+    println!(
+        "prediction (theorem 5): the rumor will {}",
+        if threshold <= 1.0 { "become extinct" } else { "persist endemically" }
+    );
+    println!("jacobian verdict at E0: {verdict:?} (consistent with r0: {consistent})");
+
+    let e0 = zero_equilibrium(&params, eps1, eps2)?;
+    println!(
+        "\nrumor-free equilibrium E0: S = {:.4}, R = {:.4} per class",
+        e0.s()[0],
+        e0.r()[0]
+    );
+    match positive_equilibrium(&params, eps1, eps2) {
+        Ok(ep) => println!(
+            "endemic equilibrium E+: mean I+ = {:.4} per class",
+            ep.total_infected() / params.n_classes() as f64
+        ),
+        Err(_) => println!("endemic equilibrium E+: does not exist (r0 <= 1)"),
+    }
+
+    let sens = r0_sensitivity(&params, eps1, eps2)?;
+    println!("
+threshold sensitivities:");
+    println!("  dr0/d(alpha) = {:+.4}", sens.d_alpha);
+    println!("  dr0/d(eps1)  = {:+.4}", sens.d_eps1);
+    println!("  dr0/d(eps2)  = {:+.4}", sens.d_eps2);
+    let scale = critical_countermeasure_scale(&params, eps1, eps2)?;
+    if scale > 1.0 {
+        println!(
+            "to reach r0 = 1, scale both countermeasures by {scale:.3} (e.g. eps = ({:.4}, {:.4}))",
+            eps1 * scale,
+            eps2 * scale
+        );
+    } else {
+        println!("already subcritical: countermeasures could shrink to {:.1}% before r0 reaches 1",
+            scale * 100.0);
+    }
+    // Where the threshold mass lives across degrees (top 3 classes).
+    let mut shares: Vec<(usize, f64)> = sens
+        .class_share
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (params.classes().degree(i), v))
+        .collect();
+    shares.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("largest per-class threshold shares:");
+    for (k, share) in shares.iter().take(3) {
+        println!("  degree {k:>5}: {:.2}% of r0", share * 100.0);
+    }
+    Ok(())
+}
+
+/// `rumor simulate`: integrate the dynamics, print milestones, optional CSV.
+pub fn simulate(args: &Args) -> CliResult {
+    let net = load_network(args, false)?;
+    let params = model_params(args, net.classes)?;
+    let (eps1, eps2) = (args.get_f64("eps1", 0.2)?, args.get_f64("eps2", 0.05)?);
+    let tf = args.get_f64("tf", 150.0)?;
+    let i0 = args.get_f64("i0", 0.1)?;
+
+    let initial = NetworkState::initial_uniform(params.n_classes(), i0)?;
+    let traj = run_simulation(
+        &params,
+        ConstantControl::new(eps1, eps2),
+        &initial,
+        tf,
+        &SimulateOptions::default(),
+    )?;
+    let threshold = r0(&params, eps1, eps2)?;
+    println!(
+        "r0 = {threshold:.4}; simulated {} classes over (0, {tf}]",
+        params.n_classes()
+    );
+    println!("\n{:>10} {:>12} {:>12} {:>12}", "t", "mean S", "mean I", "mean R");
+    let n = params.n_classes() as f64;
+    for idx in (0..traj.len()).step_by((traj.len() / 10).max(1)) {
+        let st = &traj.states()[idx];
+        println!(
+            "{:>10.2} {:>12.6} {:>12.6} {:>12.6}",
+            traj.times()[idx],
+            st.total_susceptible() / n,
+            st.total_infected() / n,
+            st.total_recovered() / n
+        );
+    }
+    if let Some(path) = args.get("out") {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "t,mean_s,mean_i,mean_r")?;
+        for (t, st) in traj.times().iter().zip(traj.states()) {
+            writeln!(
+                f,
+                "{t},{},{},{}",
+                st.total_susceptible() / n,
+                st.total_infected() / n,
+                st.total_recovered() / n
+            )?;
+        }
+        println!("\ntrajectory written to {path}");
+    }
+    Ok(())
+}
+
+/// `rumor optimize`: forward–backward sweep, schedule table, optional CSV.
+pub fn optimize(args: &Args) -> CliResult {
+    let net = load_network(args, false)?;
+    let params = model_params(args, net.classes)?;
+    let tf = args.get_f64("tf", 100.0)?;
+    let i0 = args.get_f64("i0", 0.05)?;
+    let weights = CostWeights::new(args.get_f64("c1", 5.0)?, args.get_f64("c2", 10.0)?)?;
+    let epsmax = args.get_f64("epsmax", 0.7)?;
+    let bounds = ControlBounds::new(epsmax, epsmax)?;
+    let initial = NetworkState::initial_uniform(params.n_classes(), i0)?;
+
+    println!(
+        "sweeping {} classes over (0, {tf}] with c1 = {}, c2 = {}, bounds {epsmax}...",
+        params.n_classes(),
+        weights.c1,
+        weights.c2
+    );
+    let result = fbsm_optimize(
+        &params,
+        &initial,
+        tf,
+        &bounds,
+        &weights,
+        &FbsmOptions {
+            n_nodes: 101,
+            max_iterations: 300,
+            tolerance: 1e-4,
+            relaxation: 0.3,
+            ..Default::default()
+        },
+    )?;
+    println!(
+        "finished after {} iterations (converged: {}); J = {:.4}, running cost = {:.4}",
+        result.iterations,
+        result.converged,
+        result.cost.total(),
+        result.cost.running()
+    );
+    println!(
+        "terminal infection: {:.6}",
+        result.trajectory.last_state().total_infected()
+    );
+    println!("\n{:>8} {:>10} {:>10}", "t", "eps1", "eps2");
+    let grid = result.control.grid();
+    for idx in (0..grid.len()).step_by((grid.len() / 10).max(1)) {
+        println!(
+            "{:>8.1} {:>10.4} {:>10.4}",
+            grid[idx],
+            result.control.eps1_values()[idx],
+            result.control.eps2_values()[idx]
+        );
+    }
+    if let Some(path) = args.get("out") {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "t,eps1,eps2")?;
+        for (idx, t) in grid.iter().enumerate() {
+            writeln!(
+                f,
+                "{t},{},{}",
+                result.control.eps1_values()[idx],
+                result.control.eps2_values()[idx]
+            )?;
+        }
+        println!("\nschedule written to {path}");
+    }
+    Ok(())
+}
+
+/// `rumor abm`: stochastic ensemble vs the mean field.
+pub fn abm(args: &Args) -> CliResult {
+    let net = load_network(args, true)?;
+    let graph = net.graph.expect("load_network(need_graph = true)");
+    // The microscopic simulators key rates off the realized graph's
+    // degrees, so rebuild the partition from the graph itself.
+    let classes = DegreeClasses::from_graph(&graph)?;
+    let params = model_params(args, classes)?;
+    let cfg = AbmConfig {
+        alpha: params.alpha(),
+        dt: 0.1,
+        tf: args.get_f64("tf", 40.0)?,
+        eps1: args.get_f64("eps1", 0.2)?,
+        eps2: args.get_f64("eps2", 0.05)?,
+        initial_infected: args.get_f64("i0", 0.05)?,
+        record_every: 10,
+    };
+    let runs = args.get_usize("runs", 8)?;
+    let seed = args.get_u64("seed", 2_009)?;
+    println!(
+        "running {runs} synchronous ABM realizations on {} nodes...",
+        graph.node_count()
+    );
+    let ens = run_ensemble(&graph, &params, &cfg, Simulator::Synchronous, runs, seed)?;
+    let mf = mean_field_reference(&params, &cfg, &ens.times)?;
+    println!("\n{:>8} {:>12} {:>12} {:>12}", "t", "abm mean I", "abm std", "ode I");
+    for idx in (0..ens.times.len()).step_by((ens.times.len() / 10).max(1)) {
+        println!(
+            "{:>8.1} {:>12.6} {:>12.6} {:>12.6}",
+            ens.times[idx], ens.i_mean[idx], ens.i_std[idx], mf[idx]
+        );
+    }
+    println!(
+        "\nmax |ABM - ODE| deviation: {:.4}",
+        max_deviation(&ens, &mf)?
+    );
+    Ok(())
+}

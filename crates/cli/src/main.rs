@@ -1,0 +1,106 @@
+//! `rumor` — command-line interface to the rumor-propagation toolkit.
+//!
+//! ```text
+//! rumor analyze   [--edges FILE | --nodes N] [--eps1 E] [--eps2 E] ...
+//! rumor simulate  [--edges FILE | --nodes N] [--tf T] [--out FILE] ...
+//! rumor optimize  [--edges FILE | --nodes N] [--tf T] [--c1 C] [--c2 C] ...
+//! rumor abm       [--edges FILE | --nodes N] [--runs R] [--tf T] ...
+//! ```
+//!
+//! Run `rumor help` for the full option list. Networks come from an edge
+//! list (`--edges`) or a synthesized Digg-like graph (`--nodes`).
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+rumor — heterogeneous SIR rumor propagation toolkit (ICDCS 2015 reproduction)
+
+USAGE:
+    rumor <command> [options]
+
+COMMANDS:
+    analyze    network statistics, threshold r0, equilibria, stability verdict
+    simulate   integrate the rumor dynamics; optionally write a CSV trajectory
+    optimize   Pontryagin forward-backward sweep for the cheapest countermeasures
+    abm        agent-based ensemble vs the mean-field prediction
+    help       print this message
+
+NETWORK SOURCE (all commands):
+    --edges FILE     read an undirected edge list (whitespace/comma separated)
+    --nodes N        synthesize a Digg-like power-law network with N nodes
+                     (default 5000; ignored when --edges is given)
+    --kmax K         maximum degree of the synthetic network (default 300)
+    --mean-degree D  target mean degree of the synthetic network (default 24)
+    --seed S         RNG seed (default 2009)
+
+MODEL PARAMETERS:
+    --alpha A        inflow rate (default 0.01)
+    --lambda0 L      acceptance scale, lambda(k) = L*k (default 0.02)
+    --eps1 E         truth-spreading rate (default 0.2)
+    --eps2 E         blocking rate (default 0.05)
+
+COMMAND OPTIONS:
+    simulate: --tf T (default 150)  --i0 F (default 0.1)  --out FILE
+    optimize: --tf T (default 100)  --i0 F (default 0.05) --c1 C (5) --c2 C (10)
+              --epsmax E (default 0.7)  --out FILE
+    abm:      --tf T (default 40)   --i0 F (default 0.05) --runs R (default 8)
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = raw.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let allowed = [
+        "edges",
+        "nodes",
+        "kmax",
+        "mean-degree",
+        "seed",
+        "alpha",
+        "lambda0",
+        "eps1",
+        "eps2",
+        "tf",
+        "i0",
+        "out",
+        "c1",
+        "c2",
+        "epsmax",
+        "runs",
+    ];
+    let parsed = match Args::parse(rest.iter().cloned(), &allowed) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(stray) = parsed.positional().first() {
+        eprintln!("error: unexpected argument {stray:?}; run `rumor help`");
+        return ExitCode::FAILURE;
+    }
+    let result = match command.as_str() {
+        "analyze" => commands::analyze(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "optimize" => commands::optimize(&parsed),
+        "abm" => commands::abm(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; run `rumor help`").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Evaluation of the countermeasure cost functional (paper Eq. (13)).
+//!
+//! ```text
+//! J = Σ_i I_i(tf) + ∫₀^tf Σ_i ( c1 ε1²(t) S_i²(t) + c2 ε2²(t) I_i²(t) ) dt
+//! ```
+
+use crate::{CostWeights, Result};
+use rumor_core::control::ControlSchedule;
+use rumor_core::simulate::Trajectory;
+use rumor_numerics::quadrature::trapezoid_sampled;
+
+/// Itemized cost of a countermeasure run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CostBreakdown {
+    /// Terminal infection `Σ_i I_i(tf)`.
+    pub terminal_infection: f64,
+    /// `∫ Σ c1 ε1² S_i² dt` — the truth-spreading expenditure.
+    pub truth_cost: f64,
+    /// `∫ Σ c2 ε2² I_i² dt` — the blocking expenditure.
+    pub blocking_cost: f64,
+}
+
+impl CostBreakdown {
+    /// Running (integral) cost: truth + blocking.
+    pub fn running(&self) -> f64 {
+        self.truth_cost + self.blocking_cost
+    }
+
+    /// The full objective `J` (terminal + running).
+    pub fn total(&self) -> f64 {
+        self.terminal_infection + self.running()
+    }
+}
+
+/// The instantaneous running-cost integrand
+/// `Σ_i (c1 ε1² S_i² + c2 ε2² I_i²)` at one sample.
+pub fn running_integrand(
+    s: &[f64],
+    i: &[f64],
+    eps1: f64,
+    eps2: f64,
+    weights: &CostWeights,
+) -> f64 {
+    let s2: f64 = s.iter().map(|x| x * x).sum();
+    let i2: f64 = i.iter().map(|x| x * x).sum();
+    weights.c1 * eps1 * eps1 * s2 + weights.c2 * eps2 * eps2 * i2
+}
+
+/// Evaluates the cost functional along a simulated trajectory under the
+/// schedule that produced it, integrating the running cost with the
+/// trapezoid rule on the trajectory's own grid.
+///
+/// # Errors
+///
+/// Propagates quadrature validation failures (degenerate grids).
+pub fn evaluate(
+    trajectory: &Trajectory,
+    control: impl ControlSchedule,
+    weights: &CostWeights,
+) -> Result<CostBreakdown> {
+    let ts = trajectory.times();
+    let mut truth = Vec::with_capacity(ts.len());
+    let mut blocking = Vec::with_capacity(ts.len());
+    for (t, state) in ts.iter().zip(trajectory.states()) {
+        let e1 = control.eps1(*t);
+        let e2 = control.eps2(*t);
+        let s2: f64 = state.s().iter().map(|x| x * x).sum();
+        let i2: f64 = state.i().iter().map(|x| x * x).sum();
+        truth.push(weights.c1 * e1 * e1 * s2);
+        blocking.push(weights.c2 * e2 * e2 * i2);
+    }
+    let truth_cost = trapezoid_sampled(ts, &truth)?;
+    let blocking_cost = trapezoid_sampled(ts, &blocking)?;
+    Ok(CostBreakdown {
+        terminal_infection: trajectory.last_state().total_infected(),
+        truth_cost,
+        blocking_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_core::control::ConstantControl;
+    use rumor_core::functions::{AcceptanceRate, Infectivity};
+    use rumor_core::params::ModelParams;
+    use rumor_core::simulate::{simulate, SimulateOptions};
+    use rumor_core::state::NetworkState;
+    use rumor_net::degree::DegreeClasses;
+
+    fn params() -> ModelParams {
+        let classes = DegreeClasses::from_degrees(&[1, 2, 2, 3]).unwrap();
+        ModelParams::builder(classes)
+            .alpha(0.01)
+            .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.05 })
+            .infectivity(Infectivity::paper_default())
+            .build()
+            .unwrap()
+    }
+
+    fn run(eps1: f64, eps2: f64, tf: f64) -> (Trajectory, ConstantControl) {
+        let p = params();
+        let c = ConstantControl::new(eps1, eps2);
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.1).unwrap();
+        let traj = simulate(&p, c, &init, tf, &SimulateOptions::default()).unwrap();
+        (traj, c)
+    }
+
+    #[test]
+    fn zero_control_has_zero_running_cost() {
+        let (traj, c) = run(0.0, 0.0, 5.0);
+        let cost = evaluate(&traj, c, &CostWeights::paper_default()).unwrap();
+        assert_eq!(cost.truth_cost, 0.0);
+        assert_eq!(cost.blocking_cost, 0.0);
+        assert!(cost.terminal_infection > 0.0);
+        assert_eq!(cost.total(), cost.terminal_infection);
+    }
+
+    #[test]
+    fn running_cost_scales_quadratically_in_control() {
+        // For small tf the state barely moves, so doubling ε1 should
+        // roughly quadruple the truth cost.
+        let (t1, c1) = run(0.1, 0.0, 0.1);
+        let (t2, c2) = run(0.2, 0.0, 0.1);
+        let w = CostWeights::paper_default();
+        let a = evaluate(&t1, c1, &w).unwrap().truth_cost;
+        let b = evaluate(&t2, c2, &w).unwrap().truth_cost;
+        let ratio = b / a;
+        assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weights_scale_costs_linearly() {
+        let (traj, c) = run(0.1, 0.1, 1.0);
+        let w1 = CostWeights::new(1.0, 1.0).unwrap();
+        let w2 = CostWeights::new(2.0, 1.0).unwrap();
+        let a = evaluate(&traj, c, &w1).unwrap();
+        let b = evaluate(&traj, c, &w2).unwrap();
+        assert!((b.truth_cost - 2.0 * a.truth_cost).abs() < 1e-12);
+        assert!((b.blocking_cost - a.blocking_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrand_matches_hand_computation() {
+        let w = CostWeights::new(2.0, 3.0).unwrap();
+        let v = running_integrand(&[0.5, 0.5], &[0.1], 0.2, 0.4, &w);
+        // c1 ε1² Σs² = 2·0.04·0.5 = 0.04; c2 ε2² Σi² = 3·0.16·0.01 = 0.0048.
+        assert!((v - 0.0448).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = CostBreakdown {
+            terminal_infection: 0.5,
+            truth_cost: 1.0,
+            blocking_cost: 2.0,
+        };
+        assert_eq!(b.running(), 3.0);
+        assert_eq!(b.total(), 3.5);
+    }
+
+    #[test]
+    fn stronger_control_lowers_terminal_infection_but_costs_more() {
+        let w = CostWeights::paper_default();
+        let (t_weak, c_weak) = run(0.02, 0.02, 30.0);
+        let (t_strong, c_strong) = run(0.3, 0.3, 30.0);
+        let weak = evaluate(&t_weak, c_weak, &w).unwrap();
+        let strong = evaluate(&t_strong, c_strong, &w).unwrap();
+        assert!(strong.terminal_infection < weak.terminal_infection);
+        assert!(strong.running() > weak.running());
+    }
+}

@@ -1,0 +1,102 @@
+use std::fmt;
+
+/// Errors produced by the optimal-control routines.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ControlError {
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// The forward–backward sweep failed to converge.
+    SweepDiverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Last relative control change observed.
+        last_change: f64,
+    },
+    /// The heuristic gain search could not bracket the target.
+    TargetUnreachable {
+        /// The terminal-infection target.
+        target: f64,
+        /// Best terminal infection achieved at maximum gain.
+        best: f64,
+    },
+    /// An underlying core-model failure.
+    Core(rumor_core::CoreError),
+    /// An underlying ODE failure.
+    Ode(rumor_ode::OdeError),
+    /// An underlying numerical failure.
+    Numerics(rumor_numerics::NumericsError),
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::InvalidConfig(msg) => write!(f, "invalid control configuration: {msg}"),
+            ControlError::SweepDiverged {
+                iterations,
+                last_change,
+            } => write!(
+                f,
+                "forward-backward sweep did not converge after {iterations} iterations (last change {last_change:.3e})"
+            ),
+            ControlError::TargetUnreachable { target, best } => write!(
+                f,
+                "terminal infection target {target} unreachable (best achievable {best})"
+            ),
+            ControlError::Core(e) => write!(f, "core model error: {e}"),
+            ControlError::Ode(e) => write!(f, "ode error: {e}"),
+            ControlError::Numerics(e) => write!(f, "numerics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ControlError::Core(e) => Some(e),
+            ControlError::Ode(e) => Some(e),
+            ControlError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rumor_core::CoreError> for ControlError {
+    fn from(e: rumor_core::CoreError) -> Self {
+        ControlError::Core(e)
+    }
+}
+
+impl From<rumor_ode::OdeError> for ControlError {
+    fn from(e: rumor_ode::OdeError) -> Self {
+        ControlError::Ode(e)
+    }
+}
+
+impl From<rumor_numerics::NumericsError> for ControlError {
+    fn from(e: rumor_numerics::NumericsError) -> Self {
+        ControlError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ControlError;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_sources() {
+        let e = ControlError::SweepDiverged {
+            iterations: 50,
+            last_change: 0.1,
+        };
+        assert!(e.to_string().contains("50"));
+        assert!(e.source().is_none());
+        let c: ControlError = rumor_core::CoreError::NoEndemicEquilibrium { r0: 0.5 }.into();
+        assert!(c.source().is_some());
+        let o: ControlError = rumor_ode::OdeError::NonFiniteState { t: 1.0 }.into();
+        assert!(o.source().is_some());
+        let n: ControlError = rumor_numerics::NumericsError::SingularMatrix.into();
+        assert!(n.source().is_some());
+    }
+}

@@ -1,0 +1,498 @@
+//! The heuristic (myopic feedback) countermeasure baseline.
+//!
+//! The paper's Fig. 4(c) compares the optimized schedule against
+//! "heuristic countermeasures (that) restrain the spread of rumors just
+//! based on the current infection state, i.e., there is no global
+//! control". We realize that as proportional feedback: both channels
+//! react to the current mean infected density,
+//!
+//! ```text
+//! ε1(t) = clamp(g1 · Ī(t), 0, ε1max),   ε2(t) = clamp(g2 · Ī(t), 0, ε2max)
+//! ```
+//!
+//! with `Ī = (1/n) Σ_i I_i`. [`tune`] searches the shared gain so the
+//! terminal infection matches a target level, which is how the paper
+//! equalizes effectiveness before comparing costs.
+
+use crate::cost::{evaluate, CostBreakdown};
+use crate::schedule::PiecewiseControl;
+use crate::{ControlBounds, ControlError, CostWeights, Result};
+use rumor_core::params::ModelParams;
+use rumor_core::state::NetworkState;
+use rumor_ode::integrator::{Adaptive, AdaptiveConfig};
+use rumor_ode::system::OdeSystem;
+
+/// A state-feedback countermeasure rule: maps the current mean infected
+/// density to a rate pair. Implemented by [`HeuristicPolicy`]
+/// (proportional) and [`SigmoidPolicy`] (smoothed threshold switching).
+pub trait FeedbackRule: Copy {
+    /// The feedback rates at mean infected density `i_mean`.
+    fn feedback_rates(&self, i_mean: f64) -> (f64, f64);
+}
+
+/// Proportional-feedback policy reacting to the mean infected density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeuristicPolicy {
+    /// Gain of the truth-spreading channel.
+    pub gain1: f64,
+    /// Gain of the blocking channel.
+    pub gain2: f64,
+    /// Saturation bounds (shared with the optimized problem for a fair
+    /// comparison).
+    pub bounds: ControlBounds,
+}
+
+impl HeuristicPolicy {
+    /// The feedback rates at mean infected density `i_mean`.
+    pub fn rates(&self, i_mean: f64) -> (f64, f64) {
+        (
+            (self.gain1 * i_mean).clamp(0.0, self.bounds.eps1_max),
+            (self.gain2 * i_mean).clamp(0.0, self.bounds.eps2_max),
+        )
+    }
+}
+
+impl FeedbackRule for HeuristicPolicy {
+    fn feedback_rates(&self, i_mean: f64) -> (f64, f64) {
+        self.rates(i_mean)
+    }
+}
+
+/// Smoothed threshold ("soft bang-bang") policy: each channel switches
+/// from 0 toward its bound as the mean infected density crosses its
+/// midpoint, with a logistic transition of the given sharpness (the
+/// smooth transition keeps the closed-loop ODE integrable without the
+/// chattering a hard switch would induce):
+///
+/// ```text
+/// ε(Ī) = ε_max / (1 + exp(−sharpness·(Ī − mid)))
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SigmoidPolicy {
+    /// Midpoint of the truth-spreading switch.
+    pub mid1: f64,
+    /// Midpoint of the blocking switch.
+    pub mid2: f64,
+    /// Logistic sharpness (larger = closer to a hard switch).
+    pub sharpness: f64,
+    /// Saturation bounds.
+    pub bounds: ControlBounds,
+}
+
+impl FeedbackRule for SigmoidPolicy {
+    fn feedback_rates(&self, i_mean: f64) -> (f64, f64) {
+        let sig = |mid: f64| 1.0 / (1.0 + (-self.sharpness * (i_mean - mid)).exp());
+        (
+            self.bounds.eps1_max * sig(self.mid1),
+            self.bounds.eps2_max * sig(self.mid2),
+        )
+    }
+}
+
+/// The rumor dynamics under state-feedback countermeasures (the control
+/// depends on the state, so it cannot be expressed as a
+/// [`rumor_core::control::ControlSchedule`]).
+#[derive(Debug, Clone)]
+struct HeuristicModel<'p, P> {
+    params: &'p ModelParams,
+    policy: P,
+}
+
+impl<P: FeedbackRule> OdeSystem for HeuristicModel<'_, P> {
+    fn dim(&self) -> usize {
+        3 * self.params.n_classes()
+    }
+
+    fn rhs(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+        let n = self.params.n_classes();
+        let alpha = self.params.alpha();
+        let lambda = self.params.lambda();
+        let phi = self.params.phi();
+        let mean_k = self.params.mean_degree();
+        let i_mean = y[n..2 * n].iter().sum::<f64>() / n as f64;
+        let (eps1, eps2) = self.policy.feedback_rates(i_mean);
+        let theta: f64 = phi
+            .iter()
+            .zip(&y[n..2 * n])
+            .map(|(p, i)| p * i)
+            .sum::<f64>()
+            / mean_k;
+        for j in 0..n {
+            let s = y[j];
+            let inf = y[n + j];
+            let force = lambda[j] * s * theta;
+            dydt[j] = alpha - force - eps1 * s;
+            dydt[n + j] = force - eps2 * inf;
+            dydt[2 * n + j] = eps1 * s + eps2 * inf - alpha;
+        }
+    }
+}
+
+/// Outcome of a heuristic run: the realized trajectory, the control
+/// signal it induced, and its cost.
+#[derive(Debug, Clone)]
+pub struct HeuristicRun<P = HeuristicPolicy> {
+    /// The policy that produced the run.
+    pub policy: P,
+    /// State trajectory on the output grid.
+    pub trajectory: rumor_core::simulate::Trajectory,
+    /// The induced (recorded) control signal.
+    pub control: PiecewiseControl,
+    /// Itemized cost under the same functional as the optimized problem.
+    pub cost: CostBreakdown,
+}
+
+/// Simulates the feedback policy over `[0, tf]` and evaluates its cost.
+///
+/// # Errors
+///
+/// * [`ControlError::InvalidConfig`] for bad horizon/grid parameters.
+/// * Propagated integration failures.
+pub fn run<P: FeedbackRule>(
+    params: &ModelParams,
+    initial: &NetworkState,
+    tf: f64,
+    policy: P,
+    weights: &CostWeights,
+    n_out: usize,
+) -> Result<HeuristicRun<P>> {
+    if !(tf > 0.0) || n_out < 2 {
+        return Err(ControlError::InvalidConfig(format!(
+            "need tf > 0 and n_out >= 2, got tf = {tf}, n_out = {n_out}"
+        )));
+    }
+    if initial.n_classes() != params.n_classes() {
+        return Err(ControlError::InvalidConfig(format!(
+            "initial state has {} classes, parameters have {}",
+            initial.n_classes(),
+            params.n_classes()
+        )));
+    }
+    let model = HeuristicModel { params, policy };
+    let cfg = AdaptiveConfig {
+        rtol: 1e-7,
+        atol: 1e-9,
+        ..Default::default()
+    };
+    let sol = Adaptive::with_config(cfg).integrate(&model, 0.0, &initial.to_flat(), tf)?;
+    let grid: Vec<f64> = (0..n_out)
+        .map(|i| tf * i as f64 / (n_out - 1) as f64)
+        .collect();
+    let n = params.n_classes();
+    let mut states = Vec::with_capacity(n_out);
+    let mut e1 = Vec::with_capacity(n_out);
+    let mut e2 = Vec::with_capacity(n_out);
+    for &t in &grid {
+        let flat = sol.sample(t)?;
+        let i_mean = flat[n..2 * n].iter().sum::<f64>() / n as f64;
+        let (r1, r2) = policy.feedback_rates(i_mean);
+        e1.push(r1);
+        e2.push(r2);
+        states.push(NetworkState::from_flat(&flat)?);
+    }
+    let control = PiecewiseControl::from_values(grid.clone(), e1, e2)?;
+    let trajectory = rumor_core::simulate::Trajectory::from_parts(grid, states);
+    let cost = evaluate(&trajectory, &control, weights)?;
+    Ok(HeuristicRun {
+        policy,
+        trajectory,
+        control,
+        cost,
+    })
+}
+
+/// Bisects the shared feedback gain so the run's terminal infection hits
+/// `target` (within `tol_rel` relative tolerance). Both channels share
+/// the gain, mirroring the paper's single-knob heuristic.
+///
+/// # Errors
+///
+/// * [`ControlError::TargetUnreachable`] if even the saturated policy
+///   cannot push the terminal infection down to `target`.
+/// * [`ControlError::InvalidConfig`] for a non-positive target.
+pub fn tune(
+    params: &ModelParams,
+    initial: &NetworkState,
+    tf: f64,
+    bounds: &ControlBounds,
+    weights: &CostWeights,
+    target: f64,
+    n_out: usize,
+) -> Result<HeuristicRun> {
+    if !(target > 0.0) {
+        return Err(ControlError::InvalidConfig(format!(
+            "terminal infection target must be positive, got {target}"
+        )));
+    }
+    let mk_policy = |g: f64| HeuristicPolicy {
+        gain1: g,
+        gain2: g,
+        bounds: *bounds,
+    };
+    let terminal = |g: f64| -> Result<f64> {
+        Ok(run(params, initial, tf, mk_policy(g), weights, n_out)?
+            .trajectory
+            .last_state()
+            .total_infected())
+    };
+    // Find an upper gain that reaches the target.
+    let mut g_hi = 1.0;
+    let mut reached = terminal(g_hi)?;
+    let mut guard = 0;
+    while reached > target {
+        g_hi *= 4.0;
+        reached = terminal(g_hi)?;
+        guard += 1;
+        if guard > 20 {
+            return Err(ControlError::TargetUnreachable {
+                target,
+                best: reached,
+            });
+        }
+    }
+    // Bisect on the gain (terminal infection is monotone decreasing).
+    let mut g_lo = 0.0;
+    for _ in 0..60 {
+        let mid = 0.5 * (g_lo + g_hi);
+        if terminal(mid)? > target {
+            g_lo = mid;
+        } else {
+            g_hi = mid;
+        }
+        if (g_hi - g_lo) < 1e-6 * g_hi.max(1.0) {
+            break;
+        }
+    }
+    run(params, initial, tf, mk_policy(g_hi), weights, n_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_core::functions::{AcceptanceRate, Infectivity};
+    use rumor_net::degree::DegreeClasses;
+
+    fn params() -> ModelParams {
+        let classes = DegreeClasses::from_degrees(&[1, 1, 2, 2, 3, 6]).unwrap();
+        ModelParams::builder(classes)
+            .alpha(0.002)
+            .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.02 })
+            .infectivity(Infectivity::paper_default())
+            .build()
+            .unwrap()
+    }
+
+    fn bounds() -> ControlBounds {
+        ControlBounds::new(0.6, 0.6).unwrap()
+    }
+
+    #[test]
+    fn policy_rates_clamp() {
+        let p = HeuristicPolicy {
+            gain1: 10.0,
+            gain2: 0.5,
+            bounds: bounds(),
+        };
+        let (e1, e2) = p.rates(0.2);
+        assert_eq!(e1, 0.6); // saturated
+        assert!((e2 - 0.1).abs() < 1e-12);
+        assert_eq!(p.rates(0.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn run_produces_consistent_artifacts() {
+        let p = params();
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.1).unwrap();
+        let policy = HeuristicPolicy {
+            gain1: 2.0,
+            gain2: 2.0,
+            bounds: bounds(),
+        };
+        let hr = run(&p, &init, 20.0, policy, &CostWeights::paper_default(), 41).unwrap();
+        assert_eq!(hr.trajectory.len(), 41);
+        assert_eq!(hr.control.grid().len(), 41);
+        assert!(hr.cost.total().is_finite());
+        // The recorded control must match the policy applied to the
+        // recorded states.
+        let n = p.n_classes();
+        let _ = n;
+        for (k, st) in hr.trajectory.states().iter().enumerate() {
+            let i_mean = st.total_infected() / p.n_classes() as f64;
+            let (e1, _) = policy.rates(i_mean);
+            assert!((hr.control.eps1_values()[k] - e1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stronger_gain_means_less_infection() {
+        let p = params();
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.1).unwrap();
+        let w = CostWeights::paper_default();
+        let weak = run(
+            &p,
+            &init,
+            30.0,
+            HeuristicPolicy {
+                gain1: 0.1,
+                gain2: 0.1,
+                bounds: bounds(),
+            },
+            &w,
+            41,
+        )
+        .unwrap();
+        let strong = run(
+            &p,
+            &init,
+            30.0,
+            HeuristicPolicy {
+                gain1: 5.0,
+                gain2: 5.0,
+                bounds: bounds(),
+            },
+            &w,
+            41,
+        )
+        .unwrap();
+        assert!(
+            strong.trajectory.last_state().total_infected()
+                < weak.trajectory.last_state().total_infected()
+        );
+    }
+
+    #[test]
+    fn tune_hits_target() {
+        let p = params();
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.1).unwrap();
+        let w = CostWeights::paper_default();
+        let target = 0.05;
+        let hr = tune(&p, &init, 40.0, &bounds(), &w, target, 41).unwrap();
+        let terminal = hr.trajectory.last_state().total_infected();
+        assert!(
+            terminal <= target * 1.05,
+            "terminal {terminal} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn tune_unreachable_target_errors() {
+        let p = params();
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.5).unwrap();
+        let w = CostWeights::paper_default();
+        // Absurdly low target over a very short horizon with weak bounds.
+        let tight = ControlBounds::new(0.01, 0.01).unwrap();
+        let r = tune(&p, &init, 1.0, &tight, &w, 1e-12, 21);
+        assert!(matches!(r, Err(ControlError::TargetUnreachable { .. })));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let p = params();
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.1).unwrap();
+        let w = CostWeights::paper_default();
+        let policy = HeuristicPolicy {
+            gain1: 1.0,
+            gain2: 1.0,
+            bounds: bounds(),
+        };
+        assert!(run(&p, &init, 0.0, policy, &w, 41).is_err());
+        assert!(run(&p, &init, 1.0, policy, &w, 1).is_err());
+        let bad = NetworkState::initial_uniform(2, 0.1).unwrap();
+        assert!(run(&p, &bad, 1.0, policy, &w, 41).is_err());
+        assert!(tune(&p, &init, 1.0, &bounds(), &w, 0.0, 21).is_err());
+    }
+}
+
+#[cfg(test)]
+mod sigmoid_tests {
+    use super::*;
+    use rumor_core::functions::{AcceptanceRate, Infectivity};
+    use rumor_net::degree::DegreeClasses;
+
+    fn params() -> ModelParams {
+        let classes = DegreeClasses::from_degrees(&[1, 1, 2, 2, 3, 6]).unwrap();
+        ModelParams::builder(classes)
+            .alpha(0.002)
+            .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.05 })
+            .infectivity(Infectivity::paper_default())
+            .build()
+            .unwrap()
+    }
+
+    fn bounds() -> ControlBounds {
+        ControlBounds::new(0.6, 0.6).unwrap()
+    }
+
+    #[test]
+    fn sigmoid_rates_interpolate_between_zero_and_bound() {
+        let p = SigmoidPolicy {
+            mid1: 0.1,
+            mid2: 0.2,
+            sharpness: 100.0,
+            bounds: bounds(),
+        };
+        // Far below the midpoints: nearly off.
+        let (a, b) = p.feedback_rates(0.0);
+        assert!(a < 1e-3 && b < 1e-6);
+        // At a midpoint: exactly half the bound.
+        let (a, _) = p.feedback_rates(0.1);
+        assert!((a - 0.3).abs() < 1e-12);
+        // Far above: saturated.
+        let (a, b) = p.feedback_rates(0.5);
+        assert!((a - 0.6).abs() < 1e-6 && (b - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_policy_runs_and_suppresses() {
+        let p = params();
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.2).unwrap();
+        let w = CostWeights::paper_default();
+        let policy = SigmoidPolicy {
+            mid1: 0.05,
+            mid2: 0.05,
+            sharpness: 60.0,
+            bounds: bounds(),
+        };
+        let hr = run(&p, &init, 40.0, policy, &w, 41).unwrap();
+        assert_eq!(hr.trajectory.len(), 41);
+        assert!(hr.cost.total().is_finite());
+        // Strong switching suppresses the outbreak relative to no control.
+        let free = run(
+            &p,
+            &init,
+            40.0,
+            HeuristicPolicy {
+                gain1: 0.0,
+                gain2: 0.0,
+                bounds: bounds(),
+            },
+            &w,
+            41,
+        )
+        .unwrap();
+        assert!(
+            hr.trajectory.last_state().total_infected()
+                < free.trajectory.last_state().total_infected()
+        );
+    }
+
+    #[test]
+    fn recorded_control_matches_policy_evaluation() {
+        let p = params();
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.15).unwrap();
+        let w = CostWeights::paper_default();
+        let policy = SigmoidPolicy {
+            mid1: 0.08,
+            mid2: 0.12,
+            sharpness: 40.0,
+            bounds: bounds(),
+        };
+        let hr = run(&p, &init, 20.0, policy, &w, 21).unwrap();
+        for (k, st) in hr.trajectory.states().iter().enumerate() {
+            let i_mean = st.total_infected() / p.n_classes() as f64;
+            let (e1, e2) = policy.feedback_rates(i_mean);
+            assert!((hr.control.eps1_values()[k] - e1).abs() < 1e-9);
+            assert!((hr.control.eps2_values()[k] - e2).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Grid-sampled control schedules.
+
+use crate::{ControlBounds, ControlError, Result};
+use rumor_core::control::ControlSchedule;
+use rumor_numerics::interp::LinearInterp;
+
+/// A pair of piecewise-linear control signals `(ε1(t), ε2(t))` on a
+/// shared time grid, with constant extrapolation outside the grid.
+///
+/// This is the representation the forward–backward sweep iterates on,
+/// and the form in which optimized countermeasures are returned to
+/// callers (and printed by the Fig. 4(a) harness).
+///
+/// # Example
+///
+/// ```
+/// use rumor_control::schedule::PiecewiseControl;
+/// use rumor_core::control::ControlSchedule;
+///
+/// # fn main() -> Result<(), rumor_control::ControlError> {
+/// let pc = PiecewiseControl::from_values(
+///     vec![0.0, 1.0, 2.0],
+///     vec![0.4, 0.2, 0.0],
+///     vec![0.0, 0.1, 0.2],
+/// )?;
+/// assert!((pc.eps1(0.5) - 0.3).abs() < 1e-12);
+/// assert!((pc.eps2(1.5) - 0.15).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseControl {
+    eps1: LinearInterp,
+    eps2: LinearInterp,
+}
+
+impl PiecewiseControl {
+    /// Creates a schedule from a grid and per-node values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidConfig`] if the grid is not
+    /// strictly increasing, lengths mismatch, or any value is negative
+    /// or non-finite.
+    pub fn from_values(grid: Vec<f64>, eps1: Vec<f64>, eps2: Vec<f64>) -> Result<Self> {
+        for (name, v) in [("eps1", &eps1), ("eps2", &eps2)] {
+            if v.iter().any(|x| !x.is_finite() || *x < 0.0) {
+                return Err(ControlError::InvalidConfig(format!(
+                    "{name} values must be non-negative and finite"
+                )));
+            }
+        }
+        let eps1 = LinearInterp::new(grid.clone(), eps1)
+            .map_err(|e| ControlError::InvalidConfig(e.to_string()))?;
+        let eps2 = LinearInterp::new(grid, eps2)
+            .map_err(|e| ControlError::InvalidConfig(e.to_string()))?;
+        Ok(PiecewiseControl { eps1, eps2 })
+    }
+
+    /// Creates a constant schedule on a uniform grid over `[0, tf]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidConfig`] for non-positive `tf`,
+    /// fewer than two nodes, or negative rates.
+    pub fn constant(tf: f64, n_nodes: usize, eps1: f64, eps2: f64) -> Result<Self> {
+        if !(tf > 0.0) || n_nodes < 2 {
+            return Err(ControlError::InvalidConfig(format!(
+                "need tf > 0 and at least two nodes, got tf = {tf}, nodes = {n_nodes}"
+            )));
+        }
+        let grid: Vec<f64> = (0..n_nodes)
+            .map(|i| tf * i as f64 / (n_nodes - 1) as f64)
+            .collect();
+        Self::from_values(grid, vec![eps1; n_nodes], vec![eps2; n_nodes])
+    }
+
+    /// The shared time grid.
+    pub fn grid(&self) -> &[f64] {
+        self.eps1.xs()
+    }
+
+    /// The `ε1` node values.
+    pub fn eps1_values(&self) -> &[f64] {
+        self.eps1.ys()
+    }
+
+    /// The `ε2` node values.
+    pub fn eps2_values(&self) -> &[f64] {
+        self.eps2.ys()
+    }
+
+    /// Replaces both value vectors (grid unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidConfig`] on length mismatch or
+    /// invalid values.
+    pub fn set_values(&mut self, eps1: Vec<f64>, eps2: Vec<f64>) -> Result<()> {
+        for (name, v) in [("eps1", &eps1), ("eps2", &eps2)] {
+            if v.iter().any(|x| !x.is_finite() || *x < 0.0) {
+                return Err(ControlError::InvalidConfig(format!(
+                    "{name} values must be non-negative and finite"
+                )));
+            }
+        }
+        self.eps1
+            .set_ys(eps1)
+            .map_err(|e| ControlError::InvalidConfig(e.to_string()))?;
+        self.eps2
+            .set_ys(eps2)
+            .map_err(|e| ControlError::InvalidConfig(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Clamps every node value into `[0, bound]` per channel.
+    pub fn clamp_to(&mut self, bounds: &ControlBounds) {
+        let e1: Vec<f64> = self
+            .eps1
+            .ys()
+            .iter()
+            .map(|&v| v.clamp(0.0, bounds.eps1_max))
+            .collect();
+        let e2: Vec<f64> = self
+            .eps2
+            .ys()
+            .iter()
+            .map(|&v| v.clamp(0.0, bounds.eps2_max))
+            .collect();
+        self.eps1.set_ys(e1).expect("same length");
+        self.eps2.set_ys(e2).expect("same length");
+    }
+
+    /// Maximum relative node-wise difference to another schedule on the
+    /// same grid (the FBSM convergence metric).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidConfig`] if the grids differ.
+    pub fn relative_change(&self, other: &PiecewiseControl) -> Result<f64> {
+        if self.grid() != other.grid() {
+            return Err(ControlError::InvalidConfig(
+                "schedules live on different grids".into(),
+            ));
+        }
+        let mut change: f64 = 0.0;
+        for (a, b) in self
+            .eps1
+            .ys()
+            .iter()
+            .chain(self.eps2.ys())
+            .zip(other.eps1.ys().iter().chain(other.eps2.ys()))
+        {
+            change = change.max((a - b).abs() / b.abs().max(1e-3));
+        }
+        Ok(change)
+    }
+}
+
+impl ControlSchedule for PiecewiseControl {
+    fn eps1(&self, t: f64) -> f64 {
+        self.eps1.eval(t)
+    }
+
+    fn eps2(&self, t: f64) -> f64 {
+        self.eps2.eval(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_everywhere() {
+        let pc = PiecewiseControl::constant(10.0, 11, 0.3, 0.1).unwrap();
+        for t in [0.0, 3.7, 10.0, 99.0, -5.0] {
+            assert_eq!(pc.eps1(t), 0.3);
+            assert_eq!(pc.eps2(t), 0.1);
+        }
+        assert_eq!(pc.grid().len(), 11);
+    }
+
+    #[test]
+    fn from_values_interpolates() {
+        let pc = PiecewiseControl::from_values(
+            vec![0.0, 2.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        assert!((pc.eps1(1.0) - 0.5).abs() < 1e-12);
+        assert!((pc.eps2(1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        assert!(PiecewiseControl::from_values(vec![0.0], vec![0.1], vec![0.1]).is_err());
+        assert!(PiecewiseControl::from_values(vec![0.0, 1.0], vec![-0.1, 0.0], vec![0.0, 0.0]).is_err());
+        assert!(PiecewiseControl::from_values(vec![0.0, 1.0], vec![f64::NAN, 0.0], vec![0.0, 0.0]).is_err());
+        assert!(PiecewiseControl::constant(0.0, 5, 0.1, 0.1).is_err());
+        assert!(PiecewiseControl::constant(1.0, 1, 0.1, 0.1).is_err());
+    }
+
+    #[test]
+    fn set_values_and_clamp() {
+        let mut pc = PiecewiseControl::constant(1.0, 3, 0.0, 0.0).unwrap();
+        pc.set_values(vec![0.9, 0.5, 0.1], vec![0.2, 0.3, 0.4]).unwrap();
+        let bounds = ControlBounds::new(0.6, 0.25).unwrap();
+        pc.clamp_to(&bounds);
+        assert_eq!(pc.eps1_values(), &[0.6, 0.5, 0.1]);
+        assert_eq!(pc.eps2_values(), &[0.2, 0.25, 0.25]);
+        assert!(pc.set_values(vec![0.1], vec![0.1]).is_err());
+    }
+
+    #[test]
+    fn relative_change_metric() {
+        let a = PiecewiseControl::constant(1.0, 3, 0.2, 0.2).unwrap();
+        let mut b = a.clone();
+        assert_eq!(a.relative_change(&b).unwrap(), 0.0);
+        b.set_values(vec![0.2, 0.2, 0.2], vec![0.2, 0.2, 0.4]).unwrap();
+        assert!((a.relative_change(&b).unwrap() - 0.5).abs() < 1e-12);
+        let c = PiecewiseControl::constant(2.0, 3, 0.2, 0.2).unwrap();
+        assert!(a.relative_change(&c).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Countermeasure schedules.
+//!
+//! The two countermeasure channels of the model are time-varying rates:
+//! `ε1(t)` (spreading truth — immunizing susceptibles) and `ε2(t)`
+//! (blocking rumors — removing spreaders). [`ControlSchedule`] abstracts
+//! over how those rates are produced; the optimal-control crate
+//! implements it for interpolated schedules produced by the
+//! forward–backward sweep, while [`ConstantControl`] covers the
+//! fixed-rate analysis of Section III.
+
+/// A time-varying pair of countermeasure rates.
+pub trait ControlSchedule {
+    /// Truth-spreading (immunization) rate `ε1(t) ≥ 0`.
+    fn eps1(&self, t: f64) -> f64;
+
+    /// Rumor-blocking rate `ε2(t) ≥ 0`.
+    fn eps2(&self, t: f64) -> f64;
+}
+
+/// Blanket implementation for references.
+impl<C: ControlSchedule + ?Sized> ControlSchedule for &C {
+    fn eps1(&self, t: f64) -> f64 {
+        (**self).eps1(t)
+    }
+
+    fn eps2(&self, t: f64) -> f64 {
+        (**self).eps2(t)
+    }
+}
+
+/// Constant countermeasures `(ε1, ε2)` — the setting of the equilibrium
+/// and stability analysis (Theorems 1–5).
+///
+/// # Example
+///
+/// ```
+/// use rumor_core::control::{ConstantControl, ControlSchedule};
+///
+/// let c = ConstantControl::new(0.2, 0.05);
+/// assert_eq!(c.eps1(3.0), 0.2);
+/// assert_eq!(c.eps2(99.0), 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantControl {
+    eps1: f64,
+    eps2: f64,
+}
+
+impl ConstantControl {
+    /// Creates a constant schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is negative or non-finite — constant rates
+    /// are part of the experiment configuration and must be valid.
+    pub fn new(eps1: f64, eps2: f64) -> Self {
+        assert!(
+            eps1 >= 0.0 && eps1.is_finite() && eps2 >= 0.0 && eps2.is_finite(),
+            "countermeasure rates must be non-negative and finite"
+        );
+        ConstantControl { eps1, eps2 }
+    }
+
+    /// The no-countermeasure schedule `(0, 0)`.
+    pub fn none() -> Self {
+        ConstantControl { eps1: 0.0, eps2: 0.0 }
+    }
+}
+
+impl ControlSchedule for ConstantControl {
+    fn eps1(&self, _t: f64) -> f64 {
+        self.eps1
+    }
+
+    fn eps2(&self, _t: f64) -> f64 {
+        self.eps2
+    }
+}
+
+/// A schedule defined by two closures — handy for tests and for
+/// hand-crafted time profiles.
+pub struct FnControl<F1, F2> {
+    f1: F1,
+    f2: F2,
+}
+
+impl<F1: Fn(f64) -> f64, F2: Fn(f64) -> f64> FnControl<F1, F2> {
+    /// Wraps `(ε1(t), ε2(t))` closures as a schedule.
+    pub fn new(f1: F1, f2: F2) -> Self {
+        FnControl { f1, f2 }
+    }
+}
+
+impl<F1: Fn(f64) -> f64, F2: Fn(f64) -> f64> ControlSchedule for FnControl<F1, F2> {
+    fn eps1(&self, t: f64) -> f64 {
+        (self.f1)(t)
+    }
+
+    fn eps2(&self, t: f64) -> f64 {
+        (self.f2)(t)
+    }
+}
+
+impl<F1, F2> std::fmt::Debug for FnControl<F1, F2> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnControl").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_control_is_time_invariant() {
+        let c = ConstantControl::new(0.3, 0.1);
+        for t in [0.0, 1.0, 1e6] {
+            assert_eq!(c.eps1(t), 0.3);
+            assert_eq!(c.eps2(t), 0.1);
+        }
+    }
+
+    #[test]
+    fn none_is_zero() {
+        let c = ConstantControl::none();
+        assert_eq!(c.eps1(0.0), 0.0);
+        assert_eq!(c.eps2(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_panics() {
+        let _ = ConstantControl::new(-0.1, 0.0);
+    }
+
+    #[test]
+    fn fn_control_evaluates_closures() {
+        let c = FnControl::new(|t: f64| t * 2.0, |t: f64| 1.0 - t);
+        assert_eq!(c.eps1(0.5), 1.0);
+        assert_eq!(c.eps2(0.25), 0.75);
+        assert!(!format!("{c:?}").is_empty());
+    }
+
+    #[test]
+    fn reference_blanket_impl() {
+        fn sum_at<C: ControlSchedule>(c: C, t: f64) -> f64 {
+            c.eps1(t) + c.eps2(t)
+        }
+        let c = ConstantControl::new(0.1, 0.2);
+        assert!((sum_at(&c, 0.0) - 0.3).abs() < 1e-15);
+        let dynref: &dyn ControlSchedule = &c;
+        assert!((sum_at(dynref, 0.0) - 0.3).abs() < 1e-15);
+    }
+}

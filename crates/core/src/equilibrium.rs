@@ -1,0 +1,387 @@
+//! The propagation threshold `r0` and the equilibrium solutions of
+//! Theorem 1.
+//!
+//! * `r0 = (α/⟨k⟩) Σ_i λ(k_i) ϕ(k_i) / (ε1 ε2)` — rumors die out when
+//!   `r0 ≤ 1` and persist when `r0 > 1` (Theorem 5).
+//! * The **rumor-free equilibrium** `E0`: `S_i = α/ε1, I_i = 0,
+//!   R_i = 1 − α/ε1` — always exists.
+//! * The **endemic equilibrium** `E+`: exists iff `r0 > 1`, obtained by
+//!   solving the scalar fixed-point equation `F(Θ*) = 0` (paper Eq. (5))
+//!   with Brent's method and back-substituting Eq. (4).
+
+use crate::params::ModelParams;
+use crate::state::NetworkState;
+use crate::{CoreError, Result};
+use rumor_numerics::roots::{brent, RootConfig};
+
+fn validate_eps(eps1: f64, eps2: f64) -> Result<()> {
+    if !(eps1 > 0.0) || !eps1.is_finite() {
+        return Err(CoreError::InvalidParameter {
+            name: "eps1",
+            message: format!("must be positive and finite, got {eps1}"),
+        });
+    }
+    if !(eps2 > 0.0) || !eps2.is_finite() {
+        return Err(CoreError::InvalidParameter {
+            name: "eps2",
+            message: format!("must be positive and finite, got {eps2}"),
+        });
+    }
+    Ok(())
+}
+
+/// The propagation threshold
+/// `r0 = (α/⟨k⟩) Σ_i λ(k_i) ϕ(k_i) / (ε1 ε2)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if either countermeasure rate
+/// is non-positive (the threshold diverges without countermeasures).
+pub fn r0(params: &ModelParams, eps1: f64, eps2: f64) -> Result<f64> {
+    validate_eps(eps1, eps2)?;
+    Ok(params.alpha() * params.lambda_phi_sum() / (params.mean_degree() * eps1 * eps2))
+}
+
+/// The rumor-free equilibrium `E0` (Theorem 1, case 1):
+/// `S_i = α/ε1, I_i = 0, R_i = 1 − α/ε1` for every class.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidParameter`] if `ε1 ≤ 0`, `ε2 ≤ 0`, or
+///   `α > ε1` (which would make `S_i > 1` and `R_i < 0`).
+pub fn zero_equilibrium(params: &ModelParams, eps1: f64, eps2: f64) -> Result<NetworkState> {
+    validate_eps(eps1, eps2)?;
+    let s = params.alpha() / eps1;
+    if s > 1.0 {
+        return Err(CoreError::InvalidParameter {
+            name: "alpha",
+            message: format!(
+                "alpha/eps1 = {s} exceeds 1; the rumor-free equilibrium leaves the density simplex"
+            ),
+        });
+    }
+    let n = params.n_classes();
+    NetworkState::new(vec![s; n], vec![0.0; n], vec![1.0 - s; n])
+}
+
+/// The endemic (positive) equilibrium `E+` (Theorem 1, case 2).
+///
+/// Solves `F(Θ*) = 1 − (1/⟨k⟩) Σ_i α λ_i ϕ_i / (ε2 (λ_i Θ* + ε1)) = 0`
+/// for `Θ* > 0`, then
+///
+/// ```text
+/// I⁺_i = α λ_i Θ⁺ / (ε2 (λ_i Θ⁺ + ε1))
+/// S⁺_i = α / (λ_i Θ⁺ + ε1)
+/// R⁺_i = 1 − S⁺_i − I⁺_i
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use rumor_core::equilibrium::{calibrate_acceptance, positive_equilibrium};
+/// use rumor_core::functions::AcceptanceRate;
+/// use rumor_core::params::ModelParams;
+/// use rumor_net::degree::DegreeClasses;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let classes = DegreeClasses::from_degrees(&[1, 2, 2, 3])?;
+/// let base = ModelParams::builder(classes)
+///     .alpha(0.01)
+///     .acceptance(AcceptanceRate::LinearInDegree { lambda0: 1.0 })
+///     .build()?;
+/// // Supercritical regime: the endemic equilibrium exists.
+/// let (params, _) = calibrate_acceptance(&base, 2.0, 0.1, 0.05)?;
+/// let eplus = positive_equilibrium(&params, 0.1, 0.05)?;
+/// assert!(eplus.i().iter().all(|&i| i > 0.0));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`CoreError::NoEndemicEquilibrium`] when `r0 ≤ 1` (Theorem 1 case 1).
+/// * [`CoreError::InvalidParameter`] if the resulting densities leave
+///   `[0, 1]` (the parameters then violate the paper's solution space Ω).
+pub fn positive_equilibrium(params: &ModelParams, eps1: f64, eps2: f64) -> Result<NetworkState> {
+    let threshold = r0(params, eps1, eps2)?;
+    if threshold <= 1.0 {
+        return Err(CoreError::NoEndemicEquilibrium { r0: threshold });
+    }
+    let theta_star = solve_theta_star(params, eps1, eps2)?;
+    let n = params.n_classes();
+    let mut s = Vec::with_capacity(n);
+    let mut i = Vec::with_capacity(n);
+    let mut r = Vec::with_capacity(n);
+    for j in 0..n {
+        let lam = params.lambda()[j];
+        let denom = lam * theta_star + eps1;
+        let sj = params.alpha() / denom;
+        let ij = params.alpha() * lam * theta_star / (eps2 * denom);
+        let rj = 1.0 - sj - ij;
+        if !(0.0..=1.0).contains(&sj) || !(0.0..=1.0).contains(&ij) || rj < -1e-9 {
+            return Err(CoreError::InvalidParameter {
+                name: "equilibrium",
+                message: format!(
+                    "endemic equilibrium leaves the density simplex in class {j}: S = {sj}, I = {ij}, R = {rj}"
+                ),
+            });
+        }
+        s.push(sj);
+        i.push(ij);
+        r.push(rj.max(0.0));
+    }
+    NetworkState::new(s, i, r)
+}
+
+/// Solves the fixed-point equation `F(Θ*) = 0` of Eq. (5) for the
+/// endemic coupling `Θ⁺ > 0`.
+///
+/// `F` is strictly increasing with `F(0⁺) = 1 − r0 < 0` and
+/// `F(∞) = 1`, so a unique positive root exists whenever `r0 > 1`.
+///
+/// # Errors
+///
+/// Propagates threshold validation and root-search failures.
+pub fn solve_theta_star(params: &ModelParams, eps1: f64, eps2: f64) -> Result<f64> {
+    let threshold = r0(params, eps1, eps2)?;
+    if threshold <= 1.0 {
+        return Err(CoreError::NoEndemicEquilibrium { r0: threshold });
+    }
+    let f = |theta: f64| -> f64 {
+        let mut sum = 0.0;
+        for j in 0..params.n_classes() {
+            let lam = params.lambda()[j];
+            let phi = params.phi()[j];
+            sum += params.alpha() * lam * phi / (eps2 * (lam * theta + eps1));
+        }
+        1.0 - sum / params.mean_degree()
+    };
+    // Bracket the root: F(tiny) < 0; double until positive.
+    let lo = 1e-16;
+    let mut hi = 1.0;
+    let mut guard = 0;
+    while f(hi) < 0.0 {
+        hi *= 2.0;
+        guard += 1;
+        if guard > 200 {
+            return Err(CoreError::InvalidParameter {
+                name: "theta",
+                message: "failed to bracket the endemic fixed point".into(),
+            });
+        }
+    }
+    let root = brent(
+        f,
+        lo,
+        hi,
+        &RootConfig {
+            x_tol: 1e-14,
+            f_tol: 1e-13,
+            max_iter: 300,
+        },
+    )?;
+    Ok(root.x)
+}
+
+/// Rescales the acceptance-rate family so that `r0` exactly equals
+/// `target_r0` under the given countermeasures — the calibration knob
+/// described in DESIGN.md §2 (`r0` is linear in the acceptance scale).
+///
+/// Returns the new parameters and the scale factor applied.
+///
+/// # Example
+///
+/// ```
+/// use rumor_core::equilibrium::{calibrate_acceptance, r0};
+/// use rumor_core::functions::AcceptanceRate;
+/// use rumor_core::params::ModelParams;
+/// use rumor_net::degree::DegreeClasses;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let classes = DegreeClasses::from_degrees(&[1, 2, 2, 3])?;
+/// let params = ModelParams::builder(classes)
+///     .alpha(0.01)
+///     .acceptance(AcceptanceRate::LinearInDegree { lambda0: 1.0 })
+///     .build()?;
+/// // Hit the paper's printed subcritical threshold exactly.
+/// let (calibrated, _factor) = calibrate_acceptance(&params, 0.7220, 0.2, 0.05)?;
+/// assert!((r0(&calibrated, 0.2, 0.05)? - 0.7220).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidParameter`] if `target_r0 ≤ 0` or the current
+///   threshold is zero (e.g. `α = 0`).
+pub fn calibrate_acceptance(
+    params: &ModelParams,
+    target_r0: f64,
+    eps1: f64,
+    eps2: f64,
+) -> Result<(ModelParams, f64)> {
+    if !(target_r0 > 0.0) || !target_r0.is_finite() {
+        return Err(CoreError::InvalidParameter {
+            name: "target_r0",
+            message: format!("must be positive and finite, got {target_r0}"),
+        });
+    }
+    let current = r0(params, eps1, eps2)?;
+    if current == 0.0 {
+        return Err(CoreError::InvalidParameter {
+            name: "r0",
+            message: "current threshold is zero (is alpha positive?); cannot calibrate".into(),
+        });
+    }
+    let factor = target_r0 / current;
+    let calibrated = params.with_acceptance(params.acceptance().scaled(factor))?;
+    Ok((calibrated, factor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::{AcceptanceRate, Infectivity};
+    use rumor_net::degree::DegreeClasses;
+
+    fn params(alpha: f64, lambda0: f64) -> ModelParams {
+        let classes = DegreeClasses::from_degrees(&[1, 1, 2, 2, 3, 6]).unwrap();
+        ModelParams::builder(classes)
+            .alpha(alpha)
+            .acceptance(AcceptanceRate::LinearInDegree { lambda0 })
+            .infectivity(Infectivity::paper_default())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn r0_matches_formula_single_class() {
+        let classes = DegreeClasses::from_degrees(&[3, 3]).unwrap();
+        let p = ModelParams::builder(classes)
+            .alpha(0.02)
+            .acceptance(AcceptanceRate::Constant { lambda0: 0.4 })
+            .infectivity(Infectivity::Linear)
+            .build()
+            .unwrap();
+        // Single class k = 3: λ = 0.4, ϕ = 3·1 = 3, ⟨k⟩ = 3.
+        // r0 = α λ ϕ / (⟨k⟩ ε1 ε2) = 0.02·0.4·3/(3·0.1·0.05).
+        let expect = 0.02 * 0.4 * 3.0 / (3.0 * 0.1 * 0.05);
+        assert!((r0(&p, 0.1, 0.05).unwrap() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r0_scales_linearly_in_alpha_and_inverse_in_eps() {
+        let p1 = params(0.01, 0.1);
+        let p2 = params(0.02, 0.1);
+        let a = r0(&p1, 0.1, 0.1).unwrap();
+        let b = r0(&p2, 0.1, 0.1).unwrap();
+        assert!((b / a - 2.0).abs() < 1e-12);
+        let c = r0(&p1, 0.2, 0.1).unwrap();
+        assert!((a / c - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r0_rejects_zero_countermeasures() {
+        let p = params(0.01, 0.1);
+        assert!(r0(&p, 0.0, 0.1).is_err());
+        assert!(r0(&p, 0.1, 0.0).is_err());
+        assert!(r0(&p, -0.1, 0.1).is_err());
+    }
+
+    #[test]
+    fn zero_equilibrium_structure() {
+        let p = params(0.01, 0.1);
+        let e0 = zero_equilibrium(&p, 0.2, 0.05).unwrap();
+        for j in 0..e0.n_classes() {
+            assert!((e0.s()[j] - 0.05).abs() < 1e-12);
+            assert_eq!(e0.i()[j], 0.0);
+            assert!((e0.r()[j] - 0.95).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_equilibrium_rejects_alpha_above_eps1() {
+        let p = params(0.5, 0.1);
+        assert!(zero_equilibrium(&p, 0.2, 0.05).is_err());
+    }
+
+    #[test]
+    fn positive_equilibrium_requires_supercritical() {
+        let p = params(0.01, 0.001);
+        let t = r0(&p, 0.2, 0.05).unwrap();
+        assert!(t < 1.0);
+        assert!(matches!(
+            positive_equilibrium(&p, 0.2, 0.05),
+            Err(CoreError::NoEndemicEquilibrium { .. })
+        ));
+    }
+
+    #[test]
+    fn positive_equilibrium_is_a_fixed_point() {
+        // Supercritical setting.
+        let p = params(0.01, 0.5);
+        let (eps1, eps2) = (0.05, 0.02);
+        assert!(r0(&p, eps1, eps2).unwrap() > 1.0);
+        let ep = positive_equilibrium(&p, eps1, eps2).unwrap();
+        // Verify dS/dt = dI/dt = 0 at E+ (System (3)).
+        let theta = ep.theta(&p).unwrap();
+        for j in 0..p.n_classes() {
+            let lam = p.lambda()[j];
+            let ds = p.alpha() - lam * ep.s()[j] * theta - eps1 * ep.s()[j];
+            let di = lam * ep.s()[j] * theta - eps2 * ep.i()[j];
+            assert!(ds.abs() < 1e-9, "class {j}: dS = {ds}");
+            assert!(di.abs() < 1e-9, "class {j}: dI = {di}");
+        }
+        // All infected densities strictly positive.
+        assert!(ep.i().iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn theta_star_solves_f() {
+        let p = params(0.01, 0.5);
+        let (eps1, eps2) = (0.05, 0.02);
+        let theta = solve_theta_star(&p, eps1, eps2).unwrap();
+        assert!(theta > 0.0);
+        // Θ from the back-substituted equilibrium must agree.
+        let ep = positive_equilibrium(&p, eps1, eps2).unwrap();
+        assert!((ep.theta(&p).unwrap() - theta).abs() < 1e-10);
+    }
+
+    #[test]
+    fn theta_star_subcritical_errors() {
+        let p = params(0.001, 0.001);
+        assert!(matches!(
+            solve_theta_star(&p, 0.2, 0.05),
+            Err(CoreError::NoEndemicEquilibrium { .. })
+        ));
+    }
+
+    #[test]
+    fn calibration_hits_target_exactly() {
+        let p = params(0.01, 0.1);
+        for target in [0.7220, 1.0, 2.1661] {
+            let (cal, factor) = calibrate_acceptance(&p, target, 0.2, 0.05).unwrap();
+            let got = r0(&cal, 0.2, 0.05).unwrap();
+            assert!((got - target).abs() < 1e-10, "target {target}, got {got}");
+            assert!(factor > 0.0);
+        }
+    }
+
+    #[test]
+    fn calibration_validation() {
+        let p = params(0.01, 0.1);
+        assert!(calibrate_acceptance(&p, 0.0, 0.2, 0.05).is_err());
+        assert!(calibrate_acceptance(&p, -1.0, 0.2, 0.05).is_err());
+        let zero_alpha = params(0.0, 0.1);
+        assert!(calibrate_acceptance(&zero_alpha, 1.0, 0.2, 0.05).is_err());
+    }
+
+    #[test]
+    fn calibrated_factor_scales_lambda() {
+        let p = params(0.01, 0.1);
+        let (cal, factor) = calibrate_acceptance(&p, 2.0, 0.2, 0.05).unwrap();
+        for (a, b) in p.lambda().iter().zip(cal.lambda()) {
+            assert!((a * factor - b).abs() < 1e-12);
+        }
+    }
+}

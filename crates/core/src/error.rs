@@ -1,0 +1,109 @@
+use std::fmt;
+
+/// Errors produced by the rumor-model core.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A model parameter failed validation.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Why it was rejected.
+        message: String,
+    },
+    /// A state vector had the wrong length for the model's class count.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Found length.
+        found: usize,
+    },
+    /// The endemic equilibrium was requested but does not exist
+    /// (`r0 ≤ 1`; Theorem 1 case 1).
+    NoEndemicEquilibrium {
+        /// The threshold value that ruled it out.
+        r0: f64,
+    },
+    /// An underlying numerical routine failed.
+    Numerics(rumor_numerics::NumericsError),
+    /// An underlying ODE integration failed.
+    Ode(rumor_ode::OdeError),
+    /// An underlying network operation failed.
+    Net(rumor_net::NetError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter {name}: {message}")
+            }
+            CoreError::DimensionMismatch { expected, found } => {
+                write!(f, "state dimension mismatch: expected {expected}, found {found}")
+            }
+            CoreError::NoEndemicEquilibrium { r0 } => {
+                write!(f, "endemic equilibrium does not exist (r0 = {r0} <= 1)")
+            }
+            CoreError::Numerics(e) => write!(f, "numerics error: {e}"),
+            CoreError::Ode(e) => write!(f, "ode error: {e}"),
+            CoreError::Net(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Numerics(e) => Some(e),
+            CoreError::Ode(e) => Some(e),
+            CoreError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rumor_numerics::NumericsError> for CoreError {
+    fn from(e: rumor_numerics::NumericsError) -> Self {
+        CoreError::Numerics(e)
+    }
+}
+
+impl From<rumor_ode::OdeError> for CoreError {
+    fn from(e: rumor_ode::OdeError) -> Self {
+        CoreError::Ode(e)
+    }
+}
+
+impl From<rumor_net::NetError> for CoreError {
+    fn from(e: rumor_net::NetError) -> Self {
+        CoreError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::CoreError;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_sources() {
+        let e = CoreError::InvalidParameter {
+            name: "alpha",
+            message: "must be non-negative".into(),
+        };
+        assert!(e.to_string().contains("alpha"));
+        assert!(e.source().is_none());
+        let n: CoreError = rumor_numerics::NumericsError::SingularMatrix.into();
+        assert!(n.source().is_some());
+        let o: CoreError = rumor_ode::OdeError::NonFiniteState { t: 0.0 }.into();
+        assert!(o.source().is_some());
+        let g: CoreError = rumor_net::NetError::EmptyGraph.into();
+        assert!(g.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

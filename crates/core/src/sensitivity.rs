@@ -1,0 +1,184 @@
+//! Sensitivity of the propagation threshold to model parameters.
+//!
+//! Theorem 5 makes `r0` the single decision quantity; operators tuning
+//! countermeasures want to know *which knob moves it most*. Because
+//!
+//! ```text
+//! r0 = α · Σ_i λ_i ϕ_i / (⟨k⟩ ε1 ε2)
+//! ```
+//!
+//! is a product of powers of its scalar parameters, the elasticities
+//! (logarithmic derivatives `∂ln r0/∂ln p`) are exact and constant:
+//! `+1` for `α` and the acceptance scale, `−1` for each countermeasure
+//! channel. The per-class decomposition shows where the threshold mass
+//! lives across degrees, which is what the targeted-allocation policies
+//! in [`crate::targeted`] act on.
+
+use crate::equilibrium::r0;
+use crate::params::ModelParams;
+use crate::Result;
+
+/// Exact sensitivities of `r0` at an operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct R0Sensitivity {
+    /// The threshold at the operating point.
+    pub r0: f64,
+    /// `∂r0/∂α = r0/α` (or `Σλϕ/(⟨k⟩ε1ε2)` when `α = 0`).
+    pub d_alpha: f64,
+    /// `∂r0/∂ε1 = −r0/ε1`.
+    pub d_eps1: f64,
+    /// `∂r0/∂ε2 = −r0/ε2`.
+    pub d_eps2: f64,
+    /// Elasticity w.r.t. the acceptance scale (`λ → c·λ`): exactly `+1`
+    /// in this model, recorded for table completeness.
+    pub elasticity_lambda: f64,
+    /// Per-class share of the threshold: `contribution[i]` is the
+    /// fraction of `r0` contributed by degree class `i` (sums to 1).
+    pub class_share: Vec<f64>,
+}
+
+/// Computes the exact threshold sensitivities at `(ε1, ε2)`.
+///
+/// # Example
+///
+/// ```
+/// use rumor_core::functions::AcceptanceRate;
+/// use rumor_core::params::ModelParams;
+/// use rumor_core::sensitivity::r0_sensitivity;
+/// use rumor_net::degree::DegreeClasses;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let classes = DegreeClasses::from_degrees(&[1, 2, 2, 3])?;
+/// let params = ModelParams::builder(classes)
+///     .alpha(0.01)
+///     .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.1 })
+///     .build()?;
+/// let s = r0_sensitivity(&params, 0.1, 0.05)?;
+/// // Strengthening either countermeasure always lowers the threshold.
+/// assert!(s.d_eps1 < 0.0 && s.d_eps2 < 0.0);
+/// assert!((s.class_share.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates [`crate::equilibrium::r0`] validation (positive
+/// countermeasure rates required).
+pub fn r0_sensitivity(params: &ModelParams, eps1: f64, eps2: f64) -> Result<R0Sensitivity> {
+    let threshold = r0(params, eps1, eps2)?;
+    let d_alpha = if params.alpha() > 0.0 {
+        threshold / params.alpha()
+    } else {
+        params.lambda_phi_sum() / (params.mean_degree() * eps1 * eps2)
+    };
+    let total = params.lambda_phi_sum();
+    let class_share = if total > 0.0 {
+        params
+            .lambda()
+            .iter()
+            .zip(params.phi())
+            .map(|(l, p)| l * p / total)
+            .collect()
+    } else {
+        vec![0.0; params.n_classes()]
+    };
+    Ok(R0Sensitivity {
+        r0: threshold,
+        d_alpha,
+        d_eps1: -threshold / eps1,
+        d_eps2: -threshold / eps2,
+        elasticity_lambda: 1.0,
+        class_share,
+    })
+}
+
+/// The smallest uniform scaling of the countermeasure pair `(ε1, ε2)`
+/// that brings the rumor below threshold: scaling both channels by `c`
+/// divides `r0` by `c²`, so `c* = √r0` (already subcritical ⇒ `c* ≤ 1`).
+///
+/// # Errors
+///
+/// Propagates threshold validation failures.
+pub fn critical_countermeasure_scale(params: &ModelParams, eps1: f64, eps2: f64) -> Result<f64> {
+    Ok(r0(params, eps1, eps2)?.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::{AcceptanceRate, Infectivity};
+    use rumor_net::degree::DegreeClasses;
+
+    fn params(alpha: f64) -> ModelParams {
+        let classes = DegreeClasses::from_degrees(&[1, 1, 2, 2, 3, 6]).unwrap();
+        ModelParams::builder(classes)
+            .alpha(alpha)
+            .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.1 })
+            .infectivity(Infectivity::paper_default())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn partials_match_finite_differences() {
+        let p = params(0.01);
+        let (eps1, eps2) = (0.1, 0.05);
+        let s = r0_sensitivity(&p, eps1, eps2).unwrap();
+        let h = 1e-7;
+        // ∂r0/∂ε1.
+        let fd1 = (r0(&p, eps1 + h, eps2).unwrap() - r0(&p, eps1 - h, eps2).unwrap()) / (2.0 * h);
+        assert!((s.d_eps1 - fd1).abs() / fd1.abs() < 1e-5, "{} vs {fd1}", s.d_eps1);
+        // ∂r0/∂ε2.
+        let fd2 = (r0(&p, eps1, eps2 + h).unwrap() - r0(&p, eps1, eps2 - h).unwrap()) / (2.0 * h);
+        assert!((s.d_eps2 - fd2).abs() / fd2.abs() < 1e-5);
+        // ∂r0/∂α via a rebuilt parameter set.
+        let bump = ModelParams::builder(p.classes().clone())
+            .alpha(p.alpha() + h)
+            .acceptance(*p.acceptance())
+            .infectivity(*p.infectivity())
+            .build()
+            .unwrap();
+        let fda = (r0(&bump, eps1, eps2).unwrap() - s.r0) / h;
+        assert!((s.d_alpha - fda).abs() / fda.abs() < 1e-4, "{} vs {fda}", s.d_alpha);
+    }
+
+    #[test]
+    fn class_shares_sum_to_one_and_favor_hubs() {
+        let p = params(0.01);
+        let s = r0_sensitivity(&p, 0.1, 0.05).unwrap();
+        let total: f64 = s.class_share.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // λϕ grows with degree here, so the hub class dominates per capita…
+        // and in absolute share the top class exceeds the bottom.
+        assert!(s.class_share.last().unwrap() > s.class_share.first().unwrap());
+    }
+
+    #[test]
+    fn zero_alpha_gives_finite_alpha_derivative() {
+        let p = params(0.0);
+        let s = r0_sensitivity(&p, 0.1, 0.05).unwrap();
+        assert_eq!(s.r0, 0.0);
+        assert!(s.d_alpha > 0.0 && s.d_alpha.is_finite());
+    }
+
+    #[test]
+    fn critical_scale_brings_r0_to_one() {
+        let p = params(0.01);
+        let (eps1, eps2) = (0.02, 0.02);
+        let c = critical_countermeasure_scale(&p, eps1, eps2).unwrap();
+        let scaled = r0(&p, eps1 * c, eps2 * c).unwrap();
+        assert!((scaled - 1.0).abs() < 1e-12, "scaled r0 = {scaled}");
+    }
+
+    #[test]
+    fn elasticity_lambda_is_exact() {
+        // Doubling the acceptance scale doubles r0: elasticity 1.
+        let p = params(0.01);
+        let s = r0_sensitivity(&p, 0.1, 0.05).unwrap();
+        assert_eq!(s.elasticity_lambda, 1.0);
+        let doubled = p.with_acceptance(p.acceptance().scaled(2.0)).unwrap();
+        let r2 = r0(&doubled, 0.1, 0.05).unwrap();
+        assert!((r2 / s.r0 - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,408 @@
+//! High-level trajectory simulation.
+//!
+//! Wraps the adaptive integrator to produce [`Trajectory`] objects — the
+//! time series behind every figure in the paper's evaluation — together
+//! with the derived series (distance-to-equilibrium, `Θ(t)`, `r0(t)`).
+
+use crate::control::ControlSchedule;
+use crate::model::{MassConvention, RumorModel};
+use crate::params::ModelParams;
+use crate::state::NetworkState;
+use crate::{CoreError, Result};
+use rumor_ode::integrator::{Adaptive, AdaptiveConfig};
+
+/// A simulated trajectory of the rumor system sampled on an output grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    times: Vec<f64>,
+    states: Vec<NetworkState>,
+}
+
+impl Trajectory {
+    /// Assembles a trajectory from raw parts — used by downstream crates
+    /// (e.g. the heuristic controller) that produce state series outside
+    /// the `simulate` entry points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length, are empty, or the times
+    /// are not non-decreasing.
+    pub fn from_parts(times: Vec<f64>, states: Vec<NetworkState>) -> Self {
+        assert_eq!(times.len(), states.len(), "times/states length mismatch");
+        assert!(!times.is_empty(), "trajectory must have at least one sample");
+        assert!(
+            times.windows(2).all(|w| w[1] >= w[0]),
+            "times must be non-decreasing"
+        );
+        Trajectory { times, states }
+    }
+
+    /// The sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The sampled states (parallel to [`Trajectory::times`]).
+    pub fn states(&self) -> &[NetworkState] {
+        &self.states
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if the trajectory has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The final sampled state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trajectory is empty.
+    pub fn last_state(&self) -> &NetworkState {
+        self.states.last().expect("empty trajectory")
+    }
+
+    /// Per-sample infinity-norm distance to `target` — the
+    /// `Dist0(t)` / `Dist+(t)` series of Figs. 2(a) and 3(a).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches.
+    pub fn dist_series(&self, target: &NetworkState) -> Result<Vec<f64>> {
+        self.states.iter().map(|s| s.dist_inf(target)).collect()
+    }
+
+    /// Per-sample `Θ(t)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches.
+    pub fn theta_series(&self, params: &ModelParams) -> Result<Vec<f64>> {
+        self.states.iter().map(|s| s.theta(params)).collect()
+    }
+
+    /// Per-sample total infected density `Σ_i I_i(t)`.
+    pub fn total_infected_series(&self) -> Vec<f64> {
+        self.states.iter().map(NetworkState::total_infected).collect()
+    }
+
+    /// The `S`, `I` and `R` series of a single degree class — the curves
+    /// of Figs. 2(b–d) and 3(b–d).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if `class` is out of
+    /// range.
+    pub fn class_series(&self, class: usize) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>)> {
+        if self.states.first().is_none_or(|s| class >= s.n_classes()) {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.states.first().map_or(0, NetworkState::n_classes),
+                found: class,
+            });
+        }
+        let s = self.states.iter().map(|st| st.s()[class]).collect();
+        let i = self.states.iter().map(|st| st.i()[class]).collect();
+        let r = self.states.iter().map(|st| st.r()[class]).collect();
+        Ok((s, i, r))
+    }
+}
+
+/// Options for [`simulate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateOptions {
+    /// Number of output samples (uniformly spaced on `[0, tf]`).
+    pub n_out: usize,
+    /// Mass convention of the `R` equation.
+    pub convention: MassConvention,
+    /// Integrator tolerances.
+    pub ode: AdaptiveConfig,
+}
+
+impl Default for SimulateOptions {
+    fn default() -> Self {
+        SimulateOptions {
+            n_out: 201,
+            convention: MassConvention::default(),
+            ode: AdaptiveConfig {
+                rtol: 1e-8,
+                atol: 1e-10,
+                ..AdaptiveConfig::default()
+            },
+        }
+    }
+}
+
+/// Simulates the rumor system from `initial` over `[0, tf]` under the
+/// given countermeasure schedule.
+///
+/// # Example
+///
+/// ```
+/// use rumor_core::control::ConstantControl;
+/// use rumor_core::functions::AcceptanceRate;
+/// use rumor_core::params::ModelParams;
+/// use rumor_core::simulate::{simulate, SimulateOptions};
+/// use rumor_core::state::NetworkState;
+/// use rumor_net::degree::DegreeClasses;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let classes = DegreeClasses::from_degrees(&[1, 2, 2, 3])?;
+/// let params = ModelParams::builder(classes)
+///     .alpha(0.01)
+///     .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.001 })
+///     .build()?;
+/// let initial = NetworkState::initial_uniform(params.n_classes(), 0.1)?;
+/// let traj = simulate(&params, ConstantControl::new(0.2, 0.1), &initial,
+///                     50.0, &SimulateOptions::default())?;
+/// // Strong countermeasures on a weak rumor: infection collapses.
+/// assert!(traj.last_state().total_infected() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidParameter`] if `tf ≤ 0` or `n_out < 2`.
+/// * [`CoreError::DimensionMismatch`] if `initial` does not match the
+///   parameter class count.
+/// * Propagated integration failures.
+pub fn simulate(
+    params: &ModelParams,
+    control: impl ControlSchedule,
+    initial: &NetworkState,
+    tf: f64,
+    options: &SimulateOptions,
+) -> Result<Trajectory> {
+    if !(tf > 0.0) || !tf.is_finite() {
+        return Err(CoreError::InvalidParameter {
+            name: "tf",
+            message: format!("final time must be positive and finite, got {tf}"),
+        });
+    }
+    if options.n_out < 2 {
+        return Err(CoreError::InvalidParameter {
+            name: "n_out",
+            message: "need at least two output samples".into(),
+        });
+    }
+    if initial.n_classes() != params.n_classes() {
+        return Err(CoreError::DimensionMismatch {
+            expected: params.n_classes(),
+            found: initial.n_classes(),
+        });
+    }
+    let grid: Vec<f64> = (0..options.n_out)
+        .map(|i| tf * i as f64 / (options.n_out - 1) as f64)
+        .collect();
+    simulate_grid(params, control, initial, &grid, options)
+}
+
+/// Simulates and samples at caller-specified times (must be
+/// non-decreasing, starting at 0).
+///
+/// # Errors
+///
+/// Same as [`simulate`], plus validation of the grid.
+pub fn simulate_grid(
+    params: &ModelParams,
+    control: impl ControlSchedule,
+    initial: &NetworkState,
+    grid: &[f64],
+    options: &SimulateOptions,
+) -> Result<Trajectory> {
+    if grid.len() < 2 || grid[0] != 0.0 || grid.windows(2).any(|w| w[1] < w[0]) {
+        return Err(CoreError::InvalidParameter {
+            name: "grid",
+            message: "grid must start at 0 and be non-decreasing with at least two samples".into(),
+        });
+    }
+    let model = RumorModel::with_convention(params, control, options.convention);
+    let tf = *grid.last().expect("non-empty grid");
+    let mut driver = Adaptive::with_config(options.ode.clone());
+    let sol = driver.integrate(&model, 0.0, &initial.to_flat(), tf)?;
+    let mut states = Vec::with_capacity(grid.len());
+    for &t in grid {
+        let flat = sol.sample(t)?;
+        states.push(NetworkState::from_flat(&flat)?);
+    }
+    Ok(Trajectory {
+        times: grid.to_vec(),
+        states,
+    })
+}
+
+/// The instantaneous threshold `r0(t)` under a time-varying schedule —
+/// the series of Fig. 4(b).
+///
+/// # Errors
+///
+/// Propagates threshold validation failures (e.g. a schedule that
+/// reaches zero on either channel, where `r0` diverges).
+pub fn r0_series(
+    params: &ModelParams,
+    control: impl ControlSchedule,
+    times: &[f64],
+) -> Result<Vec<f64>> {
+    times
+        .iter()
+        .map(|&t| crate::equilibrium::r0(params, control.eps1(t), control.eps2(t)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{ConstantControl, FnControl};
+    use crate::equilibrium::{positive_equilibrium, zero_equilibrium};
+    use crate::functions::{AcceptanceRate, Infectivity};
+    use rumor_net::degree::DegreeClasses;
+
+    fn params(alpha: f64, lambda0: f64) -> ModelParams {
+        let classes = DegreeClasses::from_degrees(&[1, 1, 2, 2, 3, 6]).unwrap();
+        ModelParams::builder(classes)
+            .alpha(alpha)
+            .acceptance(AcceptanceRate::LinearInDegree { lambda0 })
+            .infectivity(Infectivity::paper_default())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn simulate_produces_requested_grid() {
+        let p = params(0.01, 0.05);
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.1).unwrap();
+        let traj = simulate(
+            &p,
+            ConstantControl::new(0.2, 0.05),
+            &init,
+            10.0,
+            &SimulateOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(traj.len(), 201);
+        assert_eq!(traj.times()[0], 0.0);
+        assert_eq!(*traj.times().last().unwrap(), 10.0);
+        assert!(!traj.is_empty());
+    }
+
+    #[test]
+    fn subcritical_trajectory_converges_to_e0() {
+        let p = params(0.01, 0.001);
+        let (eps1, eps2) = (0.2, 0.05);
+        assert!(crate::equilibrium::r0(&p, eps1, eps2).unwrap() < 1.0);
+        let e0 = zero_equilibrium(&p, eps1, eps2).unwrap();
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.3).unwrap();
+        let traj = simulate(
+            &p,
+            ConstantControl::new(eps1, eps2),
+            &init,
+            400.0,
+            &SimulateOptions::default(),
+        )
+        .unwrap();
+        let dists = traj.dist_series(&e0).unwrap();
+        assert!(dists[0] > 0.1);
+        assert!(*dists.last().unwrap() < 1e-3, "final dist {}", dists.last().unwrap());
+        // Infection dies out monotonically in the tail.
+        let infected = traj.total_infected_series();
+        assert!(*infected.last().unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn supercritical_trajectory_converges_to_eplus() {
+        let p = params(0.01, 0.5);
+        let (eps1, eps2) = (0.05, 0.02);
+        assert!(crate::equilibrium::r0(&p, eps1, eps2).unwrap() > 1.0);
+        let ep = positive_equilibrium(&p, eps1, eps2).unwrap();
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.05).unwrap();
+        let traj = simulate(
+            &p,
+            ConstantControl::new(eps1, eps2),
+            &init,
+            3000.0,
+            &SimulateOptions {
+                n_out: 301,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let dists = traj.dist_series(&ep).unwrap();
+        assert!(*dists.last().unwrap() < 1e-3, "final dist {}", dists.last().unwrap());
+        // Endemic: infection persists.
+        assert!(traj.last_state().total_infected() > 1e-3);
+    }
+
+    #[test]
+    fn class_series_extraction() {
+        let p = params(0.01, 0.05);
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.1).unwrap();
+        let traj = simulate(
+            &p,
+            ConstantControl::new(0.2, 0.05),
+            &init,
+            5.0,
+            &SimulateOptions::default(),
+        )
+        .unwrap();
+        let (s, i, r) = traj.class_series(0).unwrap();
+        assert_eq!(s.len(), traj.len());
+        assert!((s[0] - 0.9).abs() < 1e-9);
+        assert!((i[0] - 0.1).abs() < 1e-9);
+        assert_eq!(r[0], 0.0);
+        assert!(traj.class_series(99).is_err());
+    }
+
+    #[test]
+    fn theta_series_tracks_infection() {
+        let p = params(0.01, 0.001);
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.5).unwrap();
+        let traj = simulate(
+            &p,
+            ConstantControl::new(0.2, 0.1),
+            &init,
+            100.0,
+            &SimulateOptions::default(),
+        )
+        .unwrap();
+        let thetas = traj.theta_series(&p).unwrap();
+        assert!(thetas[0] > 0.0);
+        assert!(*thetas.last().unwrap() < thetas[0] * 0.01);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let p = params(0.01, 0.05);
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.1).unwrap();
+        let opts = SimulateOptions::default();
+        assert!(simulate(&p, ConstantControl::none(), &init, 0.0, &opts).is_err());
+        assert!(simulate(&p, ConstantControl::none(), &init, -1.0, &opts).is_err());
+        let bad_opts = SimulateOptions {
+            n_out: 1,
+            ..Default::default()
+        };
+        assert!(simulate(&p, ConstantControl::none(), &init, 1.0, &bad_opts).is_err());
+        let wrong_dim = NetworkState::initial_uniform(2, 0.1).unwrap();
+        assert!(simulate(&p, ConstantControl::none(), &wrong_dim, 1.0, &opts).is_err());
+        // Bad grids.
+        assert!(simulate_grid(&p, ConstantControl::none(), &init, &[0.0], &opts).is_err());
+        assert!(simulate_grid(&p, ConstantControl::none(), &init, &[1.0, 2.0], &opts).is_err());
+        assert!(simulate_grid(&p, ConstantControl::none(), &init, &[0.0, 2.0, 1.0], &opts).is_err());
+    }
+
+    #[test]
+    fn r0_series_follows_schedule() {
+        let p = params(0.01, 0.05);
+        let control = FnControl::new(|t: f64| 0.1 + 0.1 * t, |_| 0.05);
+        let times = [0.0, 1.0, 2.0];
+        let series = r0_series(&p, &control, &times).unwrap();
+        // ε1 grows with t, so r0 decreases.
+        assert!(series[0] > series[1] && series[1] > series[2]);
+        // And matches the direct formula at t = 0.
+        let direct = crate::equilibrium::r0(&p, 0.1, 0.05).unwrap();
+        assert!((series[0] - direct).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based tests of the rumor-model invariants.
+
+use proptest::prelude::*;
+use rumor_core::control::ConstantControl;
+use rumor_core::equilibrium::{
+    calibrate_acceptance, positive_equilibrium, r0, zero_equilibrium,
+};
+use rumor_core::functions::{AcceptanceRate, Infectivity};
+use rumor_core::model::{MassConvention, RumorModel};
+use rumor_core::params::ModelParams;
+use rumor_core::state::NetworkState;
+use rumor_ode::integrator::Adaptive;
+use rumor_ode::system::OdeSystem;
+
+/// Strategy: a small random degree partition (as a degree multiset).
+fn degree_sequence() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..30, 4..40)
+}
+
+fn params_from(
+    degrees: &[usize],
+    alpha: f64,
+    lambda0: f64,
+) -> ModelParams {
+    let classes = rumor_net::degree::DegreeClasses::from_degrees(degrees).expect("classes");
+    ModelParams::builder(classes)
+        .alpha(alpha)
+        .acceptance(AcceptanceRate::LinearInDegree { lambda0 })
+        .infectivity(Infectivity::paper_default())
+        .build()
+        .expect("params")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn r0_scales_linearly_with_alpha_and_lambda(
+        degrees in degree_sequence(),
+        alpha in 0.001..0.1_f64,
+        lambda0 in 0.001..0.5_f64,
+        factor in 1.1..10.0_f64,
+    ) {
+        let p = params_from(&degrees, alpha, lambda0);
+        let base = r0(&p, 0.1, 0.1).expect("r0");
+        // Linear in the acceptance scale.
+        let scaled = p.with_acceptance(p.acceptance().scaled(factor)).expect("scaled");
+        let up = r0(&scaled, 0.1, 0.1).expect("r0");
+        prop_assert!((up / base - factor).abs() < 1e-9);
+        // Inverse in each countermeasure.
+        let half = r0(&p, 0.2, 0.1).expect("r0");
+        prop_assert!((base / half - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_always_hits_target(
+        degrees in degree_sequence(),
+        alpha in 0.001..0.05_f64,
+        target in 0.1..5.0_f64,
+    ) {
+        let p = params_from(&degrees, alpha, 0.1);
+        let (cal, factor) = calibrate_acceptance(&p, target, 0.1, 0.05).expect("calibrate");
+        prop_assert!(factor > 0.0);
+        let got = r0(&cal, 0.1, 0.05).expect("r0");
+        prop_assert!((got - target).abs() < 1e-8, "got {got}, target {target}");
+    }
+
+    #[test]
+    fn zero_equilibrium_is_a_fixed_point(
+        degrees in degree_sequence(),
+        alpha in 0.001..0.05_f64,
+        eps1 in 0.06..0.5_f64,
+        eps2 in 0.01..0.5_f64,
+    ) {
+        let p = params_from(&degrees, alpha, 0.05);
+        let e0 = zero_equilibrium(&p, eps1, eps2).expect("E0");
+        let model = RumorModel::new(&p, ConstantControl::new(eps1, eps2));
+        let y = e0.to_flat();
+        let mut d = vec![0.0; y.len()];
+        model.rhs(0.0, &y, &mut d);
+        // Conserving convention: E0 is a genuine fixed point of all 3n eqs.
+        for v in &d {
+            prop_assert!(v.abs() < 1e-12, "residual {v}");
+        }
+    }
+
+    #[test]
+    fn positive_equilibrium_is_a_fixed_point_when_supercritical(
+        degrees in degree_sequence(),
+        alpha in 0.005..0.05_f64,
+        target in 1.2..4.0_f64,
+    ) {
+        let (eps1, eps2) = (0.1, 0.05);
+        let base = params_from(&degrees, alpha, 0.05);
+        // Calibrate into the supercritical regime, then check Eq. (3).
+        let (p, _) = calibrate_acceptance(&base, target, eps1, eps2).expect("calibrate");
+        match positive_equilibrium(&p, eps1, eps2) {
+            Ok(ep) => {
+                let theta = ep.theta(&p).expect("theta");
+                for j in 0..p.n_classes() {
+                    let lam = p.lambda()[j];
+                    let ds = p.alpha() - lam * ep.s()[j] * theta - eps1 * ep.s()[j];
+                    let di = lam * ep.s()[j] * theta - eps2 * ep.i()[j];
+                    prop_assert!(ds.abs() < 1e-8, "dS residual {ds}");
+                    prop_assert!(di.abs() < 1e-8, "dI residual {di}");
+                }
+            }
+            // Some random regimes put E+ outside the simplex; that is a
+            // documented validation, not a failure of the fixed point.
+            Err(rumor_core::CoreError::InvalidParameter { .. }) => {}
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected error {other}"))),
+        }
+    }
+
+    #[test]
+    fn mass_conservation_under_default_convention(
+        degrees in degree_sequence(),
+        alpha in 0.0..0.05_f64,
+        i0 in 0.01..0.9_f64,
+    ) {
+        let p = params_from(&degrees, alpha, 0.05);
+        let model = RumorModel::new(&p, ConstantControl::new(0.1, 0.05));
+        let y0 = NetworkState::initial_uniform(p.n_classes(), i0).expect("init").to_flat();
+        let sol = Adaptive::new().integrate(&model, 0.0, &y0, 10.0).expect("integrate");
+        let yf = sol.last_state();
+        let n = p.n_classes();
+        for c in 0..n {
+            let mass = yf[c] + yf[n + c] + yf[2 * n + c];
+            prop_assert!((mass - 1.0).abs() < 1e-6, "class {c} mass {mass}");
+        }
+    }
+
+    #[test]
+    fn as_printed_convention_grows_mass_at_alpha(
+        degrees in degree_sequence(),
+        alpha in 0.001..0.05_f64,
+    ) {
+        let p = params_from(&degrees, alpha, 0.05);
+        let model = RumorModel::with_convention(
+            &p,
+            ConstantControl::new(0.1, 0.05),
+            MassConvention::AsPrinted,
+        );
+        let y0 = NetworkState::initial_uniform(p.n_classes(), 0.1).expect("init").to_flat();
+        let tf = 7.0;
+        let sol = Adaptive::new().integrate(&model, 0.0, &y0, tf).expect("integrate");
+        let yf = sol.last_state();
+        let n = p.n_classes();
+        for c in 0..n {
+            let mass = yf[c] + yf[n + c] + yf[2 * n + c];
+            prop_assert!((mass - 1.0 - alpha * tf).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn susceptible_and_infected_densities_stay_nonnegative(
+        degrees in degree_sequence(),
+        i0 in 0.01..0.99_f64,
+        eps1 in 0.0..0.5_f64,
+        eps2 in 0.0..0.5_f64,
+    ) {
+        let p = params_from(&degrees, 0.01, 0.1);
+        let model = RumorModel::new(&p, ConstantControl::new(eps1, eps2));
+        let y0 = NetworkState::initial_uniform(p.n_classes(), i0).expect("init").to_flat();
+        let sol = Adaptive::new().integrate(&model, 0.0, &y0, 30.0).expect("integrate");
+        let n = p.n_classes();
+        for state in sol.states() {
+            for c in 0..2 * n {
+                prop_assert!(state[c] >= -1e-9, "S/I component {c} went negative: {}", state[c]);
+            }
+        }
+    }
+
+    #[test]
+    fn theta_is_linear_in_infection(
+        degrees in degree_sequence(),
+        i0 in 0.01..0.45_f64,
+    ) {
+        let p = params_from(&degrees, 0.01, 0.1);
+        let a = NetworkState::initial_uniform(p.n_classes(), i0).expect("a");
+        let b = NetworkState::initial_uniform(p.n_classes(), 2.0 * i0).expect("b");
+        let ta = a.theta(&p).expect("theta");
+        let tb = b.theta(&p).expect("theta");
+        prop_assert!((tb - 2.0 * ta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_roundtrip_preserves_state(
+        s in proptest::collection::vec(0.0..1.0_f64, 1..20),
+    ) {
+        let n = s.len();
+        let i: Vec<f64> = s.iter().map(|x| (1.0 - x) * 0.5).collect();
+        let r: Vec<f64> = s.iter().zip(&i).map(|(a, b)| (1.0 - a - b).max(0.0)).collect();
+        let st = NetworkState::new(s, i, r).expect("state");
+        let back = NetworkState::from_flat(&st.to_flat()).expect("roundtrip");
+        prop_assert_eq!(back.n_classes(), n);
+        prop_assert_eq!(st, back);
+    }
+
+    #[test]
+    fn dist_inf_is_a_metric(
+        i0 in 0.01..0.9_f64,
+        i1 in 0.01..0.9_f64,
+        i2 in 0.01..0.9_f64,
+    ) {
+        let a = NetworkState::initial_uniform(3, i0).expect("a");
+        let b = NetworkState::initial_uniform(3, i1).expect("b");
+        let c = NetworkState::initial_uniform(3, i2).expect("c");
+        let ab = a.dist_inf(&b).expect("ab");
+        let ba = b.dist_inf(&a).expect("ba");
+        let ac = a.dist_inf(&c).expect("ac");
+        let cb = c.dist_inf(&b).expect("cb");
+        prop_assert!((ab - ba).abs() < 1e-15, "symmetry");
+        prop_assert_eq!(a.dist_inf(&a).expect("aa"), 0.0);
+        prop_assert!(ab <= ac + cb + 1e-12, "triangle inequality");
+    }
+}

@@ -1,0 +1,338 @@
+//! A Digg2009-equivalent synthetic social network.
+//!
+//! Published statistics of the real dataset (paper, Section V):
+//!
+//! | statistic          | value      |
+//! |--------------------|------------|
+//! | voters (nodes)     | 71,367     |
+//! | friendship links   | 1,731,658  |
+//! | degree classes     | 848        |
+//! | minimum degree     | 1          |
+//! | maximum degree     | 995        |
+//! | mean degree `⟨k⟩`  | ≈ 24       |
+//!
+//! The generator samples a bounded discrete power-law degree sequence
+//! whose exponent is *calibrated by root-finding* so that the analytic
+//! mean degree matches the target, then exposes the degree classes the
+//! mean-field model needs. An actual simple graph (for the agent-based
+//! validator) can be realized on demand with the configuration model.
+
+use crate::summary::DatasetSummary;
+use crate::{DatasetError, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rumor_net::degree::DegreeClasses;
+use rumor_net::generators::{
+    configuration_model, powerlaw_degree_sequence, PowerlawSequenceConfig,
+};
+use rumor_net::graph::Graph;
+use rumor_numerics::roots::{brent, RootConfig};
+
+/// Configuration of the synthetic Digg-like network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiggConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Minimum degree.
+    pub k_min: usize,
+    /// Maximum degree.
+    pub k_max: usize,
+    /// Target mean degree the exponent is calibrated against.
+    pub target_mean_degree: f64,
+    /// RNG seed (the dataset is fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl Default for DiggConfig {
+    /// The full-scale Digg2009-equivalent configuration.
+    fn default() -> Self {
+        DiggConfig {
+            nodes: 71_367,
+            k_min: 1,
+            k_max: 995,
+            target_mean_degree: 24.0,
+            seed: 0x2009_D166,
+        }
+    }
+}
+
+impl DiggConfig {
+    /// A reduced-scale configuration (~7k nodes, same degree span scaled
+    /// down) for fast tests and examples.
+    pub fn small() -> Self {
+        DiggConfig {
+            nodes: 7_000,
+            k_min: 1,
+            k_max: 300,
+            target_mean_degree: 24.0,
+            seed: 0x2009_D166,
+        }
+    }
+}
+
+/// The synthesized dataset: a degree sequence plus its class partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiggDataset {
+    config: DiggConfig,
+    gamma: f64,
+    degrees: Vec<usize>,
+    classes: DegreeClasses,
+}
+
+impl DiggDataset {
+    /// Synthesizes the dataset from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] for impossible parameters
+    /// and propagates calibration/sampling failures.
+    pub fn synthesize(config: DiggConfig) -> Result<Self> {
+        if config.nodes == 0 {
+            return Err(DatasetError::InvalidConfig("nodes must be positive".into()));
+        }
+        if config.k_min == 0 || config.k_max < config.k_min {
+            return Err(DatasetError::InvalidConfig(format!(
+                "invalid degree bounds [{}, {}]",
+                config.k_min, config.k_max
+            )));
+        }
+        let lo = analytic_mean_degree(1.05, config.k_min, config.k_max);
+        let hi = analytic_mean_degree(6.0, config.k_min, config.k_max);
+        if !(hi..=lo).contains(&config.target_mean_degree) {
+            return Err(DatasetError::InvalidConfig(format!(
+                "target mean degree {} outside achievable range [{hi:.3}, {lo:.3}]",
+                config.target_mean_degree
+            )));
+        }
+        let gamma = calibrate_gamma(config.target_mean_degree, config.k_min, config.k_max)?;
+        let seq_cfg = PowerlawSequenceConfig {
+            n: config.nodes,
+            gamma,
+            k_min: config.k_min,
+            k_max: config.k_max,
+            force_even_sum: true,
+        };
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let degrees = powerlaw_degree_sequence(&seq_cfg, &mut rng)?;
+        let classes = DegreeClasses::from_degrees(&degrees)?;
+        Ok(DiggDataset {
+            config,
+            gamma,
+            degrees,
+            classes,
+        })
+    }
+
+    /// The configuration the dataset was generated from.
+    pub fn config(&self) -> &DiggConfig {
+        &self.config
+    }
+
+    /// The calibrated power-law exponent.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The sampled degree sequence (one entry per node).
+    pub fn degrees(&self) -> &[usize] {
+        &self.degrees
+    }
+
+    /// The degree-class partition consumed by the mean-field model.
+    pub fn classes(&self) -> &DegreeClasses {
+        &self.classes
+    }
+
+    /// Realizes the degree sequence as a simple graph with the (erased)
+    /// configuration model. Expensive at full scale (~1.7 M arcs); the
+    /// agent-based simulator is the only consumer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration-model failures.
+    pub fn realize_graph(&self) -> Result<Graph> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9E37_79B9_7F4A_7C15);
+        Ok(configuration_model(&self.degrees, &mut rng)?)
+    }
+
+    /// Summary statistics, printable as the harness's Table I companion.
+    pub fn summary(&self) -> DatasetSummary {
+        let arcs: usize = self.degrees.iter().sum();
+        DatasetSummary {
+            name: "digg2009-synthetic".into(),
+            nodes: self.config.nodes,
+            arcs,
+            degree_classes: self.classes.len(),
+            min_degree: self.classes.min_degree(),
+            max_degree: self.classes.max_degree(),
+            mean_degree: self.classes.mean_degree(),
+        }
+    }
+}
+
+/// Analytic mean degree of the bounded discrete power law
+/// `P(k) ∝ k^{-γ}` on `[k_min, k_max]`.
+pub fn analytic_mean_degree(gamma: f64, k_min: usize, k_max: usize) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for k in k_min..=k_max {
+        let w = (k as f64).powf(-gamma);
+        num += k as f64 * w;
+        den += w;
+    }
+    num / den
+}
+
+/// Calibrates the exponent `γ` so the analytic mean degree of the bounded
+/// power law matches `target` — the single-scalar solve described in
+/// DESIGN.md.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Numerics`] if the root search fails (the mean
+/// is strictly decreasing in `γ`, so a bracketed target always succeeds).
+pub fn calibrate_gamma(target: f64, k_min: usize, k_max: usize) -> Result<f64> {
+    let root = brent(
+        |g| analytic_mean_degree(g, k_min, k_max) - target,
+        1.05,
+        6.0,
+        &RootConfig {
+            x_tol: 1e-10,
+            f_tol: 1e-9,
+            max_iter: 200,
+        },
+    )?;
+    Ok(root.x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_mean_monotone_in_gamma() {
+        let m1 = analytic_mean_degree(1.5, 1, 995);
+        let m2 = analytic_mean_degree(2.0, 1, 995);
+        let m3 = analytic_mean_degree(3.0, 1, 995);
+        assert!(m1 > m2 && m2 > m3);
+    }
+
+    #[test]
+    fn calibration_hits_target() {
+        let gamma = calibrate_gamma(24.0, 1, 995).unwrap();
+        let mean = analytic_mean_degree(gamma, 1, 995);
+        assert!((mean - 24.0).abs() < 1e-6, "mean {mean} at gamma {gamma}");
+        // For these bounds the exponent lands near 1.5.
+        assert!(gamma > 1.3 && gamma < 1.8, "gamma {gamma}");
+    }
+
+    #[test]
+    fn small_dataset_statistics() {
+        let ds = DiggDataset::synthesize(DiggConfig::small()).unwrap();
+        let s = ds.summary();
+        assert_eq!(s.nodes, 7_000);
+        assert!(s.min_degree >= 1);
+        assert!(s.max_degree <= 300);
+        // Sampled mean within 15% of target at this scale.
+        assert!(
+            (s.mean_degree - 24.0).abs() < 3.6,
+            "mean degree {}",
+            s.mean_degree
+        );
+        assert!(s.degree_classes > 50);
+    }
+
+    #[test]
+    fn full_scale_matches_published_statistics() {
+        let ds = DiggDataset::synthesize(DiggConfig::default()).unwrap();
+        let s = ds.summary();
+        assert_eq!(s.nodes, 71_367);
+        assert_eq!(s.min_degree, 1);
+        // Published: 1,731,658 arcs, 848 classes, kmax 995, ⟨k⟩ ≈ 24.
+        assert!(s.max_degree <= 995);
+        assert!(s.max_degree > 700, "max degree {}", s.max_degree);
+        assert!(
+            (s.mean_degree - 24.0).abs() < 1.5,
+            "mean degree {}",
+            s.mean_degree
+        );
+        assert!(
+            (s.arcs as f64 - 1_731_658.0).abs() / 1_731_658.0 < 0.10,
+            "arcs {}",
+            s.arcs
+        );
+        assert!(
+            (600..=995).contains(&s.degree_classes),
+            "degree classes {}",
+            s.degree_classes
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = DiggDataset::synthesize(DiggConfig::small()).unwrap();
+        let b = DiggDataset::synthesize(DiggConfig::small()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DiggDataset::synthesize(DiggConfig::small()).unwrap();
+        let b = DiggDataset::synthesize(DiggConfig {
+            seed: 123,
+            ..DiggConfig::small()
+        })
+        .unwrap();
+        assert_ne!(a.degrees(), b.degrees());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(DiggDataset::synthesize(DiggConfig {
+            nodes: 0,
+            ..DiggConfig::small()
+        })
+        .is_err());
+        assert!(DiggDataset::synthesize(DiggConfig {
+            k_min: 0,
+            ..DiggConfig::small()
+        })
+        .is_err());
+        assert!(DiggDataset::synthesize(DiggConfig {
+            k_min: 10,
+            k_max: 5,
+            ..DiggConfig::small()
+        })
+        .is_err());
+        // Unachievable mean degree.
+        assert!(DiggDataset::synthesize(DiggConfig {
+            target_mean_degree: 900.0,
+            ..DiggConfig::small()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn realized_graph_has_expected_shape() {
+        let ds = DiggDataset::synthesize(DiggConfig {
+            nodes: 2000,
+            k_max: 100,
+            target_mean_degree: 12.0,
+            ..DiggConfig::small()
+        })
+        .unwrap();
+        let g = ds.realize_graph().unwrap();
+        assert_eq!(g.node_count(), 2000);
+        // Erased configuration model: mean degree within 10% of the sequence.
+        let seq_mean = ds.summary().mean_degree;
+        assert!((g.mean_degree() - seq_mean).abs() / seq_mean < 0.1);
+    }
+
+    #[test]
+    fn classes_match_degree_sequence() {
+        let ds = DiggDataset::synthesize(DiggConfig::small()).unwrap();
+        let total: usize = (0..ds.classes().len()).map(|i| ds.classes().count(i)).sum();
+        let nonzero = ds.degrees().iter().filter(|&&d| d > 0).count();
+        assert_eq!(total, nonzero);
+    }
+}

@@ -1,0 +1,175 @@
+//! Plain edge-list parsing and writing.
+//!
+//! The format is one edge per line, two whitespace- (or comma-)
+//! separated node ids, `#`-prefixed comment lines ignored. This matches
+//! the distribution format of the real Digg2009 friendship file, so a
+//! downloaded copy can be loaded directly:
+//!
+//! ```text
+//! # follower followee
+//! 0 1
+//! 0 2
+//! 17 3
+//! ```
+
+use crate::{DatasetError, Result};
+use rumor_net::graph::{EdgeKind, Graph};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Parses an edge list from a reader.
+///
+/// Node ids may be arbitrary non-negative integers; they are compacted to
+/// dense ids `0..n` in first-appearance order. Pass `&mut reader` if you
+/// need the reader afterwards.
+///
+/// # Errors
+///
+/// * [`DatasetError::ParseError`] for malformed lines.
+/// * [`DatasetError::Io`] for read failures.
+/// * [`DatasetError::Net`] if graph construction fails.
+pub fn read_edge_list<R: Read>(reader: R, kind: EdgeKind) -> Result<Graph> {
+    let buf = BufReader::new(reader);
+    let mut id_map: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let intern = |raw: u64, map: &mut std::collections::HashMap<u64, usize>| -> usize {
+        let next = map.len();
+        *map.entry(raw).or_insert(next)
+    };
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split(|c: char| c.is_whitespace() || c == ',').filter(|s| !s.is_empty());
+        let parse = |tok: Option<&str>, lineno: usize| -> Result<u64> {
+            let tok = tok.ok_or_else(|| DatasetError::ParseError {
+                line: lineno + 1,
+                message: "expected two node ids".into(),
+            })?;
+            tok.parse::<u64>().map_err(|e| DatasetError::ParseError {
+                line: lineno + 1,
+                message: format!("invalid node id {tok:?}: {e}"),
+            })
+        };
+        let u = parse(parts.next(), lineno)?;
+        let v = parse(parts.next(), lineno)?;
+        if parts.next().is_some() {
+            return Err(DatasetError::ParseError {
+                line: lineno + 1,
+                message: "expected exactly two node ids".into(),
+            });
+        }
+        let ui = intern(u, &mut id_map);
+        let vi = intern(v, &mut id_map);
+        edges.push((ui, vi));
+    }
+    Ok(Graph::from_edges(id_map.len(), &edges, kind)?)
+}
+
+/// Writes a graph as an edge list (one `u v` line per stored input edge;
+/// undirected edges are written once in the `u <= v` orientation).
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Io`] on write failures.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> Result<()> {
+    writeln!(writer, "# nodes: {}", graph.node_count())?;
+    match graph.kind() {
+        EdgeKind::Directed => {
+            for (u, v) in graph.iter_arcs() {
+                writeln!(writer, "{u} {v}")?;
+            }
+        }
+        EdgeKind::Undirected => {
+            for (u, v) in graph.iter_arcs() {
+                if u <= v {
+                    writeln!(writer, "{u} {v}")?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let data = "# comment\n0 1\n1 2\n\n2 0\n";
+        let g = read_edge_list(data.as_bytes(), EdgeKind::Undirected).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn compacts_sparse_ids() {
+        let data = "100 900\n900 7\n";
+        let g = read_edge_list(data.as_bytes(), EdgeKind::Directed).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn accepts_commas_and_mixed_whitespace() {
+        let data = "0,1\n1\t2\n 2  3 \n";
+        let g = read_edge_list(data.as_bytes(), EdgeKind::Undirected).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.node_count(), 4);
+    }
+
+    #[test]
+    fn malformed_lines_reported_with_line_numbers() {
+        let data = "0 1\nnot numbers\n";
+        let err = read_edge_list(data.as_bytes(), EdgeKind::Undirected).unwrap_err();
+        match err {
+            DatasetError::ParseError { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let data = "0\n";
+        assert!(matches!(
+            read_edge_list(data.as_bytes(), EdgeKind::Undirected),
+            Err(DatasetError::ParseError { line: 1, .. })
+        ));
+        let data = "0 1 2\n";
+        assert!(matches!(
+            read_edge_list(data.as_bytes(), EdgeKind::Undirected),
+            Err(DatasetError::ParseError { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("".as_bytes(), EdgeKind::Undirected).unwrap();
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn roundtrip_undirected() {
+        let data = "0 1\n1 2\n2 3\n";
+        let g = read_edge_list(data.as_bytes(), EdgeKind::Undirected).unwrap();
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(out.as_slice(), EdgeKind::Undirected).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        for u in 0..g.node_count() {
+            assert_eq!(g.neighbors(u), g2.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn roundtrip_directed() {
+        let data = "0 1\n2 1\n";
+        let g = read_edge_list(data.as_bytes(), EdgeKind::Directed).unwrap();
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(out.as_slice(), EdgeKind::Directed).unwrap();
+        assert_eq!(g2.edge_count(), 2);
+        assert!(g2.has_edge(0, 1));
+        assert!(!g2.has_edge(1, 0));
+    }
+}

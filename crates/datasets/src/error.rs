@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Errors produced by dataset generation and parsing.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// The generator configuration was inconsistent.
+    InvalidConfig(String),
+    /// A line of an edge-list file could not be parsed.
+    ParseError {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// An underlying graph-construction failure.
+    Net(rumor_net::NetError),
+    /// An underlying numerical failure (calibration root-finding).
+    Numerics(rumor_numerics::NumericsError),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::InvalidConfig(msg) => write!(f, "invalid dataset configuration: {msg}"),
+            DatasetError::ParseError { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            DatasetError::Io(e) => write!(f, "io error: {e}"),
+            DatasetError::Net(e) => write!(f, "graph error: {e}"),
+            DatasetError::Numerics(e) => write!(f, "numerics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            DatasetError::Net(e) => Some(e),
+            DatasetError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+impl From<rumor_net::NetError> for DatasetError {
+    fn from(e: rumor_net::NetError) -> Self {
+        DatasetError::Net(e)
+    }
+}
+
+impl From<rumor_numerics::NumericsError> for DatasetError {
+    fn from(e: rumor_numerics::NumericsError) -> Self {
+        DatasetError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::DatasetError;
+
+    #[test]
+    fn display_nonempty_and_sources_wired() {
+        use std::error::Error;
+        let e = DatasetError::Io(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+        let p = DatasetError::ParseError {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(p.to_string().contains("line 3"));
+        assert!(p.source().is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        let _: DatasetError = rumor_net::NetError::EmptyGraph.into();
+        let _: DatasetError = rumor_numerics::NumericsError::SingularMatrix.into();
+    }
+}

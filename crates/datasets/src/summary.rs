@@ -1,0 +1,91 @@
+//! Dataset summary statistics.
+
+use rumor_net::degree::DegreeClasses;
+use rumor_net::graph::Graph;
+use std::fmt;
+
+/// Headline statistics of a dataset, comparable against the published
+/// Digg2009 numbers.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DatasetSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of arcs (degree-sequence sum; 2× undirected edge count).
+    pub arcs: usize,
+    /// Number of distinct degree classes (the paper's `n = 848`).
+    pub degree_classes: usize,
+    /// Minimum positive degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree `⟨k⟩`.
+    pub mean_degree: f64,
+}
+
+impl DatasetSummary {
+    /// Builds a summary from a realized graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`rumor_net::NetError`] if the graph is empty.
+    pub fn from_graph(name: impl Into<String>, graph: &Graph) -> Result<Self, rumor_net::NetError> {
+        let classes = DegreeClasses::from_graph(graph)?;
+        Ok(DatasetSummary {
+            name: name.into(),
+            nodes: graph.node_count(),
+            arcs: graph.degrees().iter().sum(),
+            degree_classes: classes.len(),
+            min_degree: classes.min_degree(),
+            max_degree: classes.max_degree(),
+            mean_degree: graph.mean_degree(),
+        })
+    }
+}
+
+impl fmt::Display for DatasetSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dataset: {}", self.name)?;
+        writeln!(f, "  nodes:          {}", self.nodes)?;
+        writeln!(f, "  arcs:           {}", self.arcs)?;
+        writeln!(f, "  degree classes: {}", self.degree_classes)?;
+        writeln!(f, "  degree range:   [{}, {}]", self.min_degree, self.max_degree)?;
+        write!(f, "  mean degree:    {:.3}", self.mean_degree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_net::graph::{EdgeKind, Graph};
+
+    #[test]
+    fn from_graph_matches_structure() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], EdgeKind::Undirected).unwrap();
+        let s = DatasetSummary::from_graph("path4", &g).unwrap();
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.arcs, 6);
+        assert_eq!(s.degree_classes, 2);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.mean_degree - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_errors() {
+        let g = Graph::from_edges(3, &[], EdgeKind::Undirected).unwrap();
+        assert!(DatasetSummary::from_graph("empty", &g).is_err());
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let g = Graph::from_edges(2, &[(0, 1)], EdgeKind::Undirected).unwrap();
+        let s = DatasetSummary::from_graph("pair", &g).unwrap();
+        let text = s.to_string();
+        for needle in ["pair", "nodes", "arcs", "degree classes", "mean degree"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of dataset synthesis and edge-list I/O.
+
+use proptest::prelude::*;
+use rumor_datasets::digg::{analytic_mean_degree, calibrate_gamma, DiggConfig, DiggDataset};
+use rumor_datasets::edgelist::{read_edge_list, write_edge_list};
+use rumor_net::graph::{EdgeKind, Graph};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn calibration_hits_any_achievable_mean(target in 2.0..40.0_f64) {
+        let (k_min, k_max) = (1, 500);
+        let gamma = calibrate_gamma(target, k_min, k_max).unwrap();
+        prop_assert!(gamma > 1.0 && gamma < 6.0);
+        let mean = analytic_mean_degree(gamma, k_min, k_max);
+        prop_assert!((mean - target).abs() < 1e-6, "mean {mean} vs target {target}");
+    }
+
+    #[test]
+    fn analytic_mean_is_monotone_decreasing_in_gamma(
+        g1 in 1.1..3.0_f64,
+        delta in 0.05..2.0_f64,
+    ) {
+        let m1 = analytic_mean_degree(g1, 1, 300);
+        let m2 = analytic_mean_degree(g1 + delta, 1, 300);
+        prop_assert!(m2 < m1);
+    }
+
+    #[test]
+    fn synthesized_dataset_respects_bounds(seed in 0u64..500) {
+        let ds = DiggDataset::synthesize(DiggConfig {
+            nodes: 800,
+            k_min: 1,
+            k_max: 120,
+            target_mean_degree: 12.0,
+            seed,
+        })
+        .unwrap();
+        let s = ds.summary();
+        prop_assert_eq!(s.nodes, 800);
+        prop_assert!(s.min_degree >= 1);
+        prop_assert!(s.max_degree <= 120);
+        // Sampled mean within 25% of target at this small scale.
+        prop_assert!((s.mean_degree - 12.0).abs() < 3.0, "mean {}", s.mean_degree);
+        // Degree-sum is even (configuration-model realizability).
+        prop_assert_eq!(s.arcs % 2, 0);
+    }
+
+    #[test]
+    fn edge_list_roundtrip_arbitrary_graphs(
+        edges in proptest::collection::vec((0usize..30, 0usize..30), 1..80),
+    ) {
+        // Drop self-loops (the writer emits each undirected edge once in
+        // canonical orientation; a self-loop would be read back once and
+        // counted differently).
+        let edges: Vec<(usize, usize)> = edges.into_iter().filter(|(u, v)| u != v).collect();
+        prop_assume!(!edges.is_empty());
+        let g = Graph::from_edges(30, &edges, EdgeKind::Undirected).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice(), EdgeKind::Undirected).unwrap();
+        // Node ids are compacted on read, so compare degree multisets.
+        let mut d1: Vec<usize> = g.degrees().into_iter().filter(|&d| d > 0).collect();
+        let mut d2: Vec<usize> = back.degrees().into_iter().filter(|&d| d > 0).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        prop_assert_eq!(d1, d2);
+        prop_assert_eq!(g.edge_count(), back.edge_count());
+    }
+
+    #[test]
+    fn dataset_is_deterministic(seed in 0u64..100) {
+        let cfg = DiggConfig {
+            nodes: 300,
+            k_min: 1,
+            k_max: 60,
+            target_mean_degree: 8.0,
+            seed,
+        };
+        let a = DiggDataset::synthesize(cfg.clone()).unwrap();
+        let b = DiggDataset::synthesize(cfg).unwrap();
+        prop_assert_eq!(a.degrees(), b.degrees());
+        prop_assert_eq!(a.gamma(), b.gamma());
+    }
+}

@@ -1,0 +1,33 @@
+//! Baseline propagation models.
+//!
+//! The paper positions its heterogeneous SIR model against two
+//! traditions: classical rumor models (Daley–Kendall 1965 and
+//! Maki–Thompson 1973, its Section III lineage) and mean-field epidemic
+//! models that ignore degree structure. This crate implements those
+//! baselines so the ablation benchmarks can quantify what the
+//! heterogeneity and the saturating infectivity actually buy:
+//!
+//! * [`homogeneous`] — the degree-blind SIR with the same countermeasure
+//!   channels (the direct ablation of network heterogeneity).
+//! * [`dk`] — the Daley–Kendall ignorant/spreader/stifler model.
+//! * [`mt`] — the Maki–Thompson variant.
+//! * [`sis`] — a heterogeneous SIS model with nonlinear infectivity
+//!   (Zhu–Fu–Chen 2012), the reference the paper borrows its `ω(k)`
+//!   family from.
+//!
+//! All models implement [`rumor_ode::system::OdeSystem`] and integrate
+//! with any driver from `rumor-ode`.
+
+// Deliberate idioms throughout this workspace:
+// * `!(x > 0.0)` rejects NaN alongside non-positive values, which the
+//   suggested `x <= 0.0` would silently accept;
+// * index-based loops mirror the mathematical stencils of the numeric
+//   kernels more directly than iterator chains.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+pub mod dk;
+pub mod homogeneous;
+pub mod mt;
+pub mod sis;

@@ -1,0 +1,122 @@
+//! The Maki–Thompson rumor model (1973) — the "MK model" of the paper's
+//! Section III.
+//!
+//! Differs from Daley–Kendall in the stifling mechanism: when a spreader
+//! contacts another spreader, only the *initiating* spreader stifles, so
+//! the pairwise stifling term loses its factor of 2 relative to DK (in
+//! mean field the `Y²` coefficient halves):
+//!
+//! ```text
+//! dX/dt = −k β X Y
+//! dY/dt =  k β X Y − k γ Y (Y + Z)      (initiator-only stifling)
+//! dZ/dt =  k γ Y (Y + Z)
+//! ```
+//!
+//! In the mean-field limit the DK and MT equations coincide up to the
+//! stifling coefficient; we expose that coefficient so both variants are
+//! distinguishable and testable.
+
+use rumor_ode::system::OdeSystem;
+
+/// The mean-field Maki–Thompson system. State layout: `[X, Y, Z]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MakiThompson {
+    /// Contact rate `k`.
+    pub contact_rate: f64,
+    /// Transmission probability on ignorant–spreader contact.
+    pub beta: f64,
+    /// Stifling probability; applied once per contact (initiator only),
+    /// which in mean field halves the effective pair-stifling relative
+    /// to Daley–Kendall.
+    pub gamma: f64,
+}
+
+impl MakiThompson {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is negative (configuration error).
+    pub fn new(contact_rate: f64, beta: f64, gamma: f64) -> Self {
+        assert!(
+            contact_rate >= 0.0 && beta >= 0.0 && gamma >= 0.0,
+            "rates must be non-negative"
+        );
+        MakiThompson {
+            contact_rate,
+            beta,
+            gamma,
+        }
+    }
+}
+
+impl OdeSystem for MakiThompson {
+    fn dim(&self) -> usize {
+        3
+    }
+
+    fn rhs(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+        let (x, yy, z) = (y[0], y[1], y[2]);
+        let k = self.contact_rate;
+        let spread = k * self.beta * x * yy;
+        // Initiator-only stifling: spreader-spreader pairs stifle one
+        // member, spreader-stifler contacts stifle the spreader.
+        let stifle = k * self.gamma * yy * (0.5 * yy + z);
+        dydt[0] = -spread;
+        dydt[1] = spread - stifle;
+        dydt[2] = stifle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dk::DaleyKendall;
+    use rumor_ode::integrator::Adaptive;
+
+    #[test]
+    fn mass_conserved() {
+        let m = MakiThompson::new(1.0, 1.0, 1.0);
+        let sol = Adaptive::new()
+            .integrate(&m, 0.0, &[0.95, 0.05, 0.0], 100.0)
+            .unwrap();
+        assert!((sol.last_state().iter().sum::<f64>() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rumor_terminates() {
+        let m = MakiThompson::new(1.0, 1.0, 1.0);
+        let sol = Adaptive::new()
+            .integrate(&m, 0.0, &[0.95, 0.05, 0.0], 500.0)
+            .unwrap();
+        assert!(sol.last_state()[1] < 1e-6);
+    }
+
+    #[test]
+    fn weaker_stifling_spreads_further_than_dk() {
+        // MT stifles less per contact, so fewer ignorants remain.
+        let y0 = [0.99, 0.01, 0.0];
+        let dk = DaleyKendall::new(1.0, 1.0, 1.0);
+        let mt = MakiThompson::new(1.0, 1.0, 1.0);
+        let xf_dk = Adaptive::new().integrate(&dk, 0.0, &y0, 1000.0).unwrap().last_state()[0];
+        let xf_mt = Adaptive::new().integrate(&mt, 0.0, &y0, 1000.0).unwrap().last_state()[0];
+        assert!(
+            xf_mt < xf_dk,
+            "mt final ignorants {xf_mt} should be below dk {xf_dk}"
+        );
+    }
+
+    #[test]
+    fn no_dynamics_without_spreaders() {
+        let m = MakiThompson::new(1.0, 1.0, 1.0);
+        let mut d = [0.0; 3];
+        m.rhs(0.0, &[0.7, 0.0, 0.3], &mut d);
+        assert_eq!(d, [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_panics() {
+        let _ = MakiThompson::new(1.0, 1.0, -1.0);
+    }
+}

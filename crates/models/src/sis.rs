@@ -1,0 +1,139 @@
+//! Heterogeneous SIS with nonlinear infectivity (Zhu–Fu–Chen 2012) —
+//! the model family the paper borrows its saturating `ω(k)` from.
+//!
+//! Per degree class `i`:
+//!
+//! ```text
+//! dI_i/dt = λ(k_i) (1 − I_i) Θ(t) − δ I_i
+//! Θ(t)    = (1/⟨k⟩) Σ_j ω(k_j) P(k_j) I_j
+//! ```
+//!
+//! Unlike SIR, recovered nodes return to susceptibility, so the model
+//! has a genuine endemic steady state whenever the effective spreading
+//! strength exceeds the recovery rate.
+
+use rumor_core::params::ModelParams;
+use rumor_ode::system::OdeSystem;
+
+/// The heterogeneous SIS system. State layout: `[I_0..I_{n-1}]`
+/// (susceptible densities are implicit as `1 − I_i`).
+#[derive(Debug, Clone)]
+pub struct HeterogeneousSis<'p> {
+    params: &'p ModelParams,
+    /// Recovery (curing) rate `δ`.
+    pub delta: f64,
+}
+
+impl<'p> HeterogeneousSis<'p> {
+    /// Creates the model, reusing the SIR parameter bundle for the
+    /// degree partition, `λ(·)` and `ω(·)` (the SIR inflow `α` is
+    /// ignored — SIS has no demography).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta <= 0` (configuration error).
+    pub fn new(params: &'p ModelParams, delta: f64) -> Self {
+        assert!(delta > 0.0, "recovery rate must be positive");
+        HeterogeneousSis { params, delta }
+    }
+
+    /// The SIS epidemic threshold: spreading sustains when
+    /// `Σ λ_i ϕ_i / (⟨k⟩ δ) > 1` (linearization at `I = 0`).
+    pub fn threshold(&self) -> f64 {
+        self.params.lambda_phi_sum() / (self.params.mean_degree() * self.delta)
+    }
+}
+
+impl OdeSystem for HeterogeneousSis<'_> {
+    fn dim(&self) -> usize {
+        self.params.n_classes()
+    }
+
+    fn rhs(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+        let n = self.params.n_classes();
+        let lambda = self.params.lambda();
+        let phi = self.params.phi();
+        let theta: f64 =
+            phi.iter().zip(y).map(|(p, i)| p * i).sum::<f64>() / self.params.mean_degree();
+        for j in 0..n {
+            dydt[j] = lambda[j] * (1.0 - y[j]) * theta - self.delta * y[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_core::functions::{AcceptanceRate, Infectivity};
+    use rumor_net::degree::DegreeClasses;
+    use rumor_ode::integrator::Adaptive;
+
+    fn params(lambda0: f64) -> ModelParams {
+        let classes = DegreeClasses::from_degrees(&[1, 1, 2, 2, 3, 6]).unwrap();
+        ModelParams::builder(classes)
+            .alpha(0.0)
+            .acceptance(AcceptanceRate::LinearInDegree { lambda0 })
+            .infectivity(Infectivity::paper_default())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn subthreshold_extinction() {
+        let p = params(0.01);
+        let m = HeterogeneousSis::new(&p, 0.5);
+        assert!(m.threshold() < 1.0);
+        let sol = Adaptive::new()
+            .integrate(&m, 0.0, &vec![0.2; 4], 200.0)
+            .unwrap();
+        assert!(sol.last_state().iter().all(|&i| i < 1e-6));
+    }
+
+    #[test]
+    fn suprathreshold_endemic_state() {
+        let p = params(2.0);
+        let m = HeterogeneousSis::new(&p, 0.05);
+        assert!(m.threshold() > 1.0);
+        let sol = Adaptive::new()
+            .integrate(&m, 0.0, &vec![0.01; 4], 500.0)
+            .unwrap();
+        let y = sol.last_state();
+        assert!(y.iter().all(|&i| i > 0.01), "endemic: {y:?}");
+        // Steady state: derivative nearly zero.
+        let mut d = vec![0.0; 4];
+        m.rhs(0.0, y, &mut d);
+        assert!(d.iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn higher_degree_class_has_higher_prevalence() {
+        let p = params(1.0);
+        let m = HeterogeneousSis::new(&p, 0.1);
+        let sol = Adaptive::new()
+            .integrate(&m, 0.0, &vec![0.01; 4], 500.0)
+            .unwrap();
+        let y = sol.last_state();
+        assert!(y[0] < y[1] && y[1] < y[2] && y[2] < y[3], "prevalence ordering {y:?}");
+    }
+
+    #[test]
+    fn densities_stay_in_unit_interval() {
+        let p = params(5.0);
+        let m = HeterogeneousSis::new(&p, 0.01);
+        let sol = Adaptive::new()
+            .integrate(&m, 0.0, &vec![0.99; 4], 100.0)
+            .unwrap();
+        for state in sol.states() {
+            for &i in state {
+                assert!((-1e-9..=1.0 + 1e-9).contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_delta_panics() {
+        let p = params(1.0);
+        let _ = HeterogeneousSis::new(&p, 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+use std::fmt;
+
+/// Errors produced by graph construction and generation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// An edge referenced a node outside `0..node_count`.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: usize,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A generator was configured with impossible parameters.
+    InvalidGeneratorConfig(String),
+    /// A degree sequence could not be realized as a simple graph.
+    UnrealizableDegreeSequence(String),
+    /// An operation that requires a non-empty graph received an empty one.
+    EmptyGraph,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node} out of bounds (graph has {node_count} nodes)")
+            }
+            NetError::InvalidGeneratorConfig(msg) => {
+                write!(f, "invalid generator configuration: {msg}")
+            }
+            NetError::UnrealizableDegreeSequence(msg) => {
+                write!(f, "degree sequence cannot be realized: {msg}")
+            }
+            NetError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::NetError;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            NetError::NodeOutOfBounds { node: 5, node_count: 3 },
+            NetError::InvalidGeneratorConfig("m must be positive".into()),
+            NetError::UnrealizableDegreeSequence("odd sum".into()),
+            NetError::EmptyGraph,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Erdős–Rényi `G(n, p)` graphs.
+
+use crate::graph::{EdgeKind, Graph};
+use crate::{NetError, Result};
+use rand::Rng;
+
+/// Samples an undirected Erdős–Rényi graph `G(n, p)`.
+///
+/// Uses geometric skip sampling (Batagelj–Brandes), so the cost is
+/// proportional to the number of edges rather than `n²`.
+///
+/// # Errors
+///
+/// Returns [`NetError::InvalidGeneratorConfig`] if `p ∉ [0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_net::generators::erdos_renyi;
+///
+/// # fn main() -> Result<(), rumor_net::NetError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let g = erdos_renyi(100, 0.05, &mut rng)?;
+/// assert_eq!(g.node_count(), 100);
+/// # Ok(())
+/// # }
+/// ```
+pub fn erdos_renyi(n: usize, p: f64, rng: &mut impl Rng) -> Result<Graph> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(NetError::InvalidGeneratorConfig(format!(
+            "edge probability must be in [0, 1], got {p}"
+        )));
+    }
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    if p > 0.0 && n > 1 {
+        if p >= 1.0 {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    edges.push((u, v));
+                }
+            }
+        } else {
+            // Walk the strictly-upper-triangular pairs with geometric skips.
+            let lp = (1.0 - p).ln();
+            let mut v: i64 = 1;
+            let mut w: i64 = -1;
+            while (v as usize) < n {
+                let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+                w += 1 + (r.ln() / lp).floor() as i64;
+                while w >= v && (v as usize) < n {
+                    w -= v;
+                    v += 1;
+                }
+                if (v as usize) < n {
+                    edges.push((w as usize, v as usize));
+                }
+            }
+        }
+    }
+    Graph::from_edges(n, &edges, EdgeKind::Undirected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (n, p) = (2000, 0.01);
+        let g = erdos_renyi(n, p, &mut rng).unwrap();
+        let expect = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        // Within 5 standard deviations of the binomial expectation.
+        let sd = (expect * (1.0 - p)).sqrt();
+        assert!((got - expect).abs() < 5.0 * sd, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn p_zero_and_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g0 = erdos_renyi(10, 0.0, &mut rng).unwrap();
+        assert_eq!(g0.edge_count(), 0);
+        let g1 = erdos_renyi(10, 1.0, &mut rng).unwrap();
+        assert_eq!(g1.edge_count(), 45);
+        assert_eq!(g1.min_degree(), 9);
+    }
+
+    #[test]
+    fn invalid_p_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(erdos_renyi(10, -0.1, &mut rng).is_err());
+        assert!(erdos_renyi(10, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi(200, 0.05, &mut rng).unwrap();
+        for u in 0..g.node_count() {
+            assert!(!g.has_edge(u, u));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g1 = erdos_renyi(100, 0.1, &mut StdRng::seed_from_u64(5)).unwrap();
+        let g2 = erdos_renyi(100, 0.1, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(erdos_renyi(0, 0.5, &mut rng).unwrap().node_count(), 0);
+        assert_eq!(erdos_renyi(1, 0.5, &mut rng).unwrap().edge_count(), 0);
+    }
+}

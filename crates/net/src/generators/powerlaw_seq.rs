@@ -1,0 +1,209 @@
+//! Bounded discrete power-law degree-sequence sampling.
+
+use crate::{NetError, Result};
+use rand::Rng;
+
+/// Configuration for [`powerlaw_degree_sequence`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerlawSequenceConfig {
+    /// Number of degrees to sample.
+    pub n: usize,
+    /// Power-law exponent `γ` in `P(k) ∝ k^{-γ}` (must exceed 1).
+    pub gamma: f64,
+    /// Minimum degree (inclusive, ≥ 1).
+    pub k_min: usize,
+    /// Maximum degree (inclusive, ≥ `k_min`).
+    pub k_max: usize,
+    /// Force the sequence sum to be even so a graph can realize it.
+    pub force_even_sum: bool,
+}
+
+impl Default for PowerlawSequenceConfig {
+    fn default() -> Self {
+        PowerlawSequenceConfig {
+            n: 1000,
+            gamma: 2.5,
+            k_min: 1,
+            k_max: 100,
+            force_even_sum: true,
+        }
+    }
+}
+
+/// Samples `n` degrees from the bounded discrete power law
+/// `P(k) ∝ k^{-γ}` on `[k_min, k_max]` by inverse-CDF lookup.
+///
+/// This is the degree structure the Digg-like synthetic dataset in
+/// `rumor-datasets` is built from.
+///
+/// # Errors
+///
+/// Returns [`NetError::InvalidGeneratorConfig`] if `γ ≤ 1`, `k_min == 0`,
+/// `k_max < k_min`, or `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_net::generators::{powerlaw_degree_sequence, PowerlawSequenceConfig};
+///
+/// # fn main() -> Result<(), rumor_net::NetError> {
+/// let cfg = PowerlawSequenceConfig { n: 500, gamma: 2.2, k_min: 1, k_max: 50, force_even_sum: true };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let degrees = powerlaw_degree_sequence(&cfg, &mut rng)?;
+/// assert_eq!(degrees.len(), 500);
+/// assert_eq!(degrees.iter().sum::<usize>() % 2, 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn powerlaw_degree_sequence(
+    cfg: &PowerlawSequenceConfig,
+    rng: &mut impl Rng,
+) -> Result<Vec<usize>> {
+    if cfg.n == 0 {
+        return Err(NetError::InvalidGeneratorConfig("n must be positive".into()));
+    }
+    if cfg.gamma <= 1.0 {
+        return Err(NetError::InvalidGeneratorConfig(format!(
+            "gamma must exceed 1, got {}",
+            cfg.gamma
+        )));
+    }
+    if cfg.k_min == 0 {
+        return Err(NetError::InvalidGeneratorConfig("k_min must be at least 1".into()));
+    }
+    if cfg.k_max < cfg.k_min {
+        return Err(NetError::InvalidGeneratorConfig(format!(
+            "k_max {} below k_min {}",
+            cfg.k_max, cfg.k_min
+        )));
+    }
+
+    // Cumulative weights over [k_min, k_max].
+    let span = cfg.k_max - cfg.k_min + 1;
+    let mut cdf = Vec::with_capacity(span);
+    let mut acc = 0.0;
+    for k in cfg.k_min..=cfg.k_max {
+        acc += (k as f64).powf(-cfg.gamma);
+        cdf.push(acc);
+    }
+    let total = acc;
+
+    let mut degrees = Vec::with_capacity(cfg.n);
+    for _ in 0..cfg.n {
+        let u: f64 = rng.gen_range(0.0..total);
+        let idx = cdf.partition_point(|&c| c < u).min(span - 1);
+        degrees.push(cfg.k_min + idx);
+    }
+    if cfg.force_even_sum && degrees.iter().sum::<usize>() % 2 == 1 {
+        // Bump one non-maximal degree by 1 to even the stub count.
+        if let Some(d) = degrees.iter_mut().find(|d| **d < cfg.k_max) {
+            *d += 1;
+        } else {
+            // All at k_max (possible only for k_min == k_max with odd n·k).
+            return Err(NetError::UnrealizableDegreeSequence(
+                "cannot even the degree sum without exceeding k_max".into(),
+            ));
+        }
+    }
+    Ok(degrees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(cfg: &PowerlawSequenceConfig, seed: u64) -> Vec<usize> {
+        powerlaw_degree_sequence(cfg, &mut StdRng::seed_from_u64(seed)).unwrap()
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let cfg = PowerlawSequenceConfig {
+            n: 5000,
+            gamma: 2.3,
+            k_min: 2,
+            k_max: 80,
+            force_even_sum: false,
+        };
+        let d = sample(&cfg, 1);
+        assert!(d.iter().all(|&k| (2..=80).contains(&k)));
+    }
+
+    #[test]
+    fn even_sum_enforced() {
+        let cfg = PowerlawSequenceConfig {
+            n: 999,
+            ..Default::default()
+        };
+        for seed in 0..10 {
+            let d = sample(&cfg, seed);
+            assert_eq!(d.iter().sum::<usize>() % 2, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn heavier_gamma_means_lighter_tail() {
+        let base = PowerlawSequenceConfig {
+            n: 20000,
+            k_min: 1,
+            k_max: 1000,
+            force_even_sum: false,
+            ..Default::default()
+        };
+        let shallow = sample(&PowerlawSequenceConfig { gamma: 2.0, ..base.clone() }, 5);
+        let steep = sample(&PowerlawSequenceConfig { gamma: 3.5, ..base }, 5);
+        let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len() as f64;
+        assert!(mean(&shallow) > mean(&steep));
+    }
+
+    #[test]
+    fn frequency_ratio_tracks_power_law() {
+        let cfg = PowerlawSequenceConfig {
+            n: 200_000,
+            gamma: 2.0,
+            k_min: 1,
+            k_max: 100,
+            force_even_sum: false,
+        };
+        let d = sample(&cfg, 9);
+        let count = |k: usize| d.iter().filter(|&&x| x == k).count() as f64;
+        // P(1)/P(2) should be close to 2^γ = 4.
+        let ratio = count(1) / count(2);
+        assert!((ratio - 4.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for bad in [
+            PowerlawSequenceConfig { n: 0, ..Default::default() },
+            PowerlawSequenceConfig { gamma: 1.0, ..Default::default() },
+            PowerlawSequenceConfig { k_min: 0, ..Default::default() },
+            PowerlawSequenceConfig { k_min: 10, k_max: 5, ..Default::default() },
+        ] {
+            assert!(powerlaw_degree_sequence(&bad, &mut rng).is_err());
+        }
+    }
+
+    #[test]
+    fn degenerate_single_degree() {
+        let cfg = PowerlawSequenceConfig {
+            n: 10,
+            gamma: 2.0,
+            k_min: 4,
+            k_max: 4,
+            force_even_sum: true,
+        };
+        let d = sample(&cfg, 0);
+        assert!(d.iter().all(|&k| k == 4));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = PowerlawSequenceConfig::default();
+        assert_eq!(sample(&cfg, 42), sample(&cfg, 42));
+    }
+}

@@ -1,0 +1,161 @@
+//! Watts–Strogatz small-world graphs.
+
+use crate::graph::{EdgeKind, Graph};
+use crate::{NetError, Result};
+use rand::Rng;
+
+/// Samples a Watts–Strogatz small-world graph: a ring lattice where each
+/// node connects to its `k` nearest neighbours (`k` even), with each
+/// edge rewired to a uniform random target with probability `beta`.
+///
+/// Unlike the scale-free generators this produces a *homogeneous* degree
+/// distribution — the ablation benchmarks use it as the "no hubs"
+/// contrast network.
+///
+/// # Errors
+///
+/// Returns [`NetError::InvalidGeneratorConfig`] if `k` is odd or zero,
+/// `k >= n`, or `beta ∉ [0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rumor_net::generators::watts_strogatz;
+///
+/// # fn main() -> Result<(), rumor_net::NetError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let g = watts_strogatz(100, 6, 0.1, &mut rng)?;
+/// assert_eq!(g.node_count(), 100);
+/// assert_eq!(g.edge_count(), 300);
+/// # Ok(())
+/// # }
+/// ```
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut impl Rng) -> Result<Graph> {
+    if k == 0 || k % 2 != 0 {
+        return Err(NetError::InvalidGeneratorConfig(format!(
+            "lattice degree k must be positive and even, got {k}"
+        )));
+    }
+    if k >= n {
+        return Err(NetError::InvalidGeneratorConfig(format!(
+            "lattice degree k = {k} must be below n = {n}"
+        )));
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(NetError::InvalidGeneratorConfig(format!(
+            "rewiring probability must lie in [0, 1], got {beta}"
+        )));
+    }
+    // Ring lattice edges: (u, u + d) for d = 1..=k/2.
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * k / 2);
+    for u in 0..n {
+        for d in 1..=k / 2 {
+            edges.push((u, (u + d) % n));
+        }
+    }
+    // Track adjacency to keep the rewired graph simple.
+    let mut adjacent: Vec<std::collections::HashSet<usize>> = vec![Default::default(); n];
+    for &(u, v) in &edges {
+        adjacent[u].insert(v);
+        adjacent[v].insert(u);
+    }
+    for idx in 0..edges.len() {
+        if !rng.gen_bool(beta) {
+            continue;
+        }
+        let (u, old_v) = edges[idx];
+        // Pick a fresh target avoiding self-loops and duplicates; give up
+        // after a bounded number of attempts (dense corner cases).
+        for _ in 0..32 {
+            let new_v = rng.gen_range(0..n);
+            if new_v == u || adjacent[u].contains(&new_v) {
+                continue;
+            }
+            adjacent[u].remove(&old_v);
+            adjacent[old_v].remove(&u);
+            adjacent[u].insert(new_v);
+            adjacent[new_v].insert(u);
+            edges[idx] = (u, new_v);
+            break;
+        }
+    }
+    Graph::from_edges(n, &edges, EdgeKind::Undirected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{global_clustering, largest_component_size};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_beta_is_ring_lattice() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = watts_strogatz(30, 4, 0.0, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 60);
+        for u in 0..30 {
+            assert_eq!(g.degree(u), 4, "lattice is 4-regular");
+            assert!(g.has_edge(u, (u + 1) % 30));
+            assert!(g.has_edge(u, (u + 2) % 30));
+        }
+    }
+
+    #[test]
+    fn edge_count_preserved_under_rewiring() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = watts_strogatz(200, 6, 0.3, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 600);
+        assert_eq!(g.node_count(), 200);
+    }
+
+    #[test]
+    fn graph_stays_simple() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = watts_strogatz(150, 6, 0.5, &mut rng).unwrap();
+        for u in 0..g.node_count() {
+            assert!(!g.has_edge(u, u));
+            let nb = g.neighbors(u);
+            for w in nb.windows(2) {
+                assert_ne!(w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn rewiring_reduces_clustering() {
+        // The small-world signature: the lattice clusters heavily, the
+        // rewired graph much less.
+        let lattice = watts_strogatz(400, 8, 0.0, &mut StdRng::seed_from_u64(4)).unwrap();
+        let rewired = watts_strogatz(400, 8, 0.8, &mut StdRng::seed_from_u64(4)).unwrap();
+        let cl = global_clustering(&lattice).unwrap();
+        let cr = global_clustering(&rewired).unwrap();
+        assert!(cl > 0.5, "lattice clustering {cl}");
+        assert!(cr < cl / 2.0, "rewired clustering {cr} vs lattice {cl}");
+    }
+
+    #[test]
+    fn mostly_connected_at_moderate_beta() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = watts_strogatz(300, 6, 0.2, &mut rng).unwrap();
+        assert!(largest_component_size(&g) as f64 > 0.95 * 300.0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(watts_strogatz(10, 3, 0.1, &mut rng).is_err()); // odd k
+        assert!(watts_strogatz(10, 0, 0.1, &mut rng).is_err());
+        assert!(watts_strogatz(10, 10, 0.1, &mut rng).is_err()); // k >= n
+        assert!(watts_strogatz(10, 4, 1.5, &mut rng).is_err());
+        assert!(watts_strogatz(10, 4, -0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = watts_strogatz(100, 4, 0.3, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = watts_strogatz(100, 4, 0.3, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+}

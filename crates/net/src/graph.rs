@@ -1,0 +1,297 @@
+//! Compressed-sparse-row graphs.
+
+use crate::{NetError, Result};
+
+/// Whether edges are interpreted one-way or both ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum EdgeKind {
+    /// Each `(u, v)` pair adds `v` to `u`'s adjacency only.
+    Directed,
+    /// Each `(u, v)` pair adds both `v → u` and `u → v`.
+    Undirected,
+}
+
+/// A compact adjacency-list graph in CSR form.
+///
+/// Node ids are dense `0..node_count`. Parallel edges are permitted
+/// (the configuration model can produce them unless deduplicated);
+/// self-loops are permitted at construction and can be stripped with
+/// [`Graph::simplified`].
+///
+/// # Example
+///
+/// ```
+/// use rumor_net::graph::{EdgeKind, Graph};
+///
+/// # fn main() -> Result<(), rumor_net::NetError> {
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)], EdgeKind::Undirected)?;
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.neighbors(0), &[1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Graph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    kind: EdgeKind,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list.
+    ///
+    /// For [`EdgeKind::Undirected`] each input pair contributes to both
+    /// endpoints' adjacency lists; [`Graph::degree`] then counts each
+    /// incident edge once per endpoint, with self-loops contributing 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NodeOutOfBounds`] if an edge references a node
+    /// `>= node_count`, or [`NetError::InvalidGeneratorConfig`] if
+    /// `node_count` exceeds `u32::MAX`.
+    pub fn from_edges(node_count: usize, edges: &[(usize, usize)], kind: EdgeKind) -> Result<Self> {
+        if node_count > u32::MAX as usize {
+            return Err(NetError::InvalidGeneratorConfig(format!(
+                "node_count {node_count} exceeds u32 capacity"
+            )));
+        }
+        for &(u, v) in edges {
+            for node in [u, v] {
+                if node >= node_count {
+                    return Err(NetError::NodeOutOfBounds { node, node_count });
+                }
+            }
+        }
+        // Count out-degrees.
+        let mut counts = vec![0usize; node_count];
+        for &(u, v) in edges {
+            counts[u] += 1;
+            if kind == EdgeKind::Undirected {
+                counts[v] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        offsets.push(0);
+        for c in &counts {
+            offsets.push(offsets.last().expect("non-empty") + c);
+        }
+        let mut targets = vec![0u32; *offsets.last().expect("non-empty")];
+        let mut cursor = offsets[..node_count].to_vec();
+        for &(u, v) in edges {
+            targets[cursor[u]] = v as u32;
+            cursor[u] += 1;
+            if kind == EdgeKind::Undirected {
+                targets[cursor[v]] = u as u32;
+                cursor[v] += 1;
+            }
+        }
+        let mut g = Graph {
+            offsets,
+            targets,
+            kind,
+            edge_count: edges.len(),
+        };
+        g.sort_adjacency();
+        Ok(g)
+    }
+
+    fn sort_adjacency(&mut self) {
+        for u in 0..self.node_count() {
+            let (s, e) = (self.offsets[u], self.offsets[u + 1]);
+            self.targets[s..e].sort_unstable();
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of *input* edges (each undirected edge counted once).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the graph was built as directed or undirected.
+    pub fn kind(&self) -> EdgeKind {
+        self.kind
+    }
+
+    /// Degree of node `u` (out-degree for directed graphs; for undirected
+    /// graphs each self-loop contributes 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.node_count()`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Neighbors of node `u`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.node_count()`.
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// `true` if an edge `u → v` exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.node_count()`.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// The full degree sequence.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.node_count()).map(|u| self.degree(u)).collect()
+    }
+
+    /// Mean degree `⟨k⟩`.
+    pub fn mean_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            return 0.0;
+        }
+        self.targets.len() as f64 / self.node_count() as f64
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count()).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree.
+    pub fn min_degree(&self) -> usize {
+        (0..self.node_count()).map(|u| self.degree(u)).min().unwrap_or(0)
+    }
+
+    /// Returns a copy with self-loops and duplicate edges removed.
+    pub fn simplified(&self) -> Graph {
+        let mut edges = Vec::new();
+        for u in 0..self.node_count() {
+            let mut prev: Option<u32> = None;
+            for &v in self.neighbors(u) {
+                if v as usize == u {
+                    continue;
+                }
+                if self.kind == EdgeKind::Undirected && (v as usize) < u {
+                    continue; // keep one orientation only
+                }
+                if prev == Some(v) {
+                    continue; // adjacency is sorted, duplicates are adjacent
+                }
+                edges.push((u, v as usize));
+                prev = Some(v);
+            }
+        }
+        Graph::from_edges(self.node_count(), &edges, self.kind)
+            .expect("simplification preserves node bounds")
+    }
+
+    /// Iterates over each stored arc `(u, v)` (undirected edges appear in
+    /// both orientations).
+    pub fn iter_arcs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.node_count())
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v as usize)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)], EdgeKind::Undirected).unwrap()
+    }
+
+    #[test]
+    fn undirected_degrees_and_neighbors() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        for u in 0..3 {
+            assert_eq!(g.degree(u), 2);
+        }
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn directed_graph_one_way() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)], EdgeKind::Directed).unwrap();
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn out_of_bounds_edge_rejected() {
+        let err = Graph::from_edges(2, &[(0, 5)], EdgeKind::Directed).unwrap_err();
+        assert!(matches!(err, NetError::NodeOutOfBounds { node: 5, .. }));
+    }
+
+    #[test]
+    fn empty_graph_behaviour() {
+        let g = Graph::from_edges(0, &[], EdgeKind::Undirected).unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.min_degree(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_zero_degree() {
+        let g = Graph::from_edges(4, &[(0, 1)], EdgeKind::Undirected).unwrap();
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.min_degree(), 0);
+        assert_eq!(g.max_degree(), 1);
+    }
+
+    #[test]
+    fn mean_degree_undirected() {
+        let g = triangle();
+        assert!((g.mean_degree() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn self_loop_counts_twice_undirected() {
+        let g = Graph::from_edges(2, &[(0, 0), (0, 1)], EdgeKind::Undirected).unwrap();
+        assert_eq!(g.degree(0), 3); // self-loop twice + edge once
+        let s = g.simplified();
+        assert_eq!(s.degree(0), 1);
+        assert!(!s.has_edge(0, 0));
+    }
+
+    #[test]
+    fn simplified_removes_duplicates() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 1), (1, 2)], EdgeKind::Undirected).unwrap();
+        assert_eq!(g.degree(0), 2);
+        let s = g.simplified();
+        assert_eq!(s.degree(0), 1);
+        assert_eq!(s.edge_count(), 2);
+        assert!(s.has_edge(1, 2) && s.has_edge(2, 1));
+    }
+
+    #[test]
+    fn iter_arcs_counts_both_orientations() {
+        let g = triangle();
+        assert_eq!(g.iter_arcs().count(), 6);
+        let g = Graph::from_edges(3, &[(0, 1)], EdgeKind::Directed).unwrap();
+        assert_eq!(g.iter_arcs().count(), 1);
+    }
+
+    #[test]
+    fn degrees_vector_matches_individual_queries() {
+        let g = triangle();
+        assert_eq!(g.degrees(), vec![2, 2, 2]);
+    }
+}

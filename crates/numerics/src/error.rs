@@ -1,0 +1,88 @@
+use std::fmt;
+
+/// Errors produced by the numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// A matrix or vector had a shape incompatible with the operation.
+    ShapeMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the shape that was found.
+        found: String,
+    },
+    /// A matrix was singular (or numerically singular) where a
+    /// non-singular matrix was required.
+    SingularMatrix,
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the algorithm that failed.
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A bracketing method was given an interval that does not bracket
+    /// a root (the function has the same sign at both ends).
+    InvalidBracket {
+        /// Left end of the interval.
+        a: f64,
+        /// Right end of the interval.
+        b: f64,
+    },
+    /// An argument was outside the function's domain of validity.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            NumericsError::SingularMatrix => write!(f, "matrix is singular"),
+            NumericsError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            NumericsError::InvalidBracket { a, b } => {
+                write!(f, "interval [{a}, {b}] does not bracket a root")
+            }
+            NumericsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::NumericsError;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            NumericsError::ShapeMismatch {
+                expected: "3x3".into(),
+                found: "2x3".into(),
+            },
+            NumericsError::SingularMatrix,
+            NumericsError::NoConvergence {
+                algorithm: "qr",
+                iterations: 100,
+            },
+            NumericsError::InvalidBracket { a: 0.0, b: 1.0 },
+            NumericsError::InvalidArgument("n must be positive".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+}

@@ -1,0 +1,58 @@
+//! Numerical substrate for the rumor-propagation reproduction workspace.
+//!
+//! This crate provides the numerical building blocks that the rest of the
+//! workspace is built on:
+//!
+//! * [`matrix`] — a small dense row-major [`matrix::Matrix`] with the usual
+//!   arithmetic, norms and slicing helpers.
+//! * [`lu`] — LU decomposition with partial pivoting, linear solves,
+//!   determinants and inverses.
+//! * [`qr`] — Householder QR decomposition and least-squares solves.
+//! * [`eigen`] — eigenvalues of general real matrices via Hessenberg
+//!   reduction followed by the shifted QR iteration (complex pairs are
+//!   returned as [`eigen::Complex`] values).
+//! * [`roots`] — scalar root finding (bisection, Newton, Brent).
+//! * [`quadrature`] — numerical integration (trapezoid, Simpson, adaptive
+//!   Simpson, Gauss–Legendre, and integration of sampled trajectories).
+//! * [`interp`] — piecewise-linear and monotone cubic (PCHIP) interpolation
+//!   on grids, used to store continuous control signals.
+//! * [`stats`] — summary statistics and simple regressions (used by the
+//!   power-law fitting in `rumor-net`).
+//!
+//! # Example
+//!
+//! ```
+//! use rumor_numerics::roots::{brent, RootConfig};
+//!
+//! # fn main() -> Result<(), rumor_numerics::NumericsError> {
+//! // Find the positive root of x^2 - 2.
+//! let root = brent(|x| x * x - 2.0, 0.0, 2.0, &RootConfig::default())?;
+//! assert!((root.x - 2.0_f64.sqrt()).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+// Deliberate idioms throughout this workspace:
+// * `!(x > 0.0)` rejects NaN alongside non-positive values, which the
+//   suggested `x <= 0.0` would silently accept;
+// * index-based loops mirror the mathematical stencils of the numeric
+//   kernels more directly than iterator chains.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+pub mod eigen;
+pub mod interp;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod quadrature;
+pub mod roots;
+pub mod stats;
+
+mod error;
+
+pub use error::NumericsError;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, NumericsError>;

@@ -1,0 +1,235 @@
+//! Householder QR decomposition and least-squares solves.
+//!
+//! The decomposition `A = Q·R` (with `Q` orthogonal and `R` upper
+//! triangular) is used directly for least-squares fits (power-law
+//! regression in `rumor-net`) and as the workhorse inside the QR
+//! eigenvalue iteration in [`crate::eigen`].
+
+use crate::matrix::Matrix;
+use crate::{NumericsError, Result};
+
+/// Householder QR decomposition of an `m × n` matrix with `m >= n`.
+///
+/// # Example
+///
+/// ```
+/// use rumor_numerics::{matrix::Matrix, qr::Qr};
+///
+/// # fn main() -> Result<(), rumor_numerics::NumericsError> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]])?;
+/// let qr = Qr::decompose(&a)?;
+/// let x = qr.solve_least_squares(&[1.0, 1.0, 2.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl Qr {
+    /// Computes the (thin-compatible, here full) QR decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] if `a.rows() < a.cols()`.
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        let m = a.rows();
+        let n = a.cols();
+        if m < n {
+            return Err(NumericsError::InvalidArgument(
+                "qr decomposition requires rows >= cols".into(),
+            ));
+        }
+        let mut r = a.clone();
+        let mut q = Matrix::identity(m);
+
+        for k in 0..n.min(m.saturating_sub(1)) {
+            // Householder vector for column k below the diagonal.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += r[(i, k)] * r[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                continue;
+            }
+            let alpha = if r[(k, k)] > 0.0 { -norm } else { norm };
+            let mut v: Vec<f64> = (k..m).map(|i| r[(i, k)]).collect();
+            v[0] -= alpha;
+            let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+            if vnorm2 == 0.0 {
+                continue;
+            }
+
+            // Apply H = I - 2 v v^T / (v^T v) to R (rows k..m).
+            for j in k..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i - k] * r[(i, j)];
+                }
+                let factor = 2.0 * dot / vnorm2;
+                for i in k..m {
+                    r[(i, j)] -= factor * v[i - k];
+                }
+            }
+            // Accumulate Q = Q · H (columns k..m of Q are affected).
+            for i in 0..m {
+                let mut dot = 0.0;
+                for j in k..m {
+                    dot += q[(i, j)] * v[j - k];
+                }
+                let factor = 2.0 * dot / vnorm2;
+                for j in k..m {
+                    q[(i, j)] -= factor * v[j - k];
+                }
+            }
+        }
+        // Zero out numerical noise below the diagonal of R.
+        for i in 0..m {
+            for j in 0..n.min(i) {
+                r[(i, j)] = 0.0;
+            }
+        }
+        Ok(Qr { q, r })
+    }
+
+    /// The orthogonal factor `Q` (`m × m`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper-triangular factor `R` (`m × n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::ShapeMismatch`] if `b.len() != A.rows()`.
+    /// * [`NumericsError::SingularMatrix`] if `R` has a zero diagonal
+    ///   entry (rank-deficient `A`).
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let m = self.q.rows();
+        let n = self.r.cols();
+        if b.len() != m {
+            return Err(NumericsError::ShapeMismatch {
+                expected: format!("rhs of length {m}"),
+                found: format!("rhs of length {}", b.len()),
+            });
+        }
+        // y = Q^T b (only the first n components are needed).
+        let mut y = vec![0.0; n];
+        for j in 0..n {
+            let mut s = 0.0;
+            for i in 0..m {
+                s += self.q[(i, j)] * b[i];
+            }
+            y[j] = s;
+        }
+        // Back substitution with the top n×n block of R.
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.r[(i, j)] * y[j];
+            }
+            let rii = self.r[(i, i)];
+            if rii == 0.0 {
+                return Err(NumericsError::SingularMatrix);
+            }
+            y[i] = s / rii;
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::vecops::dist_inf;
+
+    #[test]
+    fn qr_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[&[12.0, -51.0, 4.0], &[6.0, 167.0, -68.0], &[-4.0, 24.0, -41.0]])
+            .unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        let recon = qr.q().matmul(qr.r()).unwrap();
+        assert!(recon.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0], &[0.0, 1.0]]).unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        let qtq = qr.q().transpose().matmul(qr.q()).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        for i in 0..qr.r().rows() {
+            for j in 0..qr.r().cols().min(i) {
+                assert_eq!(qr.r()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn square_solve_matches_lu() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        let x = qr.solve_least_squares(&[3.0, 5.0]).unwrap();
+        assert!(dist_inf(&x, &[0.8, 1.4]) < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_line_fit() {
+        // Fit y = 2x + 1 through noisy-free points: exact recovery.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, 1.0]).collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&row_refs).unwrap();
+        let b: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let coef = Qr::decompose(&a).unwrap().solve_least_squares(&b).unwrap();
+        assert!(dist_inf(&coef, &[2.0, 1.0]) < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_inconsistent_system() {
+        // Points not on a line: least squares minimizes the residual.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
+        let b = [6.0, 0.0, 0.0];
+        let x = Qr::decompose(&a).unwrap().solve_least_squares(&b).unwrap();
+        // Normal equations solution: x = (8, -3).
+        assert!(dist_inf(&x, &[8.0, -3.0]) < 1e-10);
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Qr::decompose(&a).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_detected_on_solve() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 1.0, 1.0]),
+            Err(NumericsError::SingularMatrix)
+        ));
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(3);
+        let qr = Qr::decompose(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0]).is_err());
+    }
+}

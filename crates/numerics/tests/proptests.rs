@@ -1,0 +1,171 @@
+//! Property-based tests of the numerical substrate.
+
+use proptest::prelude::*;
+use rumor_numerics::interp::{LinearInterp, PchipInterp};
+use rumor_numerics::lu::{det, solve, Lu};
+use rumor_numerics::matrix::{vecops, Matrix};
+use rumor_numerics::quadrature::{simpson, trapezoid, trapezoid_sampled};
+use rumor_numerics::roots::{bisect, brent, RootConfig};
+use rumor_numerics::stats::{mean, variance, RunningStats};
+
+/// Strategy: a diagonally dominant (hence invertible, well-conditioned)
+/// square matrix of the given size plus a right-hand side.
+fn dominant_system(n: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (
+        proptest::collection::vec(-1.0..1.0_f64, n * n),
+        proptest::collection::vec(-10.0..10.0_f64, n),
+    )
+}
+
+fn to_dominant_matrix(n: usize, raw: &[f64]) -> Matrix {
+    let mut m = Matrix::from_vec(n, n, raw.to_vec()).expect("shape");
+    for i in 0..n {
+        // Row dominance: diagonal exceeds the absolute row sum.
+        let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
+        m[(i, i)] = row_sum + 1.0 + m[(i, i)].abs();
+    }
+    m
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_roundtrip((raw, b) in dominant_system(6)) {
+        let a = to_dominant_matrix(6, &raw);
+        let x = solve(&a, &b).expect("solvable");
+        let back = a.matvec(&x).expect("shape");
+        let err = vecops::dist_inf(&back, &b);
+        prop_assert!(err < 1e-8, "residual {err}");
+    }
+
+    #[test]
+    fn lu_det_matches_inverse_product((raw, _b) in dominant_system(5)) {
+        let a = to_dominant_matrix(5, &raw);
+        let lu = Lu::decompose(&a).expect("decompose");
+        let d = lu.det();
+        prop_assert!(d.abs() > 0.5, "dominant matrices stay far from singular");
+        let inv = lu.inverse().expect("invert");
+        let d_inv = det(&inv).expect("det");
+        prop_assert!((d * d_inv - 1.0).abs() < 1e-6, "det(A)·det(A⁻¹) = {}", d * d_inv);
+    }
+
+    #[test]
+    fn matmul_transpose_identity((raw, _b) in dominant_system(4)) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ with B = Aᵀ.
+        let a = to_dominant_matrix(4, &raw);
+        let b = a.transpose();
+        let left = a.matmul(&b).expect("shape").transpose();
+        let right = b.transpose().matmul(&a.transpose()).expect("shape");
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn linear_interp_is_bounded_by_node_values(
+        ys in proptest::collection::vec(-5.0..5.0_f64, 2..20),
+        q in 0.0..1.0_f64,
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let hi = xs[xs.len() - 1];
+        let li = LinearInterp::new(xs, ys.clone()).expect("grid");
+        let v = li.eval(q * hi);
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let up = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= up + 1e-12);
+    }
+
+    #[test]
+    fn pchip_never_overshoots_data_range(
+        ys in proptest::collection::vec(0.0..1.0_f64, 3..15),
+        q in 0.0..1.0_f64,
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let hi = xs[xs.len() - 1];
+        let p = PchipInterp::new(xs, ys.clone()).expect("grid");
+        let v = p.eval(q * hi);
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let up = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Monotone-preserving cubic: values stay within the data range.
+        prop_assert!(v >= lo - 1e-9 && v <= up + 1e-9, "v = {v} outside [{lo}, {up}]");
+    }
+
+    #[test]
+    fn quadrature_is_linear_in_the_integrand(a in -3.0..3.0_f64, b in -3.0..3.0_f64) {
+        // ∫(a·f + b·g) = a∫f + b∫g for f = x², g = sin x on [0, 2].
+        let f = |x: f64| x * x;
+        let g = |x: f64| x.sin();
+        let combo = trapezoid(|x| a * f(x) + b * g(x), 0.0, 2.0, 400).expect("quad");
+        let parts = a * trapezoid(f, 0.0, 2.0, 400).expect("quad")
+            + b * trapezoid(g, 0.0, 2.0, 400).expect("quad");
+        prop_assert!((combo - parts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simpson_at_least_as_accurate_as_trapezoid_on_smooth(k in 1.0..4.0_f64) {
+        let exact = (k * 2.0).sin() / k; // ∫0^2 cos(kx) dx
+        let t = (trapezoid(|x| (k * x).cos(), 0.0, 2.0, 64).expect("quad") - exact).abs();
+        let s = (simpson(|x| (k * x).cos(), 0.0, 2.0, 64).expect("quad") - exact).abs();
+        prop_assert!(s <= t + 1e-12, "simpson {s} vs trapezoid {t}");
+    }
+
+    #[test]
+    fn sampled_trapezoid_matches_closed_form_for_lines(
+        slope in -5.0..5.0_f64,
+        intercept in -5.0..5.0_f64,
+    ) {
+        let ts: Vec<f64> = vec![0.0, 0.3, 0.7, 1.3, 2.0];
+        let ys: Vec<f64> = ts.iter().map(|&t| slope * t + intercept).collect();
+        let v = trapezoid_sampled(&ts, &ys).expect("quad");
+        let exact = slope * 2.0 as f64 * 2.0 / 2.0 + intercept * 2.0;
+        prop_assert!((v - exact).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_and_brent_agree(c in 0.1..20.0_f64) {
+        // Root of x³ - c at c^(1/3).
+        let cfg = RootConfig::default();
+        let rb = bisect(|x| x * x * x - c, 0.0, 30.0, &cfg).expect("bisect").x;
+        let rr = brent(|x| x * x * x - c, 0.0, 30.0, &cfg).expect("brent").x;
+        prop_assert!((rb - rr).abs() < 1e-7);
+        prop_assert!((rr - c.cbrt()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn running_stats_equals_batch_stats(
+        xs in proptest::collection::vec(-100.0..100.0_f64, 2..50),
+    ) {
+        let rs: RunningStats = xs.iter().copied().collect();
+        let m = mean(&xs).expect("mean");
+        let v = variance(&xs).expect("variance");
+        prop_assert!((rs.mean().expect("mean") - m).abs() < 1e-9);
+        prop_assert!((rs.variance().expect("var") - v).abs() / v.max(1.0) < 1e-9);
+    }
+
+    #[test]
+    fn running_stats_merge_is_order_independent(
+        xs in proptest::collection::vec(-10.0..10.0_f64, 1..20),
+        ys in proptest::collection::vec(-10.0..10.0_f64, 1..20),
+    ) {
+        let a: RunningStats = xs.iter().copied().collect();
+        let b: RunningStats = ys.iter().copied().collect();
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!((ab.mean().expect("m") - ba.mean().expect("m")).abs() < 1e-9);
+        if let (Some(va), Some(vb)) = (ab.variance(), ba.variance()) {
+            prop_assert!((va - vb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn vecops_axpy_matches_manual(
+        alpha in -3.0..3.0_f64,
+        x in proptest::collection::vec(-5.0..5.0_f64, 1..10),
+    ) {
+        let mut y = vec![1.0; x.len()];
+        vecops::axpy(alpha, &x, &mut y);
+        for (yi, xi) in y.iter().zip(&x) {
+            prop_assert!((yi - (1.0 + alpha * xi)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+use std::fmt;
+
+/// Errors produced by the ODE drivers and steppers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OdeError {
+    /// The initial state length did not match the system dimension.
+    DimensionMismatch {
+        /// System dimension.
+        expected: usize,
+        /// Provided state length.
+        found: usize,
+    },
+    /// A step size or tolerance was non-positive or non-finite.
+    InvalidStep(String),
+    /// The adaptive controller shrank the step below its minimum without
+    /// meeting the error tolerance.
+    StepSizeUnderflow {
+        /// Time at which the failure occurred.
+        t: f64,
+        /// The step size that was rejected.
+        h: f64,
+    },
+    /// The driver exceeded its maximum number of steps.
+    TooManySteps {
+        /// The step budget that was exhausted.
+        max_steps: usize,
+        /// Time reached when the budget ran out.
+        t: f64,
+    },
+    /// The right-hand side produced a non-finite value.
+    NonFiniteState {
+        /// Time at which the non-finite value appeared.
+        t: f64,
+    },
+    /// The implicit stepper's Newton iteration failed to converge.
+    NewtonFailed {
+        /// Time of the failed step.
+        t: f64,
+        /// Iterations attempted.
+        iterations: usize,
+    },
+    /// An underlying linear-algebra operation failed.
+    Numerics(rumor_numerics::NumericsError),
+}
+
+impl fmt::Display for OdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OdeError::DimensionMismatch { expected, found } => {
+                write!(f, "state dimension mismatch: system has {expected}, state has {found}")
+            }
+            OdeError::InvalidStep(msg) => write!(f, "invalid step configuration: {msg}"),
+            OdeError::StepSizeUnderflow { t, h } => {
+                write!(f, "step size underflow at t = {t} (h = {h})")
+            }
+            OdeError::TooManySteps { max_steps, t } => {
+                write!(f, "exceeded {max_steps} steps at t = {t}")
+            }
+            OdeError::NonFiniteState { t } => write!(f, "non-finite state at t = {t}"),
+            OdeError::NewtonFailed { t, iterations } => {
+                write!(f, "newton iteration failed at t = {t} after {iterations} iterations")
+            }
+            OdeError::Numerics(e) => write!(f, "numerics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OdeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OdeError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rumor_numerics::NumericsError> for OdeError {
+    fn from(e: rumor_numerics::NumericsError) -> Self {
+        OdeError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::OdeError;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            OdeError::DimensionMismatch { expected: 3, found: 2 },
+            OdeError::InvalidStep("h must be positive".into()),
+            OdeError::StepSizeUnderflow { t: 1.0, h: 1e-18 },
+            OdeError::TooManySteps { max_steps: 10, t: 0.5 },
+            OdeError::NonFiniteState { t: 2.0 },
+            OdeError::NewtonFailed { t: 0.1, iterations: 25 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn numerics_error_converts_and_sources() {
+        use std::error::Error;
+        let e: OdeError = rumor_numerics::NumericsError::SingularMatrix.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OdeError>();
+    }
+}

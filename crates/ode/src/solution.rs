@@ -1,0 +1,246 @@
+//! Recorded ODE trajectories.
+
+use crate::OdeError;
+
+/// A trajectory recorded by an integrator: a sequence of `(t, y)` pairs in
+/// integration order (monotone increasing `t` for forward runs, monotone
+/// decreasing for backward runs).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Solution {
+    times: Vec<f64>,
+    states: Vec<Vec<f64>>,
+}
+
+impl Solution {
+    /// Creates an empty solution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a solution with pre-allocated capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Solution {
+            times: Vec::with_capacity(n),
+            states: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a `(t, y)` record.
+    pub fn push(&mut self, t: f64, y: Vec<f64>) {
+        self.times.push(t);
+        self.states.push(y);
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The recorded times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The recorded states (parallel to [`Solution::times`]).
+    pub fn states(&self) -> &[Vec<f64>] {
+        &self.states
+    }
+
+    /// The state at record `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn state(&self, i: usize) -> &[f64] {
+        &self.states[i]
+    }
+
+    /// The final recorded time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution is empty.
+    pub fn last_time(&self) -> f64 {
+        *self.times.last().expect("empty solution")
+    }
+
+    /// The final recorded state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution is empty.
+    pub fn last_state(&self) -> &[f64] {
+        self.states.last().expect("empty solution")
+    }
+
+    /// Extracts component `j` across all records as a time series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state is shorter than `j + 1`.
+    pub fn component(&self, j: usize) -> Vec<f64> {
+        self.states.iter().map(|s| s[j]).collect()
+    }
+
+    /// Linearly interpolates the state at time `t`.
+    ///
+    /// Works for both forward and backward trajectories; `t` outside the
+    /// recorded range clamps to the nearest endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdeError::InvalidStep`] if the solution is empty.
+    pub fn sample(&self, t: f64) -> Result<Vec<f64>, OdeError> {
+        if self.is_empty() {
+            return Err(OdeError::InvalidStep("cannot sample an empty solution".into()));
+        }
+        if self.len() == 1 {
+            return Ok(self.states[0].clone());
+        }
+        let forward = self.times[0] <= *self.times.last().expect("non-empty");
+        // Normalize to a forward search by mapping times through a sign.
+        let key = |x: f64| if forward { x } else { -x };
+        let tq = key(t);
+        if tq <= key(self.times[0]) {
+            return Ok(self.states[0].clone());
+        }
+        if tq >= key(*self.times.last().expect("non-empty")) {
+            return Ok(self.states.last().expect("non-empty").clone());
+        }
+        // Find segment via binary search on the (sign-normalized) times.
+        let idx = self
+            .times
+            .partition_point(|&x| key(x) <= tq)
+            .saturating_sub(1)
+            .min(self.len() - 2);
+        let (t0, t1) = (self.times[idx], self.times[idx + 1]);
+        let w = if t1 == t0 { 0.0 } else { (t - t0) / (t1 - t0) };
+        Ok(self.states[idx]
+            .iter()
+            .zip(&self.states[idx + 1])
+            .map(|(a, b)| a + w * (b - a))
+            .collect())
+    }
+
+    /// Samples the solution at every time in `grid`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Solution::sample`] errors.
+    pub fn sample_grid(&self, grid: &[f64]) -> Result<Vec<Vec<f64>>, OdeError> {
+        grid.iter().map(|&t| self.sample(t)).collect()
+    }
+
+    /// Iterates over `(t, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &[f64])> {
+        self.times
+            .iter()
+            .copied()
+            .zip(self.states.iter().map(Vec::as_slice))
+    }
+}
+
+impl FromIterator<(f64, Vec<f64>)> for Solution {
+    fn from_iter<T: IntoIterator<Item = (f64, Vec<f64>)>>(iter: T) -> Self {
+        let mut sol = Solution::new();
+        for (t, y) in iter {
+            sol.push(t, y);
+        }
+        sol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_solution() -> Solution {
+        // y(t) = (t, 2t) sampled at t = 0, 1, 2.
+        (0..3)
+            .map(|i| (i as f64, vec![i as f64, 2.0 * i as f64]))
+            .collect()
+    }
+
+    #[test]
+    fn push_and_accessors() {
+        let sol = linear_solution();
+        assert_eq!(sol.len(), 3);
+        assert!(!sol.is_empty());
+        assert_eq!(sol.last_time(), 2.0);
+        assert_eq!(sol.last_state(), &[2.0, 4.0]);
+        assert_eq!(sol.state(1), &[1.0, 2.0]);
+        assert_eq!(sol.component(1), vec![0.0, 2.0, 4.0]);
+        assert_eq!(sol.iter().count(), 3);
+    }
+
+    #[test]
+    fn sample_interpolates_linearly() {
+        let sol = linear_solution();
+        let y = sol.sample(0.5).unwrap();
+        assert_eq!(y, vec![0.5, 1.0]);
+        let y = sol.sample(1.75).unwrap();
+        assert!((y[0] - 1.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sample_clamps_out_of_range() {
+        let sol = linear_solution();
+        assert_eq!(sol.sample(-1.0).unwrap(), vec![0.0, 0.0]);
+        assert_eq!(sol.sample(99.0).unwrap(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn sample_exact_nodes() {
+        let sol = linear_solution();
+        assert_eq!(sol.sample(1.0).unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn sample_backward_trajectory() {
+        // Times decreasing: a costate sweep from tf = 2 down to 0.
+        let sol: Solution = (0..3)
+            .map(|i| {
+                let t = 2.0 - i as f64;
+                (t, vec![t * 10.0])
+            })
+            .collect();
+        let y = sol.sample(1.5).unwrap();
+        assert!((y[0] - 15.0).abs() < 1e-12);
+        assert_eq!(sol.sample(5.0).unwrap(), vec![20.0]); // clamps to t = 2 end
+        assert_eq!(sol.sample(-1.0).unwrap(), vec![0.0]); // clamps to t = 0 end
+    }
+
+    #[test]
+    fn sample_empty_errors() {
+        let sol = Solution::new();
+        assert!(sol.sample(0.0).is_err());
+    }
+
+    #[test]
+    fn sample_single_point() {
+        let mut sol = Solution::new();
+        sol.push(1.0, vec![7.0]);
+        assert_eq!(sol.sample(0.0).unwrap(), vec![7.0]);
+        assert_eq!(sol.sample(2.0).unwrap(), vec![7.0]);
+    }
+
+    #[test]
+    fn sample_grid_maps_each_time() {
+        let sol = linear_solution();
+        let grid = [0.0, 0.5, 1.0, 2.0];
+        let samples = sol.sample_grid(&grid).unwrap();
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[1], vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let sol = Solution::with_capacity(16);
+        assert!(sol.is_empty());
+    }
+}

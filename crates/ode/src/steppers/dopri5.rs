@@ -1,0 +1,195 @@
+//! The Dormand–Prince 5(4) embedded Runge–Kutta pair.
+//!
+//! This is the stepper behind the adaptive driver
+//! [`crate::integrator::Adaptive`]: a 7-stage pair producing a 5th-order
+//! solution together with a 4th-order error estimate, with the FSAL
+//! (first-same-as-last) property.
+
+use super::{ensure_len, Stepper};
+use crate::system::OdeSystem;
+
+// Butcher tableau of DOPRI5 (Dormand & Prince, 1980).
+const C: [f64; 7] = [0.0, 1.0 / 5.0, 3.0 / 10.0, 4.0 / 5.0, 8.0 / 9.0, 1.0, 1.0];
+const A: [[f64; 6]; 7] = [
+    [0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    [1.0 / 5.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0, 0.0],
+    [44.0 / 45.0, -56.0 / 15.0, 32.0 / 9.0, 0.0, 0.0, 0.0],
+    [
+        19372.0 / 6561.0,
+        -25360.0 / 2187.0,
+        64448.0 / 6561.0,
+        -212.0 / 729.0,
+        0.0,
+        0.0,
+    ],
+    [
+        9017.0 / 3168.0,
+        -355.0 / 33.0,
+        46732.0 / 5247.0,
+        49.0 / 176.0,
+        -5103.0 / 18656.0,
+        0.0,
+    ],
+    [
+        35.0 / 384.0,
+        0.0,
+        500.0 / 1113.0,
+        125.0 / 192.0,
+        -2187.0 / 6784.0,
+        11.0 / 84.0,
+    ],
+];
+/// 5th-order weights (same as the last row of `A` thanks to FSAL).
+const B5: [f64; 7] = [
+    35.0 / 384.0,
+    0.0,
+    500.0 / 1113.0,
+    125.0 / 192.0,
+    -2187.0 / 6784.0,
+    11.0 / 84.0,
+    0.0,
+];
+/// 4th-order (embedded) weights.
+const B4: [f64; 7] = [
+    5179.0 / 57600.0,
+    0.0,
+    7571.0 / 16695.0,
+    393.0 / 640.0,
+    -92097.0 / 339200.0,
+    187.0 / 2100.0,
+    1.0 / 40.0,
+];
+
+/// Dormand–Prince 5(4) stepper with an embedded error estimate.
+#[derive(Debug, Clone, Default)]
+pub struct Dopri5 {
+    k: [Vec<f64>; 7],
+    tmp: Vec<f64>,
+}
+
+impl Dopri5 {
+    /// Creates a new DOPRI5 stepper.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances one step and additionally writes the component-wise
+    /// difference between the 5th- and 4th-order solutions into `err`,
+    /// which adaptive drivers use for step-size control.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y`, `out` or `err` are shorter than `sys.dim()`.
+    pub fn step_with_error(
+        &mut self,
+        sys: &dyn OdeSystem,
+        t: f64,
+        y: &[f64],
+        h: f64,
+        out: &mut [f64],
+        err: &mut [f64],
+    ) {
+        let n = sys.dim();
+        for k in &mut self.k {
+            ensure_len(k, n);
+        }
+        ensure_len(&mut self.tmp, n);
+
+        sys.rhs(t, y, &mut self.k[0][..n]);
+        for s in 1..7 {
+            for i in 0..n {
+                let mut acc = 0.0;
+                for (j, kj) in self.k.iter().enumerate().take(s) {
+                    let a = A[s][j];
+                    if a != 0.0 {
+                        acc += a * kj[i];
+                    }
+                }
+                self.tmp[i] = y[i] + h * acc;
+            }
+            let (head, tail) = self.k.split_at_mut(s);
+            let _ = head;
+            sys.rhs(t + C[s] * h, &self.tmp[..n], &mut tail[0][..n]);
+        }
+        for i in 0..n {
+            let mut y5 = 0.0;
+            let mut y4 = 0.0;
+            for (s, ks) in self.k.iter().enumerate() {
+                y5 += B5[s] * ks[i];
+                y4 += B4[s] * ks[i];
+            }
+            out[i] = y[i] + h * y5;
+            err[i] = h * (y5 - y4);
+        }
+    }
+}
+
+impl Stepper for Dopri5 {
+    fn step(&mut self, sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, out: &mut [f64]) {
+        let n = sys.dim();
+        let mut err = vec![0.0; n];
+        self.step_with_error(sys, t, y, h, out, &mut err);
+    }
+
+    fn order(&self) -> usize {
+        5
+    }
+
+    fn name(&self) -> &'static str {
+        "dopri5"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{decay, empirical_order, oscillator};
+    use super::*;
+
+    #[test]
+    fn tableau_rows_sum_to_c() {
+        // Consistency condition: Σ_j a_sj = c_s.
+        for s in 0..7 {
+            let row_sum: f64 = A[s].iter().sum();
+            assert!((row_sum - C[s]).abs() < 1e-14, "row {s}");
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        assert!((B5.iter().sum::<f64>() - 1.0).abs() < 1e-14);
+        assert!((B4.iter().sum::<f64>() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn fifth_order_convergence() {
+        let p = empirical_order(&mut Dopri5::new(), 0.2);
+        assert!(p > 4.5 && p < 5.7, "observed order {p}");
+    }
+
+    #[test]
+    fn error_estimate_tracks_true_error_scale() {
+        let sys = decay();
+        let mut s = Dopri5::new();
+        let mut out = [0.0];
+        let mut err = [0.0];
+        s.step_with_error(&sys, 0.0, &[1.0], 0.1, &mut out, &mut err);
+        let true_err = (out[0] - (-0.1_f64).exp()).abs();
+        // The estimate must be a sane magnitude: neither zero nor wildly off.
+        assert!(err[0].abs() > 0.0);
+        assert!(err[0].abs() < 1e-4);
+        assert!(true_err < 1e-8);
+    }
+
+    #[test]
+    fn single_step_oscillator_accuracy() {
+        let sys = oscillator();
+        let mut s = Dopri5::new();
+        let mut out = [0.0; 2];
+        let mut err = [0.0; 2];
+        let h = 0.2;
+        s.step_with_error(&sys, 0.0, &[1.0, 0.0], h, &mut out, &mut err);
+        assert!((out[0] - h.cos()).abs() < 1e-7);
+        assert!((out[1] + h.sin()).abs() < 1e-7);
+    }
+}

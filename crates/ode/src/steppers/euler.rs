@@ -1,0 +1,71 @@
+//! Forward (explicit) Euler — first order.
+
+use super::{ensure_len, Stepper};
+use crate::system::OdeSystem;
+
+/// The explicit Euler method: `y_{n+1} = y_n + h f(t_n, y_n)`.
+///
+/// First-order accurate; used as the cheap baseline in the solver
+/// ablation benchmarks and inside the heuristic controller where speed
+/// matters more than accuracy.
+#[derive(Debug, Clone, Default)]
+pub struct Euler {
+    k: Vec<f64>,
+}
+
+impl Euler {
+    /// Creates a new Euler stepper.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Stepper for Euler {
+    fn step(&mut self, sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, out: &mut [f64]) {
+        let n = sys.dim();
+        ensure_len(&mut self.k, n);
+        sys.rhs(t, y, &mut self.k[..n]);
+        for i in 0..n {
+            out[i] = y[i] + h * self.k[i];
+        }
+    }
+
+    fn order(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "euler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{decay, empirical_order};
+    use super::*;
+
+    #[test]
+    fn single_step_matches_formula() {
+        let mut s = Euler::new();
+        let mut out = [0.0];
+        s.step(&decay(), 0.0, &[1.0], 0.1, &mut out);
+        assert!((out[0] - 0.9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn first_order_convergence() {
+        let p = empirical_order(&mut Euler::new(), 0.01);
+        assert!((p - 1.0).abs() < 0.1, "observed order {p}");
+    }
+
+    #[test]
+    fn backward_step_inverts_forward_to_first_order() {
+        let sys = decay();
+        let mut s = Euler::new();
+        let mut mid = [0.0];
+        let mut back = [0.0];
+        s.step(&sys, 0.0, &[1.0], 0.001, &mut mid);
+        s.step(&sys, 0.001, &mid, -0.001, &mut back);
+        assert!((back[0] - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,66 @@
+//! Heun's method (explicit trapezoid) — second order.
+
+use super::{ensure_len, Stepper};
+use crate::system::OdeSystem;
+
+/// Heun's predictor–corrector method:
+/// `y_{n+1} = y_n + h/2 (f(t_n, y_n) + f(t_n + h, y_n + h f(t_n, y_n)))`.
+#[derive(Debug, Clone, Default)]
+pub struct Heun {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    pred: Vec<f64>,
+}
+
+impl Heun {
+    /// Creates a new Heun stepper.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Stepper for Heun {
+    fn step(&mut self, sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, out: &mut [f64]) {
+        let n = sys.dim();
+        ensure_len(&mut self.k1, n);
+        ensure_len(&mut self.k2, n);
+        ensure_len(&mut self.pred, n);
+        sys.rhs(t, y, &mut self.k1[..n]);
+        for i in 0..n {
+            self.pred[i] = y[i] + h * self.k1[i];
+        }
+        sys.rhs(t + h, &self.pred[..n], &mut self.k2[..n]);
+        for i in 0..n {
+            out[i] = y[i] + 0.5 * h * (self.k1[i] + self.k2[i]);
+        }
+    }
+
+    fn order(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> &'static str {
+        "heun"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{empirical_order, ramp};
+    use super::*;
+
+    #[test]
+    fn exact_for_linear_in_t() {
+        // dy/dt = t integrates exactly under the trapezoid rule.
+        let mut s = Heun::new();
+        let mut out = [0.0];
+        s.step(&ramp(), 0.0, &[0.0], 1.0, &mut out);
+        assert!((out[0] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn second_order_convergence() {
+        let p = empirical_order(&mut Heun::new(), 0.02);
+        assert!((p - 2.0).abs() < 0.1, "observed order {p}");
+    }
+}

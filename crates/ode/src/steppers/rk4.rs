@@ -1,0 +1,112 @@
+//! The classic fourth-order Runge–Kutta method.
+
+use super::{ensure_len, Stepper};
+use crate::system::OdeSystem;
+
+/// The classical RK4 method — the workhorse fixed-step integrator used by
+/// the forward–backward sweep in `rumor-control`, where state and co-state
+/// must be evaluated on a shared uniform grid.
+#[derive(Debug, Clone, Default)]
+pub struct Rk4 {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl Rk4 {
+    /// Creates a new RK4 stepper.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Stepper for Rk4 {
+    fn step(&mut self, sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, out: &mut [f64]) {
+        let n = sys.dim();
+        ensure_len(&mut self.k1, n);
+        ensure_len(&mut self.k2, n);
+        ensure_len(&mut self.k3, n);
+        ensure_len(&mut self.k4, n);
+        ensure_len(&mut self.tmp, n);
+
+        sys.rhs(t, y, &mut self.k1[..n]);
+        for i in 0..n {
+            self.tmp[i] = y[i] + 0.5 * h * self.k1[i];
+        }
+        sys.rhs(t + 0.5 * h, &self.tmp[..n], &mut self.k2[..n]);
+        for i in 0..n {
+            self.tmp[i] = y[i] + 0.5 * h * self.k2[i];
+        }
+        sys.rhs(t + 0.5 * h, &self.tmp[..n], &mut self.k3[..n]);
+        for i in 0..n {
+            self.tmp[i] = y[i] + h * self.k3[i];
+        }
+        sys.rhs(t + h, &self.tmp[..n], &mut self.k4[..n]);
+        for i in 0..n {
+            out[i] = y[i] + h / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.k4[i]);
+        }
+    }
+
+    fn order(&self) -> usize {
+        4
+    }
+
+    fn name(&self) -> &'static str {
+        "rk4"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{decay, empirical_order, oscillator};
+    use super::*;
+
+    #[test]
+    fn high_accuracy_single_step() {
+        let mut s = Rk4::new();
+        let mut out = [0.0];
+        s.step(&decay(), 0.0, &[1.0], 0.1, &mut out);
+        assert!((out[0] - (-0.1_f64).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fourth_order_convergence() {
+        let p = empirical_order(&mut Rk4::new(), 0.1);
+        assert!((p - 4.0).abs() < 0.2, "observed order {p}");
+    }
+
+    #[test]
+    fn oscillator_energy_nearly_conserved() {
+        let sys = oscillator();
+        let mut s = Rk4::new();
+        let mut y = vec![1.0, 0.0];
+        let mut out = vec![0.0; 2];
+        let h = 0.01;
+        for i in 0..1000 {
+            s.step(&sys, i as f64 * h, &y, h, &mut out);
+            y.copy_from_slice(&out);
+        }
+        let energy = y[0] * y[0] + y[1] * y[1];
+        assert!((energy - 1.0).abs() < 1e-8, "energy drift {energy}");
+    }
+
+    #[test]
+    fn backward_integration_recovers_initial_state() {
+        let sys = decay();
+        let mut s = Rk4::new();
+        let h = 0.05;
+        let mut y = vec![1.0];
+        let mut out = vec![0.0];
+        for i in 0..20 {
+            s.step(&sys, i as f64 * h, &y, h, &mut out);
+            y.copy_from_slice(&out);
+        }
+        for i in (0..20).rev() {
+            s.step(&sys, (i + 1) as f64 * h, &y, -h, &mut out);
+            y.copy_from_slice(&out);
+        }
+        assert!((y[0] - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,64 @@
+use std::fmt;
+
+/// Errors produced by the agent-based simulators.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The simulation configuration was invalid.
+    InvalidConfig(String),
+    /// The graph and parameters disagree (e.g. a node degree missing
+    /// from the degree-class partition).
+    Inconsistent(String),
+    /// An underlying core-model failure.
+    Core(rumor_core::CoreError),
+    /// An underlying network failure.
+    Net(rumor_net::NetError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulation configuration: {msg}"),
+            SimError::Inconsistent(msg) => write!(f, "graph/parameter inconsistency: {msg}"),
+            SimError::Core(e) => write!(f, "core model error: {e}"),
+            SimError::Net(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Core(e) => Some(e),
+            SimError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rumor_core::CoreError> for SimError {
+    fn from(e: rumor_core::CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+impl From<rumor_net::NetError> for SimError {
+    fn from(e: rumor_net::NetError) -> Self {
+        SimError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SimError;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_sources() {
+        let e = SimError::InvalidConfig("dt must be positive".into());
+        assert!(e.to_string().contains("dt"));
+        assert!(e.source().is_none());
+        let c: SimError = rumor_net::NetError::EmptyGraph.into();
+        assert!(c.source().is_some());
+    }
+}

@@ -1,0 +1,55 @@
+//! Agent-based Monte Carlo validation of the mean-field rumor model.
+//!
+//! The heterogeneous SIR ODE of `rumor-core` is a *mean-field*
+//! approximation: it assumes an uncorrelated network summarized by its
+//! degree distribution. This crate implements the microscopic stochastic
+//! process whose expectation that mean field approximates, so the
+//! reproduction can verify the approximation on the Digg-like graph:
+//!
+//! * each susceptible `u` contacts one uniformly random neighbor per
+//!   unit time; if that neighbor `v` is infected, `u` adopts the rumor
+//!   with hazard `λ(k_u) · ω(k_v)/k_v` (which averages to the ODE's
+//!   `λ(k_u) Θ(t)` on an uncorrelated network);
+//! * susceptibles are immunized at rate `ε1`, spreaders blocked at rate
+//!   `ε2`.
+//!
+//! Two simulators are provided: a synchronous discrete-time ABM
+//! ([`abm`]) and an exact event-driven Gillespie SSA ([`gillespie`]).
+//! [`ensemble`] averages independent runs and compares against the ODE.
+//!
+//! Both simulators optionally carry the demographic inflow `α`
+//! (recovered users recycle into susceptibles per class at total class
+//! rate `α·size_c`, matching the mean-field conserving convention).
+
+// Deliberate idioms throughout this workspace:
+// * `!(x > 0.0)` rejects NaN alongside non-positive values, which the
+//   suggested `x <= 0.0` would silently accept;
+// * index-based loops mirror the mathematical stencils of the numeric
+//   kernels more directly than iterator chains.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+pub mod abm;
+pub mod ensemble;
+pub mod gillespie;
+
+mod error;
+mod traj;
+
+pub use error::SimError;
+pub use traj::SimTrajectory;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+/// Discrete node states of the agent-based process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Has not heard the rumor, susceptible to it.
+    Susceptible,
+    /// Believes and spreads the rumor.
+    Infected,
+    /// Immunized or blocked; inert.
+    Recovered,
+}

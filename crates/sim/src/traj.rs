@@ -1,0 +1,116 @@
+//! Recorded agent-based trajectories.
+
+use crate::{Result, SimError};
+
+/// A recorded stochastic trajectory: aggregate S/I/R *fractions* of the
+/// whole population over time, plus per-degree-class infected fractions
+/// for comparison with the mean-field `I_k(t)` curves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimTrajectory {
+    times: Vec<f64>,
+    s_frac: Vec<f64>,
+    i_frac: Vec<f64>,
+    r_frac: Vec<f64>,
+    /// `class_i[k][t_idx]`: infected fraction within degree class `k`.
+    class_i: Vec<Vec<f64>>,
+}
+
+impl SimTrajectory {
+    pub(crate) fn new(n_classes: usize) -> Self {
+        SimTrajectory {
+            times: Vec::new(),
+            s_frac: Vec::new(),
+            i_frac: Vec::new(),
+            r_frac: Vec::new(),
+            class_i: vec![Vec::new(); n_classes],
+        }
+    }
+
+    pub(crate) fn push(&mut self, t: f64, s: f64, i: f64, r: f64, class_i: &[f64]) {
+        self.times.push(t);
+        self.s_frac.push(s);
+        self.i_frac.push(i);
+        self.r_frac.push(r);
+        for (store, &v) in self.class_i.iter_mut().zip(class_i) {
+            store.push(v);
+        }
+    }
+
+    /// Sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Population-wide susceptible fraction per sample.
+    pub fn s(&self) -> &[f64] {
+        &self.s_frac
+    }
+
+    /// Population-wide infected fraction per sample.
+    pub fn i(&self) -> &[f64] {
+        &self.i_frac
+    }
+
+    /// Population-wide recovered fraction per sample.
+    pub fn r(&self) -> &[f64] {
+        &self.r_frac
+    }
+
+    /// Number of degree classes tracked.
+    pub fn n_classes(&self) -> usize {
+        self.class_i.len()
+    }
+
+    /// Infected fraction within degree class `k` per sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `k` is out of range.
+    pub fn class_infected(&self, k: usize) -> Result<&[f64]> {
+        self.class_i
+            .get(k)
+            .map(Vec::as_slice)
+            .ok_or_else(|| SimError::InvalidConfig(format!("class index {k} out of range")))
+    }
+
+    /// Final infected fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trajectory is empty.
+    pub fn final_infected(&self) -> f64 {
+        *self.i_frac.last().expect("empty trajectory")
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_accessors() {
+        let mut t = SimTrajectory::new(2);
+        t.push(0.0, 0.9, 0.1, 0.0, &[0.1, 0.2]);
+        t.push(1.0, 0.8, 0.1, 0.1, &[0.05, 0.15]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.times(), &[0.0, 1.0]);
+        assert_eq!(t.s(), &[0.9, 0.8]);
+        assert_eq!(t.i(), &[0.1, 0.1]);
+        assert_eq!(t.r(), &[0.0, 0.1]);
+        assert_eq!(t.n_classes(), 2);
+        assert_eq!(t.class_infected(1).unwrap(), &[0.2, 0.15]);
+        assert!(t.class_infected(5).is_err());
+        assert_eq!(t.final_infected(), 0.1);
+    }
+}

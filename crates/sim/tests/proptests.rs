@@ -1,0 +1,127 @@
+//! Property-based tests of the agent-based simulators.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rumor_core::functions::{AcceptanceRate, Infectivity};
+use rumor_core::params::ModelParams;
+use rumor_net::degree::DegreeClasses;
+use rumor_net::generators::barabasi_albert;
+use rumor_net::graph::Graph;
+use rumor_sim::abm::{self, AbmConfig};
+use rumor_sim::gillespie;
+
+fn setup(seed: u64, lambda0: f64) -> (Graph, ModelParams) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = barabasi_albert(300, 3, &mut rng).unwrap();
+    let classes = DegreeClasses::from_graph(&g).unwrap();
+    let p = ModelParams::builder(classes)
+        .alpha(0.0)
+        .acceptance(AcceptanceRate::LinearInDegree { lambda0 })
+        .infectivity(Infectivity::paper_default())
+        .build()
+        .unwrap();
+    (g, p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn abm_fractions_always_partition_population(
+        seed in 0u64..200,
+        eps1 in 0.0..0.3_f64,
+        eps2 in 0.0..0.3_f64,
+        i0 in 0.01..0.5_f64,
+    ) {
+        let (g, p) = setup(7, 0.5);
+        let cfg = AbmConfig {
+            alpha: 0.0,
+            dt: 0.2,
+            tf: 6.0,
+            eps1,
+            eps2,
+            initial_infected: i0,
+            record_every: 5,
+        };
+        let traj = abm::run(&g, &p, &cfg, &mut StdRng::seed_from_u64(seed)).unwrap();
+        for k in 0..traj.len() {
+            let total = traj.s()[k] + traj.i()[k] + traj.r()[k];
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!(traj.i()[k] >= 0.0 && traj.i()[k] <= 1.0);
+        }
+    }
+
+    #[test]
+    fn gillespie_fractions_always_partition_population(
+        seed in 0u64..200,
+        eps2 in 0.01..0.3_f64,
+    ) {
+        let (g, p) = setup(9, 0.5);
+        let cfg = AbmConfig {
+            alpha: 0.0,
+            dt: 1.0,
+            tf: 8.0,
+            eps1: 0.01,
+            eps2,
+            initial_infected: 0.1,
+            record_every: 1,
+        };
+        let traj = gillespie::run(&g, &p, &cfg, &mut StdRng::seed_from_u64(seed)).unwrap();
+        for k in 0..traj.len() {
+            let total = traj.s()[k] + traj.i()[k] + traj.r()[k];
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+        // Recording grid covers [0, tf].
+        prop_assert_eq!(traj.times()[0], 0.0);
+        prop_assert!((traj.times().last().unwrap() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn without_demography_susceptibles_never_increase(
+        seed in 0u64..100,
+    ) {
+        // With α = 0, S can only shrink (S → I or S → R).
+        let (g, p) = setup(11, 0.8);
+        let cfg = AbmConfig {
+            alpha: 0.0,
+            dt: 0.2,
+            tf: 10.0,
+            eps1: 0.05,
+            eps2: 0.05,
+            initial_infected: 0.1,
+            record_every: 1,
+        };
+        let traj = abm::run(&g, &p, &cfg, &mut StdRng::seed_from_u64(seed)).unwrap();
+        for w in traj.s().windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12);
+        }
+        // And R never decreases.
+        for w in traj.r().windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn class_infected_fractions_bounded(
+        seed in 0u64..100,
+        i0 in 0.05..0.4_f64,
+    ) {
+        let (g, p) = setup(13, 1.0);
+        let cfg = AbmConfig {
+            alpha: 0.0,
+            dt: 0.25,
+            tf: 5.0,
+            eps1: 0.0,
+            eps2: 0.1,
+            initial_infected: i0,
+            record_every: 2,
+        };
+        let traj = abm::run(&g, &p, &cfg, &mut StdRng::seed_from_u64(seed)).unwrap();
+        for c in 0..traj.n_classes() {
+            for &v in traj.class_infected(c).unwrap() {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Targeted countermeasures: compare budget allocations across degree
+//! classes — uniform, hub-only ("rumor ends with sage"), and the
+//! r0-optimal Lagrange profile — at the *same* population budget.
+//!
+//! ```sh
+//! cargo run --release --example targeted_blocking
+//! ```
+
+use rumor_repro::core::targeted::{targeted_r0, ClassRates, TargetedModel};
+use rumor_repro::ode::integrator::Adaptive;
+use rumor_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = DiggDataset::synthesize(DiggConfig::small())?;
+    let params = ModelParams::builder(dataset.classes().clone())
+        .alpha(0.01)
+        .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.02 })
+        .infectivity(Infectivity::paper_default())
+        .build()?;
+    println!(
+        "digg-like network: {} classes, <k> = {:.1}",
+        params.n_classes(),
+        params.mean_degree()
+    );
+
+    let budget = 0.08; // population-weighted rate budget per channel
+    let policies: Vec<(&str, ClassRates)> = vec![
+        (
+            "uniform",
+            ClassRates::uniform(params.n_classes(), budget, budget)?,
+        ),
+        (
+            "hub-only (top 20%)",
+            ClassRates::hub_targeted(params.classes(), (0.016, 0.016), (0.064, 0.064), 0.2)?,
+        ),
+        ("r0-optimal", ClassRates::r0_optimal(&params, budget, budget)?),
+    ];
+
+    println!("\nall policies spend the same population budget ({budget} per channel):\n");
+    println!("{:<20} {:>10} {:>16}", "policy", "r0", "final infection");
+    let y0 = NetworkState::initial_uniform(params.n_classes(), 0.1)?.to_flat();
+    for (name, rates) in policies {
+        let (b1, b2) = rates.population_budget(params.classes())?;
+        assert!((b1 - budget).abs() < 1e-9 && (b2 - budget).abs() < 1e-9);
+        let threshold = targeted_r0(&params, &rates)?;
+        let model = TargetedModel::new(&params, rates)?;
+        let sol = Adaptive::new().integrate(&model, 0.0, &y0, 150.0)?;
+        let st = NetworkState::from_flat(sol.last_state())?;
+        let final_i: f64 = st
+            .i()
+            .iter()
+            .zip(params.classes().probabilities())
+            .map(|(i, p)| i * p)
+            .sum();
+        println!("{name:<20} {threshold:>10.4} {final_i:>16.6}");
+    }
+
+    println!("\ntakeaway: in the mean-field model every class feeds the same coupling");
+    println!("theta, and each threshold term scales as 1/eps^2 — so concentrating the");
+    println!("entire budget on hubs *raises* r0 (the periphery keeps the rumor alive),");
+    println!("while the smooth optimal profile eps_k ~ (lambda_k phi_k / P_k)^(1/3)");
+    println!("favours hubs without starving anyone.");
+    Ok(())
+}

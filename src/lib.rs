@@ -1,0 +1,102 @@
+//! # rumor-repro
+//!
+//! A full reproduction of *“Modeling Propagation Dynamics and Developing
+//! Optimized Countermeasures for Rumor Spreading in Online Social
+//! Networks”* (He, Cai, Wang — ICDCS 2015) as a Rust workspace.
+//!
+//! This facade crate re-exports every subsystem so downstream users can
+//! depend on a single crate:
+//!
+//! | Re-export | Subsystem |
+//! |---|---|
+//! | [`core`] | the heterogeneous SIR rumor model, threshold `r0`, equilibria, stability |
+//! | [`control`] | Pontryagin-optimized countermeasures (FBSM) and the heuristic baseline |
+//! | [`net`] | CSR graphs, scale-free generators, degree classes, metrics |
+//! | [`datasets`] | the calibrated Digg2009-equivalent dataset and edge-list I/O |
+//! | [`sim`] | agent-based Monte Carlo validation (synchronous ABM + Gillespie SSA) |
+//! | [`models`] | baselines: homogeneous SIR, Daley–Kendall, Maki–Thompson, SIS |
+//! | [`ode`] | ODE integration substrate (Euler/Heun/RK4/DOPRI5/implicit Euler) |
+//! | [`numerics`] | dense linear algebra, eigenvalues, roots, quadrature, interpolation |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rumor_repro::core::control::ConstantControl;
+//! use rumor_repro::core::equilibrium::r0;
+//! use rumor_repro::core::functions::AcceptanceRate;
+//! use rumor_repro::core::params::ModelParams;
+//! use rumor_repro::core::simulate::{simulate, SimulateOptions};
+//! use rumor_repro::core::state::NetworkState;
+//! use rumor_repro::net::degree::DegreeClasses;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small heterogeneous network: degree classes from a degree sequence.
+//! let classes = DegreeClasses::from_degrees(&[1, 1, 2, 2, 3, 6])?;
+//! let params = ModelParams::builder(classes)
+//!     .alpha(0.01)
+//!     .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.02 })
+//!     .build()?;
+//!
+//! // Is the rumor subcritical under countermeasures (ε1, ε2) = (0.2, 0.05)?
+//! let threshold = r0(&params, 0.2, 0.05)?;
+//!
+//! // Simulate the propagation dynamics.
+//! let initial = NetworkState::initial_uniform(params.n_classes(), 0.1)?;
+//! let trajectory = simulate(
+//!     &params,
+//!     ConstantControl::new(0.2, 0.05),
+//!     &initial,
+//!     100.0,
+//!     &SimulateOptions::default(),
+//! )?;
+//! if threshold < 1.0 {
+//!     assert!(trajectory.last_state().total_infected() < 0.05);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and the
+//! `rumor-bench` crate for the harness that regenerates every table and
+//! figure of the paper.
+
+pub use rumor_control as control;
+pub use rumor_core as core;
+pub use rumor_datasets as datasets;
+pub use rumor_models as models;
+pub use rumor_net as net;
+pub use rumor_numerics as numerics;
+pub use rumor_ode as ode;
+pub use rumor_sim as sim;
+
+/// A convenience prelude importing the most commonly used items.
+pub mod prelude {
+    pub use rumor_control::fbsm::{optimize, FbsmOptions, SweepResult};
+    pub use rumor_control::schedule::PiecewiseControl;
+    pub use rumor_control::{ControlBounds, CostWeights};
+    pub use rumor_core::control::{ConstantControl, ControlSchedule};
+    pub use rumor_core::equilibrium::{
+        calibrate_acceptance, positive_equilibrium, r0, zero_equilibrium,
+    };
+    pub use rumor_core::functions::{AcceptanceRate, Infectivity};
+    pub use rumor_core::model::{MassConvention, RumorModel};
+    pub use rumor_core::params::ModelParams;
+    pub use rumor_core::simulate::{simulate, simulate_grid, SimulateOptions, Trajectory};
+    pub use rumor_core::state::NetworkState;
+    pub use rumor_datasets::digg::{DiggConfig, DiggDataset};
+    pub use rumor_net::degree::DegreeClasses;
+    pub use rumor_net::graph::{EdgeKind, Graph};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_items_resolve() {
+        use crate::prelude::*;
+        let classes = DegreeClasses::from_degrees(&[1, 2]).unwrap();
+        let params = ModelParams::builder(classes).alpha(0.01).build().unwrap();
+        assert_eq!(params.n_classes(), 2);
+        let _ = ConstantControl::new(0.1, 0.1);
+        let _ = CostWeights::paper_default();
+    }
+}

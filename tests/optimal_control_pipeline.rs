@@ -1,0 +1,154 @@
+//! Cross-crate integration tests of the optimized-countermeasure
+//! pipeline (paper Section IV / Fig. 4): forward–backward sweep, cost
+//! accounting, and the heuristic comparison.
+
+use rumor_repro::control::{cost, fbsm, heuristic};
+use rumor_repro::prelude::*;
+
+fn fig4_setup() -> (ModelParams, NetworkState, ControlBounds, CostWeights) {
+    let dataset = DiggDataset::synthesize(DiggConfig {
+        nodes: 1_000,
+        k_max: 120,
+        target_mean_degree: 15.0,
+        ..DiggConfig::small()
+    })
+    .expect("dataset");
+    let params = ModelParams::builder(dataset.classes().clone())
+        .alpha(0.01)
+        .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.15 })
+        .infectivity(Infectivity::paper_default())
+        .build()
+        .expect("params");
+    let initial = NetworkState::initial_uniform(params.n_classes(), 0.05).unwrap();
+    let bounds = ControlBounds::new(0.7, 0.7).unwrap();
+    (params, initial, bounds, CostWeights::paper_default())
+}
+
+fn quick_sweep(
+    params: &ModelParams,
+    initial: &NetworkState,
+    bounds: &ControlBounds,
+    weights: &CostWeights,
+    tf: f64,
+) -> fbsm::SweepResult {
+    fbsm::optimize(
+        params,
+        initial,
+        tf,
+        bounds,
+        weights,
+        &FbsmOptions {
+            n_nodes: 61,
+            max_iterations: 250,
+            tolerance: 1e-4,
+            relaxation: 0.3,
+            ..Default::default()
+        },
+    )
+    .expect("sweep")
+}
+
+#[test]
+fn fig4a_shape_truth_early_blocking_late() {
+    let (params, initial, bounds, weights) = fig4_setup();
+    let result = quick_sweep(&params, &initial, &bounds, &weights, 60.0);
+    let e1 = result.control.eps1_values();
+    let e2 = result.control.eps2_values();
+    let n = e1.len();
+    // Mid-horizon: truth-spreading dominates.
+    assert!(
+        e1[n / 2] > e2[n / 2],
+        "mid-horizon eps1 {} must exceed eps2 {}",
+        e1[n / 2],
+        e2[n / 2]
+    );
+    // Deadline: blocking dominates (transversality forces eps1(tf) -> 0).
+    assert!(e2[n - 1] > e1[n - 1]);
+    // Controls respect the box everywhere.
+    assert!(e1.iter().chain(e2).all(|&v| (0.0..=0.7 + 1e-12).contains(&v)));
+}
+
+#[test]
+fn fig4c_optimized_beats_heuristic_across_horizons() {
+    let (params, initial, bounds, weights) = fig4_setup();
+    for tf in [30.0, 60.0] {
+        let opt = quick_sweep(&params, &initial, &bounds, &weights, tf);
+        let target = opt.trajectory.last_state().total_infected().max(1e-6);
+        let heur = heuristic::tune(&params, &initial, tf, &bounds, &weights, target, 61)
+            .expect("heuristic tune");
+        assert!(
+            opt.cost.running() < heur.cost.running(),
+            "tf = {tf}: optimized {} must beat heuristic {}",
+            opt.cost.running(),
+            heur.cost.running()
+        );
+        // Equal effectiveness within tolerance.
+        let h_terminal = heur.trajectory.last_state().total_infected();
+        assert!(h_terminal <= target * 1.10 + 1e-9);
+    }
+}
+
+#[test]
+fn optimized_control_suppresses_infection() {
+    let (params, initial, bounds, weights) = fig4_setup();
+    let tf = 60.0;
+    let result = quick_sweep(&params, &initial, &bounds, &weights, tf);
+    let free = simulate(
+        &params,
+        ConstantControl::none(),
+        &initial,
+        tf,
+        &SimulateOptions::default(),
+    )
+    .unwrap();
+    let controlled = result.trajectory.last_state().total_infected();
+    let uncontrolled = free.last_state().total_infected();
+    assert!(
+        controlled < 0.2 * uncontrolled,
+        "controlled {controlled} vs uncontrolled {uncontrolled}"
+    );
+}
+
+#[test]
+fn cost_accounting_is_consistent() {
+    let (params, initial, bounds, weights) = fig4_setup();
+    let result = quick_sweep(&params, &initial, &bounds, &weights, 30.0);
+    // Re-evaluating the final schedule reproduces the reported cost.
+    let re = cost::evaluate(&result.trajectory, &result.control, &weights).unwrap();
+    assert!((re.total() - result.cost.total()).abs() < 1e-9);
+    assert!(re.truth_cost >= 0.0 && re.blocking_cost >= 0.0);
+    assert!(re.terminal_infection >= 0.0);
+}
+
+#[test]
+fn sweep_improves_on_initial_guess() {
+    let (params, initial, bounds, weights) = fig4_setup();
+    let tf = 40.0;
+    let result = quick_sweep(&params, &initial, &bounds, &weights, tf);
+    // The initial guess is the constant mid-box schedule.
+    let guess = rumor_repro::control::schedule::PiecewiseControl::constant(
+        tf,
+        61,
+        bounds.eps1_max / 2.0,
+        bounds.eps2_max / 2.0,
+    )
+    .unwrap();
+    let guess_traj = simulate(
+        &params,
+        &guess,
+        &initial,
+        tf,
+        &SimulateOptions {
+            n_out: 61,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let guess_cost = cost::evaluate(&guess_traj, &guess, &weights).unwrap();
+    assert!(
+        result.cost.total() < guess_cost.total(),
+        "optimized {} vs initial guess {}",
+        result.cost.total(),
+        guess_cost.total()
+    );
+}
