@@ -63,7 +63,10 @@ fn heterogeneity_ablation() {
     println!("=== ablation 1: network heterogeneity ===");
     let (_, classes) = scale_free_classes(3_000, 41);
     let (eps1, eps2) = (0.05, 0.05);
-    println!("{:>9}  {:>8}  {:>12}  {:>12}", "lambda0", "r0", "het final I", "hom final I");
+    println!(
+        "{:>9}  {:>8}  {:>12}  {:>12}",
+        "lambda0", "r0", "het final I", "hom final I"
+    );
     let mut rows = Vec::new();
     for lambda0 in [0.002, 0.005, 0.01, 0.02, 0.05] {
         let het = params_with(classes.clone(), lambda0, Infectivity::paper_default());
@@ -90,7 +93,11 @@ fn heterogeneity_ablation() {
         println!("{lambda0:>9}  {threshold:>8.3}  {het_final:>12.5}  {hom_final:>12.5}");
         rows.push(vec![lambda0, threshold, het_final, hom_final]);
     }
-    let path = write_csv("ablation_heterogeneity.csv", "lambda0,r0,het_final_i,hom_final_i", &rows);
+    let path = write_csv(
+        "ablation_heterogeneity.csv",
+        "lambda0,r0,het_final_i,hom_final_i",
+        &rows,
+    );
     println!("-> {}\n", path.display());
 }
 
@@ -176,7 +183,10 @@ fn solver_ablation() {
     let mut drv = Adaptive::new();
     let run = drv.run(&model, 0.0, &y0, tf, None).expect("dopri5");
     let err = err_of(run.solution.last_state());
-    println!("{:>16}  {:>8}  {err:>12.3e}", "dopri5 adaptive", run.accepted);
+    println!(
+        "{:>16}  {:>8}  {err:>12.3e}",
+        "dopri5 adaptive", run.accepted
+    );
     rows.push(vec![3.0, run.accepted as f64, err]);
     let path = write_csv("ablation_solvers.csv", "method_idx,steps,max_error", &rows);
     println!("-> {}\n", path.display());
@@ -204,7 +214,10 @@ fn abm_ablation() {
     };
     println!("{:>14}  {:>10}  {:>10}", "simulator", "max dev", "tail dev");
     let mut rows = Vec::new();
-    for (idx, sim) in [Simulator::Synchronous, Simulator::Gillespie].iter().enumerate() {
+    for (idx, sim) in [Simulator::Synchronous, Simulator::Gillespie]
+        .iter()
+        .enumerate()
+    {
         let ens = run_ensemble(&g, &p, &cfg, *sim, 8, 17).expect("ensemble");
         let mf = mean_field_reference(&p, &cfg, &ens.times).expect("mean field");
         let dev = max_deviation(&ens, &mf).expect("deviation");
@@ -216,7 +229,11 @@ fn abm_ablation() {
         println!("{name:>14}  {dev:>10.4}  {tail:>10.4}");
         rows.push(vec![idx as f64, dev, tail]);
     }
-    let path = write_csv("ablation_abm.csv", "simulator_idx,max_deviation,tail_deviation", &rows);
+    let path = write_csv(
+        "ablation_abm.csv",
+        "simulator_idx,max_deviation,tail_deviation",
+        &rows,
+    );
     println!("-> {}", path.display());
 }
 
@@ -236,8 +253,7 @@ fn allocation_ablation() {
         ),
         (
             "hub-only",
-            ClassRates::hub_targeted(p.classes(), (0.02, 0.02), (0.08, 0.08), 0.2)
-                .expect("hub"),
+            ClassRates::hub_targeted(p.classes(), (0.02, 0.02), (0.08, 0.08), 0.2).expect("hub"),
         ),
         (
             "r0-optimal",
@@ -246,11 +262,15 @@ fn allocation_ablation() {
     ];
     println!("{:>12}  {:>10}  {:>14}", "policy", "r0", "final I (pop)");
     let mut rows = Vec::new();
-    let y0 = NetworkState::initial_uniform(p.n_classes(), 0.1).expect("init").to_flat();
+    let y0 = NetworkState::initial_uniform(p.n_classes(), 0.1)
+        .expect("init")
+        .to_flat();
     for (idx, (name, rates)) in policies.into_iter().enumerate() {
         let threshold = targeted_r0(&p, &rates).expect("targeted r0");
         let model = TargetedModel::new(&p, rates).expect("model");
-        let sol = Adaptive::new().integrate(&model, 0.0, &y0, 120.0).expect("integrate");
+        let sol = Adaptive::new()
+            .integrate(&model, 0.0, &y0, 120.0)
+            .expect("integrate");
         let st = NetworkState::from_flat(sol.last_state()).expect("state");
         let final_i: f64 = st
             .i()
@@ -261,7 +281,11 @@ fn allocation_ablation() {
         println!("{name:>12}  {threshold:>10.4}  {final_i:>14.6}");
         rows.push(vec![idx as f64, threshold, final_i]);
     }
-    let path = write_csv("ablation_allocation.csv", "policy_idx,r0,final_i_pop", &rows);
+    let path = write_csv(
+        "ablation_allocation.csv",
+        "policy_idx,r0,final_i_pop",
+        &rows,
+    );
     println!("(hub-only starving the periphery backfires: its r0 is ~10x worse; the");
     println!(" smooth optimal profile minimizes r0 at equal budget)");
     println!("-> {}", path.display());
@@ -282,7 +306,10 @@ fn adjoint_ablation() {
     let initial = NetworkState::initial_uniform(p.n_classes(), 0.05).expect("init");
     let bounds = ControlBounds::new(0.7, 0.7).expect("bounds");
     let weights = CostWeights::paper_default();
-    println!("{:>16}  {:>8}  {:>10}  {:>10}", "adjoint", "iters", "J", "terminal I");
+    println!(
+        "{:>16}  {:>8}  {:>10}  {:>10}",
+        "adjoint", "iters", "J", "terminal I"
+    );
     let mut rows = Vec::new();
     for (idx, (name, variant)) in [
         ("exact", AdjointVariant::Exact),
@@ -316,7 +343,11 @@ fn adjoint_ablation() {
         );
         rows.push(vec![idx as f64, result.cost.total(), terminal]);
     }
-    let path = write_csv("ablation_adjoint.csv", "variant_idx,objective,terminal_i", &rows);
+    let path = write_csv(
+        "ablation_adjoint.csv",
+        "variant_idx,objective,terminal_i",
+        &rows,
+    );
     println!("(both variants land at comparable objectives on this instance; the exact");
     println!(" adjoint is the true Hamiltonian gradient, the diagonal one drops the");
     println!(" cross-class feedback and steers to a different schedule)");

@@ -58,12 +58,17 @@ fn main() {
         format!("t,{}", runs.join(","))
     };
     let path = write_csv("fig2a.csv", &header, &dist_rows);
-    println!("\nfig2(a): Dist0(t) under 10 initial conditions -> {}", path.display());
+    println!(
+        "\nfig2(a): Dist0(t) under 10 initial conditions -> {}",
+        path.display()
+    );
     println!("   t     min(Dist0)  max(Dist0)");
     for row in dist_rows.iter().step_by(20) {
         let (min, max) = row[1..]
             .iter()
-            .fold((f64::INFINITY, 0.0_f64), |(lo, hi), &d| (lo.min(d), hi.max(d)));
+            .fold((f64::INFINITY, 0.0_f64), |(lo, hi), &d| {
+                (lo.min(d), hi.max(d))
+            });
         println!("{:6.1}   {:9.5}   {:9.5}", row[0], min, max);
     }
     let worst = all_final.iter().fold(0.0_f64, |m, &d| m.max(d));
@@ -90,12 +95,20 @@ fn main() {
         }
     }
     let path = write_csv("fig2bcd.csv", &headers.join(","), &rows);
-    println!("\nfig2(b,c,d): S/I/R for {} classes -> {}", picks.len(), path.display());
+    println!(
+        "\nfig2(b,c,d): S/I/R for {} classes -> {}",
+        picks.len(),
+        path.display()
+    );
 
     // Shape summary against the paper: S -> alpha/eps1, I -> 0, R -> 1 - alpha/eps1.
     let last = traj.last_state();
     let s_target = params.alpha() / eps1;
-    println!("terminal state vs E0 targets (paper: S -> {:.3}, I -> 0, R -> {:.3}):", s_target, 1.0 - s_target);
+    println!(
+        "terminal state vs E0 targets (paper: S -> {:.3}, I -> 0, R -> {:.3}):",
+        s_target,
+        1.0 - s_target
+    );
     for &class in picks.iter().take(5) {
         let k = params.classes().degree(class);
         println!(

@@ -60,12 +60,17 @@ fn main() {
         format!("t,{}", runs.join(","))
     };
     let path = write_csv("fig3a.csv", &header, &dist_rows);
-    println!("\nfig3(a): Dist+(t) under 10 initial conditions -> {}", path.display());
+    println!(
+        "\nfig3(a): Dist+(t) under 10 initial conditions -> {}",
+        path.display()
+    );
     println!("   t      min(Dist+)  max(Dist+)");
     for row in dist_rows.iter().step_by(25) {
         let (min, max) = row[1..]
             .iter()
-            .fold((f64::INFINITY, 0.0_f64), |(lo, hi), &d| (lo.min(d), hi.max(d)));
+            .fold((f64::INFINITY, 0.0_f64), |(lo, hi), &d| {
+                (lo.min(d), hi.max(d))
+            });
         println!("{:7.1}   {:9.5}   {:9.5}", row[0], min, max);
     }
     let worst = all_final.iter().fold(0.0_f64, |m, &d| m.max(d));
@@ -92,7 +97,10 @@ fn main() {
         }
     }
     let path = write_csv("fig3bcd.csv", &headers.join(","), &rows);
-    println!("\nfig3(b,c,d): S/I/R for classes 1..=20 -> {}", path.display());
+    println!(
+        "\nfig3(b,c,d): S/I/R for classes 1..=20 -> {}",
+        path.display()
+    );
 
     // Shape summary: infection persists and matches E+ per class.
     let last = traj.last_state();

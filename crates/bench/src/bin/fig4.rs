@@ -69,13 +69,19 @@ fn main() {
         .map(|(&t, (&a, &b))| vec![t, a, b])
         .collect();
     let path = write_csv("fig4a.csv", "t,eps1,eps2", &rows);
-    println!("\nfig4(a): optimized eps1(t), eps2(t) -> {}", path.display());
+    println!(
+        "\nfig4(a): optimized eps1(t), eps2(t) -> {}",
+        path.display()
+    );
     println!("   t      eps1      eps2");
     for row in rows.iter().step_by(10) {
         println!("{:6.1}   {:7.4}   {:7.4}", row[0], row[1], row[2]);
     }
     let n = e1.len();
-    assert!(e1[n / 2] > e2[n / 2], "truth-spreading dominates mid-horizon");
+    assert!(
+        e1[n / 2] > e2[n / 2],
+        "truth-spreading dominates mid-horizon"
+    );
     assert!(e2[n - 1] > e1[n - 1], "blocking dominates at the deadline");
 
     // --- Fig. 4(b): r0 under the cumulative countermeasure level.
@@ -92,14 +98,23 @@ fn main() {
         rows_b.push(vec![t, r0(&params, avg1, avg2).expect("r0")]);
     }
     let path = write_csv("fig4b.csv", "t,r0_cumulative", &rows_b);
-    println!("\nfig4(b): r0 under cumulative countermeasures -> {}", path.display());
+    println!(
+        "\nfig4(b): r0 under cumulative countermeasures -> {}",
+        path.display()
+    );
     for row in rows_b.iter().step_by(10) {
         println!("  t = {:5.1}: r0 = {:8.3}", row[0], row[1]);
     }
     let first = rows_b.first().expect("non-empty")[1];
     let last = rows_b.last().expect("non-empty")[1];
-    assert!(first > 1.0, "rumor propagates mildly early (r0 > 1), got {first}");
-    assert!(last < 1.0, "countermeasures push r0 below 1 by tf, got {last}");
+    assert!(
+        first > 1.0,
+        "rumor propagates mildly early (r0 > 1), got {first}"
+    );
+    assert!(
+        last < 1.0,
+        "countermeasures push r0 below 1 by tf, got {last}"
+    );
 
     // --- Fig. 4(c): cost comparison across expected time periods.
     println!("\nfig4(c): heuristic vs optimized cost at matched terminal infection");
@@ -107,8 +122,8 @@ fn main() {
     let mut rows_c: Vec<Vec<f64>> = Vec::new();
     for step in 1..=10 {
         let tf_i = 10.0 * step as f64;
-        let opt = optimize(&params, &initial, tf_i, &bounds, &weights, &sweep_options())
-            .expect("sweep");
+        let opt =
+            optimize(&params, &initial, tf_i, &bounds, &weights, &sweep_options()).expect("sweep");
         let target = opt.trajectory.last_state().total_infected().max(1e-6);
         let heur = heuristic::tune(&params, &initial, tf_i, &bounds, &weights, target, 101)
             .expect("heuristic tune");

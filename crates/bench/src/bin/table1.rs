@@ -17,7 +17,9 @@ fn main() {
 
     println!("=== Dataset (paper Section V) ===");
     println!("{summary}");
-    println!("  published reference: 71367 nodes, 1731658 arcs, 848 classes, k in [1, 995], <k> ~ 24");
+    println!(
+        "  published reference: 71367 nodes, 1731658 arcs, 848 classes, k in [1, 995], <k> ~ 24"
+    );
 
     println!("\n=== Table I: major parameters in the dynamic model ===");
     println!("{:<10} {:<58} value(s)", "symbol", "definition");
@@ -25,7 +27,10 @@ fn main() {
         (
             "k_i",
             "social connectivity (degree) of group i",
-            format!("{} classes in [{}, {}]", summary.degree_classes, summary.min_degree, summary.max_degree),
+            format!(
+                "{} classes in [{}, {}]",
+                summary.degree_classes, summary.min_degree, summary.max_degree
+            ),
         ),
         (
             "alpha",

@@ -149,9 +149,7 @@ pub fn random_initial_conditions(n_classes: usize, count: usize, seed: u64) -> V
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
-            let i: Vec<f64> = (0..n_classes)
-                .map(|_| rng.gen_range(0.005..0.5))
-                .collect();
+            let i: Vec<f64> = (0..n_classes).map(|_| rng.gen_range(0.005..0.5)).collect();
             NetworkState::initial_from_infected(i).expect("valid initial condition")
         })
         .collect()

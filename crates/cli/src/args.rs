@@ -6,11 +6,13 @@
 
 use std::collections::HashMap;
 
-/// Parsed command-line arguments: positionals plus `--key value` options.
+/// Parsed command-line arguments: positionals, `--key value` options,
+/// and valueless `--flag` switches.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     positional: Vec<String>,
     options: HashMap<String, String>,
+    flags: Vec<String>,
 }
 
 /// A parse failure, including the offending token.
@@ -26,23 +28,35 @@ impl std::fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 impl Args {
-    /// Parses raw tokens, validating option names against `allowed`.
+    /// Parses raw tokens, validating `--key value` option names against
+    /// `allowed` and valueless `--switch` names against `flags`.
     ///
     /// # Errors
     ///
     /// Returns [`ArgsError`] for unknown options, missing option values,
     /// or duplicated options.
-    pub fn parse<I: IntoIterator<Item = String>>(raw: I, allowed: &[&str]) -> Result<Self, ArgsError> {
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        allowed: &[&str],
+        flags: &[&str],
+    ) -> Result<Self, ArgsError> {
         let mut out = Args::default();
         let mut iter = raw.into_iter();
         while let Some(tok) = iter.next() {
             if let Some(key) = tok.strip_prefix("--") {
+                if flags.contains(&key) {
+                    if !out.flags.iter().any(|f| f == key) {
+                        out.flags.push(key.to_string());
+                    }
+                    continue;
+                }
                 if !allowed.contains(&key) {
                     return Err(ArgsError(format!(
                         "unknown option --{key} (expected one of: {})",
                         allowed
                             .iter()
                             .map(|a| format!("--{a}"))
+                            .chain(flags.iter().map(|f| format!("--{f}")))
                             .collect::<Vec<_>>()
                             .join(", ")
                     )));
@@ -58,6 +72,11 @@ impl Args {
             }
         }
         Ok(out)
+    }
+
+    /// `true` when the valueless switch `--key` was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
     }
 
     /// The positional arguments in order.
@@ -123,7 +142,7 @@ mod tests {
 
     #[test]
     fn parses_positionals_and_options() {
-        let a = Args::parse(toks(&["run", "--eps1", "0.2", "extra"]), &["eps1"]).unwrap();
+        let a = Args::parse(toks(&["run", "--eps1", "0.2", "extra"]), &["eps1"], &[]).unwrap();
         assert_eq!(a.positional(), &["run", "extra"]);
         assert_eq!(a.get("eps1"), Some("0.2"));
         assert_eq!(a.get_f64("eps1", 0.0).unwrap(), 0.2);
@@ -132,18 +151,34 @@ mod tests {
 
     #[test]
     fn rejects_unknown_and_duplicate_options() {
-        assert!(Args::parse(toks(&["--bogus", "1"]), &["eps1"]).is_err());
-        assert!(Args::parse(toks(&["--eps1", "1", "--eps1", "2"]), &["eps1"]).is_err());
-        assert!(Args::parse(toks(&["--eps1"]), &["eps1"]).is_err());
+        assert!(Args::parse(toks(&["--bogus", "1"]), &["eps1"], &[]).is_err());
+        assert!(Args::parse(toks(&["--eps1", "1", "--eps1", "2"]), &["eps1"], &[]).is_err());
+        assert!(Args::parse(toks(&["--eps1"]), &["eps1"], &[]).is_err());
+    }
+
+    #[test]
+    fn flags_are_valueless_and_idempotent() {
+        let a = Args::parse(
+            toks(&["--strict", "--eps1", "0.2", "--strict"]),
+            &["eps1"],
+            &["strict"],
+        )
+        .unwrap();
+        assert!(a.has_flag("strict"));
+        assert!(!a.has_flag("verbose"));
+        assert_eq!(a.get("eps1"), Some("0.2"));
+        // A flag never consumes the next token.
+        let b = Args::parse(toks(&["--strict", "pos"]), &[], &["strict"]).unwrap();
+        assert_eq!(b.positional(), &["pos"]);
     }
 
     #[test]
     fn numeric_parse_errors_are_reported() {
-        let a = Args::parse(toks(&["--n", "abc"]), &["n"]).unwrap();
+        let a = Args::parse(toks(&["--n", "abc"]), &["n"], &[]).unwrap();
         assert!(a.get_usize("n", 0).is_err());
         assert!(a.get_f64("n", 0.0).is_err());
         assert!(a.get_u64("n", 0).is_err());
-        let b = Args::parse(toks(&["--n", "12"]), &["n"]).unwrap();
+        let b = Args::parse(toks(&["--n", "12"]), &["n"], &[]).unwrap();
         assert_eq!(b.get_usize("n", 0).unwrap(), 12);
         assert_eq!(b.get_u64("n", 0).unwrap(), 12);
     }

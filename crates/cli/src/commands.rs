@@ -1,14 +1,16 @@
 //! The `rumor` subcommands.
 
 use crate::args::Args;
-use rumor_control::fbsm::{optimize as fbsm_optimize, FbsmOptions};
+use crate::error::CliError;
+use rumor_control::fbsm::FbsmOptions;
+use rumor_control::watchdog::{optimize_guarded, SweepSource, WatchdogOptions};
 use rumor_control::{ControlBounds, CostWeights};
 use rumor_core::control::ConstantControl;
 use rumor_core::equilibrium::{positive_equilibrium, r0, zero_equilibrium};
 use rumor_core::functions::{AcceptanceRate, Infectivity};
 use rumor_core::params::ModelParams;
-use rumor_core::simulate::{simulate as run_simulation, SimulateOptions};
 use rumor_core::sensitivity::{critical_countermeasure_scale, r0_sensitivity};
+use rumor_core::simulate::{simulate as run_simulation, SimulateOptions};
 use rumor_core::stability::theorem2_consistency;
 use rumor_core::state::NetworkState;
 use rumor_datasets::digg::{DiggConfig, DiggDataset};
@@ -17,10 +19,12 @@ use rumor_datasets::summary::DatasetSummary;
 use rumor_net::degree::DegreeClasses;
 use rumor_net::graph::{EdgeKind, Graph};
 use rumor_sim::abm::AbmConfig;
-use rumor_sim::ensemble::{max_deviation, mean_field_reference, run_ensemble, Simulator};
+use rumor_sim::ensemble::{
+    max_deviation, mean_field_reference, run_ensemble_isolated, IsolationPolicy, Simulator,
+};
 use std::io::Write;
 
-type CliResult = Result<(), Box<dyn std::error::Error>>;
+type CliResult = Result<(), CliError>;
 
 /// The network a command operates on: its degree partition plus, when an
 /// actual graph is available or required, the graph itself.
@@ -30,10 +34,10 @@ struct Network {
     summary: DatasetSummary,
 }
 
-fn load_network(args: &Args, need_graph: bool) -> Result<Network, Box<dyn std::error::Error>> {
+fn load_network(args: &Args, need_graph: bool) -> Result<Network, CliError> {
     if let Some(path) = args.get("edges") {
         let file = std::fs::File::open(path)
-            .map_err(|e| format!("cannot open edge list {path:?}: {e}"))?;
+            .map_err(|e| CliError::runtime(format!("cannot open edge list {path:?}: {e}")))?;
         let graph = read_edge_list(file, EdgeKind::Undirected)?;
         let classes = DegreeClasses::from_graph(&graph)?;
         let summary = DatasetSummary::from_graph(path.to_string(), &graph)?;
@@ -66,7 +70,7 @@ fn load_network(args: &Args, need_graph: bool) -> Result<Network, Box<dyn std::e
     })
 }
 
-fn model_params(args: &Args, classes: DegreeClasses) -> Result<ModelParams, Box<dyn std::error::Error>> {
+fn model_params(args: &Args, classes: DegreeClasses) -> Result<ModelParams, CliError> {
     Ok(ModelParams::builder(classes)
         .alpha(args.get_f64("alpha", 0.01)?)
         .acceptance(AcceptanceRate::LinearInDegree {
@@ -83,15 +87,21 @@ pub fn analyze(args: &Args) -> CliResult {
     let (eps1, eps2) = (args.get_f64("eps1", 0.2)?, args.get_f64("eps2", 0.05)?);
 
     println!("{}", net.summary);
-    println!("\nmodel: alpha = {}, lambda(k) = {}k, omega(k) = sqrt(k)/(1+sqrt(k))",
+    println!(
+        "\nmodel: alpha = {}, lambda(k) = {}k, omega(k) = sqrt(k)/(1+sqrt(k))",
         params.alpha(),
-        args.get_f64("lambda0", 0.02)?);
+        args.get_f64("lambda0", 0.02)?
+    );
     let (threshold, verdict, consistent) = theorem2_consistency(&params, eps1, eps2)?;
     println!("countermeasures: eps1 = {eps1}, eps2 = {eps2}");
     println!("\nthreshold r0 = {threshold:.4}");
     println!(
         "prediction (theorem 5): the rumor will {}",
-        if threshold <= 1.0 { "become extinct" } else { "persist endemically" }
+        if threshold <= 1.0 {
+            "become extinct"
+        } else {
+            "persist endemically"
+        }
     );
     println!("jacobian verdict at E0: {verdict:?} (consistent with r0: {consistent})");
 
@@ -110,8 +120,10 @@ pub fn analyze(args: &Args) -> CliResult {
     }
 
     let sens = r0_sensitivity(&params, eps1, eps2)?;
-    println!("
-threshold sensitivities:");
+    println!(
+        "
+threshold sensitivities:"
+    );
     println!("  dr0/d(alpha) = {:+.4}", sens.d_alpha);
     println!("  dr0/d(eps1)  = {:+.4}", sens.d_eps1);
     println!("  dr0/d(eps2)  = {:+.4}", sens.d_eps2);
@@ -123,8 +135,10 @@ threshold sensitivities:");
             eps2 * scale
         );
     } else {
-        println!("already subcritical: countermeasures could shrink to {:.1}% before r0 reaches 1",
-            scale * 100.0);
+        println!(
+            "already subcritical: countermeasures could shrink to {:.1}% before r0 reaches 1",
+            scale * 100.0
+        );
     }
     // Where the threshold mass lives across degrees (top 3 classes).
     let mut shares: Vec<(usize, f64)> = sens
@@ -162,7 +176,10 @@ pub fn simulate(args: &Args) -> CliResult {
         "r0 = {threshold:.4}; simulated {} classes over (0, {tf}]",
         params.n_classes()
     );
-    println!("\n{:>10} {:>12} {:>12} {:>12}", "t", "mean S", "mean I", "mean R");
+    println!(
+        "\n{:>10} {:>12} {:>12} {:>12}",
+        "t", "mean S", "mean I", "mean R"
+    );
     let n = params.n_classes() as f64;
     for idx in (0..traj.len()).step_by((traj.len() / 10).max(1)) {
         let st = &traj.states()[idx];
@@ -191,7 +208,9 @@ pub fn simulate(args: &Args) -> CliResult {
     Ok(())
 }
 
-/// `rumor optimize`: forward–backward sweep, schedule table, optional CSV.
+/// `rumor optimize`: watchdog-guarded forward–backward sweep, schedule
+/// table, optional CSV. With `--strict`, a degraded result (best-so-far
+/// checkpoint or heuristic fallback) becomes a fatal error.
 pub fn optimize(args: &Args) -> CliResult {
     let net = load_network(args, false)?;
     let params = model_params(args, net.classes)?;
@@ -208,24 +227,49 @@ pub fn optimize(args: &Args) -> CliResult {
         weights.c1,
         weights.c2
     );
-    let result = fbsm_optimize(
+    let guarded = optimize_guarded(
         &params,
         &initial,
         tf,
         &bounds,
         &weights,
-        &FbsmOptions {
-            n_nodes: 101,
-            max_iterations: 300,
-            tolerance: 1e-4,
-            relaxation: 0.3,
+        &WatchdogOptions {
+            fbsm: FbsmOptions {
+                n_nodes: 101,
+                max_iterations: args.get_usize("max-iters", 300)?,
+                tolerance: 1e-4,
+                relaxation: 0.3,
+                ..Default::default()
+            },
             ..Default::default()
         },
     )?;
+    for ev in &guarded.restarts {
+        println!(
+            "watchdog: attempt {} (relaxation {:.4}{}) diverged [{}]: {}",
+            ev.attempt,
+            ev.relaxation,
+            if ev.guarded_ode { ", guarded ode" } else { "" },
+            ev.divergence,
+            ev.detail
+        );
+    }
+    println!("watchdog: {}", guarded.summary());
+    if guarded.degraded && args.has_flag("strict") {
+        return Err(CliError::degraded(format!(
+            "optimize produced a degraded result under --strict: {}",
+            guarded.summary()
+        )));
+    }
+    let result = guarded.result;
     println!(
-        "finished after {} iterations (converged: {}); J = {:.4}, running cost = {:.4}",
+        "finished after {} iterations (converged: {}{}); J = {:.4}, running cost = {:.4}",
         result.iterations,
         result.converged,
+        match guarded.source {
+            SweepSource::Fbsm => "",
+            SweepSource::HeuristicFallback => ", heuristic fallback",
+        },
         result.cost.total(),
         result.cost.running()
     );
@@ -259,7 +303,9 @@ pub fn optimize(args: &Args) -> CliResult {
     Ok(())
 }
 
-/// `rumor abm`: stochastic ensemble vs the mean field.
+/// `rumor abm`: fault-isolated stochastic ensemble vs the mean field.
+/// Failed replicas are excluded and reported; `--quorum` sets the
+/// minimum surviving fraction and `--strict` makes any exclusion fatal.
 pub fn abm(args: &Args) -> CliResult {
     let net = load_network(args, true)?;
     let graph = net.graph.expect("load_network(need_graph = true)");
@@ -278,13 +324,41 @@ pub fn abm(args: &Args) -> CliResult {
     };
     let runs = args.get_usize("runs", 8)?;
     let seed = args.get_u64("seed", 2_009)?;
+    let policy = IsolationPolicy {
+        quorum: args.get_f64("quorum", 0.5)?,
+    };
     println!(
         "running {runs} synchronous ABM realizations on {} nodes...",
         graph.node_count()
     );
-    let ens = run_ensemble(&graph, &params, &cfg, Simulator::Synchronous, runs, seed)?;
+    let isolated = run_ensemble_isolated(
+        &graph,
+        &params,
+        &cfg,
+        Simulator::Synchronous,
+        runs,
+        seed,
+        &policy,
+    )?;
+    for failure in &isolated.failures {
+        println!(
+            "isolation: replica {} (seed {}) excluded: {}",
+            failure.replica, failure.seed, failure.reason
+        );
+    }
+    println!("isolation: {}", isolated.summary());
+    if isolated.degraded() && args.has_flag("strict") {
+        return Err(CliError::degraded(format!(
+            "abm ensemble degraded under --strict: {}",
+            isolated.summary()
+        )));
+    }
+    let ens = isolated.result;
     let mf = mean_field_reference(&params, &cfg, &ens.times)?;
-    println!("\n{:>8} {:>12} {:>12} {:>12}", "t", "abm mean I", "abm std", "ode I");
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>12}",
+        "t", "abm mean I", "abm std", "ode I"
+    );
     for idx in (0..ens.times.len()).step_by((ens.times.len() / 10).max(1)) {
         println!(
             "{:>8.1} {:>12.6} {:>12.6} {:>12.6}",
@@ -295,5 +369,70 @@ pub fn abm(args: &Args) -> CliResult {
         "\nmax |ABM - ODE| deviation: {:.4}",
         max_deviation(&ens, &mf)?
     );
+    Ok(())
+}
+
+/// `rumor selftest`: deterministic fault-injection drills for the
+/// guarded integrator. Each scenario corrupts the rumor dynamics'
+/// right-hand side on a fixed schedule and checks that the fallback
+/// chain still delivers a complete trajectory. With `--strict`, any
+/// quarantined (extrapolated) window is fatal.
+pub fn selftest(args: &Args) -> CliResult {
+    use rumor_core::model::RumorModel;
+    use rumor_ode::fault::{FaultSchedule, FaultyRhs};
+    use rumor_ode::recovery::Guarded;
+
+    let net = load_network(args, false)?;
+    let params = model_params(args, net.classes)?;
+    let (eps1, eps2) = (args.get_f64("eps1", 0.2)?, args.get_f64("eps2", 0.05)?);
+    let tf = args.get_f64("tf", 40.0)?;
+    let i0 = args.get_f64("i0", 0.05)?;
+    let initial = NetworkState::initial_uniform(params.n_classes(), i0)?;
+    let sys = RumorModel::new(&params, ConstantControl::new(eps1, eps2));
+    let y0 = initial.to_flat();
+
+    let scenarios: [(&str, FaultSchedule); 3] = [
+        (
+            "nan-window",
+            FaultSchedule::new().nan_at(0.3 * tf, 0.02 * tf),
+        ),
+        (
+            "stiffness-spike",
+            FaultSchedule::new().stiffness_spike(0.5 * tf, 0.02 * tf, 200.0),
+        ),
+        (
+            "perturbation-burst",
+            FaultSchedule::new().perturbation_burst(0.7 * tf, 0.05 * tf, 0.5, 8.0),
+        ),
+    ];
+
+    println!(
+        "guarded-integrator selftest: {} classes over (0, {tf}], {} scenarios",
+        params.n_classes(),
+        scenarios.len()
+    );
+    let mut quarantined = 0usize;
+    for (name, schedule) in scenarios {
+        let faulty = FaultyRhs::new(&sys, schedule);
+        let run = Guarded::new().run(&faulty, 0.0, &y0, tf)?;
+        println!(
+            "  {name:<20} injections: {:>4}  {}",
+            faulty.injections(),
+            run.report.summary()
+        );
+        if !run.report.completed {
+            return Err(CliError::runtime(format!(
+                "selftest scenario {name} did not complete: {}",
+                run.report.summary()
+            )));
+        }
+        quarantined += run.report.quarantined.len();
+    }
+    if quarantined > 0 && args.has_flag("strict") {
+        return Err(CliError::degraded(format!(
+            "selftest quarantined {quarantined} window(s) under --strict"
+        )));
+    }
+    println!("selftest passed: all scenarios completed");
     Ok(())
 }

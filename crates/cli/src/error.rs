@@ -1,0 +1,223 @@
+//! CLI-level error classification with stable exit codes.
+//!
+//! Every failure leaving `main` carries one of four exit codes so shell
+//! scripts and CI can branch on *why* the tool failed:
+//!
+//! * `1` — runtime failure (integration blew up, I/O error, quorum lost)
+//! * `2` — usage error (unknown option / command, unparsable value)
+//! * `3` — configuration rejected up front (invalid parameter ranges)
+//! * `4` — degraded result under `--strict` (the run produced a usable
+//!   but flagged answer, and the caller asked for that to be fatal)
+
+use crate::args::ArgsError;
+use std::fmt;
+
+/// Exit code for runtime failures.
+pub const EXIT_RUNTIME: u8 = 1;
+/// Exit code for command-line usage errors.
+pub const EXIT_USAGE: u8 = 2;
+/// Exit code for rejected configurations.
+pub const EXIT_CONFIG: u8 = 3;
+/// Exit code for degraded results under `--strict`.
+pub const EXIT_DEGRADED: u8 = 4;
+
+/// A rendered, classified CLI failure: one line of text plus the exit
+/// code `main` should return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Process exit code (one of the `EXIT_*` constants).
+    pub exit: u8,
+    /// One-line message (full `source()` chain already folded in).
+    pub message: String,
+}
+
+impl CliError {
+    /// A runtime failure (exit 1).
+    pub fn runtime(message: impl Into<String>) -> Self {
+        CliError {
+            exit: EXIT_RUNTIME,
+            message: message.into(),
+        }
+    }
+
+    /// A usage error (exit 2).
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            exit: EXIT_USAGE,
+            message: message.into(),
+        }
+    }
+
+    /// A rejected configuration (exit 3).
+    pub fn config(message: impl Into<String>) -> Self {
+        CliError {
+            exit: EXIT_CONFIG,
+            message: message.into(),
+        }
+    }
+
+    /// A degraded result promoted to an error by `--strict` (exit 4).
+    pub fn degraded(message: impl Into<String>) -> Self {
+        CliError {
+            exit: EXIT_DEGRADED,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Folds an error and its `source()` chain into one line. Many Display
+/// impls in this workspace already embed their source, so segments that
+/// are already present are not repeated.
+pub fn render_chain(e: &dyn std::error::Error) -> String {
+    let mut message = e.to_string();
+    let mut cursor = e.source();
+    while let Some(src) = cursor {
+        let rendered = src.to_string();
+        if !message.contains(&rendered) {
+            message.push_str(": ");
+            message.push_str(&rendered);
+        }
+        cursor = src.source();
+    }
+    message
+}
+
+impl From<ArgsError> for CliError {
+    fn from(e: ArgsError) -> Self {
+        CliError::usage(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::runtime(render_chain(&e))
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::runtime(message)
+    }
+}
+
+impl From<rumor_ode::OdeError> for CliError {
+    fn from(e: rumor_ode::OdeError) -> Self {
+        use rumor_ode::OdeError as E;
+        let message = render_chain(&e);
+        match e {
+            E::InvalidConfig { .. } | E::InvalidStep(_) | E::DimensionMismatch { .. } => {
+                CliError::config(message)
+            }
+            _ => CliError::runtime(message),
+        }
+    }
+}
+
+impl From<rumor_core::CoreError> for CliError {
+    fn from(e: rumor_core::CoreError) -> Self {
+        use rumor_core::CoreError as E;
+        match e {
+            E::InvalidParameter { .. } | E::DimensionMismatch { .. } => {
+                CliError::config(render_chain(&e))
+            }
+            E::Ode(inner) => inner.into(),
+            _ => CliError::runtime(render_chain(&e)),
+        }
+    }
+}
+
+impl From<rumor_control::ControlError> for CliError {
+    fn from(e: rumor_control::ControlError) -> Self {
+        use rumor_control::ControlError as E;
+        match e {
+            E::InvalidConfig(_) => CliError::config(render_chain(&e)),
+            E::Core(inner) => inner.into(),
+            E::Ode(inner) => inner.into(),
+            _ => CliError::runtime(render_chain(&e)),
+        }
+    }
+}
+
+impl From<rumor_sim::SimError> for CliError {
+    fn from(e: rumor_sim::SimError) -> Self {
+        use rumor_sim::SimError as E;
+        match e {
+            E::InvalidConfig(_) => CliError::config(render_chain(&e)),
+            _ => CliError::runtime(render_chain(&e)),
+        }
+    }
+}
+
+impl From<rumor_net::NetError> for CliError {
+    fn from(e: rumor_net::NetError) -> Self {
+        CliError::runtime(render_chain(&e))
+    }
+}
+
+impl From<rumor_datasets::DatasetError> for CliError {
+    fn from(e: rumor_datasets::DatasetError) -> Self {
+        use rumor_datasets::DatasetError as E;
+        match e {
+            E::InvalidConfig(_) => CliError::config(render_chain(&e)),
+            E::ParseError { .. } => CliError::config(render_chain(&e)),
+            _ => CliError::runtime(render_chain(&e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_source_type() {
+        let usage: CliError = ArgsError("unknown option --x".into()).into();
+        assert_eq!(usage.exit, EXIT_USAGE);
+
+        let config: CliError = rumor_ode::OdeError::InvalidConfig {
+            field: "rtol",
+            reason: "must be positive".into(),
+        }
+        .into();
+        assert_eq!(config.exit, EXIT_CONFIG);
+
+        let runtime: CliError = rumor_ode::OdeError::NonFiniteState { t: 1.0 }.into();
+        assert_eq!(runtime.exit, EXIT_RUNTIME);
+
+        // Nested ODE errors keep their classification through the layers.
+        let nested: CliError = rumor_control::ControlError::Core(rumor_core::CoreError::Ode(
+            rumor_ode::OdeError::InvalidStep("h must be positive".into()),
+        ))
+        .into();
+        assert_eq!(nested.exit, EXIT_CONFIG);
+
+        let quorum: CliError = rumor_sim::SimError::QuorumNotMet {
+            succeeded: 1,
+            required: 3,
+            attempted: 5,
+        }
+        .into();
+        assert_eq!(quorum.exit, EXIT_RUNTIME);
+        assert!(quorum.message.contains("1/5"));
+    }
+
+    #[test]
+    fn chain_rendering_skips_embedded_sources() {
+        // SimError::Core's Display already embeds the core error text, so
+        // the chain renderer must not duplicate it.
+        let e = rumor_sim::SimError::Core(rumor_core::CoreError::InvalidParameter {
+            name: "alpha",
+            message: "must be non-negative".into(),
+        });
+        let line = render_chain(&e);
+        assert_eq!(line.matches("alpha").count(), 1);
+    }
+}

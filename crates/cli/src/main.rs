@@ -12,8 +12,10 @@
 
 mod args;
 mod commands;
+mod error;
 
 use args::Args;
+use error::{CliError, EXIT_USAGE};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -25,8 +27,9 @@ USAGE:
 COMMANDS:
     analyze    network statistics, threshold r0, equilibria, stability verdict
     simulate   integrate the rumor dynamics; optionally write a CSV trajectory
-    optimize   Pontryagin forward-backward sweep for the cheapest countermeasures
-    abm        agent-based ensemble vs the mean-field prediction
+    optimize   watchdog-guarded forward-backward sweep for the cheapest countermeasures
+    abm        fault-isolated agent-based ensemble vs the mean-field prediction
+    selftest   deterministic fault-injection drills for the guarded integrator
     help       print this message
 
 NETWORK SOURCE (all commands):
@@ -43,18 +46,28 @@ MODEL PARAMETERS:
     --eps1 E         truth-spreading rate (default 0.2)
     --eps2 E         blocking rate (default 0.05)
 
+ROBUSTNESS:
+    --strict         turn degraded results (quarantined windows, excluded
+                     replicas, non-converged sweeps) into errors (exit 4)
+
 COMMAND OPTIONS:
     simulate: --tf T (default 150)  --i0 F (default 0.1)  --out FILE
     optimize: --tf T (default 100)  --i0 F (default 0.05) --c1 C (5) --c2 C (10)
-              --epsmax E (default 0.7)  --out FILE
+              --epsmax E (default 0.7)  --max-iters N (300)  --out FILE
     abm:      --tf T (default 40)   --i0 F (default 0.05) --runs R (default 8)
+              --quorum F (default 0.5, min surviving replica fraction)
+    selftest: --tf T (default 40)   --i0 F (default 0.05)
+
+EXIT CODES:
+    0  success        1  runtime failure      2  usage error
+    3  invalid config 4  degraded result under --strict
 ";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = raw.split_first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     };
     let allowed = [
         "edges",
@@ -72,35 +85,41 @@ fn main() -> ExitCode {
         "c1",
         "c2",
         "epsmax",
+        "max-iters",
         "runs",
+        "quorum",
     ];
-    let parsed = match Args::parse(rest.iter().cloned(), &allowed) {
+    let flags = ["strict"];
+    let parsed = match Args::parse(rest.iter().cloned(), &allowed, &flags) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     if let Some(stray) = parsed.positional().first() {
         eprintln!("error: unexpected argument {stray:?}; run `rumor help`");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     }
     let result = match command.as_str() {
         "analyze" => commands::analyze(&parsed),
         "simulate" => commands::simulate(&parsed),
         "optimize" => commands::optimize(&parsed),
         "abm" => commands::abm(&parsed),
+        "selftest" => commands::selftest(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}; run `rumor help`").into()),
+        other => Err(CliError::usage(format!(
+            "unknown command {other:?}; run `rumor help`"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit)
         }
     }
 }

@@ -1,0 +1,92 @@
+//! End-to-end tests of the `rumor` binary: exit-code taxonomy, the
+//! `--strict` promotion of degraded results, and the fault-injection
+//! selftest.
+
+use std::process::{Command, Output};
+
+fn rumor(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rumor"))
+        .args(args)
+        .output()
+        .expect("spawn rumor binary")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = rumor(&["help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("EXIT CODES"));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = rumor(&["simulate", "--no-such-option", "1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown option"));
+
+    let out = rumor(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown command"));
+
+    let out = rumor(&[]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn invalid_config_exits_three() {
+    let out = rumor(&["optimize", "--nodes", "200", "--epsmax", "-1"]);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(stderr(&out).contains("control bounds"));
+}
+
+#[test]
+fn selftest_reports_recovery_and_respects_strict() {
+    // The NaN scenario must engage the fallback chain, yet the run
+    // completes and exits 0 without --strict.
+    let base = ["selftest", "--nodes", "200", "--tf", "20"];
+    let out = rumor(&base);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("fallback engagement"), "stdout: {text}");
+    assert!(text.contains("selftest passed"));
+
+    // The quarantined NaN window becomes fatal under --strict: exit 4.
+    let mut strict = base.to_vec();
+    strict.push("--strict");
+    let out = rumor(&strict);
+    assert_eq!(out.status.code(), Some(4), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("quarantined"));
+}
+
+#[test]
+fn strict_turns_degraded_sweep_into_exit_four() {
+    // Starve the sweep of iterations so it cannot converge; the watchdog
+    // degrades to its best checkpoint, which --strict makes fatal.
+    let args = [
+        "optimize",
+        "--nodes",
+        "200",
+        "--tf",
+        "20",
+        "--max-iters",
+        "2",
+        "--strict",
+    ];
+    let out = rumor(&args);
+    assert_eq!(out.status.code(), Some(4), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("degraded"));
+    assert!(stdout(&out).contains("watchdog"));
+
+    // Without --strict the same degraded run is an ordinary success.
+    let out = rumor(&args[..args.len() - 1]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("DEGRADED"));
+}

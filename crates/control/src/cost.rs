@@ -11,7 +11,6 @@ use rumor_numerics::quadrature::trapezoid_sampled;
 
 /// Itemized cost of a countermeasure run.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostBreakdown {
     /// Terminal infection `Σ_i I_i(tf)`.
     pub terminal_infection: f64,
@@ -35,13 +34,7 @@ impl CostBreakdown {
 
 /// The instantaneous running-cost integrand
 /// `Σ_i (c1 ε1² S_i² + c2 ε2² I_i²)` at one sample.
-pub fn running_integrand(
-    s: &[f64],
-    i: &[f64],
-    eps1: f64,
-    eps2: f64,
-    weights: &CostWeights,
-) -> f64 {
+pub fn running_integrand(s: &[f64], i: &[f64], eps1: f64, eps2: f64, weights: &CostWeights) -> f64 {
     let s2: f64 = s.iter().map(|x| x * x).sum();
     let i2: f64 = i.iter().map(|x| x * x).sum();
     weights.c1 * eps1 * eps1 * s2 + weights.c2 * eps2 * eps2 * i2

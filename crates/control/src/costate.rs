@@ -133,9 +133,9 @@ impl<C: ControlSchedule> OdeSystem for CostateSystem<'_, C> {
         for j in 0..n {
             let psi = y[j];
             let phi_j = y[n + j];
-            dydt[j] =
-                -2.0 * self.weights.c1 * eps1 * eps1 * s[j] + psi * (lambda[j] * theta + eps1)
-                    - phi_j * lambda[j] * theta;
+            dydt[j] = -2.0 * self.weights.c1 * eps1 * eps1 * s[j]
+                + psi * (lambda[j] * theta + eps1)
+                - phi_j * lambda[j] * theta;
             let coupling_j = match self.variant {
                 AdjointVariant::Exact => coupling,
                 AdjointVariant::PaperDiagonal => (psi - phi_j) * lambda[j] * s[j],
@@ -174,8 +174,16 @@ pub fn stationary_controls(
     let i2: f64 = i.iter().map(|x| x * x).sum();
     let num1: f64 = psi.iter().zip(s).map(|(p, x)| p * x).sum();
     let num2: f64 = phi.iter().zip(i).map(|(p, x)| p * x).sum();
-    let e1 = if s2 > 0.0 { num1 / (2.0 * weights.c1 * s2) } else { 0.0 };
-    let e2 = if i2 > 0.0 { num2 / (2.0 * weights.c2 * i2) } else { 0.0 };
+    let e1 = if s2 > 0.0 {
+        num1 / (2.0 * weights.c1 * s2)
+    } else {
+        0.0
+    };
+    let e2 = if i2 > 0.0 {
+        num2 / (2.0 * weights.c2 * i2)
+    } else {
+        0.0
+    };
     (e1, e2)
 }
 
@@ -229,7 +237,9 @@ mod tests {
 
     fn forward(p: &ModelParams, c: &ConstantControl, tf: f64) -> Solution {
         let model = RumorModel::new(p, *c);
-        let y0 = NetworkState::initial_uniform(p.n_classes(), 0.1).unwrap().to_flat();
+        let y0 = NetworkState::initial_uniform(p.n_classes(), 0.1)
+            .unwrap()
+            .to_flat();
         Adaptive::new().integrate(&model, 0.0, &y0, tf).unwrap()
     }
 

@@ -17,6 +17,9 @@ use rumor_core::params::ModelParams;
 use rumor_core::simulate::{simulate_grid, SimulateOptions};
 use rumor_core::state::NetworkState;
 use rumor_ode::integrator::{Adaptive, AdaptiveConfig};
+use rumor_ode::recovery::{Guarded, RecoveryPolicy};
+use rumor_ode::solution::Solution;
+use rumor_ode::system::OdeSystem;
 
 /// Tuning knobs of the sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,8 +33,19 @@ pub struct FbsmOptions {
     /// Relaxation weight `δ ∈ (0, 1]` of the control update
     /// (`u ← δ·u_new + (1−δ)·u_old`).
     pub relaxation: f64,
+    /// Floor below which the adaptive damping never pushes the
+    /// relaxation weight. Without a floor the backoff `δ ← δ/2` can
+    /// shrink `δ` into numerical irrelevance, freezing the iteration
+    /// while still burning the budget.
+    pub relaxation_floor: f64,
     /// Integrator tolerances for the forward and backward passes.
     pub ode: AdaptiveConfig,
+    /// When set, the forward and backward passes run under the guarded
+    /// integrator with this fallback policy instead of the plain
+    /// adaptive driver, so a stiff or transiently non-finite segment is
+    /// rescued instead of aborting the sweep. The watchdog enables this
+    /// on restarts after an integration failure.
+    pub guard_ode: Option<RecoveryPolicy>,
     /// Which adjoint coupling to sweep with (exact by default; the
     /// paper's printed diagonal variant is available for the
     /// faithfulness ablation).
@@ -49,14 +63,69 @@ impl Default for FbsmOptions {
             max_iterations: 200,
             tolerance: 1e-5,
             relaxation: 0.4,
+            relaxation_floor: 0.02,
             ode: AdaptiveConfig {
                 rtol: 1e-7,
                 atol: 1e-9,
                 ..AdaptiveConfig::default()
             },
+            guard_ode: None,
             adjoint: AdjointVariant::default(),
             terminal_weight: 1.0,
         }
+    }
+}
+
+impl FbsmOptions {
+    /// Validates every field up front so a bad configuration surfaces as
+    /// a structured [`ControlError::InvalidConfig`] instead of NaN
+    /// propagating through a sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidConfig`] naming the offending
+    /// field, or the wrapped [`rumor_ode::OdeError::InvalidConfig`] for
+    /// a bad integrator configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_nodes < 2 {
+            return Err(ControlError::InvalidConfig(
+                "n_nodes: need at least two control nodes".into(),
+            ));
+        }
+        if self.max_iterations == 0 {
+            return Err(ControlError::InvalidConfig(
+                "max_iterations: must be at least 1".into(),
+            ));
+        }
+        if !(self.tolerance > 0.0) || !self.tolerance.is_finite() {
+            return Err(ControlError::InvalidConfig(format!(
+                "tolerance: must be positive and finite, got {}",
+                self.tolerance
+            )));
+        }
+        if !(self.relaxation > 0.0 && self.relaxation <= 1.0) {
+            return Err(ControlError::InvalidConfig(format!(
+                "relaxation: must lie in (0, 1], got {}",
+                self.relaxation
+            )));
+        }
+        if !(self.relaxation_floor > 0.0) || self.relaxation_floor > self.relaxation {
+            return Err(ControlError::InvalidConfig(format!(
+                "relaxation_floor: must lie in (0, relaxation = {}], got {}",
+                self.relaxation, self.relaxation_floor
+            )));
+        }
+        if !(self.terminal_weight >= 0.0) || !self.terminal_weight.is_finite() {
+            return Err(ControlError::InvalidConfig(format!(
+                "terminal_weight: must be non-negative and finite, got {}",
+                self.terminal_weight
+            )));
+        }
+        self.ode.validate()?;
+        if let Some(policy) = &self.guard_ode {
+            policy.validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -76,6 +145,17 @@ pub struct SweepResult {
     pub converged: bool,
     /// Objective value after each iteration (diagnostic).
     pub cost_history: Vec<f64>,
+    /// Relative control change after each iteration (diagnostic; the
+    /// watchdog classifies divergence from this series).
+    pub change_history: Vec<f64>,
+    /// How often the adaptive damping halved the relaxation weight.
+    pub relaxation_backoffs: usize,
+    /// The relaxation weight in effect when the sweep stopped.
+    pub final_relaxation: f64,
+    /// `true` when the returned control is not the final iterate but the
+    /// best-so-far checkpoint (lowest diagnostic cost), restored because
+    /// the sweep stopped without converging.
+    pub restored_checkpoint: bool,
 }
 
 /// Runs the forward–backward sweep.
@@ -127,20 +207,107 @@ pub fn optimize(
     weights: &CostWeights,
     options: &FbsmOptions,
 ) -> Result<SweepResult> {
+    let result = optimize_monitored(params, initial, tf, bounds, weights, options)?;
+    if !result.converged {
+        let last_change = result
+            .change_history
+            .last()
+            .copied()
+            .unwrap_or(f64::INFINITY);
+        if !(last_change <= 100.0 * options.tolerance) {
+            return Err(ControlError::SweepDiverged {
+                iterations: result.iterations,
+                last_change,
+            });
+        }
+    }
+    Ok(result)
+}
+
+/// Integrates one forward or backward pass, guarded or plain depending
+/// on `options.guard_ode`.
+fn integrate_pass(
+    options: &FbsmOptions,
+    sys: &impl OdeSystem,
+    t0: f64,
+    y0: &[f64],
+    tf: f64,
+) -> std::result::Result<Solution, rumor_ode::OdeError> {
+    match &options.guard_ode {
+        None => Adaptive::with_config(options.ode.clone()).integrate(sys, t0, y0, tf),
+        Some(policy) => {
+            Guarded::with_config(options.ode.clone(), policy.clone()).integrate(sys, t0, y0, tf)
+        }
+    }
+}
+
+/// Simulates `control` on the sweep's grid, honoring `options.guard_ode`
+/// so the diagnostic and final trajectories survive the same troubled
+/// segments the sweep's own passes do.
+fn trajectory_on_grid(
+    params: &ModelParams,
+    control: &PiecewiseControl,
+    initial: &NetworkState,
+    grid: &[f64],
+    options: &FbsmOptions,
+) -> Result<rumor_core::simulate::Trajectory> {
+    if options.guard_ode.is_none() {
+        return Ok(simulate_grid(
+            params,
+            control,
+            initial,
+            grid,
+            &SimulateOptions {
+                n_out: grid.len(),
+                ode: options.ode.clone(),
+                ..Default::default()
+            },
+        )?);
+    }
+    let model = RumorModel::new(params, control);
+    let tf = *grid.last().expect("validated non-empty grid");
+    let sol =
+        integrate_pass(options, &model, 0.0, &initial.to_flat(), tf).map_err(ControlError::Ode)?;
+    let mut states = Vec::with_capacity(grid.len());
+    for &t in grid {
+        let flat = sol.sample(t).map_err(ControlError::Ode)?;
+        states.push(NetworkState::from_flat(&flat)?);
+    }
+    Ok(rumor_core::simulate::Trajectory::from_parts(
+        grid.to_vec(),
+        states,
+    ))
+}
+
+/// The sweep itself, instrumented for the watchdog: never errors on mere
+/// non-convergence — the result carries `converged = false` plus the full
+/// change/cost histories and relaxation telemetry instead, and restores
+/// the best-so-far (lowest diagnostic cost) control checkpoint when the
+/// final iterate is not the best one seen.
+///
+/// [`optimize`] wraps this and converts severe non-convergence (last
+/// change above 100× tolerance) into [`ControlError::SweepDiverged`];
+/// [`crate::watchdog::optimize_guarded`] instead classifies it and
+/// restarts with reduced relaxation.
+///
+/// # Errors
+///
+/// * [`ControlError::InvalidConfig`] for bad options.
+/// * Propagated integration failures.
+pub fn optimize_monitored(
+    params: &ModelParams,
+    initial: &NetworkState,
+    tf: f64,
+    bounds: &ControlBounds,
+    weights: &CostWeights,
+    options: &FbsmOptions,
+) -> Result<SweepResult> {
     if !(tf > 0.0) || !tf.is_finite() {
         return Err(ControlError::InvalidConfig(format!(
             "final time must be positive and finite, got {tf}"
         )));
     }
-    if options.n_nodes < 2 {
-        return Err(ControlError::InvalidConfig("need at least two control nodes".into()));
-    }
-    if !(options.relaxation > 0.0 && options.relaxation <= 1.0) {
-        return Err(ControlError::InvalidConfig(format!(
-            "relaxation must lie in (0, 1], got {}",
-            options.relaxation
-        )));
-    }
+    options.validate()?;
     let n = params.n_classes();
     if initial.n_classes() != n {
         return Err(ControlError::InvalidConfig(format!(
@@ -162,9 +329,15 @@ pub fn optimize(
 
     let y0 = initial.to_flat();
     let mut cost_history = Vec::new();
+    let mut change_history = Vec::new();
     let mut converged = false;
     let mut iterations = 0;
     let mut last_change = f64::INFINITY;
+    let mut relaxation_backoffs = 0;
+    // Best-so-far checkpoint: the control with the lowest diagnostic
+    // cost seen during the sweep, restored if the iteration stops
+    // without converging on something better.
+    let mut best: Option<(f64, PiecewiseControl)> = None;
     // Adaptive damping: when the control update oscillates (the change
     // grows between iterations), halve the relaxation weight; when it
     // contracts, cautiously restore it toward the configured value.
@@ -174,14 +347,13 @@ pub fn optimize(
         iterations = iter;
         // (i) Forward pass.
         let model = RumorModel::new(params, &control);
-        let forward = Adaptive::with_config(options.ode.clone()).integrate(&model, 0.0, &y0, tf)?;
+        let forward = integrate_pass(options, &model, 0.0, &y0, tf)?;
 
         // (ii) Backward pass.
         let costate =
             CostateSystem::with_variant(params, &forward, &control, *weights, options.adjoint);
         let terminal = costate.weighted_terminal_condition(options.terminal_weight);
-        let backward =
-            Adaptive::with_config(options.ode.clone()).integrate(&costate, tf, &terminal, 0.0)?;
+        let backward = integrate_pass(options, &costate, tf, &terminal, 0.0)?;
 
         // (iii) Control update on the grid.
         let mut e1_new = Vec::with_capacity(grid.len());
@@ -222,26 +394,25 @@ pub fn optimize(
         next.set_values(e1_relaxed, e2_relaxed)?;
 
         if change > last_change {
-            delta = (delta * 0.5).max(0.02);
+            let lowered = (delta * 0.5).max(options.relaxation_floor);
+            if lowered < delta {
+                relaxation_backoffs += 1;
+            }
+            delta = lowered;
         } else {
             delta = (delta * 1.05).min(options.relaxation);
         }
         last_change = change;
+        change_history.push(change);
         control = next;
 
         // Diagnostic cost of the current iterate.
-        let traj = simulate_grid(
-            params,
-            &control,
-            initial,
-            &grid,
-            &SimulateOptions {
-                n_out: grid.len(),
-                ode: options.ode.clone(),
-                ..Default::default()
-            },
-        )?;
-        cost_history.push(evaluate(&traj, &control, weights)?.total());
+        let traj = trajectory_on_grid(params, &control, initial, &grid, options)?;
+        let total = evaluate(&traj, &control, weights)?.total();
+        cost_history.push(total);
+        if total.is_finite() && best.as_ref().is_none_or(|(b, _)| total < *b) {
+            best = Some((total, control.clone()));
+        }
 
         if last_change < options.tolerance {
             converged = true;
@@ -249,24 +420,20 @@ pub fn optimize(
         }
     }
 
-    if !converged && last_change > 100.0 * options.tolerance {
-        return Err(ControlError::SweepDiverged {
-            iterations,
-            last_change,
-        });
+    // A non-converged sweep hands back its best checkpoint, not whatever
+    // iterate the budget happened to end on.
+    let mut restored_checkpoint = false;
+    if !converged {
+        if let Some((best_cost, best_control)) = best {
+            let final_cost = cost_history.last().copied().unwrap_or(f64::INFINITY);
+            if best_cost < final_cost && best_control != control {
+                control = best_control;
+                restored_checkpoint = true;
+            }
+        }
     }
 
-    let trajectory = simulate_grid(
-        params,
-        &control,
-        initial,
-        &grid,
-        &SimulateOptions {
-            n_out: grid.len(),
-            ode: options.ode.clone(),
-            ..Default::default()
-        },
-    )?;
+    let trajectory = trajectory_on_grid(params, &control, initial, &grid, options)?;
     let cost = evaluate(&trajectory, &control, weights)?;
     Ok(SweepResult {
         control,
@@ -275,6 +442,10 @@ pub fn optimize(
         iterations,
         converged,
         cost_history,
+        change_history,
+        relaxation_backoffs,
+        final_relaxation: delta,
+        restored_checkpoint,
     })
 }
 
@@ -307,8 +478,7 @@ mod tests {
                 atol: 1e-8,
                 ..Default::default()
             },
-            adjoint: AdjointVariant::default(),
-            terminal_weight: 1.0,
+            ..Default::default()
         }
     }
 
@@ -377,11 +547,7 @@ mod tests {
         assert!(hist.len() >= 2);
         // Not necessarily monotone step-by-step, but the final cost must
         // be well below the first iterate's.
-        assert!(
-            *hist.last().unwrap() <= hist[0],
-            "history {:?}",
-            hist
-        );
+        assert!(*hist.last().unwrap() <= hist[0], "history {:?}", hist);
     }
 
     #[test]
@@ -419,8 +585,7 @@ mod tests {
         )
         .unwrap();
         assert!(
-            result.trajectory.last_state().total_infected()
-                < free.last_state().total_infected()
+            result.trajectory.last_state().total_infected() < free.last_state().total_infected()
         );
     }
 }

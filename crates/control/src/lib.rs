@@ -30,6 +30,9 @@
 //!   state/co-state integrations until the control converges.
 //! * [`heuristic`] — the myopic feedback baseline of Fig. 4(c), which
 //!   reacts only to the current infection level.
+//! * [`watchdog`] — guarded execution of the sweep: divergence
+//!   classification, restart backoff with reduced relaxation, and
+//!   graceful degradation to the heuristic controller.
 //!
 //! Note on Eq. (16): the paper writes the `Θ`-coupling of the adjoint
 //! with per-class terms `ψ_i λ_i S_i`; differentiating the Hamiltonian
@@ -52,6 +55,7 @@ pub mod costate;
 pub mod fbsm;
 pub mod heuristic;
 pub mod schedule;
+pub mod watchdog;
 
 mod error;
 
@@ -62,7 +66,6 @@ pub type Result<T> = std::result::Result<T, ControlError>;
 
 /// Box constraints on the two countermeasure channels.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ControlBounds {
     /// Upper bound `ε1max` on the truth-spreading rate.
     pub eps1_max: f64,
@@ -91,7 +94,6 @@ impl ControlBounds {
 /// Unit costs `(c1, c2)` of the two countermeasures (paper: spreading
 /// truth is cheaper than blocking, `c1 = 5 < c2 = 10`).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostWeights {
     /// Unit cost `c1` of spreading truth.
     pub c1: f64,

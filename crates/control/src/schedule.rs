@@ -64,9 +64,9 @@ impl PiecewiseControl {
     /// Returns [`ControlError::InvalidConfig`] for non-positive `tf`,
     /// fewer than two nodes, or negative rates.
     pub fn constant(tf: f64, n_nodes: usize, eps1: f64, eps2: f64) -> Result<Self> {
-        if !(tf > 0.0) || n_nodes < 2 {
+        if !(tf > 0.0) || !tf.is_finite() || n_nodes < 2 {
             return Err(ControlError::InvalidConfig(format!(
-                "need tf > 0 and at least two nodes, got tf = {tf}, nodes = {n_nodes}"
+                "need finite tf > 0 and at least two nodes, got tf = {tf}, nodes = {n_nodes}"
             )));
         }
         let grid: Vec<f64> = (0..n_nodes)
@@ -183,12 +183,8 @@ mod tests {
 
     #[test]
     fn from_values_interpolates() {
-        let pc = PiecewiseControl::from_values(
-            vec![0.0, 2.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-        )
-        .unwrap();
+        let pc =
+            PiecewiseControl::from_values(vec![0.0, 2.0], vec![0.0, 1.0], vec![1.0, 0.0]).unwrap();
         assert!((pc.eps1(1.0) - 0.5).abs() < 1e-12);
         assert!((pc.eps2(1.0) - 0.5).abs() < 1e-12);
     }
@@ -196,8 +192,13 @@ mod tests {
     #[test]
     fn validation_rejects_bad_inputs() {
         assert!(PiecewiseControl::from_values(vec![0.0], vec![0.1], vec![0.1]).is_err());
-        assert!(PiecewiseControl::from_values(vec![0.0, 1.0], vec![-0.1, 0.0], vec![0.0, 0.0]).is_err());
-        assert!(PiecewiseControl::from_values(vec![0.0, 1.0], vec![f64::NAN, 0.0], vec![0.0, 0.0]).is_err());
+        assert!(
+            PiecewiseControl::from_values(vec![0.0, 1.0], vec![-0.1, 0.0], vec![0.0, 0.0]).is_err()
+        );
+        assert!(
+            PiecewiseControl::from_values(vec![0.0, 1.0], vec![f64::NAN, 0.0], vec![0.0, 0.0])
+                .is_err()
+        );
         assert!(PiecewiseControl::constant(0.0, 5, 0.1, 0.1).is_err());
         assert!(PiecewiseControl::constant(1.0, 1, 0.1, 0.1).is_err());
     }
@@ -205,7 +206,8 @@ mod tests {
     #[test]
     fn set_values_and_clamp() {
         let mut pc = PiecewiseControl::constant(1.0, 3, 0.0, 0.0).unwrap();
-        pc.set_values(vec![0.9, 0.5, 0.1], vec![0.2, 0.3, 0.4]).unwrap();
+        pc.set_values(vec![0.9, 0.5, 0.1], vec![0.2, 0.3, 0.4])
+            .unwrap();
         let bounds = ControlBounds::new(0.6, 0.25).unwrap();
         pc.clamp_to(&bounds);
         assert_eq!(pc.eps1_values(), &[0.6, 0.5, 0.1]);
@@ -218,7 +220,8 @@ mod tests {
         let a = PiecewiseControl::constant(1.0, 3, 0.2, 0.2).unwrap();
         let mut b = a.clone();
         assert_eq!(a.relative_change(&b).unwrap(), 0.0);
-        b.set_values(vec![0.2, 0.2, 0.2], vec![0.2, 0.2, 0.4]).unwrap();
+        b.set_values(vec![0.2, 0.2, 0.2], vec![0.2, 0.2, 0.4])
+            .unwrap();
         assert!((a.relative_change(&b).unwrap() - 0.5).abs() < 1e-12);
         let c = PiecewiseControl::constant(2.0, 3, 0.2, 0.2).unwrap();
         assert!(a.relative_change(&c).is_err());

@@ -63,7 +63,10 @@ impl ConstantControl {
 
     /// The no-countermeasure schedule `(0, 0)`.
     pub fn none() -> Self {
-        ConstantControl { eps1: 0.0, eps2: 0.0 }
+        ConstantControl {
+            eps1: 0.0,
+            eps2: 0.0,
+        }
     }
 }
 
@@ -147,7 +150,7 @@ mod tests {
             c.eps1(t) + c.eps2(t)
         }
         let c = ConstantControl::new(0.1, 0.2);
-        assert!((sum_at(&c, 0.0) - 0.3).abs() < 1e-15);
+        assert!((sum_at(c, 0.0) - 0.3).abs() < 1e-15);
         let dynref: &dyn ControlSchedule = &c;
         assert!((sum_at(dynref, 0.0) - 0.3).abs() < 1e-15);
     }

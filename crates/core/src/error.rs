@@ -39,7 +39,10 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid parameter {name}: {message}")
             }
             CoreError::DimensionMismatch { expected, found } => {
-                write!(f, "state dimension mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "state dimension mismatch: expected {expected}, found {found}"
+                )
             }
             CoreError::NoEndemicEquilibrium { r0 } => {
                 write!(f, "endemic equilibrium does not exist (r0 = {r0} <= 1)")

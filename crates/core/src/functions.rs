@@ -75,7 +75,9 @@ impl AcceptanceRate {
         match *self {
             AcceptanceRate::Constant { lambda0 } | AcceptanceRate::LinearInDegree { lambda0 } => {
                 if !(lambda0 > 0.0) || !lambda0.is_finite() {
-                    return Err(format!("lambda0 must be positive and finite, got {lambda0}"));
+                    return Err(format!(
+                        "lambda0 must be positive and finite, got {lambda0}"
+                    ));
                 }
             }
             AcceptanceRate::Saturating { lambda_max, half_k } => {
@@ -206,15 +208,21 @@ mod tests {
     #[test]
     fn acceptance_validation() {
         assert!(AcceptanceRate::Constant { lambda0: 0.1 }.validate().is_ok());
-        assert!(AcceptanceRate::Constant { lambda0: 0.0 }.validate().is_err());
-        assert!(AcceptanceRate::LinearInDegree { lambda0: -1.0 }.validate().is_err());
+        assert!(AcceptanceRate::Constant { lambda0: 0.0 }
+            .validate()
+            .is_err());
+        assert!(AcceptanceRate::LinearInDegree { lambda0: -1.0 }
+            .validate()
+            .is_err());
         assert!(AcceptanceRate::Saturating {
             lambda_max: 0.5,
             half_k: 0.0
         }
         .validate()
         .is_err());
-        assert!(AcceptanceRate::Constant { lambda0: f64::NAN }.validate().is_err());
+        assert!(AcceptanceRate::Constant { lambda0: f64::NAN }
+            .validate()
+            .is_err());
     }
 
     #[test]
@@ -250,8 +258,18 @@ mod tests {
         assert!(Infectivity::Constant { c: 1.0 }.validate().is_ok());
         assert!(Infectivity::Constant { c: 0.0 }.validate().is_err());
         assert!(Infectivity::Linear.validate().is_ok());
-        assert!(Infectivity::Saturating { beta: 0.5, gamma: 0.5 }.validate().is_ok());
-        assert!(Infectivity::Saturating { beta: 0.0, gamma: 0.5 }.validate().is_err());
+        assert!(Infectivity::Saturating {
+            beta: 0.5,
+            gamma: 0.5
+        }
+        .validate()
+        .is_ok());
+        assert!(Infectivity::Saturating {
+            beta: 0.0,
+            gamma: 0.5
+        }
+        .validate()
+        .is_err());
         assert!(Infectivity::Saturating {
             beta: f64::NAN,
             gamma: 0.5

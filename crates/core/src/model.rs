@@ -71,7 +71,11 @@ impl<'p, C: ControlSchedule> RumorModel<'p, C> {
 
     /// Binds parameters to a schedule with an explicit
     /// [`MassConvention`].
-    pub fn with_convention(params: &'p ModelParams, control: C, convention: MassConvention) -> Self {
+    pub fn with_convention(
+        params: &'p ModelParams,
+        control: C,
+        convention: MassConvention,
+    ) -> Self {
         RumorModel {
             params,
             control,
@@ -212,7 +216,9 @@ mod tests {
     fn no_rumor_without_infected() {
         let p = tiny_params();
         let m = RumorModel::new(&p, ConstantControl::none());
-        let y = NetworkState::initial_from_infected(vec![0.0; 3]).unwrap().to_flat();
+        let y = NetworkState::initial_from_infected(vec![0.0; 3])
+            .unwrap()
+            .to_flat();
         let mut d = vec![0.0; 9];
         m.rhs(0.0, &y, &mut d);
         // With Θ = 0 and no controls, I stays zero.

@@ -234,7 +234,10 @@ mod tests {
     #[test]
     fn alpha_validation() {
         assert!(ModelParams::builder(classes()).alpha(-0.1).build().is_err());
-        assert!(ModelParams::builder(classes()).alpha(f64::NAN).build().is_err());
+        assert!(ModelParams::builder(classes())
+            .alpha(f64::NAN)
+            .build()
+            .is_err());
         assert!(ModelParams::builder(classes()).alpha(0.0).build().is_ok());
     }
 
@@ -244,20 +247,30 @@ mod tests {
             .acceptance(AcceptanceRate::Constant { lambda0: -1.0 })
             .build()
             .unwrap_err();
-        assert!(matches!(err, CoreError::InvalidParameter { name: "acceptance", .. }));
+        assert!(matches!(
+            err,
+            CoreError::InvalidParameter {
+                name: "acceptance",
+                ..
+            }
+        ));
         let err = ModelParams::builder(classes())
             .infectivity(Infectivity::Constant { c: 0.0 })
             .build()
             .unwrap_err();
-        assert!(matches!(err, CoreError::InvalidParameter { name: "infectivity", .. }));
+        assert!(matches!(
+            err,
+            CoreError::InvalidParameter {
+                name: "infectivity",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn with_acceptance_rescales_lambda() {
         let p = test_support::tiny_params();
-        let doubled = p
-            .with_acceptance(p.acceptance().scaled(2.0))
-            .unwrap();
+        let doubled = p.with_acceptance(p.acceptance().scaled(2.0)).unwrap();
         for (a, b) in p.lambda().iter().zip(doubled.lambda()) {
             assert!((2.0 * a - b).abs() < 1e-12);
         }

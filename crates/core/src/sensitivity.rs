@@ -128,7 +128,11 @@ mod tests {
         let h = 1e-7;
         // ∂r0/∂ε1.
         let fd1 = (r0(&p, eps1 + h, eps2).unwrap() - r0(&p, eps1 - h, eps2).unwrap()) / (2.0 * h);
-        assert!((s.d_eps1 - fd1).abs() / fd1.abs() < 1e-5, "{} vs {fd1}", s.d_eps1);
+        assert!(
+            (s.d_eps1 - fd1).abs() / fd1.abs() < 1e-5,
+            "{} vs {fd1}",
+            s.d_eps1
+        );
         // ∂r0/∂ε2.
         let fd2 = (r0(&p, eps1, eps2 + h).unwrap() - r0(&p, eps1, eps2 - h).unwrap()) / (2.0 * h);
         assert!((s.d_eps2 - fd2).abs() / fd2.abs() < 1e-5);
@@ -140,7 +144,11 @@ mod tests {
             .build()
             .unwrap();
         let fda = (r0(&bump, eps1, eps2).unwrap() - s.r0) / h;
-        assert!((s.d_alpha - fda).abs() / fda.abs() < 1e-4, "{} vs {fda}", s.d_alpha);
+        assert!(
+            (s.d_alpha - fda).abs() / fda.abs() < 1e-4,
+            "{} vs {fda}",
+            s.d_alpha
+        );
     }
 
     #[test]

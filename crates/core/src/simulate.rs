@@ -29,7 +29,10 @@ impl Trajectory {
     /// are not non-decreasing.
     pub fn from_parts(times: Vec<f64>, states: Vec<NetworkState>) -> Self {
         assert_eq!(times.len(), states.len(), "times/states length mismatch");
-        assert!(!times.is_empty(), "trajectory must have at least one sample");
+        assert!(
+            !times.is_empty(),
+            "trajectory must have at least one sample"
+        );
         assert!(
             times.windows(2).all(|w| w[1] >= w[0]),
             "times must be non-decreasing"
@@ -87,7 +90,10 @@ impl Trajectory {
 
     /// Per-sample total infected density `Σ_i I_i(t)`.
     pub fn total_infected_series(&self) -> Vec<f64> {
-        self.states.iter().map(NetworkState::total_infected).collect()
+        self.states
+            .iter()
+            .map(NetworkState::total_infected)
+            .collect()
     }
 
     /// The `S`, `I` and `R` series of a single degree class — the curves
@@ -306,7 +312,11 @@ mod tests {
         .unwrap();
         let dists = traj.dist_series(&e0).unwrap();
         assert!(dists[0] > 0.1);
-        assert!(*dists.last().unwrap() < 1e-3, "final dist {}", dists.last().unwrap());
+        assert!(
+            *dists.last().unwrap() < 1e-3,
+            "final dist {}",
+            dists.last().unwrap()
+        );
         // Infection dies out monotonically in the tail.
         let infected = traj.total_infected_series();
         assert!(*infected.last().unwrap() < 1e-4);
@@ -331,7 +341,11 @@ mod tests {
         )
         .unwrap();
         let dists = traj.dist_series(&ep).unwrap();
-        assert!(*dists.last().unwrap() < 1e-3, "final dist {}", dists.last().unwrap());
+        assert!(
+            *dists.last().unwrap() < 1e-3,
+            "final dist {}",
+            dists.last().unwrap()
+        );
         // Endemic: infection persists.
         assert!(traj.last_state().total_infected() > 1e-3);
     }
@@ -390,7 +404,9 @@ mod tests {
         // Bad grids.
         assert!(simulate_grid(&p, ConstantControl::none(), &init, &[0.0], &opts).is_err());
         assert!(simulate_grid(&p, ConstantControl::none(), &init, &[1.0, 2.0], &opts).is_err());
-        assert!(simulate_grid(&p, ConstantControl::none(), &init, &[0.0, 2.0, 1.0], &opts).is_err());
+        assert!(
+            simulate_grid(&p, ConstantControl::none(), &init, &[0.0, 2.0, 1.0], &opts).is_err()
+        );
     }
 
     #[test]

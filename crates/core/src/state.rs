@@ -10,7 +10,6 @@ use crate::{CoreError, Result};
 /// Densities of susceptible, infected and recovered users per degree
 /// class.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetworkState {
     s: Vec<f64>,
     i: Vec<f64>,

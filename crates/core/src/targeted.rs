@@ -162,8 +162,7 @@ impl ClassRates {
         let mut weights = Vec::with_capacity(n);
         let mut norm = 0.0;
         for i in 0..n {
-            let c_i = params.alpha() * params.lambda()[i] * params.phi()[i]
-                / params.mean_degree();
+            let c_i = params.alpha() * params.lambda()[i] * params.phi()[i] / params.mean_degree();
             let p_i = classes.probability(i);
             let w = (c_i / p_i).cbrt();
             if !(w > 0.0) || !w.is_finite() {
@@ -338,8 +337,16 @@ mod tests {
         // Skewed partition with enough distinct classes that a top-20%
         // population cut leaves the low-degree classes untargeted.
         let mut degrees = Vec::new();
-        for (k, count) in [(1, 50), (2, 50), (3, 50), (4, 30), (5, 20), (10, 10), (20, 5), (40, 5)]
-        {
+        for (k, count) in [
+            (1, 50),
+            (2, 50),
+            (3, 50),
+            (4, 30),
+            (5, 20),
+            (10, 10),
+            (20, 5),
+            (40, 5),
+        ] {
             degrees.extend(vec![k as usize; count]);
         }
         let classes = DegreeClasses::from_degrees(&degrees).unwrap();
@@ -394,7 +401,9 @@ mod tests {
         let y0 = NetworkState::initial_uniform(p.n_classes(), 0.1)
             .unwrap()
             .to_flat();
-        let a = Adaptive::new().integrate(&targeted, 0.0, &y0, 20.0).unwrap();
+        let a = Adaptive::new()
+            .integrate(&targeted, 0.0, &y0, 20.0)
+            .unwrap();
         let b = Adaptive::new().integrate(&base, 0.0, &y0, 20.0).unwrap();
         for (x, y) in a.last_state().iter().zip(b.last_state()) {
             assert!((x - y).abs() < 1e-8);
@@ -471,8 +480,7 @@ mod tests {
         let budget = 0.1;
         let optimal = ClassRates::r0_optimal(&p, budget, budget).unwrap();
         let uniform = ClassRates::uniform(p.n_classes(), budget, budget).unwrap();
-        let hub =
-            ClassRates::hub_targeted(p.classes(), (0.02, 0.02), (0.08, 0.08), 0.2).unwrap();
+        let hub = ClassRates::hub_targeted(p.classes(), (0.02, 0.02), (0.08, 0.08), 0.2).unwrap();
         // All three spend the same population budget.
         let bo = optimal.population_budget(p.classes()).unwrap();
         assert!((bo.0 - budget).abs() < 1e-9 && (bo.1 - budget).abs() < 1e-9);

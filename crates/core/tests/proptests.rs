@@ -1,10 +1,11 @@
 //! Property-based tests of the rumor-model invariants.
 
+// Index-based loops mirror the per-class stencils (workspace idiom).
+#![allow(clippy::needless_range_loop)]
+
 use proptest::prelude::*;
 use rumor_core::control::ConstantControl;
-use rumor_core::equilibrium::{
-    calibrate_acceptance, positive_equilibrium, r0, zero_equilibrium,
-};
+use rumor_core::equilibrium::{calibrate_acceptance, positive_equilibrium, r0, zero_equilibrium};
 use rumor_core::functions::{AcceptanceRate, Infectivity};
 use rumor_core::model::{MassConvention, RumorModel};
 use rumor_core::params::ModelParams;
@@ -17,11 +18,7 @@ fn degree_sequence() -> impl Strategy<Value = Vec<usize>> {
     proptest::collection::vec(1usize..30, 4..40)
 }
 
-fn params_from(
-    degrees: &[usize],
-    alpha: f64,
-    lambda0: f64,
-) -> ModelParams {
+fn params_from(degrees: &[usize], alpha: f64, lambda0: f64) -> ModelParams {
     let classes = rumor_net::degree::DegreeClasses::from_degrees(degrees).expect("classes");
     ModelParams::builder(classes)
         .alpha(alpha)

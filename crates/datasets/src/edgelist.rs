@@ -41,7 +41,9 @@ pub fn read_edge_list<R: Read>(reader: R, kind: EdgeKind) -> Result<Graph> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut parts = trimmed.split(|c: char| c.is_whitespace() || c == ',').filter(|s| !s.is_empty());
+        let mut parts = trimmed
+            .split(|c: char| c.is_whitespace() || c == ',')
+            .filter(|s| !s.is_empty());
         let parse = |tok: Option<&str>, lineno: usize| -> Result<u64> {
             let tok = tok.ok_or_else(|| DatasetError::ParseError {
                 line: lineno + 1,

@@ -71,7 +71,7 @@ mod tests {
     #[test]
     fn display_nonempty_and_sources_wired() {
         use std::error::Error;
-        let e = DatasetError::Io(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = DatasetError::Io(std::io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
         assert!(e.source().is_some());
         let p = DatasetError::ParseError {

@@ -7,7 +7,6 @@ use std::fmt;
 /// Headline statistics of a dataset, comparable against the published
 /// Digg2009 numbers.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DatasetSummary {
     /// Dataset name.
     pub name: String,
@@ -51,7 +50,11 @@ impl fmt::Display for DatasetSummary {
         writeln!(f, "  nodes:          {}", self.nodes)?;
         writeln!(f, "  arcs:           {}", self.arcs)?;
         writeln!(f, "  degree classes: {}", self.degree_classes)?;
-        writeln!(f, "  degree range:   [{}, {}]", self.min_degree, self.max_degree)?;
+        writeln!(
+            f,
+            "  degree range:   [{}, {}]",
+            self.min_degree, self.max_degree
+        )?;
         write!(f, "  mean degree:    {:.3}", self.mean_degree)
     }
 }

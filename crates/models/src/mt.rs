@@ -98,8 +98,14 @@ mod tests {
         let y0 = [0.99, 0.01, 0.0];
         let dk = DaleyKendall::new(1.0, 1.0, 1.0);
         let mt = MakiThompson::new(1.0, 1.0, 1.0);
-        let xf_dk = Adaptive::new().integrate(&dk, 0.0, &y0, 1000.0).unwrap().last_state()[0];
-        let xf_mt = Adaptive::new().integrate(&mt, 0.0, &y0, 1000.0).unwrap().last_state()[0];
+        let xf_dk = Adaptive::new()
+            .integrate(&dk, 0.0, &y0, 1000.0)
+            .unwrap()
+            .last_state()[0];
+        let xf_mt = Adaptive::new()
+            .integrate(&mt, 0.0, &y0, 1000.0)
+            .unwrap()
+            .last_state()[0];
         assert!(
             xf_mt < xf_dk,
             "mt final ignorants {xf_mt} should be below dk {xf_dk}"

@@ -84,7 +84,7 @@ mod tests {
         let m = HeterogeneousSis::new(&p, 0.5);
         assert!(m.threshold() < 1.0);
         let sol = Adaptive::new()
-            .integrate(&m, 0.0, &vec![0.2; 4], 200.0)
+            .integrate(&m, 0.0, &[0.2; 4], 200.0)
             .unwrap();
         assert!(sol.last_state().iter().all(|&i| i < 1e-6));
     }
@@ -95,7 +95,7 @@ mod tests {
         let m = HeterogeneousSis::new(&p, 0.05);
         assert!(m.threshold() > 1.0);
         let sol = Adaptive::new()
-            .integrate(&m, 0.0, &vec![0.01; 4], 500.0)
+            .integrate(&m, 0.0, &[0.01; 4], 500.0)
             .unwrap();
         let y = sol.last_state();
         assert!(y.iter().all(|&i| i > 0.01), "endemic: {y:?}");
@@ -110,10 +110,13 @@ mod tests {
         let p = params(1.0);
         let m = HeterogeneousSis::new(&p, 0.1);
         let sol = Adaptive::new()
-            .integrate(&m, 0.0, &vec![0.01; 4], 500.0)
+            .integrate(&m, 0.0, &[0.01; 4], 500.0)
             .unwrap();
         let y = sol.last_state();
-        assert!(y[0] < y[1] && y[1] < y[2] && y[2] < y[3], "prevalence ordering {y:?}");
+        assert!(
+            y[0] < y[1] && y[1] < y[2] && y[2] < y[3],
+            "prevalence ordering {y:?}"
+        );
     }
 
     #[test]
@@ -121,7 +124,7 @@ mod tests {
         let p = params(5.0);
         let m = HeterogeneousSis::new(&p, 0.01);
         let sol = Adaptive::new()
-            .integrate(&m, 0.0, &vec![0.99; 4], 100.0)
+            .integrate(&m, 0.0, &[0.99; 4], 100.0)
             .unwrap();
         for state in sol.states() {
             for &i in state {

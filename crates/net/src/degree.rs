@@ -28,7 +28,6 @@ use crate::{NetError, Result};
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DegreeClasses {
     degrees: Vec<usize>,
     probabilities: Vec<f64>,
@@ -47,7 +46,8 @@ impl DegreeClasses {
     ///
     /// Returns [`NetError::EmptyGraph`] if no node has positive degree.
     pub fn from_degrees(degrees: &[usize]) -> Result<Self> {
-        let mut histogram: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        let mut histogram: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
         for &d in degrees {
             if d > 0 {
                 *histogram.entry(d).or_insert(0) += 1;
@@ -223,7 +223,10 @@ impl DegreeClasses {
 
     /// Iterates over `(degree, probability)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.degrees.iter().copied().zip(self.probabilities.iter().copied())
+        self.degrees
+            .iter()
+            .copied()
+            .zip(self.probabilities.iter().copied())
     }
 
     /// Finds the class index of a given degree, if present.

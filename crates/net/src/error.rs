@@ -23,7 +23,10 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::NodeOutOfBounds { node, node_count } => {
-                write!(f, "node {node} out of bounds (graph has {node_count} nodes)")
+                write!(
+                    f,
+                    "node {node} out of bounds (graph has {node_count} nodes)"
+                )
             }
             NetError::InvalidGeneratorConfig(msg) => {
                 write!(f, "invalid generator configuration: {msg}")
@@ -45,7 +48,10 @@ mod tests {
     #[test]
     fn display_nonempty() {
         let errs = [
-            NetError::NodeOutOfBounds { node: 5, node_count: 3 },
+            NetError::NodeOutOfBounds {
+                node: 5,
+                node_count: 3,
+            },
             NetError::InvalidGeneratorConfig("m must be positive".into()),
             NetError::UnrealizableDegreeSequence("odd sum".into()),
             NetError::EmptyGraph,

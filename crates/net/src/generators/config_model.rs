@@ -117,8 +117,7 @@ mod tests {
         degrees.extend(vec![20usize; 100]);
         let g = configuration_model(&degrees, &mut rng).unwrap();
         // Hubs stay hubs, leaves stay leaves.
-        let hub_mean: f64 =
-            (900..1000).map(|u| g.degree(u) as f64).sum::<f64>() / 100.0;
+        let hub_mean: f64 = (900..1000).map(|u| g.degree(u) as f64).sum::<f64>() / 100.0;
         let leaf_mean: f64 = (0..900).map(|u| g.degree(u) as f64).sum::<f64>() / 900.0;
         assert!(hub_mean > 15.0, "hub mean {hub_mean}");
         assert!(leaf_mean <= 1.0 + 1e-9);

@@ -61,7 +61,9 @@ pub fn powerlaw_degree_sequence(
     rng: &mut impl Rng,
 ) -> Result<Vec<usize>> {
     if cfg.n == 0 {
-        return Err(NetError::InvalidGeneratorConfig("n must be positive".into()));
+        return Err(NetError::InvalidGeneratorConfig(
+            "n must be positive".into(),
+        ));
     }
     if cfg.gamma <= 1.0 {
         return Err(NetError::InvalidGeneratorConfig(format!(
@@ -70,7 +72,9 @@ pub fn powerlaw_degree_sequence(
         )));
     }
     if cfg.k_min == 0 {
-        return Err(NetError::InvalidGeneratorConfig("k_min must be at least 1".into()));
+        return Err(NetError::InvalidGeneratorConfig(
+            "k_min must be at least 1".into(),
+        ));
     }
     if cfg.k_max < cfg.k_min {
         return Err(NetError::InvalidGeneratorConfig(format!(
@@ -153,7 +157,13 @@ mod tests {
             force_even_sum: false,
             ..Default::default()
         };
-        let shallow = sample(&PowerlawSequenceConfig { gamma: 2.0, ..base.clone() }, 5);
+        let shallow = sample(
+            &PowerlawSequenceConfig {
+                gamma: 2.0,
+                ..base.clone()
+            },
+            5,
+        );
         let steep = sample(&PowerlawSequenceConfig { gamma: 3.5, ..base }, 5);
         let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len() as f64;
         assert!(mean(&shallow) > mean(&steep));
@@ -179,10 +189,23 @@ mod tests {
     fn invalid_configs_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
         for bad in [
-            PowerlawSequenceConfig { n: 0, ..Default::default() },
-            PowerlawSequenceConfig { gamma: 1.0, ..Default::default() },
-            PowerlawSequenceConfig { k_min: 0, ..Default::default() },
-            PowerlawSequenceConfig { k_min: 10, k_max: 5, ..Default::default() },
+            PowerlawSequenceConfig {
+                n: 0,
+                ..Default::default()
+            },
+            PowerlawSequenceConfig {
+                gamma: 1.0,
+                ..Default::default()
+            },
+            PowerlawSequenceConfig {
+                k_min: 0,
+                ..Default::default()
+            },
+            PowerlawSequenceConfig {
+                k_min: 10,
+                k_max: 5,
+                ..Default::default()
+            },
         ] {
             assert!(powerlaw_degree_sequence(&bad, &mut rng).is_err());
         }

@@ -4,7 +4,6 @@ use crate::{NetError, Result};
 
 /// Whether edges are interpreted one-way or both ways.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum EdgeKind {
     /// Each `(u, v)` pair adds `v` to `u`'s adjacency only.
     Directed,
@@ -32,7 +31,6 @@ pub enum EdgeKind {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Graph {
     offsets: Vec<usize>,
     targets: Vec<u32>,
@@ -163,12 +161,18 @@ impl Graph {
 
     /// Maximum degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.node_count()).map(|u| self.degree(u)).max().unwrap_or(0)
+        (0..self.node_count())
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree.
     pub fn min_degree(&self) -> usize {
-        (0..self.node_count()).map(|u| self.degree(u)).min().unwrap_or(0)
+        (0..self.node_count())
+            .map(|u| self.degree(u))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Returns a copy with self-loops and duplicate edges removed.

@@ -47,7 +47,10 @@ pub fn connected_components(graph: &Graph) -> Vec<usize> {
 
 /// Number of connected components.
 pub fn component_count(graph: &Graph) -> usize {
-    connected_components(graph).iter().max().map_or(0, |m| m + 1)
+    connected_components(graph)
+        .iter()
+        .max()
+        .map_or(0, |m| m + 1)
 }
 
 /// Size of the largest connected component (0 for an empty graph).
@@ -231,7 +234,8 @@ pub fn knn_by_degree(graph: &Graph) -> Result<Vec<(usize, f64)>> {
     if graph.node_count() == 0 || graph.edge_count() == 0 {
         return Err(NetError::EmptyGraph);
     }
-    let mut sums: std::collections::BTreeMap<usize, (f64, usize)> = std::collections::BTreeMap::new();
+    let mut sums: std::collections::BTreeMap<usize, (f64, usize)> =
+        std::collections::BTreeMap::new();
     for u in 0..graph.node_count() {
         let k = graph.degree(u);
         if k == 0 {
@@ -303,12 +307,8 @@ mod tests {
     #[test]
     fn clustering_known_mixed_value() {
         // Triangle 0-1-2 plus pendant 3 attached to 0.
-        let g = Graph::from_edges(
-            4,
-            &[(0, 1), (1, 2), (2, 0), (0, 3)],
-            EdgeKind::Undirected,
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)], EdgeKind::Undirected).unwrap();
         // Triangles (per-apex): 3. Triples: node0 C(3,2)=3, node1 1, node2 1, node3 0 → 5.
         assert!((global_clustering(&g).unwrap() - 3.0 / 5.0).abs() < 1e-12);
     }
@@ -329,15 +329,18 @@ mod tests {
     #[test]
     fn assortativity_undefined_on_regular_graph() {
         // 4-cycle: every endpoint degree is 2.
-        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], EdgeKind::Undirected)
-            .unwrap();
+        let g =
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], EdgeKind::Undirected).unwrap();
         assert!(degree_assortativity(&g).is_err());
     }
 
     #[test]
     fn assortativity_no_edges_errors() {
         let g = Graph::from_edges(3, &[], EdgeKind::Undirected).unwrap();
-        assert!(matches!(degree_assortativity(&g), Err(NetError::EmptyGraph)));
+        assert!(matches!(
+            degree_assortativity(&g),
+            Err(NetError::EmptyGraph)
+        ));
     }
 
     #[test]
@@ -413,8 +416,12 @@ mod tests {
     #[test]
     fn knn_regular_graph_is_flat() {
         // Cycle: every node and neighbour has degree 2.
-        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], EdgeKind::Undirected)
-            .unwrap();
+        let g = Graph::from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
+            EdgeKind::Undirected,
+        )
+        .unwrap();
         let knn = knn_by_degree(&g).unwrap();
         assert_eq!(knn, vec![(2, 2.0)]);
     }

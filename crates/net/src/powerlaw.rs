@@ -12,7 +12,6 @@ use rumor_numerics::stats::linear_fit;
 
 /// Result of a power-law fit.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerlawFit {
     /// Estimated exponent `γ` in `P(k) ∝ k^{-γ}`.
     pub gamma: f64,
@@ -32,7 +31,9 @@ pub struct PowerlawFit {
 /// lie at or above `k_min`, or if `k_min == 0`.
 pub fn mle_exponent(degrees: &[usize], k_min: usize) -> Result<PowerlawFit> {
     if k_min == 0 {
-        return Err(NetError::InvalidGeneratorConfig("k_min must be at least 1".into()));
+        return Err(NetError::InvalidGeneratorConfig(
+            "k_min must be at least 1".into(),
+        ));
     }
     let tail: Vec<usize> = degrees.iter().copied().filter(|&k| k >= k_min).collect();
     if tail.len() < 2 {
@@ -67,7 +68,9 @@ pub fn mle_exponent(degrees: &[usize], k_min: usize) -> Result<PowerlawFit> {
 /// degrees survive the `k_min` cut.
 pub fn loglog_exponent(degrees: &[usize], k_min: usize) -> Result<PowerlawFit> {
     if k_min == 0 {
-        return Err(NetError::InvalidGeneratorConfig("k_min must be at least 1".into()));
+        return Err(NetError::InvalidGeneratorConfig(
+            "k_min must be at least 1".into(),
+        ));
     }
     let mut hist: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
     let mut tail_len = 0usize;
@@ -89,9 +92,8 @@ pub fn loglog_exponent(degrees: &[usize], k_min: usize) -> Result<PowerlawFit> {
     let total = tail_len as f64;
     let xs: Vec<f64> = hist.keys().map(|&k| (k as f64).ln()).collect();
     let ys: Vec<f64> = hist.values().map(|&c| (c as f64 / total).ln()).collect();
-    let fit = linear_fit(&xs, &ys).map_err(|e| {
-        NetError::InvalidGeneratorConfig(format!("log-log regression failed: {e}"))
-    })?;
+    let fit = linear_fit(&xs, &ys)
+        .map_err(|e| NetError::InvalidGeneratorConfig(format!("log-log regression failed: {e}")))?;
     Ok(PowerlawFit {
         gamma: -fit.slope,
         k_min,

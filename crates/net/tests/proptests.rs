@@ -1,5 +1,8 @@
 //! Property-based tests of the graph substrate.
 
+// Index-based loops mirror the per-class stencils (workspace idiom).
+#![allow(clippy::needless_range_loop)]
+
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -153,14 +153,15 @@ fn eig2x2(a: f64, b: f64, c: f64, d: f64) -> (Complex, Complex) {
         // Stable computation: avoid cancellation by computing the larger
         // root first and deriving the other from the determinant.
         let r1 = tr / 2.0 + if tr >= 0.0 { sq } else { -sq };
-        let r2 = if r1 != 0.0 { det / r1 } else { tr / 2.0 - sq.copysign(tr) };
+        let r2 = if r1 != 0.0 {
+            det / r1
+        } else {
+            tr / 2.0 - sq.copysign(tr)
+        };
         (Complex::real(r1), Complex::real(r2))
     } else {
         let im = (-disc).sqrt();
-        (
-            Complex::new(tr / 2.0, im),
-            Complex::new(tr / 2.0, -im),
-        )
+        (Complex::new(tr / 2.0, im), Complex::new(tr / 2.0, -im))
     }
 }
 
@@ -366,10 +367,7 @@ pub fn is_hurwitz(a: &Matrix) -> Result<bool> {
 ///
 /// Propagates errors from [`eigenvalues`].
 pub fn spectral_radius(a: &Matrix) -> Result<f64> {
-    Ok(eigenvalues(a)?
-        .iter()
-        .map(Complex::abs)
-        .fold(0.0, f64::max))
+    Ok(eigenvalues(a)?.iter().map(Complex::abs).fold(0.0, f64::max))
 }
 
 #[cfg(test)]
@@ -396,12 +394,8 @@ mod tests {
 
     #[test]
     fn upper_triangular_eigs_are_diagonal() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 5.0, -3.0],
-            &[0.0, 2.0, 9.0],
-            &[0.0, 0.0, -4.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[1.0, 5.0, -3.0], &[0.0, 2.0, 9.0], &[0.0, 0.0, -4.0]]).unwrap();
         let re = sorted_real(&eigenvalues(&a).unwrap());
         assert!((re[0] + 4.0).abs() < 1e-9);
         assert!((re[1] - 1.0).abs() < 1e-9);
@@ -423,12 +417,8 @@ mod tests {
     #[test]
     fn companion_matrix_roots() {
         // Companion matrix of x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3).
-        let a = Matrix::from_rows(&[
-            &[6.0, -11.0, 6.0],
-            &[1.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]).unwrap();
         let re = sorted_real(&eigenvalues(&a).unwrap());
         assert!((re[0] - 1.0).abs() < 1e-8);
         assert!((re[1] - 2.0).abs() < 1e-8);
@@ -438,12 +428,8 @@ mod tests {
     #[test]
     fn companion_with_complex_roots() {
         // x^3 - x^2 + x - 1 = (x-1)(x^2+1): roots 1, ±i.
-        let a = Matrix::from_rows(&[
-            &[1.0, -1.0, 1.0],
-            &[1.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[1.0, -1.0, 1.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]).unwrap();
         let eigs = eigenvalues(&a).unwrap();
         let n_complex = eigs.iter().filter(|c| c.im.abs() > 0.5).count();
         assert_eq!(n_complex, 2);
@@ -480,7 +466,10 @@ mod tests {
         let eigs = eigenvalues(&a).unwrap();
         let sum_re: f64 = eigs.iter().map(|c| c.re).sum();
         let sum_im: f64 = eigs.iter().map(|c| c.im).sum();
-        assert!((sum_re - a.trace()).abs() < 1e-7, "trace mismatch: {sum_re}");
+        assert!(
+            (sum_re - a.trace()).abs() < 1e-7,
+            "trace mismatch: {sum_re}"
+        );
         assert!(sum_im.abs() < 1e-7, "imaginary parts must cancel");
         let det = crate::lu::det(&a).unwrap();
         // Product of complex eigenvalues (real part only survives).
@@ -490,7 +479,10 @@ mod tests {
             pr = nr;
             pi = ni;
         }
-        assert!((pr - det).abs() < 1e-5 * det.abs().max(1.0), "det mismatch: {pr} vs {det}");
+        assert!(
+            (pr - det).abs() < 1e-5 * det.abs().max(1.0),
+            "det mismatch: {pr} vs {det}"
+        );
         assert!(pi.abs() < 1e-5 * det.abs().max(1.0));
     }
 

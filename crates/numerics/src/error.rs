@@ -43,7 +43,10 @@ impl fmt::Display for NumericsError {
             NumericsError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             NumericsError::InvalidBracket { a, b } => {
                 write!(f, "interval [{a}, {b}] does not bracket a root")
             }

@@ -172,7 +172,11 @@ impl PchipInterp {
         );
         ds[n - 1] = endpoint_derivative(
             xs[n - 1] - xs[n - 2],
-            if n > 2 { xs[n - 2] - xs[n - 3] } else { xs[n - 1] - xs[n - 2] },
+            if n > 2 {
+                xs[n - 2] - xs[n - 3]
+            } else {
+                xs[n - 1] - xs[n - 2]
+            },
             slopes[n - 2],
             if n > 2 { slopes[n - 3] } else { slopes[n - 2] },
         );

@@ -180,7 +180,9 @@ impl Matrix {
 
     /// Returns the main diagonal as an owned vector.
     pub fn diag(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Returns the transpose.
@@ -317,14 +319,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -333,7 +341,11 @@ impl Add<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn add(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in add");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in add"
+        );
         let mut out = self.clone();
         out += rhs;
         out
@@ -344,7 +356,11 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in sub");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in sub"
+        );
         let mut out = self.clone();
         out -= rhs;
         out
@@ -353,7 +369,11 @@ impl Sub<&Matrix> for &Matrix {
 
 impl AddAssign<&Matrix> for Matrix {
     fn add_assign(&mut self, rhs: &Matrix) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in add");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in add"
+        );
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a += b;
         }
@@ -362,7 +382,11 @@ impl AddAssign<&Matrix> for Matrix {
 
 impl SubAssign<&Matrix> for Matrix {
     fn sub_assign(&mut self, rhs: &Matrix) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in sub");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in sub"
+        );
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a -= b;
         }

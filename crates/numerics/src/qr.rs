@@ -154,8 +154,12 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_matrix() {
-        let a = Matrix::from_rows(&[&[12.0, -51.0, 4.0], &[6.0, 167.0, -68.0], &[-4.0, 24.0, -41.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[
+            &[12.0, -51.0, 4.0],
+            &[6.0, 167.0, -68.0],
+            &[-4.0, 24.0, -41.0],
+        ])
+        .unwrap();
         let qr = Qr::decompose(&a).unwrap();
         let recon = qr.q().matmul(qr.r()).unwrap();
         assert!(recon.approx_eq(&a, 1e-10));

@@ -47,19 +47,16 @@ pub fn simpson(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, n: usize) -> Resul
 ///
 /// * [`NumericsError::InvalidArgument`] if `a > b` or `tol <= 0`.
 /// * [`NumericsError::NoConvergence`] if the recursion depth limit is hit.
-pub fn adaptive_simpson(
-    f: &mut impl FnMut(f64) -> f64,
-    a: f64,
-    b: f64,
-    tol: f64,
-) -> Result<f64> {
+pub fn adaptive_simpson(f: &mut impl FnMut(f64) -> f64, a: f64, b: f64, tol: f64) -> Result<f64> {
     if a > b {
         return Err(NumericsError::InvalidArgument(format!(
             "interval start {a} exceeds end {b}"
         )));
     }
     if tol <= 0.0 {
-        return Err(NumericsError::InvalidArgument("tolerance must be positive".into()));
+        return Err(NumericsError::InvalidArgument(
+            "tolerance must be positive".into(),
+        ));
     }
     if a == b {
         return Ok(0.0);

@@ -51,10 +51,18 @@ pub fn bisect(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, cfg: &RootConfig) -
     let mut flo = f(lo);
     let fhi = f(hi);
     if flo == 0.0 {
-        return Ok(Root { x: lo, f: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: lo,
+            f: 0.0,
+            iterations: 0,
+        });
     }
     if fhi == 0.0 {
-        return Ok(Root { x: hi, f: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: hi,
+            f: 0.0,
+            iterations: 0,
+        });
     }
     if flo.signum() == fhi.signum() {
         return Err(NumericsError::InvalidBracket { a: lo, b: hi });
@@ -63,7 +71,11 @@ pub fn bisect(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, cfg: &RootConfig) -
         let mid = 0.5 * (lo + hi);
         let fmid = f(mid);
         if fmid.abs() <= cfg.f_tol || (hi - lo) * 0.5 <= cfg.x_tol {
-            return Ok(Root { x: mid, f: fmid, iterations: it });
+            return Ok(Root {
+                x: mid,
+                f: fmid,
+                iterations: it,
+            });
         }
         if fmid.signum() == flo.signum() {
             lo = mid;
@@ -96,7 +108,11 @@ pub fn newton(
     for it in 1..=cfg.max_iter {
         let fx = f(x);
         if fx.abs() <= cfg.f_tol {
-            return Ok(Root { x, f: fx, iterations: it });
+            return Ok(Root {
+                x,
+                f: fx,
+                iterations: it,
+            });
         }
         let dfx = df(x);
         if dfx == 0.0 || !dfx.is_finite() {
@@ -107,7 +123,11 @@ pub fn newton(
         let step = fx / dfx;
         x -= step;
         if step.abs() <= cfg.x_tol {
-            return Ok(Root { x, f: f(x), iterations: it });
+            return Ok(Root {
+                x,
+                f: f(x),
+                iterations: it,
+            });
         }
     }
     Err(NumericsError::NoConvergence {
@@ -130,10 +150,18 @@ pub fn brent(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, cfg: &RootConfig) ->
     let mut fa = f(a);
     let mut fb = f(b);
     if fa == 0.0 {
-        return Ok(Root { x: a, f: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: a,
+            f: 0.0,
+            iterations: 0,
+        });
     }
     if fb == 0.0 {
-        return Ok(Root { x: b, f: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: b,
+            f: 0.0,
+            iterations: 0,
+        });
     }
     if fa.signum() == fb.signum() {
         return Err(NumericsError::InvalidBracket { a, b });
@@ -149,7 +177,11 @@ pub fn brent(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, cfg: &RootConfig) ->
 
     for it in 1..=cfg.max_iter {
         if fb.abs() <= cfg.f_tol {
-            return Ok(Root { x: b, f: fb, iterations: it });
+            return Ok(Root {
+                x: b,
+                f: fb,
+                iterations: it,
+            });
         }
         let mut s = if fa != fc && fb != fc {
             // Inverse quadratic interpolation.
@@ -194,7 +226,11 @@ pub fn brent(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, cfg: &RootConfig) ->
             std::mem::swap(&mut fa, &mut fb);
         }
         if (b - a).abs() <= cfg.x_tol {
-            return Ok(Root { x: b, f: fb, iterations: it });
+            return Ok(Root {
+                x: b,
+                f: fb,
+                iterations: it,
+            });
         }
     }
     Err(NumericsError::NoConvergence {
@@ -287,8 +323,16 @@ mod tests {
 
     #[test]
     fn brent_endpoint_roots() {
-        assert_eq!(brent(|x| x, 0.0, 1.0, &RootConfig::default()).unwrap().x, 0.0);
-        assert_eq!(brent(|x| x - 1.0, 0.0, 1.0, &RootConfig::default()).unwrap().x, 1.0);
+        assert_eq!(
+            brent(|x| x, 0.0, 1.0, &RootConfig::default()).unwrap().x,
+            0.0
+        );
+        assert_eq!(
+            brent(|x| x - 1.0, 0.0, 1.0, &RootConfig::default())
+                .unwrap()
+                .x,
+            1.0
+        );
     }
 
     #[test]

@@ -94,7 +94,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LineFit> {
             e * e
         })
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     Ok(LineFit {
         slope,
         intercept,
@@ -117,11 +121,15 @@ pub fn weighted_mean(xs: &[f64], ws: &[f64]) -> Result<f64> {
         });
     }
     if ws.iter().any(|&w| w < 0.0) {
-        return Err(NumericsError::InvalidArgument("weights must be non-negative".into()));
+        return Err(NumericsError::InvalidArgument(
+            "weights must be non-negative".into(),
+        ));
     }
     let wsum: f64 = ws.iter().sum();
     if wsum <= 0.0 {
-        return Err(NumericsError::InvalidArgument("weights must sum to a positive value".into()));
+        return Err(NumericsError::InvalidArgument(
+            "weights must sum to a positive value".into(),
+        ));
     }
     Ok(xs.iter().zip(ws).map(|(x, w)| x * w).sum::<f64>() / wsum)
 }
@@ -212,9 +220,7 @@ impl RunningStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         *self = RunningStats { n, mean, m2 };
     }
 }

@@ -114,7 +114,7 @@ proptest! {
         let ts: Vec<f64> = vec![0.0, 0.3, 0.7, 1.3, 2.0];
         let ys: Vec<f64> = ts.iter().map(|&t| slope * t + intercept).collect();
         let v = trapezoid_sampled(&ts, &ys).expect("quad");
-        let exact = slope * 2.0 as f64 * 2.0 / 2.0 + intercept * 2.0;
+        let exact = slope * 2.0_f64 * 2.0 / 2.0 + intercept * 2.0;
         prop_assert!((v - exact).abs() < 1e-10);
     }
 

@@ -40,6 +40,23 @@ pub enum OdeError {
         /// Iterations attempted.
         iterations: usize,
     },
+    /// A driver or recovery-policy configuration field was rejected up
+    /// front (non-finite, out of range, or inconsistent with another
+    /// field) before any integration ran.
+    InvalidConfig {
+        /// The offending field, e.g. `"rtol"`.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The guarded integrator exhausted its fallback chain and retry
+    /// budget without crossing a troubled segment.
+    RecoveryExhausted {
+        /// Time up to which a valid trajectory exists.
+        t: f64,
+        /// Fallback engagements attempted before giving up.
+        attempts: usize,
+    },
     /// An underlying linear-algebra operation failed.
     Numerics(rumor_numerics::NumericsError),
 }
@@ -48,7 +65,10 @@ impl fmt::Display for OdeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OdeError::DimensionMismatch { expected, found } => {
-                write!(f, "state dimension mismatch: system has {expected}, state has {found}")
+                write!(
+                    f,
+                    "state dimension mismatch: system has {expected}, state has {found}"
+                )
             }
             OdeError::InvalidStep(msg) => write!(f, "invalid step configuration: {msg}"),
             OdeError::StepSizeUnderflow { t, h } => {
@@ -59,7 +79,19 @@ impl fmt::Display for OdeError {
             }
             OdeError::NonFiniteState { t } => write!(f, "non-finite state at t = {t}"),
             OdeError::NewtonFailed { t, iterations } => {
-                write!(f, "newton iteration failed at t = {t} after {iterations} iterations")
+                write!(
+                    f,
+                    "newton iteration failed at t = {t} after {iterations} iterations"
+                )
+            }
+            OdeError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration field {field}: {reason}")
+            }
+            OdeError::RecoveryExhausted { t, attempts } => {
+                write!(
+                    f,
+                    "recovery exhausted after {attempts} fallback attempt(s); valid trajectory ends at t = {t}"
+                )
             }
             OdeError::Numerics(e) => write!(f, "numerics error: {e}"),
         }
@@ -88,12 +120,21 @@ mod tests {
     #[test]
     fn display_nonempty() {
         let errs = [
-            OdeError::DimensionMismatch { expected: 3, found: 2 },
+            OdeError::DimensionMismatch {
+                expected: 3,
+                found: 2,
+            },
             OdeError::InvalidStep("h must be positive".into()),
             OdeError::StepSizeUnderflow { t: 1.0, h: 1e-18 },
-            OdeError::TooManySteps { max_steps: 10, t: 0.5 },
+            OdeError::TooManySteps {
+                max_steps: 10,
+                t: 0.5,
+            },
             OdeError::NonFiniteState { t: 2.0 },
-            OdeError::NewtonFailed { t: 0.1, iterations: 25 },
+            OdeError::NewtonFailed {
+                t: 0.1,
+                iterations: 25,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

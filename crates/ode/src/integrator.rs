@@ -149,7 +149,7 @@ impl<S: Stepper> FixedStep<S> {
 
         for k in 0..n_steps {
             let t = t0 + k as f64 * h_eff;
-            self.stepper.step(&sys, t, &y, h_eff, &mut out);
+            self.stepper.fallible_step(&sys, t, &y, h_eff, &mut out)?;
             if out.iter().any(|v| !v.is_finite()) {
                 return Err(OdeError::NonFiniteState { t: t + h_eff });
             }
@@ -225,6 +225,60 @@ impl Default for AdaptiveConfig {
     }
 }
 
+impl AdaptiveConfig {
+    /// Validates every field up front so a bad configuration surfaces as
+    /// a structured [`OdeError::InvalidConfig`] instead of propagating
+    /// NaN through an integration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdeError::InvalidConfig`] naming the offending field
+    /// when a tolerance is non-positive or non-finite, a step bound is
+    /// negative, non-finite (`h_max = ∞` is allowed), or inverted
+    /// (`h_min > h_max`), `h0` is non-positive or non-finite, or
+    /// `max_steps` is zero.
+    pub fn validate(&self) -> Result<()> {
+        let bad =
+            |field: &'static str, reason: String| Err(OdeError::InvalidConfig { field, reason });
+        if !(self.rtol > 0.0) || !self.rtol.is_finite() {
+            return bad(
+                "rtol",
+                format!("must be positive and finite, got {}", self.rtol),
+            );
+        }
+        if !(self.atol > 0.0) || !self.atol.is_finite() {
+            return bad(
+                "atol",
+                format!("must be positive and finite, got {}", self.atol),
+            );
+        }
+        if let Some(h0) = self.h0 {
+            if !(h0 > 0.0) || !h0.is_finite() {
+                return bad("h0", format!("must be positive and finite, got {h0}"));
+            }
+        }
+        if !(self.h_max > 0.0) {
+            return bad("h_max", format!("must be positive, got {}", self.h_max));
+        }
+        if !(self.h_min >= 0.0) || !self.h_min.is_finite() {
+            return bad(
+                "h_min",
+                format!("must be non-negative and finite, got {}", self.h_min),
+            );
+        }
+        if self.h_min > self.h_max {
+            return bad(
+                "h_min",
+                format!("must not exceed h_max, got {} > {}", self.h_min, self.h_max),
+            );
+        }
+        if self.max_steps == 0 {
+            return bad("max_steps", "must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// Adaptive Dormand–Prince 5(4) driver with a PI step-size controller.
 #[derive(Debug, Clone, Default)]
 pub struct Adaptive {
@@ -286,9 +340,7 @@ impl Adaptive {
     ) -> Result<Run> {
         validate_initial(&sys, y0)?;
         let cfg = self.config.clone();
-        if !(cfg.rtol > 0.0 && cfg.atol > 0.0) {
-            return Err(OdeError::InvalidStep("tolerances must be positive".into()));
-        }
+        cfg.validate()?;
         let span = tf - t0;
         let mut solution = Solution::new();
         let mut y = y0.to_vec();
@@ -324,7 +376,8 @@ impl Adaptive {
             if ((t + h) - tf) * dir > 0.0 {
                 h = tf - t;
             }
-            self.stepper.step_with_error(&sys, t, &y, h, &mut out, &mut err);
+            self.stepper
+                .step_with_error(&sys, t, &y, h, &mut out, &mut err);
             if out.iter().any(|v| !v.is_finite()) {
                 return Err(OdeError::NonFiniteState { t: t + h });
             }
@@ -508,7 +561,9 @@ mod tests {
 
     #[test]
     fn adaptive_decay_high_accuracy() {
-        let sol = Adaptive::new().integrate(&decay(), 0.0, &[1.0], 5.0).unwrap();
+        let sol = Adaptive::new()
+            .integrate(&decay(), 0.0, &[1.0], 5.0)
+            .unwrap();
         assert!((sol.last_state()[0] - (-5.0_f64).exp()).abs() < 1e-8);
     }
 
@@ -543,7 +598,9 @@ mod tests {
 
     #[test]
     fn adaptive_backward_integration() {
-        let sol = Adaptive::new().integrate(&decay(), 1.0, &[0.5], 0.0).unwrap();
+        let sol = Adaptive::new()
+            .integrate(&decay(), 1.0, &[0.5], 0.0)
+            .unwrap();
         assert_eq!(sol.last_time(), 0.0);
         assert!((sol.last_state()[0] - 0.5 * 1.0_f64.exp()).abs() < 1e-7);
     }
@@ -581,7 +638,9 @@ mod tests {
 
     #[test]
     fn adaptive_zero_span_is_identity() {
-        let sol = Adaptive::new().integrate(&decay(), 2.0, &[3.0], 2.0).unwrap();
+        let sol = Adaptive::new()
+            .integrate(&decay(), 2.0, &[3.0], 2.0)
+            .unwrap();
         assert_eq!(sol.len(), 1);
         assert_eq!(sol.last_state(), &[3.0]);
     }

@@ -46,7 +46,9 @@
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::manual_is_multiple_of)]
 
+pub mod fault;
 pub mod integrator;
+pub mod recovery;
 pub mod solution;
 pub mod steppers;
 pub mod system;

@@ -1,0 +1,610 @@
+//! Guarded integration: a stepper fallback chain with bounded retries.
+//!
+//! The plain [`Adaptive`](crate::integrator::Adaptive) driver turns any
+//! numerical trouble — a non-finite right-hand side, a step-size
+//! underflow, an exhausted step budget — into a hard error, which is the
+//! right default for a library but the wrong behavior for a production
+//! sweep over thousands of parameter sets. [`Guarded`] instead treats
+//! such failures as *recoverable segments*:
+//!
+//! 1. The primary driver (Dormand–Prince 5(4)) integrates as far as it
+//!    can; every accepted step is retained.
+//! 2. On failure, a **trouble window** past the last good state is
+//!    crossed with a fallback chain: fixed-step RK4 with step-size
+//!    backoff (halving), then implicit Euler for stiff segments.
+//! 3. If every stepper fails, the window is optionally **quarantined**:
+//!    the state is held constant across it (zero-order hold), the span
+//!    is recorded, and integration resumes on the far side.
+//! 4. The primary driver takes over again after each rescued window.
+//!
+//! Every engagement is logged in a [`RecoveryReport`], and the total
+//! number of engagements is bounded by [`RecoveryPolicy::max_fallbacks`]
+//! so a pathological system cannot spin forever.
+
+use crate::integrator::{Adaptive, AdaptiveConfig, FixedStep};
+use crate::solution::Solution;
+use crate::steppers::{ImplicitEuler, Rk4};
+use crate::system::OdeSystem;
+use crate::{OdeError, Result};
+
+/// Which link of the fallback chain handled (or failed to handle) a
+/// troubled segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackStage {
+    /// Fixed-step classic RK4 with step-size backoff.
+    Rk4Backoff,
+    /// Fixed-step implicit (backward) Euler, for stiff segments.
+    ImplicitEuler,
+    /// Zero-order hold across the window (last resort).
+    Quarantine,
+}
+
+impl std::fmt::Display for FallbackStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FallbackStage::Rk4Backoff => write!(f, "rk4-backoff"),
+            FallbackStage::ImplicitEuler => write!(f, "implicit-euler"),
+            FallbackStage::Quarantine => write!(f, "quarantine"),
+        }
+    }
+}
+
+/// One fallback engagement: what failed, where, and what rescued it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvent {
+    /// Time of the primary driver's failure.
+    pub t_fail: f64,
+    /// The error the primary driver reported.
+    pub failure: OdeError,
+    /// The trouble window `(from, to)` the chain attempted to cross.
+    pub window: (f64, f64),
+    /// The stage that crossed the window, or `None` if the whole chain
+    /// failed on this window (the run then ends incomplete).
+    pub rescued_by: Option<FallbackStage>,
+}
+
+/// Structured account of everything the guard did during one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// One entry per fallback engagement, in time order.
+    pub events: Vec<RecoveryEvent>,
+    /// Spans crossed by zero-order hold; non-empty means parts of the
+    /// trajectory are *extrapolated*, not integrated.
+    pub quarantined: Vec<(f64, f64)>,
+    /// Whether the run reached the requested final time.
+    pub completed: bool,
+}
+
+impl RecoveryReport {
+    /// `true` when the primary driver handled the whole run alone.
+    pub fn is_clean(&self) -> bool {
+        self.events.is_empty() && self.completed
+    }
+
+    /// `true` when any window had to be quarantined (the result is
+    /// degraded: valid, but partially extrapolated).
+    pub fn degraded(&self) -> bool {
+        !self.quarantined.is_empty() || !self.completed
+    }
+
+    /// One-line human-readable summary for logs and CLI output.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            return "clean run (no fallbacks engaged)".to_string();
+        }
+        let rescued = self
+            .events
+            .iter()
+            .filter(|e| e.rescued_by.is_some())
+            .count();
+        format!(
+            "{} fallback engagement(s), {} rescued, {} window(s) quarantined, completed: {}",
+            self.events.len(),
+            rescued,
+            self.quarantined.len(),
+            self.completed
+        )
+    }
+}
+
+/// Tuning knobs of the fallback chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Total fallback engagements allowed per run.
+    pub max_fallbacks: usize,
+    /// RK4 substeps used to cross a trouble window at backoff level 0.
+    pub rk4_substeps: usize,
+    /// Number of step-halving levels the RK4 stage tries.
+    pub rk4_backoff_levels: usize,
+    /// Implicit-Euler substeps used to cross a trouble window.
+    pub implicit_substeps: usize,
+    /// Trouble-window length as a fraction of the full span.
+    pub window_fraction: f64,
+    /// Whether the zero-order-hold quarantine stage is allowed.
+    pub quarantine: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_fallbacks: 8,
+            rk4_substeps: 64,
+            rk4_backoff_levels: 3,
+            implicit_substeps: 48,
+            window_fraction: 0.04,
+            quarantine: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Validates every field, mirroring [`AdaptiveConfig::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdeError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        let bad =
+            |field: &'static str, reason: String| Err(OdeError::InvalidConfig { field, reason });
+        if self.max_fallbacks == 0 {
+            return bad("max_fallbacks", "must be at least 1".into());
+        }
+        if self.rk4_substeps == 0 {
+            return bad("rk4_substeps", "must be at least 1".into());
+        }
+        if self.implicit_substeps == 0 {
+            return bad("implicit_substeps", "must be at least 1".into());
+        }
+        if !(self.window_fraction > 0.0 && self.window_fraction <= 0.5) {
+            return bad(
+                "window_fraction",
+                format!("must lie in (0, 0.5], got {}", self.window_fraction),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of a guarded run: the stitched trajectory plus the
+/// recovery report. The solution is always non-empty and ends at the
+/// last time the guard could reach (equal to the requested final time
+/// iff `report.completed`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardedRun {
+    /// The stitched trajectory.
+    pub solution: Solution,
+    /// What the guard had to do to produce it.
+    pub report: RecoveryReport,
+}
+
+/// Is this failure worth engaging the fallback chain for (as opposed to
+/// a caller bug such as a dimension mismatch)?
+fn recoverable(e: &OdeError) -> bool {
+    matches!(
+        e,
+        OdeError::NonFiniteState { .. }
+            | OdeError::StepSizeUnderflow { .. }
+            | OdeError::TooManySteps { .. }
+            | OdeError::NewtonFailed { .. }
+            | OdeError::Numerics(_)
+    )
+}
+
+/// Adaptive integration hardened by the fallback chain.
+///
+/// # Example
+///
+/// ```
+/// use rumor_ode::fault::{FaultSchedule, FaultyRhs};
+/// use rumor_ode::recovery::Guarded;
+/// use rumor_ode::system::FnSystem;
+///
+/// # fn main() -> Result<(), rumor_ode::OdeError> {
+/// let decay = FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = -y[0]);
+/// // Corrupt the RHS with a NaN window mid-run; the guard quarantines it.
+/// let faulty = FaultyRhs::new(&decay, FaultSchedule::new().nan_at(0.5, 0.05));
+/// let run = Guarded::new().run(&faulty, 0.0, &[1.0], 2.0)?;
+/// assert!(run.report.completed);
+/// assert!(!run.report.events.is_empty());
+/// assert!((run.solution.last_state()[0] - (-2.0_f64).exp()).abs() < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Guarded {
+    config: AdaptiveConfig,
+    policy: RecoveryPolicy,
+}
+
+impl Guarded {
+    /// A guard with default tolerances and policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A guard with explicit integrator tolerances and fallback policy.
+    pub fn with_config(config: AdaptiveConfig, policy: RecoveryPolicy) -> Self {
+        Guarded { config, policy }
+    }
+
+    /// The active integrator configuration.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// The active recovery policy.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// Integrates `(t0, y0) → tf`, engaging the fallback chain as
+    /// needed, and returns the trajectory with its [`RecoveryReport`].
+    ///
+    /// The returned run may be *incomplete* (`report.completed ==
+    /// false`) when the retry budget is exhausted; use
+    /// [`Guarded::integrate`] to turn that into a hard error instead.
+    ///
+    /// # Errors
+    ///
+    /// Only non-recoverable failures are returned as errors: invalid
+    /// configuration or policy, and an invalid initial state.
+    pub fn run(
+        &mut self,
+        sys: &(impl OdeSystem + ?Sized),
+        t0: f64,
+        y0: &[f64],
+        tf: f64,
+    ) -> Result<GuardedRun> {
+        self.config.validate()?;
+        self.policy.validate()?;
+
+        let span = tf - t0;
+        let mut solution = Solution::new();
+        solution.push(t0, y0.to_vec());
+        let mut report = RecoveryReport::default();
+        if span == 0.0 {
+            report.completed = true;
+            return Ok(GuardedRun { solution, report });
+        }
+        let dir = span.signum();
+        let tiny = 1e-12 * span.abs().max(1.0);
+        let base_window = span.abs() * self.policy.window_fraction;
+
+        let mut t_c = t0;
+        let mut y_c = y0.to_vec();
+        let mut consecutive_stalls: u32 = 0;
+        let mut last_fail_t = f64::NAN;
+
+        while (tf - t_c) * dir > tiny {
+            // Primary driver, recording every accepted step as it goes so
+            // progress survives a mid-run failure.
+            let mut checkpoint_t = t_c;
+            let mut checkpoint_y = y_c.clone();
+            let failure = {
+                let mut recorder = |t: f64, y: &[f64]| {
+                    solution.push(t, y.to_vec());
+                    checkpoint_t = t;
+                    checkpoint_y.clear();
+                    checkpoint_y.extend_from_slice(y);
+                    false
+                };
+                Adaptive::with_config(self.config.clone())
+                    .run(&sys, t_c, &y_c, tf, Some(&mut recorder))
+                    .err()
+            };
+            let Some(failure) = failure else {
+                report.completed = true;
+                return Ok(GuardedRun { solution, report });
+            };
+            if !recoverable(&failure) {
+                return Err(failure);
+            }
+            if report.events.len() >= self.policy.max_fallbacks {
+                report.completed = false;
+                // Record the failure that broke the budget so the report
+                // explains where the trajectory ends.
+                report.events.push(RecoveryEvent {
+                    t_fail: checkpoint_t,
+                    failure,
+                    window: (checkpoint_t, checkpoint_t),
+                    rescued_by: None,
+                });
+                return Ok(GuardedRun { solution, report });
+            }
+
+            // Repeated failures without progress widen the window
+            // geometrically so a fault region larger than one window is
+            // eventually jumped in a bounded number of engagements.
+            if (checkpoint_t - last_fail_t).abs() <= tiny {
+                consecutive_stalls += 1;
+            } else {
+                consecutive_stalls = 0;
+            }
+            last_fail_t = checkpoint_t;
+            let widen = f64::from(2u32.saturating_pow(consecutive_stalls.min(16)));
+            let window = (base_window * widen).min((tf - checkpoint_t).abs());
+            let t_w = checkpoint_t + dir * window;
+            let t_w = if (tf - t_w) * dir < 0.0 { tf } else { t_w };
+
+            let rescued_by = self.cross_window(
+                sys,
+                checkpoint_t,
+                &checkpoint_y,
+                t_w,
+                &mut solution,
+                &mut report,
+            );
+            report.events.push(RecoveryEvent {
+                t_fail: checkpoint_t,
+                failure,
+                window: (checkpoint_t, t_w),
+                rescued_by,
+            });
+            if rescued_by.is_none() {
+                report.completed = false;
+                return Ok(GuardedRun { solution, report });
+            }
+            t_c = solution.last_time();
+            y_c = solution.last_state().to_vec();
+        }
+        report.completed = true;
+        Ok(GuardedRun { solution, report })
+    }
+
+    /// Like [`Guarded::run`] but incomplete runs become
+    /// [`OdeError::RecoveryExhausted`], for callers that need a plain
+    /// [`Solution`] with classical error semantics.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Guarded::run`] returns, plus
+    /// [`OdeError::RecoveryExhausted`] when the fallback budget ran out.
+    pub fn integrate(
+        &mut self,
+        sys: &(impl OdeSystem + ?Sized),
+        t0: f64,
+        y0: &[f64],
+        tf: f64,
+    ) -> Result<Solution> {
+        let run = self.run(sys, t0, y0, tf)?;
+        if !run.report.completed {
+            return Err(OdeError::RecoveryExhausted {
+                t: run.solution.last_time(),
+                attempts: run.report.events.len(),
+            });
+        }
+        Ok(run.solution)
+    }
+
+    /// Tries each link of the fallback chain across `[t_from, t_to]`.
+    /// On success appends the crossed segment to `solution` (skipping
+    /// the duplicated first point) and returns the rescuing stage.
+    fn cross_window(
+        &self,
+        sys: &(impl OdeSystem + ?Sized),
+        t_from: f64,
+        y_from: &[f64],
+        t_to: f64,
+        solution: &mut Solution,
+        report: &mut RecoveryReport,
+    ) -> Option<FallbackStage> {
+        let width = (t_to - t_from).abs();
+        if width == 0.0 {
+            return None;
+        }
+
+        // Stage 1: fixed-step RK4, halving the step on each retry.
+        for level in 0..=self.policy.rk4_backoff_levels {
+            let n = self.policy.rk4_substeps << level;
+            let h = width / n as f64;
+            if let Ok(seg) = FixedStep::new(Rk4::new(), h).integrate(&sys, t_from, y_from, t_to) {
+                append_segment(solution, &seg);
+                return Some(FallbackStage::Rk4Backoff);
+            }
+        }
+
+        // Stage 2: implicit Euler, unconditionally stable for the stiff
+        // case the explicit steppers choke on.
+        let h = width / self.policy.implicit_substeps as f64;
+        if let Ok(seg) =
+            FixedStep::new(ImplicitEuler::new(), h).integrate(&sys, t_from, y_from, t_to)
+        {
+            append_segment(solution, &seg);
+            return Some(FallbackStage::ImplicitEuler);
+        }
+
+        // Stage 3: quarantine — hold the last finite state across the
+        // window and resume on the far side.
+        if self.policy.quarantine {
+            solution.push(t_from + 0.5 * (t_to - t_from), y_from.to_vec());
+            solution.push(t_to, y_from.to_vec());
+            report.quarantined.push((t_from, t_to));
+            return Some(FallbackStage::Quarantine);
+        }
+        None
+    }
+}
+
+/// Appends `segment` to `solution`, skipping the first record (which
+/// duplicates the current last point of `solution`).
+fn append_segment(solution: &mut Solution, segment: &Solution) {
+    for (t, y) in segment.times().iter().zip(segment.states()).skip(1) {
+        solution.push(*t, y.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultSchedule, FaultyRhs};
+    use crate::system::FnSystem;
+
+    fn decay() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = -y[0])
+    }
+
+    #[test]
+    fn clean_system_reports_clean() {
+        let run = Guarded::new().run(&decay(), 0.0, &[1.0], 2.0).unwrap();
+        assert!(run.report.is_clean());
+        assert!(!run.report.degraded());
+        assert!((run.solution.last_state()[0] - (-2.0_f64).exp()).abs() < 1e-7);
+        assert_eq!(run.solution.last_time(), 2.0);
+        assert!(run.report.summary().contains("clean"));
+    }
+
+    #[test]
+    fn nan_window_is_rescued_with_report() {
+        let faulty = FaultyRhs::new(decay(), FaultSchedule::new().nan_at(1.0, 0.02));
+        let run = Guarded::new().run(&faulty, 0.0, &[1.0], 2.0).unwrap();
+        assert!(run.report.completed);
+        assert!(!run.report.events.is_empty(), "fallback must engage");
+        let ev = &run.report.events[0];
+        assert!(matches!(ev.failure, OdeError::NonFiniteState { .. }));
+        assert!(
+            ev.t_fail < 1.02,
+            "failure near the NaN window, got {}",
+            ev.t_fail
+        );
+        assert!(ev.rescued_by.is_some());
+        // A ~2% quarantined window costs a few percent accuracy at most.
+        let exact = (-2.0_f64).exp();
+        assert!((run.solution.last_state()[0] - exact).abs() < 0.1 * exact.max(0.1));
+    }
+
+    #[test]
+    fn stiff_spike_is_rescued_by_sturdier_stepper() {
+        // A spike stiff enough to exhaust a small step budget.
+        let faulty = FaultyRhs::new(
+            decay(),
+            FaultSchedule::new().stiffness_spike(1.0, 0.05, 1e7),
+        );
+        let cfg = AdaptiveConfig {
+            max_steps: 4_000,
+            ..Default::default()
+        };
+        let run = Guarded::with_config(cfg, RecoveryPolicy::default())
+            .run(&faulty, 0.0, &[1.0], 2.0)
+            .unwrap();
+        assert!(run.report.completed);
+        assert!(!run.report.events.is_empty());
+        // The rescue must come from an actual integrator, not quarantine:
+        // the RHS stays finite, it is merely stiff.
+        assert!(run
+            .report
+            .events
+            .iter()
+            .all(|e| e.rescued_by != Some(FallbackStage::Quarantine)));
+        assert!(run.report.quarantined.is_empty());
+    }
+
+    #[test]
+    fn perturbation_burst_passes_through() {
+        // A bounded burst is integrable without fallbacks — the guard
+        // must not fire spuriously.
+        let faulty = FaultyRhs::new(
+            decay(),
+            FaultSchedule::new().perturbation_burst(0.5, 0.2, 0.5, 40.0),
+        );
+        let run = Guarded::new().run(&faulty, 0.0, &[1.0], 2.0).unwrap();
+        assert!(run.report.is_clean());
+    }
+
+    #[test]
+    fn genuine_blowup_exhausts_gracefully() {
+        // y' = y² reaches infinity at t = 1; no stepper can cross it and
+        // quarantine is disabled, so the run ends incomplete — without
+        // panicking, and with the partial trajectory intact.
+        let blowup = FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = y[0] * y[0]);
+        let policy = RecoveryPolicy {
+            quarantine: false,
+            max_fallbacks: 3,
+            ..Default::default()
+        };
+        let run = Guarded::with_config(AdaptiveConfig::default(), policy)
+            .run(&blowup, 0.0, &[1.0], 2.0)
+            .unwrap();
+        assert!(!run.report.completed);
+        assert!(run.report.degraded());
+        assert!(run.solution.last_time() < 1.05);
+        assert!(run.solution.last_state()[0].is_finite());
+    }
+
+    #[test]
+    fn integrate_turns_incomplete_into_error() {
+        let blowup = FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = y[0] * y[0]);
+        let policy = RecoveryPolicy {
+            quarantine: false,
+            max_fallbacks: 2,
+            ..Default::default()
+        };
+        let r = Guarded::with_config(AdaptiveConfig::default(), policy).integrate(
+            &blowup,
+            0.0,
+            &[1.0],
+            2.0,
+        );
+        assert!(matches!(r, Err(OdeError::RecoveryExhausted { .. })));
+    }
+
+    #[test]
+    fn backward_runs_are_guarded_too() {
+        let faulty = FaultyRhs::new(decay(), FaultSchedule::new().nan_at(0.95, 0.02));
+        let run = Guarded::new().run(&faulty, 2.0, &[0.5], 0.0).unwrap();
+        assert!(run.report.completed);
+        assert_eq!(run.solution.last_time(), 0.0);
+        assert!(!run.report.events.is_empty());
+    }
+
+    #[test]
+    fn zero_span_is_identity() {
+        let run = Guarded::new().run(&decay(), 1.0, &[3.0], 1.0).unwrap();
+        assert!(run.report.is_clean());
+        assert_eq!(run.solution.len(), 1);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_not_swallowed() {
+        let r = Guarded::new().run(&decay(), 0.0, &[1.0, 2.0], 1.0);
+        assert!(matches!(r, Err(OdeError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn invalid_policy_rejected_up_front() {
+        let policy = RecoveryPolicy {
+            window_fraction: 0.0,
+            ..Default::default()
+        };
+        let r =
+            Guarded::with_config(AdaptiveConfig::default(), policy).run(&decay(), 0.0, &[1.0], 1.0);
+        assert!(matches!(
+            r,
+            Err(OdeError::InvalidConfig {
+                field: "window_fraction",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn invalid_adaptive_config_rejected_up_front() {
+        let cfg = AdaptiveConfig {
+            rtol: f64::NAN,
+            ..Default::default()
+        };
+        let r =
+            Guarded::with_config(cfg, RecoveryPolicy::default()).run(&decay(), 0.0, &[1.0], 1.0);
+        assert!(matches!(
+            r,
+            Err(OdeError::InvalidConfig { field: "rtol", .. })
+        ));
+    }
+
+    #[test]
+    fn report_summary_mentions_engagements() {
+        let faulty = FaultyRhs::new(decay(), FaultSchedule::new().nan_at(1.0, 0.02));
+        let run = Guarded::new().run(&faulty, 0.0, &[1.0], 2.0).unwrap();
+        let s = run.report.summary();
+        assert!(s.contains("engagement"), "{s}");
+    }
+}

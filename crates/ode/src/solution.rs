@@ -97,7 +97,9 @@ impl Solution {
     /// Returns [`OdeError::InvalidStep`] if the solution is empty.
     pub fn sample(&self, t: f64) -> Result<Vec<f64>, OdeError> {
         if self.is_empty() {
-            return Err(OdeError::InvalidStep("cannot sample an empty solution".into()));
+            return Err(OdeError::InvalidStep(
+                "cannot sample an empty solution".into(),
+            ));
         }
         if self.len() == 1 {
             return Ok(self.states[0].clone());

@@ -137,6 +137,17 @@ impl Stepper for ImplicitEuler {
             .expect("implicit euler newton iteration failed; use try_step for fallible stepping");
     }
 
+    fn fallible_step(
+        &mut self,
+        sys: &dyn OdeSystem,
+        t: f64,
+        y: &[f64],
+        h: f64,
+        out: &mut [f64],
+    ) -> Result<(), OdeError> {
+        self.try_step(sys, t, y, h, out)
+    }
+
     fn order(&self) -> usize {
         1
     }
@@ -176,7 +187,8 @@ mod tests {
         let mut y = vec![1.0];
         let mut out = vec![0.0];
         for i in 0..100 {
-            s.try_step(&stiff, i as f64 * 0.01, &y, 0.01, &mut out).unwrap();
+            s.try_step(&stiff, i as f64 * 0.01, &y, 0.01, &mut out)
+                .unwrap();
             y.copy_from_slice(&out);
         }
         assert!(y[0].abs() < 1e-10, "implicit euler must contract: {}", y[0]);
@@ -190,16 +202,23 @@ mod tests {
         let mut y = vec![0.1];
         let mut out = vec![0.0];
         for i in 0..2000 {
-            s.try_step(&logistic, i as f64 * 0.01, &y, 0.01, &mut out).unwrap();
+            s.try_step(&logistic, i as f64 * 0.01, &y, 0.01, &mut out)
+                .unwrap();
             y.copy_from_slice(&out);
         }
-        assert!((y[0] - 1.0).abs() < 1e-3, "logistic must approach 1: {}", y[0]);
+        assert!(
+            (y[0] - 1.0).abs() < 1e-3,
+            "logistic must approach 1: {}",
+            y[0]
+        );
     }
 
     #[test]
     fn newton_budget_exhaustion_is_reported() {
         let mut s = ImplicitEuler::with_newton(0.0, 2); // unattainable tolerance
-        let nasty = FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = (y[0] * 50.0).sin() * 100.0);
+        let nasty = FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| {
+            d[0] = (y[0] * 50.0).sin() * 100.0
+        });
         let mut out = [0.0];
         let r = s.try_step(&nasty, 0.0, &[1.0], 1.0, &mut out);
         assert!(matches!(r, Err(OdeError::NewtonFailed { .. })));

@@ -18,6 +18,7 @@ pub use implicit::ImplicitEuler;
 pub use rk4::Rk4;
 
 use crate::system::OdeSystem;
+use crate::OdeError;
 
 /// A fixed-step single-step method.
 ///
@@ -31,6 +32,27 @@ pub trait Stepper {
     /// Implementations may panic if `y.len()` or `out.len()` differ from
     /// `sys.dim()`; the drivers validate dimensions before stepping.
     fn step(&mut self, sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, out: &mut [f64]);
+
+    /// Fallible variant of [`Stepper::step`]. Explicit methods cannot
+    /// fail and use the default pass-through; methods with an inner
+    /// solve (e.g. [`ImplicitEuler`]) override this to surface failure
+    /// as an error instead of a panic. The drivers step through this
+    /// method so a failed inner solve is always recoverable.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; the default never errors.
+    fn fallible_step(
+        &mut self,
+        sys: &dyn OdeSystem,
+        t: f64,
+        y: &[f64],
+        h: f64,
+        out: &mut [f64],
+    ) -> Result<(), OdeError> {
+        self.step(sys, t, y, h, out);
+        Ok(())
+    }
 
     /// Classical order of accuracy of the method (e.g. 4 for RK4).
     fn order(&self) -> usize;

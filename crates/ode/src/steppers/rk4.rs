@@ -45,7 +45,8 @@ impl Stepper for Rk4 {
         }
         sys.rhs(t + h, &self.tmp[..n], &mut self.k4[..n]);
         for i in 0..n {
-            out[i] = y[i] + h / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.k4[i]);
+            out[i] =
+                y[i] + h / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.k4[i]);
         }
     }
 

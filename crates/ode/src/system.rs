@@ -109,7 +109,7 @@ mod tests {
         }
         let sys = FnSystem::new(3, |_, _: &[f64], _: &mut [f64]| {});
         assert_eq!(takes_system(&sys), 3);
-        assert_eq!(takes_system(&&sys), 3);
+        assert_eq!(takes_system(&sys), 3);
     }
 
     #[test]

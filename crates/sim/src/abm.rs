@@ -59,7 +59,9 @@ fn validate(cfg: &AbmConfig) -> Result<()> {
         )));
     }
     if cfg.record_every == 0 {
-        return Err(SimError::InvalidConfig("record_every must be positive".into()));
+        return Err(SimError::InvalidConfig(
+            "record_every must be positive".into(),
+        ));
     }
     Ok(())
 }
@@ -112,11 +114,7 @@ pub(crate) fn build_tables(graph: &Graph, params: &ModelParams) -> Result<RateTa
 
 /// Seeds the initial states: a uniformly random `initial_infected`
 /// fraction of non-isolated nodes starts infected.
-pub(crate) fn seed_states(
-    graph: &Graph,
-    frac: f64,
-    rng: &mut impl Rng,
-) -> Vec<NodeState> {
+pub(crate) fn seed_states(graph: &Graph, frac: f64, rng: &mut impl Rng) -> Vec<NodeState> {
     (0..graph.node_count())
         .map(|u| {
             if graph.degree(u) > 0 && rng.gen_bool(frac) {
@@ -240,7 +238,13 @@ pub fn run(
         }
         states.copy_from_slice(&next_states);
         if step % cfg.record_every == 0 || step == n_steps {
-            record(&mut traj, step as f64 * cfg.dt, &states, &tables, active_count);
+            record(
+                &mut traj,
+                step as f64 * cfg.dt,
+                &states,
+                &tables,
+                active_count,
+            );
         }
     }
     Ok(traj)
@@ -273,7 +277,13 @@ fn record(
     let class_frac: Vec<f64> = class_i
         .iter()
         .zip(&tables.class_size)
-        .map(|(&c, &size)| if size > 0 { c as f64 / size as f64 } else { 0.0 })
+        .map(|(&c, &size)| {
+            if size > 0 {
+                c as f64 / size as f64
+            } else {
+                0.0
+            }
+        })
         .collect();
     traj.push(
         t,
@@ -394,13 +404,35 @@ mod tests {
         let (g, p) = setup(100, 0.5);
         let mut rng = StdRng::seed_from_u64(0);
         for bad in [
-            AbmConfig { dt: 0.0, ..Default::default() },
-            AbmConfig { tf: 0.0, ..Default::default() },
-            AbmConfig { dt: 10.0, tf: 1.0, ..Default::default() },
-            AbmConfig { eps1: -1.0, ..Default::default() },
-            AbmConfig { initial_infected: 0.0, ..Default::default() },
-            AbmConfig { initial_infected: 1.5, ..Default::default() },
-            AbmConfig { record_every: 0, ..Default::default() },
+            AbmConfig {
+                dt: 0.0,
+                ..Default::default()
+            },
+            AbmConfig {
+                tf: 0.0,
+                ..Default::default()
+            },
+            AbmConfig {
+                dt: 10.0,
+                tf: 1.0,
+                ..Default::default()
+            },
+            AbmConfig {
+                eps1: -1.0,
+                ..Default::default()
+            },
+            AbmConfig {
+                initial_infected: 0.0,
+                ..Default::default()
+            },
+            AbmConfig {
+                initial_infected: 1.5,
+                ..Default::default()
+            },
+            AbmConfig {
+                record_every: 0,
+                ..Default::default()
+            },
         ] {
             assert!(run(&g, &p, &bad, &mut rng).is_err());
         }

@@ -9,6 +9,16 @@ pub enum SimError {
     /// The graph and parameters disagree (e.g. a node degree missing
     /// from the degree-class partition).
     Inconsistent(String),
+    /// Too many ensemble replicas failed for the aggregate to be
+    /// trustworthy under the configured isolation policy.
+    QuorumNotMet {
+        /// Replicas that produced a usable trajectory.
+        succeeded: usize,
+        /// Minimum successes the policy demanded.
+        required: usize,
+        /// Replicas attempted in total.
+        attempted: usize,
+    },
     /// An underlying core-model failure.
     Core(rumor_core::CoreError),
     /// An underlying network failure.
@@ -20,6 +30,14 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidConfig(msg) => write!(f, "invalid simulation configuration: {msg}"),
             SimError::Inconsistent(msg) => write!(f, "graph/parameter inconsistency: {msg}"),
+            SimError::QuorumNotMet {
+                succeeded,
+                required,
+                attempted,
+            } => write!(
+                f,
+                "ensemble quorum not met: {succeeded}/{attempted} replicas succeeded, required {required}"
+            ),
             SimError::Core(e) => write!(f, "core model error: {e}"),
             SimError::Net(e) => write!(f, "network error: {e}"),
         }

@@ -157,17 +157,15 @@ pub fn run(
     // Recovered-node pools per class for O(1) uniform sampling.
     let mut recovered_pool: Vec<Vec<usize>> = vec![Vec::new(); n_class];
     let mut pool_pos = vec![usize::MAX; n];
-    let pool_insert = |u: usize,
-                           pools: &mut Vec<Vec<usize>>,
-                           pos: &mut Vec<usize>,
-                           tree: &mut RateTree| {
-        let c = tables.class[u];
-        if pools[c].is_empty() && cfg.alpha > 0.0 {
-            tree.set(n + c, cfg.alpha * tables.class_size[c] as f64);
-        }
-        pos[u] = pools[c].len();
-        pools[c].push(u);
-    };
+    let pool_insert =
+        |u: usize, pools: &mut Vec<Vec<usize>>, pos: &mut Vec<usize>, tree: &mut RateTree| {
+            let c = tables.class[u];
+            if pools[c].is_empty() && cfg.alpha > 0.0 {
+                tree.set(n + c, cfg.alpha * tables.class_size[c] as f64);
+            }
+            pos[u] = pools[c].len();
+            pools[c].push(u);
+        };
     let pool_remove = |u: usize,
                        pools: &mut Vec<Vec<usize>>,
                        pos: &mut Vec<usize>,
@@ -475,7 +473,8 @@ mod tests {
         let mut abm_r = 0.0;
         const RUNS: u64 = 5;
         for seed in 0..RUNS {
-            ssa_r += run(&g, &p, &cfg, &mut StdRng::seed_from_u64(seed)).unwrap()
+            ssa_r += run(&g, &p, &cfg, &mut StdRng::seed_from_u64(seed))
+                .unwrap()
                 .r()
                 .last()
                 .unwrap();
@@ -497,9 +496,18 @@ mod tests {
         let (g, p) = setup(100, 0.5);
         let mut rng = StdRng::seed_from_u64(0);
         for bad in [
-            AbmConfig { dt: 0.0, ..Default::default() },
-            AbmConfig { eps2: -1.0, ..Default::default() },
-            AbmConfig { initial_infected: 2.0, ..Default::default() },
+            AbmConfig {
+                dt: 0.0,
+                ..Default::default()
+            },
+            AbmConfig {
+                eps2: -1.0,
+                ..Default::default()
+            },
+            AbmConfig {
+                initial_infected: 2.0,
+                ..Default::default()
+            },
         ] {
             assert!(run(&g, &p, &bad, &mut rng).is_err());
         }

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "extinction target: total infected <= {target:.4} ({} classes x 1e-4)\n",
         params.n_classes()
     );
-    println!("{:>6} {:>14} {:>14} {:>12}", "tf", "terminal I", "running cost", "weight");
+    println!(
+        "{:>6} {:>14} {:>14} {:>12}",
+        "tf", "terminal I", "running cost", "weight"
+    );
     for tf in [20.0, 40.0, 60.0, 80.0] {
         match optimize_to_target(&params, &initial, tf, &bounds, &weights, target, &opts) {
             Ok((result, weight)) => {

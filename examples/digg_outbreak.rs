@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // for the full 71,367-node dataset.
     let dataset = DiggDataset::synthesize(DiggConfig::small())?;
     println!("{}", dataset.summary());
-    println!("calibrated power-law exponent gamma = {:.4}\n", dataset.gamma());
+    println!(
+        "calibrated power-law exponent gamma = {:.4}\n",
+        dataset.gamma()
+    );
 
     let base = ModelParams::builder(dataset.classes().clone())
         .alpha(0.01)
@@ -25,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Extinction regime (paper Fig. 2): r0 = 0.7220 under (0.2, 0.05).
     let (eps1, eps2) = (0.2, 0.05);
     let (params, factor) = calibrate_acceptance(&base, 0.7220, eps1, eps2)?;
-    println!("extinction regime: lambda scaled by {factor:.3e} so that r0 = {:.4}", r0(&params, eps1, eps2)?);
+    println!(
+        "extinction regime: lambda scaled by {factor:.3e} so that r0 = {:.4}",
+        r0(&params, eps1, eps2)?
+    );
     let e0 = zero_equilibrium(&params, eps1, eps2)?;
     let initial = NetworkState::initial_uniform(params.n_classes(), 0.1)?;
     let traj = simulate(
@@ -36,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &SimulateOptions::default(),
     )?;
     let dist = traj.dist_series(&e0)?;
-    println!("  Dist0(0) = {:.4} -> Dist0(600) = {:.2e} (convergence to E0)", dist[0], dist.last().unwrap());
+    println!(
+        "  Dist0(0) = {:.4} -> Dist0(600) = {:.2e} (convergence to E0)",
+        dist[0],
+        dist.last().unwrap()
+    );
 
     // --- Persistence regime (paper Fig. 3): r0 = 2.1661. The paper prints
     // ε2 = 0.0001, but α/ε2 = 20 forces I+ = 20·(1−S+) per class, outside
@@ -67,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ConstantControl::new(eps1, eps2),
         &initial,
         3000.0,
-        &SimulateOptions { n_out: 301, ..Default::default() },
+        &SimulateOptions {
+            n_out: 301,
+            ..Default::default()
+        },
     )?;
     let dist = traj.dist_series(&eplus)?;
     println!(

@@ -17,9 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tf = 60.0;
 
     // 1. Heterogeneous SIR on a skewed degree distribution.
-    let degrees: Vec<usize> = (0..300)
-        .map(|i| if i % 30 == 0 { 40 } else { 3 })
-        .collect();
+    let degrees: Vec<usize> = (0..300).map(|i| if i % 30 == 0 { 40 } else { 3 }).collect();
     let classes = DegreeClasses::from_degrees(&degrees)?;
     let het = ModelParams::builder(classes)
         .alpha(0.01)

@@ -65,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let e1 = result.control.eps1_values();
     let e2 = result.control.eps2_values();
     let mid = e1.len() / 2;
-    assert!(e1[mid] > e2[mid], "truth-spreading should dominate mid-horizon");
+    assert!(
+        e1[mid] > e2[mid],
+        "truth-spreading should dominate mid-horizon"
+    );
     assert!(
         e2[e2.len() - 1] > e1[e1.len() - 1],
         "blocking should dominate at the deadline"

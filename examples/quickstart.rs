@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("propagation threshold r0 = {threshold:.4}");
     println!(
         "theorem 5 predicts the rumor will {}",
-        if threshold <= 1.0 { "become extinct" } else { "persist" }
+        if threshold <= 1.0 {
+            "become extinct"
+        } else {
+            "persist"
+        }
     );
 
     // Simulate from 10% initially infected in every class.

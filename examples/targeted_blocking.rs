@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "hub-only (top 20%)",
             ClassRates::hub_targeted(params.classes(), (0.016, 0.016), (0.064, 0.064), 0.2)?,
         ),
-        ("r0-optimal", ClassRates::r0_optimal(&params, budget, budget)?),
+        (
+            "r0-optimal",
+            ClassRates::r0_optimal(&params, budget, budget)?,
+        ),
     ];
 
     println!("\nall policies spend the same population budget ({budget} per channel):\n");

@@ -73,6 +73,7 @@ pub use rumor_sim as sim;
 pub mod prelude {
     pub use rumor_control::fbsm::{optimize, FbsmOptions, SweepResult};
     pub use rumor_control::schedule::PiecewiseControl;
+    pub use rumor_control::watchdog::{optimize_guarded, GuardedSweep, WatchdogOptions};
     pub use rumor_control::{ControlBounds, CostWeights};
     pub use rumor_core::control::{ConstantControl, ControlSchedule};
     pub use rumor_core::equilibrium::{
@@ -86,6 +87,9 @@ pub mod prelude {
     pub use rumor_datasets::digg::{DiggConfig, DiggDataset};
     pub use rumor_net::degree::DegreeClasses;
     pub use rumor_net::graph::{EdgeKind, Graph};
+    pub use rumor_ode::fault::{FaultSchedule, FaultyRhs};
+    pub use rumor_ode::recovery::{Guarded, GuardedRun, RecoveryPolicy, RecoveryReport};
+    pub use rumor_sim::ensemble::{run_ensemble_isolated, IsolatedEnsemble, IsolationPolicy};
 }
 
 #[cfg(test)]

@@ -2,6 +2,9 @@
 //! mean-field ODE on generated scale-free networks (the validation layer
 //! behind the reproduction, DESIGN.md §4).
 
+// Index-based loops mirror the per-class stencils (workspace idiom).
+#![allow(clippy::needless_range_loop)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rumor_repro::net::generators::barabasi_albert;
@@ -139,13 +142,19 @@ fn per_class_infection_profile_matches_mean_field() {
         abm_profile.push(per_class_abm[c]);
         ode_profile.push(mf.i()[c]);
     }
-    assert!(abm_profile.len() >= 5, "need several populated classes, got {}", abm_profile.len());
+    assert!(
+        abm_profile.len() >= 5,
+        "need several populated classes, got {}",
+        abm_profile.len()
+    );
     // Individual classes are noisy; the robust structural check is on
     // coarse degree bins: group ALL classes into low/mid/high-degree
     // terciles (by population) and demand the same increasing infection
     // gradient from both descriptions.
     let bin_means = |values: &dyn Fn(usize) -> f64| -> [f64; 3] {
-        let total_nodes: usize = (0..params.n_classes()).map(|c| params.classes().count(c)).sum();
+        let total_nodes: usize = (0..params.n_classes())
+            .map(|c| params.classes().count(c))
+            .sum();
         let mut bins = [0.0_f64; 3];
         let mut mass = [0.0_f64; 3];
         let mut seen = 0usize;
@@ -170,7 +179,12 @@ fn per_class_infection_profile_matches_mean_field() {
     // And the binned profiles agree within the annealed-vs-quenched gap.
     for b in 0..3 {
         let diff = (abm_bins[b] - ode_bins[b]).abs();
-        assert!(diff < 0.2, "bin {b}: abm {:.4} vs ode {:.4}", abm_bins[b], ode_bins[b]);
+        assert!(
+            diff < 0.2,
+            "bin {b}: abm {:.4} vs ode {:.4}",
+            abm_bins[b],
+            ode_bins[b]
+        );
     }
 }
 

@@ -65,7 +65,10 @@ fn fig4a_shape_truth_early_blocking_late() {
     // Deadline: blocking dominates (transversality forces eps1(tf) -> 0).
     assert!(e2[n - 1] > e1[n - 1]);
     // Controls respect the box everywhere.
-    assert!(e1.iter().chain(e2).all(|&v| (0.0..=0.7 + 1e-12).contains(&v)));
+    assert!(e1
+        .iter()
+        .chain(e2)
+        .all(|&v| (0.0..=0.7 + 1e-12).contains(&v)));
 }
 
 #[test]

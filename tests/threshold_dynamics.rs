@@ -50,7 +50,11 @@ fn extinction_pipeline_matches_theorems() {
     .unwrap();
     let dist = traj.dist_series(&e0).unwrap();
     assert!(dist[0] > 0.5);
-    assert!(*dist.last().unwrap() < 1e-3, "Dist0 residual {}", dist.last().unwrap());
+    assert!(
+        *dist.last().unwrap() < 1e-3,
+        "Dist0 residual {}",
+        dist.last().unwrap()
+    );
     // Dist0 decays overall (tolerate tiny numeric wiggles).
     assert!(dist.last().unwrap() < &(dist[0] * 1e-3));
 }

@@ -1,0 +1,447 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API this workspace's
+//! property tests use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), range and tuple strategies,
+//! `collection::vec`, and the `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!` assertion macros. Failing inputs are reported with
+//! their generated values but are **not shrunk** — acceptable for a CI
+//! gate, and the honest trade-off for an offline, dependency-free build.
+//!
+//! Case generation is fully deterministic: the RNG seed is derived from
+//! the test function's name, so failures reproduce run-to-run.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// A failed or rejected test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed; the payload is the formatted message.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given reason (upstream constructor).
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a rejection (upstream constructor; the reason is dropped).
+    pub fn reject(_reason: impl Into<String>) -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Result type threaded through generated test-case bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+int_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A length specification: an exact size or a half-open range
+    /// (upstream's `SizeRange`).
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(std::ops::Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Vectors of values from `element`, with a length drawn from `len`
+    /// (an exact `usize` or a `Range<usize>` with exclusive upper bound,
+    /// as upstream).
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into().0,
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.end <= self.len.start + 1 {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.start..self.len.end)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Run-loop configuration and the case driver behind [`crate::proptest!`].
+
+    use super::{Strategy, TestCaseError, TestCaseResult, TestRng};
+    use rand::SeedableRng;
+
+    /// How many cases each property runs, and how many rejections
+    /// (`prop_assume!`) are tolerated before giving up.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Maximum number of `prop_assume!` rejections across the run.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// FNV-1a, used to derive a per-test deterministic seed.
+    fn fnv1a(name: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs `config.cases` cases of `body` over values from `strategy`.
+    /// Panics (failing the enclosing `#[test]`) on the first failed case.
+    pub fn run_cases<S: Strategy>(
+        test_name: &str,
+        config: &ProptestConfig,
+        strategy: &S,
+        body: impl Fn(S::Value) -> TestCaseResult,
+    ) {
+        let mut rng = TestRng::seed_from_u64(fnv1a(test_name));
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < config.cases {
+            let value = strategy.generate(&mut rng);
+            let display = format!("{value:?}");
+            match body(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > config.max_global_rejects {
+                        panic!(
+                            "property {test_name}: too many prop_assume! rejections \
+                             ({rejected}) before reaching {} cases",
+                            config.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "property {test_name} failed after {passed} passing case(s)\n\
+                         input: {display}\n{msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude::*`.
+
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// whole process) so the driver can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Rejects the current case (skips it without counting as a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests. Supports the upstream surface this
+/// workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///
+///     #[test]
+///     fn prop(x in 0.0..1.0_f64, v in proptest::collection::vec(0usize..4, 1..9)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal recursive expander for [`proptest!`] items.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run_cases(
+                stringify!($name),
+                &config,
+                &strategy,
+                |__vals| -> $crate::TestCaseResult {
+                    let ($($pat,)+) = __vals;
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs(x in 0.1..0.9_f64, v in crate::collection::vec(0usize..5, 1..10)) {
+            prop_assert!((0.1..0.9).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn tuples_destructure((a, b) in (0u64..10, 0.0..1.0_f64), c in 1usize..4) {
+            prop_assert!(a < 10);
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert_eq!(c.min(3), c);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_input() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run_cases(
+                "always_fails",
+                &ProptestConfig::with_cases(4),
+                &(0usize..10),
+                |_n| -> crate::TestCaseResult {
+                    crate::prop_assert!(false, "doomed");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result
+            .expect_err("must panic")
+            .downcast::<String>()
+            .expect("string");
+        assert!(
+            msg.contains("always_fails") && msg.contains("input:"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn seeds_are_stable_across_runs() {
+        let mut first = Vec::new();
+        for round in 0..2 {
+            let collected = std::cell::RefCell::new(Vec::new());
+            crate::test_runner::run_cases(
+                "seed_probe",
+                &ProptestConfig::with_cases(8),
+                &(0u64..1_000_000),
+                |n| {
+                    collected.borrow_mut().push(n);
+                    Ok(())
+                },
+            );
+            let seq = collected.into_inner();
+            if round == 0 {
+                first = seq;
+            } else {
+                assert_eq!(first, seq);
+            }
+        }
+    }
+}
