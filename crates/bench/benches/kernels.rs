@@ -19,6 +19,7 @@ use rumor_numerics::eigen::spectral_abscissa;
 use rumor_ode::steppers::{Dopri5, Rk4, Stepper};
 use rumor_ode::system::OdeSystem;
 use rumor_sim::abm::{self, AbmConfig};
+use rumor_sim::ensemble;
 
 /// Parameter bundles at two scales: the fast test scale and the full
 /// 848-class Digg scale the paper evaluates on.
@@ -164,9 +165,74 @@ fn bench_abm(c: &mut Criterion) {
     });
 }
 
+fn bench_theta_flat(c: &mut Criterion) {
+    // The Θ contraction is the inner loop of every RHS call; since the
+    // fused `ϕ_j/⟨k⟩` weight table it is a single dot product.
+    let mut group = c.benchmark_group("theta_flat");
+    for (label, full) in [("digg_small", false), ("digg_full", true)] {
+        let params = digg_params(full);
+        let model = RumorModel::new(&params, ConstantControl::new(0.2, 0.05));
+        let y = NetworkState::initial_uniform(params.n_classes(), 0.1)
+            .expect("state")
+            .to_flat();
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(model.theta_flat(black_box(&y))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ensemble(c: &mut Criterion) {
+    // A 16-replica synchronous-ABM ensemble, serial vs. the resolved
+    // worker count — the workload the parallel execution layer exists
+    // for. On a single-core host both arms measure the same work.
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = barabasi_albert(1_000, 3, &mut rng).expect("graph");
+    let classes = rumor_net::degree::DegreeClasses::from_graph(&g).expect("classes");
+    let params = ModelParams::builder(classes)
+        .alpha(0.0)
+        .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.5 })
+        .infectivity(Infectivity::paper_default())
+        .build()
+        .expect("params");
+    let cfg = AbmConfig {
+        alpha: 0.0,
+        dt: 0.1,
+        tf: 2.0,
+        eps1: 0.02,
+        eps2: 0.1,
+        initial_infected: 0.05,
+        record_every: 10,
+    };
+    let mut group = c.benchmark_group("ensemble_16_replicas");
+    let resolved = rumor_par::resolve_threads(None);
+    let mut counts = vec![1usize];
+    if resolved > 1 {
+        counts.push(resolved);
+    }
+    for threads in counts {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| {
+                ensemble::run_ensemble_threads(
+                    black_box(&g),
+                    &params,
+                    &cfg,
+                    ensemble::Simulator::Synchronous,
+                    16,
+                    42,
+                    Some(threads),
+                )
+                .expect("ensemble")
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_rhs, bench_threshold_and_equilibria, bench_steppers, bench_stability, bench_abm
+    targets = bench_rhs, bench_theta_flat, bench_threshold_and_equilibria, bench_steppers,
+        bench_stability, bench_abm, bench_ensemble
 }
 criterion_main!(kernels);

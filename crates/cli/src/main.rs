@@ -50,6 +50,11 @@ ROBUSTNESS:
     --strict         turn degraded results (quarantined windows, excluded
                      replicas, non-converged sweeps) into errors (exit 4)
 
+PERFORMANCE:
+    --threads N      worker threads for ensemble replicas (default: the
+                     RUMOR_THREADS env var, else all available cores);
+                     results are bit-identical for every thread count
+
 COMMAND OPTIONS:
     simulate: --tf T (default 150)  --i0 F (default 0.1)  --out FILE
     optimize: --tf T (default 100)  --i0 F (default 0.05) --c1 C (5) --c2 C (10)
@@ -88,6 +93,7 @@ fn main() -> ExitCode {
         "max-iters",
         "runs",
         "quorum",
+        "threads",
     ];
     let flags = ["strict"];
     let parsed = match Args::parse(rest.iter().cloned(), &allowed, &flags) {
@@ -100,6 +106,16 @@ fn main() -> ExitCode {
     if let Some(stray) = parsed.positional().first() {
         eprintln!("error: unexpected argument {stray:?}; run `rumor help`");
         return ExitCode::from(EXIT_USAGE);
+    }
+    match parsed.get_usize("threads", 0) {
+        // 0 = "not given": leave resolution to RUMOR_THREADS / the
+        // machine's available parallelism.
+        Ok(0) => {}
+        Ok(t) => rumor_par::set_thread_override(Some(t)),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
     }
     let result = match command.as_str() {
         "analyze" => commands::analyze(&parsed),

@@ -26,6 +26,7 @@ use rumor_core::control::ControlSchedule;
 use rumor_core::params::ModelParams;
 use rumor_ode::solution::Solution;
 use rumor_ode::system::OdeSystem;
+use std::cell::RefCell;
 
 /// Which form of the `φ̇` coupling the adjoint uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,6 +52,9 @@ pub struct CostateSystem<'a, C> {
     control: &'a C,
     weights: CostWeights,
     variant: AdjointVariant,
+    /// Scratch buffer for sampling the forward state inside `rhs`
+    /// (called once per stage evaluation) without allocating.
+    state_scratch: RefCell<Vec<f64>>,
 }
 
 impl<'a, C: ControlSchedule> CostateSystem<'a, C> {
@@ -73,12 +77,14 @@ impl<'a, C: ControlSchedule> CostateSystem<'a, C> {
         weights: CostWeights,
         variant: AdjointVariant,
     ) -> Self {
+        let dim = forward.dim();
         CostateSystem {
             params,
             forward,
             control,
             weights,
             variant,
+            state_scratch: RefCell::new(vec![0.0; dim]),
         }
     }
 
@@ -113,18 +119,17 @@ impl<C: ControlSchedule> OdeSystem for CostateSystem<'_, C> {
     fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
         let n = self.params.n_classes();
         let lambda = self.params.lambda();
-        let phi = self.params.phi();
-        let mean_k = self.params.mean_degree();
+        let theta_w = self.params.theta_weights();
         let eps1 = self.control.eps1(t);
         let eps2 = self.control.eps2(t);
-        let state = self
-            .forward
-            .sample(t)
+        let mut state = self.state_scratch.borrow_mut();
+        self.forward
+            .sample_into(t, &mut state)
             .expect("forward trajectory must cover the adjoint's time span");
         let s = &state[..n];
         let i = &state[n..2 * n];
-        // Θ(t) from the stored forward state.
-        let theta: f64 = phi.iter().zip(i).map(|(p, ii)| p * ii).sum::<f64>() / mean_k;
+        // Θ(t) from the stored forward state, via the fused ϕ/⟨k⟩ table.
+        let theta: f64 = theta_w.iter().zip(i).map(|(w, ii)| w * ii).sum();
         // Network coupling Σ_i (ψ_i − φ_i) λ_i S_i (exact adjoint only).
         let coupling: f64 = match self.variant {
             AdjointVariant::Exact => (0..n).map(|j| (y[j] - y[n + j]) * lambda[j] * s[j]).sum(),
@@ -141,7 +146,7 @@ impl<C: ControlSchedule> OdeSystem for CostateSystem<'_, C> {
                 AdjointVariant::PaperDiagonal => (psi - phi_j) * lambda[j] * s[j],
             };
             dydt[n + j] = -2.0 * self.weights.c2 * eps2 * eps2 * i[j]
-                + phi[j] / mean_k * coupling_j
+                + theta_w[j] * coupling_j
                 + phi_j * eps2;
         }
     }
@@ -203,9 +208,12 @@ pub fn hamiltonian(
 ) -> f64 {
     let n = params.n_classes();
     let lambda = params.lambda();
-    let phi = params.phi();
-    let mean_k = params.mean_degree();
-    let theta: f64 = phi.iter().zip(i).map(|(p, ii)| p * ii).sum::<f64>() / mean_k;
+    let theta: f64 = params
+        .theta_weights()
+        .iter()
+        .zip(i)
+        .map(|(w, ii)| w * ii)
+        .sum();
     let mut h = 0.0;
     for j in 0..n {
         h += weights.c1 * eps1 * eps1 * s[j] * s[j] + weights.c2 * eps2 * eps2 * i[j] * i[j];

@@ -234,9 +234,9 @@ fn integrate_pass(
     tf: f64,
 ) -> std::result::Result<Solution, rumor_ode::OdeError> {
     match &options.guard_ode {
-        None => Adaptive::with_config(options.ode.clone()).integrate(sys, t0, y0, tf),
+        None => Adaptive::with_config(options.ode).integrate(sys, t0, y0, tf),
         Some(policy) => {
-            Guarded::with_config(options.ode.clone(), policy.clone()).integrate(sys, t0, y0, tf)
+            Guarded::with_config(options.ode, policy.clone()).integrate(sys, t0, y0, tf)
         }
     }
 }
@@ -259,7 +259,7 @@ fn trajectory_on_grid(
             grid,
             &SimulateOptions {
                 n_out: grid.len(),
-                ode: options.ode.clone(),
+                ode: options.ode,
                 ..Default::default()
             },
         )?);

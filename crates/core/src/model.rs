@@ -98,15 +98,13 @@ impl<'p, C: ControlSchedule> RumorModel<'p, C> {
         &self.control
     }
 
-    /// Computes `Θ` from a flat state slice (layout `[S.., I.., R..]`).
+    /// Computes `Θ` from a flat state slice (layout `[S.., I.., R..]`):
+    /// a single dot product against the precomputed
+    /// [`ModelParams::theta_weights`] table.
     pub fn theta_flat(&self, y: &[f64]) -> f64 {
         let n = self.params.n_classes();
-        let phi = self.params.phi();
-        let mut sum = 0.0;
-        for j in 0..n {
-            sum += phi[j] * y[n + j];
-        }
-        sum / self.params.mean_degree()
+        let w = self.params.theta_weights();
+        w.iter().zip(&y[n..2 * n]).map(|(wj, ij)| wj * ij).sum()
     }
 }
 

@@ -38,6 +38,7 @@ pub struct ModelParams {
     infectivity: Infectivity,
     lambda: Vec<f64>,
     phi: Vec<f64>,
+    theta_w: Vec<f64>,
 }
 
 impl ModelParams {
@@ -84,6 +85,14 @@ impl ModelParams {
     /// Precomputed `ϕ_i = ω(k_i) P(k_i)` for every class.
     pub fn phi(&self) -> &[f64] {
         &self.phi
+    }
+
+    /// Precomputed fused weights `ϕ_i / ⟨k⟩ = ω(k_i) P(k_i) / ⟨k⟩`, so
+    /// `Θ = Σ_i theta_w_i · I_i` is a single dot product — the per-call
+    /// divide and repeated `phi()` indexing disappear from the ODE and
+    /// co-state hot paths.
+    pub fn theta_weights(&self) -> &[f64] {
+        &self.theta_w
     }
 
     /// Mean degree `⟨k⟩` of the partition.
@@ -176,6 +185,8 @@ impl ModelParamsBuilder {
             .iter()
             .map(|(k, p)| self.infectivity.eval(k) * p)
             .collect();
+        let mean_k = self.classes.mean_degree();
+        let theta_w: Vec<f64> = phi.iter().map(|f| f / mean_k).collect();
         Ok(ModelParams {
             classes: self.classes,
             alpha: self.alpha,
@@ -183,6 +194,7 @@ impl ModelParamsBuilder {
             infectivity: self.infectivity,
             lambda,
             phi,
+            theta_w,
         })
     }
 }
@@ -229,6 +241,20 @@ mod tests {
         }
         assert!((p.mean_degree() - 2.0).abs() < 1e-12);
         assert!((p.lambda_phi_sum() - (0.1 * 0.5 + 0.2 * 0.5 + 0.4 * 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_weights_are_phi_over_mean_degree() {
+        let p = ModelParams::builder(classes())
+            .alpha(0.05)
+            .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.1 })
+            .infectivity(Infectivity::Linear)
+            .build()
+            .unwrap();
+        assert_eq!(p.theta_weights().len(), p.n_classes());
+        for (w, f) in p.theta_weights().iter().zip(p.phi()) {
+            assert_eq!(*w, f / p.mean_degree(), "fused weight must be ϕ/⟨k⟩");
+        }
     }
 
     #[test]

@@ -228,7 +228,7 @@ pub fn simulate_grid(
     }
     let model = RumorModel::with_convention(params, control, options.convention);
     let tf = *grid.last().expect("non-empty grid");
-    let mut driver = Adaptive::with_config(options.ode.clone());
+    let mut driver = Adaptive::with_config(options.ode);
     let sol = driver.integrate(&model, 0.0, &initial.to_flat(), tf)?;
     let mut states = Vec::with_capacity(grid.len());
     for &t in grid {

@@ -123,7 +123,7 @@ mod tests {
         let sol = Adaptive::new()
             .integrate(&m, 0.0, &[0.9, 0.1, 0.0], 50.0)
             .unwrap();
-        let xs: Vec<f64> = sol.states().iter().map(|s| s[0]).collect();
+        let xs = sol.component(0);
         for w in xs.windows(2) {
             assert!(w[1] <= w[0] + 1e-12);
         }

@@ -136,7 +136,7 @@ impl<S: Stepper> FixedStep<S> {
         let mut solution = Solution::with_capacity(n_steps + 1);
         let mut y = y0.to_vec();
         let mut out = vec![0.0; y.len()];
-        solution.push(t0, y.clone());
+        solution.push(t0, &y);
 
         if span == 0.0 {
             return Ok(Run {
@@ -155,7 +155,7 @@ impl<S: Stepper> FixedStep<S> {
             }
             y.copy_from_slice(&out);
             let t_next = if k + 1 == n_steps { tf } else { t + h_eff };
-            solution.push(t_next, y.clone());
+            solution.push(t_next, &y);
             if let Some(ev) = event.as_deref_mut() {
                 if ev(t_next, &y) {
                     return Ok(Run {
@@ -196,7 +196,7 @@ impl<S: Stepper> FixedStep<S> {
 }
 
 /// Configuration for the adaptive Dormand–Prince driver.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptiveConfig {
     /// Relative tolerance.
     pub rtol: f64,
@@ -339,12 +339,12 @@ impl Adaptive {
         mut event: Option<&mut Event<'_>>,
     ) -> Result<Run> {
         validate_initial(&sys, y0)?;
-        let cfg = self.config.clone();
+        let cfg = self.config;
         cfg.validate()?;
         let span = tf - t0;
         let mut solution = Solution::new();
         let mut y = y0.to_vec();
-        solution.push(t0, y.clone());
+        solution.push(t0, &y);
         if span == 0.0 {
             return Ok(Run {
                 solution,
@@ -394,7 +394,7 @@ impl Adaptive {
                 // Accept.
                 t += h;
                 y.copy_from_slice(&out);
-                solution.push(t, y.clone());
+                solution.push(t, &y);
                 accepted += 1;
                 if let Some(ev) = event.as_deref_mut() {
                     if ev(t, &y) {

@@ -5,10 +5,19 @@ use crate::OdeError;
 /// A trajectory recorded by an integrator: a sequence of `(t, y)` pairs in
 /// integration order (monotone increasing `t` for forward runs, monotone
 /// decreasing for backward runs).
+///
+/// States are stored in one flat, contiguous buffer (`len × dim`,
+/// row-major) rather than one heap allocation per record, so recording an
+/// accepted step is a bounds-checked `memcpy` into the tail of a growing
+/// vector — the integration hot path performs no per-step allocation
+/// beyond the amortized growth of the buffer itself.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Solution {
     times: Vec<f64>,
-    states: Vec<Vec<f64>>,
+    /// Flat state storage: record `i` occupies `data[i*dim .. (i+1)*dim]`.
+    data: Vec<f64>,
+    /// State dimension; fixed by the first [`Solution::push`].
+    dim: usize,
 }
 
 impl Solution {
@@ -17,18 +26,42 @@ impl Solution {
         Self::default()
     }
 
-    /// Creates a solution with pre-allocated capacity.
+    /// Creates a solution with pre-allocated capacity for `n` records
+    /// (state storage is reserved on the first push, once the dimension
+    /// is known).
     pub fn with_capacity(n: usize) -> Self {
         Solution {
             times: Vec::with_capacity(n),
-            states: Vec::with_capacity(n),
+            data: Vec::new(),
+            dim: 0,
         }
     }
 
-    /// Appends a `(t, y)` record.
-    pub fn push(&mut self, t: f64, y: Vec<f64>) {
+    /// Appends a `(t, y)` record by copying `y` into the flat buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is empty, or if its length differs from the
+    /// dimension established by the first push.
+    pub fn push(&mut self, t: f64, y: &[f64]) {
+        if self.times.is_empty() {
+            assert!(!y.is_empty(), "cannot record a zero-dimensional state");
+            self.dim = y.len();
+            // Honor a with_capacity() hint now that the dimension is known.
+            if self.data.capacity() < self.times.capacity() * self.dim {
+                self.data
+                    .reserve(self.times.capacity() * self.dim - self.data.capacity());
+            }
+        } else {
+            assert_eq!(y.len(), self.dim, "state dimension changed mid-trajectory");
+        }
         self.times.push(t);
-        self.states.push(y);
+        self.data.extend_from_slice(y);
+    }
+
+    /// The state dimension (0 while empty).
+    pub fn dim(&self) -> usize {
+        self.dim
     }
 
     /// Number of recorded points.
@@ -46,9 +79,16 @@ impl Solution {
         &self.times
     }
 
-    /// The recorded states (parallel to [`Solution::times`]).
-    pub fn states(&self) -> &[Vec<f64>] {
-        &self.states
+    /// Iterates over the recorded states in order (parallel to
+    /// [`Solution::times`]), each as a `&[f64]` slice of the flat buffer.
+    pub fn states(&self) -> std::slice::ChunksExact<'_, f64> {
+        self.data.chunks_exact(self.dim.max(1))
+    }
+
+    /// The entire flat state buffer (`len × dim`, row-major) — the
+    /// zero-copy view batch consumers and FFI-style exporters want.
+    pub fn flat_states(&self) -> &[f64] {
+        &self.data
     }
 
     /// The state at record `i`.
@@ -57,7 +97,8 @@ impl Solution {
     ///
     /// Panics if `i` is out of bounds.
     pub fn state(&self, i: usize) -> &[f64] {
-        &self.states[i]
+        assert!(i < self.len(), "record index {i} out of bounds");
+        &self.data[i * self.dim..(i + 1) * self.dim]
     }
 
     /// The final recorded time.
@@ -75,16 +116,18 @@ impl Solution {
     ///
     /// Panics if the solution is empty.
     pub fn last_state(&self) -> &[f64] {
-        self.states.last().expect("empty solution")
+        assert!(!self.is_empty(), "empty solution");
+        self.state(self.len() - 1)
     }
 
     /// Extracts component `j` across all records as a time series.
     ///
     /// # Panics
     ///
-    /// Panics if any state is shorter than `j + 1`.
+    /// Panics if `j >= dim`.
     pub fn component(&self, j: usize) -> Vec<f64> {
-        self.states.iter().map(|s| s[j]).collect()
+        assert!(j < self.dim, "component index {j} out of bounds");
+        self.states().map(|s| s[j]).collect()
     }
 
     /// Linearly interpolates the state at time `t`.
@@ -96,23 +139,48 @@ impl Solution {
     ///
     /// Returns [`OdeError::InvalidStep`] if the solution is empty.
     pub fn sample(&self, t: f64) -> Result<Vec<f64>, OdeError> {
+        let mut out = vec![0.0; self.dim];
+        self.sample_into(t, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`Solution::sample`]: interpolates the
+    /// state at `t` into the caller's buffer. This is the hot-path entry
+    /// used by the co-state right-hand side, which samples the forward
+    /// trajectory on every RHS evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdeError::InvalidStep`] if the solution is empty or
+    /// `out.len() != dim`.
+    pub fn sample_into(&self, t: f64, out: &mut [f64]) -> Result<(), OdeError> {
         if self.is_empty() {
             return Err(OdeError::InvalidStep(
                 "cannot sample an empty solution".into(),
             ));
         }
+        if out.len() != self.dim {
+            return Err(OdeError::InvalidStep(format!(
+                "sample buffer has length {}, state dimension is {}",
+                out.len(),
+                self.dim
+            )));
+        }
         if self.len() == 1 {
-            return Ok(self.states[0].clone());
+            out.copy_from_slice(self.state(0));
+            return Ok(());
         }
         let forward = self.times[0] <= *self.times.last().expect("non-empty");
         // Normalize to a forward search by mapping times through a sign.
         let key = |x: f64| if forward { x } else { -x };
         let tq = key(t);
         if tq <= key(self.times[0]) {
-            return Ok(self.states[0].clone());
+            out.copy_from_slice(self.state(0));
+            return Ok(());
         }
         if tq >= key(*self.times.last().expect("non-empty")) {
-            return Ok(self.states.last().expect("non-empty").clone());
+            out.copy_from_slice(self.last_state());
+            return Ok(());
         }
         // Find segment via binary search on the (sign-normalized) times.
         let idx = self
@@ -122,11 +190,11 @@ impl Solution {
             .min(self.len() - 2);
         let (t0, t1) = (self.times[idx], self.times[idx + 1]);
         let w = if t1 == t0 { 0.0 } else { (t - t0) / (t1 - t0) };
-        Ok(self.states[idx]
-            .iter()
-            .zip(&self.states[idx + 1])
-            .map(|(a, b)| a + w * (b - a))
-            .collect())
+        let (a, b) = (self.state(idx), self.state(idx + 1));
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = x + w * (y - x);
+        }
+        Ok(())
     }
 
     /// Samples the solution at every time in `grid`.
@@ -138,12 +206,22 @@ impl Solution {
         grid.iter().map(|&t| self.sample(t)).collect()
     }
 
+    /// Appends every record of `other` from `from` onward (an index into
+    /// `other`); used to stitch trajectory segments without re-copying
+    /// through intermediate `Vec<f64>` states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ (and both are non-empty).
+    pub fn extend_from(&mut self, other: &Solution, from: usize) {
+        for (t, y) in other.times.iter().zip(other.states()).skip(from) {
+            self.push(*t, y);
+        }
+    }
+
     /// Iterates over `(t, state)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (f64, &[f64])> {
-        self.times
-            .iter()
-            .copied()
-            .zip(self.states.iter().map(Vec::as_slice))
+        self.times.iter().copied().zip(self.states())
     }
 }
 
@@ -151,7 +229,7 @@ impl FromIterator<(f64, Vec<f64>)> for Solution {
     fn from_iter<T: IntoIterator<Item = (f64, Vec<f64>)>>(iter: T) -> Self {
         let mut sol = Solution::new();
         for (t, y) in iter {
-            sol.push(t, y);
+            sol.push(t, &y);
         }
         sol
     }
@@ -173,11 +251,14 @@ mod tests {
         let sol = linear_solution();
         assert_eq!(sol.len(), 3);
         assert!(!sol.is_empty());
+        assert_eq!(sol.dim(), 2);
         assert_eq!(sol.last_time(), 2.0);
         assert_eq!(sol.last_state(), &[2.0, 4.0]);
         assert_eq!(sol.state(1), &[1.0, 2.0]);
         assert_eq!(sol.component(1), vec![0.0, 2.0, 4.0]);
         assert_eq!(sol.iter().count(), 3);
+        assert_eq!(sol.states().count(), 3);
+        assert_eq!(sol.flat_states(), &[0.0, 0.0, 1.0, 2.0, 2.0, 4.0]);
     }
 
     #[test]
@@ -203,6 +284,18 @@ mod tests {
     }
 
     #[test]
+    fn sample_into_matches_sample_without_allocating_per_call() {
+        let sol = linear_solution();
+        let mut buf = [0.0; 2];
+        for t in [-1.0, 0.0, 0.3, 1.0, 1.9, 5.0] {
+            sol.sample_into(t, &mut buf).unwrap();
+            assert_eq!(buf.to_vec(), sol.sample(t).unwrap(), "t = {t}");
+        }
+        let mut wrong = [0.0; 3];
+        assert!(sol.sample_into(0.5, &mut wrong).is_err());
+    }
+
+    #[test]
     fn sample_backward_trajectory() {
         // Times decreasing: a costate sweep from tf = 2 down to 0.
         let sol: Solution = (0..3)
@@ -221,12 +314,13 @@ mod tests {
     fn sample_empty_errors() {
         let sol = Solution::new();
         assert!(sol.sample(0.0).is_err());
+        assert!(sol.sample_into(0.0, &mut []).is_err());
     }
 
     #[test]
     fn sample_single_point() {
         let mut sol = Solution::new();
-        sol.push(1.0, vec![7.0]);
+        sol.push(1.0, &[7.0]);
         assert_eq!(sol.sample(0.0).unwrap(), vec![7.0]);
         assert_eq!(sol.sample(2.0).unwrap(), vec![7.0]);
     }
@@ -244,5 +338,25 @@ mod tests {
     fn with_capacity_starts_empty() {
         let sol = Solution::with_capacity(16);
         assert!(sol.is_empty());
+        assert_eq!(sol.dim(), 0);
+    }
+
+    #[test]
+    fn extend_from_skips_prefix() {
+        let a = linear_solution();
+        let mut b = Solution::new();
+        b.push(0.0, &[0.0, 0.0]);
+        b.extend_from(&a, 1);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.state(1), &[1.0, 2.0]);
+        assert_eq!(b.last_state(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension changed")]
+    fn ragged_push_panics() {
+        let mut sol = Solution::new();
+        sol.push(0.0, &[1.0, 2.0]);
+        sol.push(1.0, &[1.0]);
     }
 }

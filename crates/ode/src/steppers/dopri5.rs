@@ -66,6 +66,9 @@ const B4: [f64; 7] = [
 pub struct Dopri5 {
     k: [Vec<f64>; 7],
     tmp: Vec<f64>,
+    /// Scratch for the error estimate when driven through the plain
+    /// [`Stepper::step`] interface, so that path allocates only once.
+    err_scratch: Vec<f64>,
 }
 
 impl Dopri5 {
@@ -128,8 +131,10 @@ impl Dopri5 {
 impl Stepper for Dopri5 {
     fn step(&mut self, sys: &dyn OdeSystem, t: f64, y: &[f64], h: f64, out: &mut [f64]) {
         let n = sys.dim();
-        let mut err = vec![0.0; n];
+        let mut err = std::mem::take(&mut self.err_scratch);
+        ensure_len(&mut err, n);
         self.step_with_error(sys, t, y, h, out, &mut err);
+        self.err_scratch = err;
     }
 
     fn order(&self) -> usize {

@@ -1,5 +1,23 @@
 //! Ensemble averaging of stochastic runs and comparison with the
 //! mean-field ODE.
+//!
+//! # Parallelism and determinism
+//!
+//! Ensembles fan their replicas out across worker threads through
+//! [`rumor_par`]. Every replica is a pure function of its `(index,
+//! seed)` pair — seeds follow the serial scheme `base_seed,
+//! base_seed+1, …` and each replica owns its `StdRng` — and the
+//! trajectories come back in replica order, after which the statistics
+//! are merged **serially in replica order** into the same
+//! [`RunningStats`] accumulators the serial path uses. Aggregate means,
+//! standard deviations, failure records and quorum outcomes are
+//! therefore bit-identical for every thread count, including 1.
+//!
+//! The worker count resolves through [`rumor_par::resolve_threads`]:
+//! an explicit `threads` argument (the `*_threads` variants), else the
+//! process-wide override installed by the CLI's `--threads` flag, else
+//! the `RUMOR_THREADS` environment variable, else the machine's
+//! available parallelism.
 
 use crate::abm::AbmConfig;
 use crate::{Result, SimError, SimTrajectory};
@@ -35,8 +53,27 @@ pub struct EnsembleResult {
     pub runs: usize,
 }
 
+/// Runs one replica of a simulator with its own freshly seeded RNG.
+fn run_replica(
+    graph: &Graph,
+    params: &ModelParams,
+    cfg: &AbmConfig,
+    simulator: Simulator,
+    seed: u64,
+) -> Result<SimTrajectory> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match simulator {
+        Simulator::Synchronous => crate::abm::run(graph, params, cfg, &mut rng),
+        Simulator::Gillespie => crate::gillespie::run(graph, params, cfg, &mut rng),
+    }
+}
+
 /// Runs `n_runs` independent stochastic simulations (seeds
 /// `base_seed, base_seed+1, …`) and aggregates the infected fraction.
+///
+/// Replicas execute in parallel (see the module docs for the worker
+/// count resolution and the determinism contract); the output is
+/// bit-identical to a serial run.
 ///
 /// # Errors
 ///
@@ -51,17 +88,44 @@ pub fn run_ensemble(
     n_runs: usize,
     base_seed: u64,
 ) -> Result<EnsembleResult> {
+    run_ensemble_threads(graph, params, cfg, simulator, n_runs, base_seed, None)
+}
+
+/// [`run_ensemble`] with an explicit worker count (`None` resolves the
+/// process default). `Some(1)` forces a serial run.
+///
+/// # Errors
+///
+/// Same as [`run_ensemble`].
+pub fn run_ensemble_threads(
+    graph: &Graph,
+    params: &ModelParams,
+    cfg: &AbmConfig,
+    simulator: Simulator,
+    n_runs: usize,
+    base_seed: u64,
+    threads: Option<usize>,
+) -> Result<EnsembleResult> {
     if n_runs == 0 {
         return Err(SimError::InvalidConfig("need at least one run".into()));
     }
+    let workers = rumor_par::resolve_threads(threads);
+    let trajectories = rumor_par::par_map_indexed(n_runs, workers, |r| {
+        run_replica(
+            graph,
+            params,
+            cfg,
+            simulator,
+            base_seed.wrapping_add(r as u64),
+        )
+    });
+    // Serial merge in replica order — identical to the sequential loop,
+    // including its error semantics (the first failing replica's error
+    // is the one reported).
     let mut stats: Vec<RunningStats> = Vec::new();
     let mut times: Vec<f64> = Vec::new();
-    for r in 0..n_runs {
-        let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(r as u64));
-        let traj: SimTrajectory = match simulator {
-            Simulator::Synchronous => crate::abm::run(graph, params, cfg, &mut rng)?,
-            Simulator::Gillespie => crate::gillespie::run(graph, params, cfg, &mut rng)?,
-        };
+    for (r, traj) in trajectories.into_iter().enumerate() {
+        let traj = traj?;
         if r == 0 {
             times = traj.times().to_vec();
             stats = vec![RunningStats::new(); times.len()];
@@ -177,6 +241,11 @@ impl IsolatedEnsemble {
 /// tests use: a runner that fails on schedule exercises every isolation
 /// path reproducibly.
 ///
+/// Replicas execute in parallel; the runner must therefore be a pure
+/// `Fn` (a function of `(index, seed)` only). Exclusion records and
+/// quorum outcomes are evaluated serially in replica order and are
+/// bit-identical for every thread count.
+///
 /// # Errors
 ///
 /// * [`SimError::InvalidConfig`] if `n_runs == 0` or the policy is
@@ -187,22 +256,48 @@ pub fn run_ensemble_isolated_with<F>(
     n_runs: usize,
     base_seed: u64,
     policy: &IsolationPolicy,
-    mut runner: F,
+    runner: F,
 ) -> Result<IsolatedEnsemble>
 where
-    F: FnMut(usize, u64) -> Result<SimTrajectory>,
+    F: Fn(usize, u64) -> Result<SimTrajectory> + Sync,
+{
+    run_ensemble_isolated_with_threads(n_runs, base_seed, policy, None, runner)
+}
+
+/// [`run_ensemble_isolated_with`] with an explicit worker count (`None`
+/// resolves the process default). `Some(1)` forces a serial run.
+///
+/// # Errors
+///
+/// Same as [`run_ensemble_isolated_with`].
+pub fn run_ensemble_isolated_with_threads<F>(
+    n_runs: usize,
+    base_seed: u64,
+    policy: &IsolationPolicy,
+    threads: Option<usize>,
+    runner: F,
+) -> Result<IsolatedEnsemble>
+where
+    F: Fn(usize, u64) -> Result<SimTrajectory> + Sync,
 {
     policy.validate()?;
     if n_runs == 0 {
         return Err(SimError::InvalidConfig("need at least one run".into()));
     }
+    let workers = rumor_par::resolve_threads(threads);
+    let outcomes = rumor_par::par_map_indexed(n_runs, workers, |r| {
+        runner(r, base_seed.wrapping_add(r as u64))
+    });
+    // Serial merge in replica order: grid from the first *surviving*
+    // replica, later grid mismatches become exclusions, stats accumulate
+    // in replica order — exactly the sequential semantics.
     let mut stats: Vec<RunningStats> = Vec::new();
     let mut times: Vec<f64> = Vec::new();
     let mut failures: Vec<ReplicaFailure> = Vec::new();
     let mut succeeded = 0usize;
-    for r in 0..n_runs {
+    for (r, outcome) in outcomes.into_iter().enumerate() {
         let seed = base_seed.wrapping_add(r as u64);
-        let traj = match runner(r, seed) {
+        let traj = match outcome {
             Ok(t) => t,
             Err(e) => {
                 failures.push(ReplicaFailure {
@@ -265,12 +360,30 @@ pub fn run_ensemble_isolated(
     base_seed: u64,
     policy: &IsolationPolicy,
 ) -> Result<IsolatedEnsemble> {
-    run_ensemble_isolated_with(n_runs, base_seed, policy, |_, seed| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        match simulator {
-            Simulator::Synchronous => crate::abm::run(graph, params, cfg, &mut rng),
-            Simulator::Gillespie => crate::gillespie::run(graph, params, cfg, &mut rng),
-        }
+    run_ensemble_isolated_threads(
+        graph, params, cfg, simulator, n_runs, base_seed, policy, None,
+    )
+}
+
+/// [`run_ensemble_isolated`] with an explicit worker count (`None`
+/// resolves the process default). `Some(1)` forces a serial run.
+///
+/// # Errors
+///
+/// See [`run_ensemble_isolated_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_ensemble_isolated_threads(
+    graph: &Graph,
+    params: &ModelParams,
+    cfg: &AbmConfig,
+    simulator: Simulator,
+    n_runs: usize,
+    base_seed: u64,
+    policy: &IsolationPolicy,
+    threads: Option<usize>,
+) -> Result<IsolatedEnsemble> {
+    run_ensemble_isolated_with_threads(n_runs, base_seed, policy, threads, |_, seed| {
+        run_replica(graph, params, cfg, simulator, seed)
     })
 }
 

@@ -16,7 +16,13 @@ pub struct SimTrajectory {
 }
 
 impl SimTrajectory {
-    pub(crate) fn new(n_classes: usize) -> Self {
+    /// An empty trajectory tracking `n_classes` degree classes.
+    ///
+    /// Public because the runner passed to
+    /// [`crate::ensemble::run_ensemble_isolated_with`] must be able to
+    /// produce trajectories — e.g. synthetic ones in fault-injection
+    /// tests.
+    pub fn new(n_classes: usize) -> Self {
         SimTrajectory {
             times: Vec::new(),
             s_frac: Vec::new(),
@@ -26,7 +32,9 @@ impl SimTrajectory {
         }
     }
 
-    pub(crate) fn push(&mut self, t: f64, s: f64, i: f64, r: f64, class_i: &[f64]) {
+    /// Appends one sample: time, aggregate S/I/R fractions, and the
+    /// per-class infected fractions (extra entries are ignored).
+    pub fn push(&mut self, t: f64, s: f64, i: f64, r: f64, class_i: &[f64]) {
         self.times.push(t);
         self.s_frac.push(s);
         self.i_frac.push(i);

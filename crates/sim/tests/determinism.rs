@@ -1,0 +1,223 @@
+//! Parallel-vs-serial determinism: ensemble statistics, failure records
+//! and quorum outcomes must be **bit-identical** for every thread count.
+//!
+//! These tests pass explicit worker counts through the `*_threads`
+//! variants rather than mutating the process-wide override, so they are
+//! safe under the test harness's own parallelism.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rumor_core::functions::{AcceptanceRate, Infectivity};
+use rumor_core::params::ModelParams;
+use rumor_net::degree::DegreeClasses;
+use rumor_net::generators::barabasi_albert;
+use rumor_net::graph::Graph;
+use rumor_sim::abm::AbmConfig;
+use rumor_sim::ensemble::{
+    run_ensemble_isolated_threads, run_ensemble_isolated_with_threads, run_ensemble_threads,
+    EnsembleResult, IsolationPolicy, Simulator,
+};
+use rumor_sim::{SimError, SimTrajectory};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn setup() -> (Graph, ModelParams) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = barabasi_albert(400, 3, &mut rng).unwrap();
+    let classes = DegreeClasses::from_graph(&g).unwrap();
+    let p = ModelParams::builder(classes)
+        .alpha(0.0)
+        .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.5 })
+        .infectivity(Infectivity::paper_default())
+        .build()
+        .unwrap();
+    (g, p)
+}
+
+fn cfg() -> AbmConfig {
+    AbmConfig {
+        alpha: 0.0,
+        dt: 0.1,
+        tf: 10.0,
+        eps1: 0.02,
+        eps2: 0.1,
+        initial_infected: 0.05,
+        record_every: 10,
+    }
+}
+
+/// Asserts two ensemble results are bit-identical (not merely close).
+fn assert_bit_identical(a: &EnsembleResult, b: &EnsembleResult, label: &str) {
+    assert_eq!(a.runs, b.runs, "{label}: runs");
+    let pairs = [
+        (&a.times, &b.times, "times"),
+        (&a.i_mean, &b.i_mean, "i_mean"),
+        (&a.i_std, &b.i_std, "i_std"),
+    ];
+    for (xs, ys, field) in pairs {
+        assert_eq!(xs.len(), ys.len(), "{label}: {field} length");
+        for (i, (x, y)) in xs.iter().zip(ys.iter()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{label}: {field}[{i}] differs: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn abm_ensemble_bit_identical_across_thread_counts() {
+    let (g, p) = setup();
+    let serial =
+        run_ensemble_threads(&g, &p, &cfg(), Simulator::Synchronous, 8, 42, Some(1)).unwrap();
+    for t in THREAD_COUNTS {
+        let par =
+            run_ensemble_threads(&g, &p, &cfg(), Simulator::Synchronous, 8, 42, Some(t)).unwrap();
+        assert_bit_identical(&serial, &par, &format!("abm, {t} threads"));
+    }
+}
+
+#[test]
+fn gillespie_ensemble_bit_identical_across_thread_counts() {
+    let (g, p) = setup();
+    let cfg = AbmConfig {
+        dt: 1.0,
+        tf: 20.0,
+        record_every: 1,
+        ..cfg()
+    };
+    let serial = run_ensemble_threads(&g, &p, &cfg, Simulator::Gillespie, 6, 11, Some(1)).unwrap();
+    for t in THREAD_COUNTS {
+        let par = run_ensemble_threads(&g, &p, &cfg, Simulator::Gillespie, 6, 11, Some(t)).unwrap();
+        assert_bit_identical(&serial, &par, &format!("gillespie, {t} threads"));
+    }
+}
+
+#[test]
+fn isolated_ensemble_bit_identical_across_thread_counts() {
+    let (g, p) = setup();
+    let policy = IsolationPolicy::default();
+    let serial = run_ensemble_isolated_threads(
+        &g,
+        &p,
+        &cfg(),
+        Simulator::Synchronous,
+        8,
+        17,
+        &policy,
+        Some(1),
+    )
+    .unwrap();
+    for t in THREAD_COUNTS {
+        let par = run_ensemble_isolated_threads(
+            &g,
+            &p,
+            &cfg(),
+            Simulator::Synchronous,
+            8,
+            17,
+            &policy,
+            Some(t),
+        )
+        .unwrap();
+        assert_bit_identical(
+            &serial.result,
+            &par.result,
+            &format!("isolated, {t} threads"),
+        );
+        assert_eq!(serial.failures, par.failures, "{t} threads: failures");
+        assert_eq!(serial.attempted, par.attempted);
+    }
+}
+
+/// Deterministic synthetic trajectory whose level encodes the seed, so
+/// the merged statistics expose any replica-order mixup.
+fn synth_traj(len: usize, seed: u64) -> SimTrajectory {
+    let level = (seed % 97) as f64 / 97.0;
+    let mut t = SimTrajectory::new(1);
+    for k in 0..len {
+        t.push(k as f64, 1.0 - level, level, 0.0, &[level]);
+    }
+    t
+}
+
+#[test]
+fn injected_faults_produce_identical_exclusions_for_every_thread_count() {
+    // Replicas 2, 5 and 8 fail; replica 6 records on the wrong grid.
+    // Exclusion records (index, seed, reason) and survivor statistics
+    // must match the serial run bit for bit at every thread count.
+    let policy = IsolationPolicy::default();
+    let runner = |r: usize, seed: u64| -> Result<SimTrajectory, SimError> {
+        if r % 3 == 2 {
+            Err(SimError::Inconsistent(format!("injected fault in {r}")))
+        } else if r == 6 {
+            Ok(synth_traj(9, seed))
+        } else {
+            Ok(synth_traj(5, seed))
+        }
+    };
+    let serial = run_ensemble_isolated_with_threads(12, 300, &policy, Some(1), runner).unwrap();
+    assert!(serial.degraded());
+    assert_eq!(serial.failures.len(), 5);
+    assert_eq!(serial.result.runs, 7);
+    for t in THREAD_COUNTS {
+        let par = run_ensemble_isolated_with_threads(12, 300, &policy, Some(t), runner).unwrap();
+        assert_bit_identical(
+            &serial.result,
+            &par.result,
+            &format!("faulted, {t} threads"),
+        );
+        assert_eq!(serial.failures, par.failures, "{t} threads: failures");
+        assert_eq!(serial.attempted, par.attempted);
+        assert_eq!(serial.summary(), par.summary());
+    }
+}
+
+#[test]
+fn quorum_violation_is_identical_for_every_thread_count() {
+    let policy = IsolationPolicy::default();
+    let runner = |r: usize, _seed: u64| -> Result<SimTrajectory, SimError> {
+        if r == 0 {
+            Ok(synth_traj(3, 1))
+        } else {
+            Err(SimError::Inconsistent("dead".into()))
+        }
+    };
+    for t in THREAD_COUNTS {
+        let err = run_ensemble_isolated_with_threads(5, 0, &policy, Some(t), runner).unwrap_err();
+        match err {
+            SimError::QuorumNotMet {
+                succeeded,
+                required,
+                attempted,
+            } => assert_eq!((succeeded, required, attempted), (1, 3, 5), "{t} threads"),
+            other => panic!("{t} threads: expected QuorumNotMet, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn strict_ensemble_error_matches_serial_first_failure_semantics() {
+    // The strict path reports the error of the smallest failing replica
+    // index regardless of which worker hit an error first.
+    let (g, p) = setup();
+    // A degenerate config that makes every replica fail identically:
+    // zero runs is rejected before spawning, so instead drive the
+    // isolated runner through the strict merge with a poisoned runner.
+    let runner = |r: usize, _seed: u64| -> Result<SimTrajectory, SimError> {
+        Err(SimError::Inconsistent(format!("replica {r} poisoned")))
+    };
+    let policy = IsolationPolicy { quorum: 0.01 };
+    for t in THREAD_COUNTS {
+        let err = run_ensemble_isolated_with_threads(6, 0, &policy, Some(t), runner).unwrap_err();
+        assert!(
+            matches!(err, SimError::QuorumNotMet { succeeded: 0, .. }),
+            "{t} threads"
+        );
+    }
+    // And the all-success strict path still agrees with itself.
+    let a = run_ensemble_threads(&g, &p, &cfg(), Simulator::Synchronous, 4, 5, Some(8)).unwrap();
+    let b = run_ensemble_threads(&g, &p, &cfg(), Simulator::Synchronous, 4, 5, Some(1)).unwrap();
+    assert_bit_identical(&a, &b, "strict self-agreement");
+}

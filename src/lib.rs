@@ -17,6 +17,7 @@
 //! | [`models`] | baselines: homogeneous SIR, Daley–Kendall, Maki–Thompson, SIS |
 //! | [`ode`] | ODE integration substrate (Euler/Heun/RK4/DOPRI5/implicit Euler) |
 //! | [`numerics`] | dense linear algebra, eigenvalues, roots, quadrature, interpolation |
+//! | [`par`] | std-only parallel executor with deterministic ordered collection |
 //!
 //! ## Quickstart
 //!
@@ -67,6 +68,7 @@ pub use rumor_models as models;
 pub use rumor_net as net;
 pub use rumor_numerics as numerics;
 pub use rumor_ode as ode;
+pub use rumor_par as par;
 pub use rumor_sim as sim;
 
 /// A convenience prelude importing the most commonly used items.
@@ -89,7 +91,10 @@ pub mod prelude {
     pub use rumor_net::graph::{EdgeKind, Graph};
     pub use rumor_ode::fault::{FaultSchedule, FaultyRhs};
     pub use rumor_ode::recovery::{Guarded, GuardedRun, RecoveryPolicy, RecoveryReport};
-    pub use rumor_sim::ensemble::{run_ensemble_isolated, IsolatedEnsemble, IsolationPolicy};
+    pub use rumor_par::{par_map, par_map_indexed, resolve_threads, set_thread_override};
+    pub use rumor_sim::ensemble::{
+        run_ensemble_isolated, run_ensemble_isolated_threads, IsolatedEnsemble, IsolationPolicy,
+    };
 }
 
 #[cfg(test)]
