@@ -1,8 +1,8 @@
 //! `perfreport` — headline performance numbers for the allocation-free
-//! hot path and the parallel ensemble layer, written as machine-readable
-//! JSON to `BENCH_PR2.json` at the workspace root.
+//! hot path, the parallel ensemble layer, and the HTTP service, written
+//! as machine-readable JSON to `BENCH_PR4.json` at the workspace root.
 //!
-//! Three canonical workloads:
+//! Six canonical workloads:
 //!
 //! 1. **RHS evals/s** — the heterogeneous SIR right-hand side on the
 //!    Digg-calibrated class structure (the kernel every integrator step
@@ -13,6 +13,15 @@
 //!    against the serial baseline.
 //! 3. **FBSM sweep wall time** — one forward–backward sweep in the
 //!    paper's Fig. 4 optimal-control setting.
+//! 4. **Wire throughput** — JSON parse + validation + canonicalization
+//!    of a representative `/v1/simulate` body (the per-request CPU cost
+//!    the service pays before any caching or compute).
+//! 5. **Cache-hit vs. cold latency** — the same `/v1/simulate` request
+//!    against a live in-process server over a real socket, cold
+//!    (computes) then repeated (served from the LRU byte cache).
+//! 6. **Sustained req/s at the admission limit** — concurrent clients
+//!    hammering the server; reports the served rate plus how many
+//!    requests were shed with `503` by the bounded queue.
 //!
 //! Numbers are measured on whatever host runs the binary; the report
 //! records `available_parallelism` so speedups can be judged against the
@@ -36,11 +45,15 @@ use rumor_core::state::NetworkState;
 use rumor_net::degree::DegreeClasses;
 use rumor_net::generators::barabasi_albert;
 use rumor_ode::system::OdeSystem;
+use rumor_serve::api::SimulateRequest;
+use rumor_serve::{serve, wire, ServeConfig, Server};
 use rumor_sim::abm::AbmConfig;
 use rumor_sim::ensemble::{run_ensemble_threads, EnsembleResult, Simulator};
 use std::fmt::Write as _;
+use std::io::{Read, Write as _};
+use std::net::TcpStream;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const ABM_REPLICAS: usize = 64;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -52,7 +65,7 @@ fn main() {
     println!("perfreport: host has {cores} available core(s)");
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"pr\": 2,");
+    let _ = writeln!(json, "  \"pr\": 4,");
     let _ = writeln!(json, "  \"generated_by\": \"perfreport\",");
     let _ = writeln!(
         json,
@@ -208,9 +221,133 @@ fn main() {
         sweep.converged
     );
 
+    // ---- Workload 4: wire parse + validate + canonicalize. ----------
+    let body = r#"{"network": {"nodes": 2000, "k_max": 60, "mean_degree": 5}, "model": {"alpha": 0.01, "lambda0": 0.02}, "eps1": 0.25, "eps2": 0.1, "tf": 120, "i0": 0.08, "n_out": 201}"#;
+    for _ in 0..200 {
+        let parsed = wire::parse(body).expect("wire parse");
+        let _ = SimulateRequest::from_value(&parsed)
+            .expect("validate")
+            .canonical();
+    }
+    let start = Instant::now();
+    let mut wire_ops = 0u64;
+    while start.elapsed().as_secs_f64() < 0.3 {
+        for _ in 0..500 {
+            let parsed = wire::parse(body).expect("wire parse");
+            let canonical = SimulateRequest::from_value(&parsed)
+                .expect("validate")
+                .canonical();
+            std::hint::black_box(&canonical);
+        }
+        wire_ops += 500;
+    }
+    let wire_wall = start.elapsed().as_secs_f64();
+    let wire_rate = wire_ops as f64 / wire_wall;
+    println!(
+        "wire: {wire_ops} parse+validate ops ({} B bodies) in {wire_wall:.3} s = {wire_rate:.0} ops/s",
+        body.len()
+    );
     let _ = writeln!(
         json,
-        "  \"notes\": [\n    \"parallel ensemble output is bit-identical to the serial run at every thread count (asserted above)\",\n    \"speedups are physical: on a host with {cores} available core(s), thread counts beyond {cores} measure scheduling overhead rather than parallel speedup\"\n  ]"
+        "  \"wire\": {{ \"body_bytes\": {}, \"ops\": {wire_ops}, \"wall_s\": {wire_wall:.4}, \"parse_validate_per_s\": {wire_rate:.1} }},",
+        body.len()
+    );
+
+    // ---- Workload 5: cold vs. cache-hit /v1/simulate latency. -------
+    let server = serve(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: Some(2),
+        ..ServeConfig::default()
+    })
+    .expect("bind bench server");
+    // The service defaults: the paper-scale Digg-like network. Heavy
+    // enough that the cold/hit contrast measures the cache, not socket
+    // overhead.
+    let sim_body = r#"{"network": {"nodes": 5000, "k_max": 300, "mean_degree": 24}, "tf": 150}"#;
+    let cold_start = Instant::now();
+    let cold = http_request(&server, "/v1/simulate", sim_body);
+    let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        cold.contains("X-Cache: miss"),
+        "first request must be a cache miss"
+    );
+    // Median of repeated hits: each is a full TCP connect + parse +
+    // cache lookup + response, so this is end-to-end hit latency.
+    let mut hit_ms: Vec<f64> = (0..25)
+        .map(|_| {
+            let start = Instant::now();
+            let hit = http_request(&server, "/v1/simulate", sim_body);
+            assert!(hit.contains("X-Cache: hit"), "repeat must hit the cache");
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    hit_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let hit_median_ms = hit_ms[hit_ms.len() / 2];
+    println!(
+        "serve latency: cold {cold_ms:.2} ms, cache-hit median {hit_median_ms:.3} ms ({:.0}x)",
+        cold_ms / hit_median_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"serve_latency\": {{ \"cold_ms\": {cold_ms:.3}, \"cache_hit_median_ms\": {hit_median_ms:.4}, \"hit_speedup\": {:.1} }},",
+        cold_ms / hit_median_ms
+    );
+    server.shutdown_and_join();
+
+    // ---- Workload 6: sustained req/s at the admission limit. --------
+    // More always-outstanding clients than `workers + queue_depth` can
+    // hold, so the bounded queue must shed the excess with `503` while
+    // the served (cache-hit) rate stays high. Counts both outcomes.
+    let server = serve(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: Some(1),
+        queue_depth: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind admission server");
+    let _ = http_request(&server, "/v1/simulate", sim_body); // warm the cache
+    let clients = 8;
+    let window = Duration::from_millis(600);
+    let addr = server.local_addr();
+    let (served, shed): (u64, u64) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let (mut ok, mut rejected) = (0u64, 0u64);
+                    let start = Instant::now();
+                    while start.elapsed() < window {
+                        match raw_request(addr, "/v1/simulate", sim_body) {
+                            Some(response) if response.starts_with("HTTP/1.1 200") => ok += 1,
+                            Some(response) if response.starts_with("HTTP/1.1 503") => {
+                                rejected += 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    (ok, rejected)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .fold((0, 0), |(a, b), (x, y)| (a + x, b + y))
+    });
+    let served_rate = served as f64 / window.as_secs_f64();
+    println!(
+        "admission: {clients} clients for {:.1} s: {served} served ({served_rate:.0} req/s), {shed} shed with 503",
+        window.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "  \"admission\": {{ \"clients\": {clients}, \"window_s\": {:.2}, \"served\": {served}, \"served_per_s\": {served_rate:.1}, \"shed_503\": {shed} }},",
+        window.as_secs_f64()
+    );
+    server.shutdown_and_join();
+
+    let _ = writeln!(
+        json,
+        "  \"notes\": [\n    \"parallel ensemble output is bit-identical to the serial run at every thread count (asserted above)\",\n    \"speedups are physical: on a host with {cores} available core(s), thread counts beyond {cores} measure scheduling overhead rather than parallel speedup\",\n    \"serve latencies are end-to-end over a real localhost socket, one connection per request\",\n    \"the admission workload intentionally overloads a queue_depth=8 pool: 503s are the bounded queue working, not a failure\"\n  ]"
     );
     json.push_str("}\n");
 
@@ -220,7 +357,30 @@ fn main() {
         .and_then(|p| p.parent())
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
-    let path = root.join("BENCH_PR2.json");
-    std::fs::write(&path, &json).expect("write BENCH_PR2.json");
+    let path = root.join("BENCH_PR4.json");
+    std::fs::write(&path, &json).expect("write BENCH_PR4.json");
     println!("wrote {}", path.display());
+}
+
+/// One full HTTP exchange against the bench server; panics on failure
+/// (the server is in-process, so failures are bugs, not flakiness).
+fn http_request(server: &Server, path: &str, body: &str) -> String {
+    raw_request(server.local_addr(), path, body).expect("bench request")
+}
+
+/// One full HTTP exchange; `None` on connection failure (expected under
+/// deliberate overload in the admission workload).
+fn raw_request(addr: std::net::SocketAddr, path: &str, body: &str) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .ok()?;
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).ok()?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).ok()?;
+    Some(String::from_utf8_lossy(&response).into_owned())
 }

@@ -372,6 +372,40 @@ pub fn abm(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// `rumor serve`: run the HTTP JSON service until SIGTERM/SIGINT, then
+/// drain in-flight requests and exit. Exit codes follow the strict
+/// contract: a rejected configuration is exit 3, a failed bind (or any
+/// other startup I/O failure) is exit 1, usage errors are exit 2.
+pub fn serve(args: &Args) -> CliResult {
+    let config = rumor_serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:8080").to_string(),
+        // 0 = "not given" (matching the global --threads convention):
+        // resolve via RUMOR_THREADS / available cores.
+        threads: match args.get_usize("threads", 0)? {
+            0 => None,
+            t => Some(t),
+        },
+        queue_depth: args.get_usize("queue-depth", 64)?,
+        cache_entries: args.get_usize("cache-entries", 256)?,
+        deadline_ms: args.get_u64("deadline-ms", 30_000)?,
+        ..rumor_serve::ServeConfig::default()
+    };
+    let server = rumor_serve::serve(&config)?;
+    println!(
+        "rumor-serve listening on http://{} ({} worker(s), queue depth {}, cache {} entries, deadline {} ms)",
+        server.local_addr(),
+        server.workers(),
+        config.queue_depth,
+        config.cache_entries,
+        config.deadline_ms
+    );
+    println!("endpoints: GET /healthz /metrics; POST /v1/{{simulate,threshold,optimize,ensemble}}");
+    println!("press Ctrl-C (or send SIGTERM) for a graceful drain-and-exit");
+    server.run_until_terminated();
+    println!("rumor-serve: drained and stopped");
+    Ok(())
+}
+
 /// `rumor selftest`: deterministic fault-injection drills for the
 /// guarded integrator. Each scenario corrupts the rumor dynamics'
 /// right-hand side on a fixed schedule and checks that the fallback

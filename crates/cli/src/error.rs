@@ -156,6 +156,18 @@ impl From<rumor_sim::SimError> for CliError {
     }
 }
 
+impl From<rumor_serve::ServeError> for CliError {
+    fn from(e: rumor_serve::ServeError) -> Self {
+        use rumor_serve::ServeError as E;
+        match e {
+            E::InvalidConfig(_) => CliError::config(render_chain(&e)),
+            // Bind and startup I/O failures are runtime conditions: the
+            // configuration was fine, the environment refused it.
+            E::Bind { .. } | E::Io(_) => CliError::runtime(render_chain(&e)),
+        }
+    }
+}
+
 impl From<rumor_net::NetError> for CliError {
     fn from(e: rumor_net::NetError) -> Self {
         CliError::runtime(render_chain(&e))

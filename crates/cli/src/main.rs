@@ -5,6 +5,7 @@
 //! rumor simulate  [--edges FILE | --nodes N] [--tf T] [--out FILE] ...
 //! rumor optimize  [--edges FILE | --nodes N] [--tf T] [--c1 C] [--c2 C] ...
 //! rumor abm       [--edges FILE | --nodes N] [--runs R] [--tf T] ...
+//! rumor serve     [--addr A] [--threads N] [--queue-depth D] [--cache-entries C]
 //! ```
 //!
 //! Run `rumor help` for the full option list. Networks come from an edge
@@ -29,6 +30,7 @@ COMMANDS:
     simulate   integrate the rumor dynamics; optionally write a CSV trajectory
     optimize   watchdog-guarded forward-backward sweep for the cheapest countermeasures
     abm        fault-isolated agent-based ensemble vs the mean-field prediction
+    serve      run the HTTP/1.1 JSON service (simulate/threshold/optimize/ensemble)
     selftest   deterministic fault-injection drills for the guarded integrator
     help       print this message
 
@@ -61,11 +63,22 @@ COMMAND OPTIONS:
               --epsmax E (default 0.7)  --max-iters N (300)  --out FILE
     abm:      --tf T (default 40)   --i0 F (default 0.05) --runs R (default 8)
               --quorum F (default 0.5, min surviving replica fraction)
+    serve:    --addr A (default 127.0.0.1:8080, port 0 = ephemeral)
+              --queue-depth N (default 64; beyond it requests are shed with 503)
+              --cache-entries N (default 256; 0 disables the result cache)
+              --deadline-ms MS (default 30000; late requests answer 504)
+              endpoints: GET /healthz /metrics,
+                         POST /v1/{simulate,threshold,optimize,ensemble}
+              runs until SIGTERM/SIGINT, then drains in-flight requests
     selftest: --tf T (default 40)   --i0 F (default 0.05)
 
 EXIT CODES:
     0  success        1  runtime failure      2  usage error
     3  invalid config 4  degraded result under --strict
+    serve maps onto the same contract: a rejected service configuration
+    (e.g. --queue-depth 0) exits 3; a failed bind exits 1; unknown
+    options exit 2. HTTP-level failures (400/413/503/504) are per-request
+    and never terminate the server.
 ";
 
 fn main() -> ExitCode {
@@ -94,6 +107,10 @@ fn main() -> ExitCode {
         "runs",
         "quorum",
         "threads",
+        "addr",
+        "queue-depth",
+        "cache-entries",
+        "deadline-ms",
     ];
     let flags = ["strict"];
     let parsed = match Args::parse(rest.iter().cloned(), &allowed, &flags) {
@@ -122,6 +139,7 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate(&parsed),
         "optimize" => commands::optimize(&parsed),
         "abm" => commands::abm(&parsed),
+        "serve" => commands::serve(&parsed),
         "selftest" => commands::selftest(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -90,3 +90,30 @@ fn strict_turns_degraded_sweep_into_exit_four() {
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
     assert!(stdout(&out).contains("DEGRADED"));
 }
+
+#[test]
+fn serve_rejects_bad_configuration_with_exit_three() {
+    let out = rumor(&["serve", "--queue-depth", "0"]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("queue_depth"));
+
+    let out = rumor(&["serve", "--addr", ""]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("addr"));
+}
+
+#[test]
+fn serve_reports_bind_failure_with_exit_one() {
+    // An unbindable address is a runtime failure, not a config error:
+    // the configuration was well-formed, the environment refused it.
+    let out = rumor(&["serve", "--addr", "256.256.256.256:0"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("256.256.256.256"));
+}
+
+#[test]
+fn serve_rejects_unknown_options_with_exit_two() {
+    let out = rumor(&["serve", "--listen", "127.0.0.1:0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown option"));
+}

@@ -1,0 +1,150 @@
+//! Canonical-request-keyed LRU result cache.
+//!
+//! Every compute engine behind the service is deterministic (fixed
+//! seeds, fixed integrator configuration, bit-identical parallel
+//! collection), so two requests with the same [canonical
+//! key](crate::api::canonical_key) produce the same response **bytes**
+//! — a cache hit is exact, not approximate.
+//!
+//! Recency is tracked with a monotone stamp per entry; eviction scans
+//! for the minimum stamp. That makes `insert` O(capacity) in the worst
+//! case, which is deliberate: capacities are small (hundreds), the
+//! stamp scan is branch-predictable, and the alternative — an intrusive
+//! doubly-linked list — is exactly the kind of pointer soup a std-only
+//! crate should not hand-roll for a cold path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A bounded least-recently-used map from canonical request keys to
+/// response bodies.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<String, Entry>,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    stamp: u64,
+    body: Arc<[u8]>,
+}
+
+impl LruCache {
+    /// A cache holding at most `capacity` responses. Zero disables
+    /// caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::with_capacity(capacity.min(1024)),
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a response body, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<Arc<[u8]>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|entry| {
+            entry.stamp = tick;
+            Arc::clone(&entry.body)
+        })
+    }
+
+    /// Inserts a response body, evicting the least-recently-used entry
+    /// when at capacity. Returns `true` if an eviction happened.
+    pub fn insert(&mut self, key: String, body: Arc<[u8]>) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.tick += 1;
+        let stamp = self.tick;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.stamp = stamp;
+            entry.body = body;
+            return false;
+        }
+        let mut evicted = false;
+        if self.entries.len() >= self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+                evicted = true;
+            }
+        }
+        self.entries.insert(key, Entry { stamp, body });
+        evicted
+    }
+
+    /// Number of cached responses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<[u8]> {
+        Arc::from(s.as_bytes().to_vec().into_boxed_slice())
+    }
+
+    #[test]
+    fn hit_returns_inserted_body() {
+        let mut cache = LruCache::new(4);
+        assert!(cache.get("a").is_none());
+        cache.insert("a".into(), body("alpha"));
+        assert_eq!(cache.get("a").unwrap().as_ref(), b"alpha");
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a".into(), body("1"));
+        cache.insert("b".into(), body("2"));
+        // Touch "a" so "b" is the LRU entry.
+        assert!(cache.get("a").is_some());
+        assert!(cache.insert("c".into(), body("3")));
+        assert!(cache.get("b").is_none(), "LRU entry should be evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_without_eviction() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a".into(), body("1"));
+        assert!(!cache.insert("a".into(), body("2")));
+        assert_eq!(cache.get("a").unwrap().as_ref(), b"2");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = LruCache::new(0);
+        assert!(!cache.insert("a".into(), body("1")));
+        assert!(cache.get("a").is_none());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,378 @@
+//! Endpoint implementations: each takes a validated request struct,
+//! drives the corresponding engine, and returns a wire [`Value`].
+//!
+//! Handlers are pure functions of their request (the engines are
+//! deterministic), which is what makes the canonical-key result cache
+//! exact. Engine errors split two ways: configurations the engine
+//! rejects are the client's fault (`400`), anything else — a failed
+//! integration, a lost quorum — is a server-side failure (`500`).
+
+use crate::api::{
+    EnsembleRequest, ModelSpec, NetworkSpec, OptimizeRequest, SimulateRequest, ThresholdRequest,
+};
+use crate::wire::Value;
+use rumor_control::fbsm::FbsmOptions;
+use rumor_control::watchdog::{optimize_guarded, SweepSource, WatchdogOptions};
+use rumor_control::{ControlBounds, CostWeights};
+use rumor_core::control::ConstantControl;
+use rumor_core::equilibrium::{positive_equilibrium, zero_equilibrium};
+use rumor_core::functions::{AcceptanceRate, Infectivity};
+use rumor_core::params::ModelParams;
+use rumor_core::sensitivity::{critical_countermeasure_scale, r0_sensitivity};
+use rumor_core::simulate::{simulate as run_simulation, SimulateOptions};
+use rumor_core::stability::theorem2_consistency;
+use rumor_core::state::NetworkState;
+use rumor_datasets::digg::{DiggConfig, DiggDataset};
+use rumor_net::degree::DegreeClasses;
+use rumor_sim::abm::AbmConfig;
+use rumor_sim::ensemble::{
+    max_deviation, mean_field_reference, run_ensemble_isolated_threads, IsolationPolicy, Simulator,
+};
+use std::fmt;
+
+/// A handler failure, already classified by HTTP status.
+#[derive(Debug)]
+pub enum HandlerError {
+    /// The request was well-formed JSON but the engines reject the
+    /// configuration (HTTP 400).
+    BadRequest(String),
+    /// The computation itself failed (HTTP 500).
+    Internal(String),
+}
+
+impl fmt::Display for HandlerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HandlerError::BadRequest(m) | HandlerError::Internal(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for HandlerError {}
+
+type Result<T> = std::result::Result<T, HandlerError>;
+
+/// Is this core-layer failure the client's fault (a rejected
+/// configuration) rather than a server-side computation failure?
+fn core_is_client_fault(e: &rumor_core::CoreError) -> bool {
+    use rumor_core::CoreError as E;
+    matches!(e, E::InvalidParameter { .. } | E::DimensionMismatch { .. })
+        || matches!(
+            e,
+            E::Ode(
+                rumor_ode::OdeError::InvalidConfig { .. }
+                    | rumor_ode::OdeError::InvalidStep(_)
+                    | rumor_ode::OdeError::DimensionMismatch { .. }
+            )
+        )
+}
+
+impl From<rumor_core::CoreError> for HandlerError {
+    fn from(e: rumor_core::CoreError) -> Self {
+        if core_is_client_fault(&e) {
+            HandlerError::BadRequest(e.to_string())
+        } else {
+            HandlerError::Internal(e.to_string())
+        }
+    }
+}
+
+impl From<rumor_control::ControlError> for HandlerError {
+    fn from(e: rumor_control::ControlError) -> Self {
+        use rumor_control::ControlError as E;
+        let client_fault = match &e {
+            E::InvalidConfig(_) => true,
+            E::Core(inner) => core_is_client_fault(inner),
+            _ => false,
+        };
+        if client_fault {
+            HandlerError::BadRequest(e.to_string())
+        } else {
+            HandlerError::Internal(e.to_string())
+        }
+    }
+}
+
+impl From<rumor_sim::SimError> for HandlerError {
+    fn from(e: rumor_sim::SimError) -> Self {
+        use rumor_sim::SimError as E;
+        match &e {
+            E::InvalidConfig(_) => HandlerError::BadRequest(e.to_string()),
+            _ => HandlerError::Internal(e.to_string()),
+        }
+    }
+}
+
+impl From<rumor_datasets::DatasetError> for HandlerError {
+    fn from(e: rumor_datasets::DatasetError) -> Self {
+        use rumor_datasets::DatasetError as E;
+        match &e {
+            E::InvalidConfig(_) => HandlerError::BadRequest(e.to_string()),
+            _ => HandlerError::Internal(e.to_string()),
+        }
+    }
+}
+
+impl From<rumor_net::NetError> for HandlerError {
+    fn from(e: rumor_net::NetError) -> Self {
+        HandlerError::Internal(e.to_string())
+    }
+}
+
+fn synthesize(net: &NetworkSpec) -> Result<DiggDataset> {
+    Ok(DiggDataset::synthesize(DiggConfig {
+        nodes: net.nodes,
+        k_min: 1,
+        k_max: net.k_max,
+        target_mean_degree: net.mean_degree,
+        seed: net.seed,
+    })?)
+}
+
+fn build_params(classes: DegreeClasses, model: &ModelSpec) -> Result<ModelParams> {
+    Ok(ModelParams::builder(classes)
+        .alpha(model.alpha)
+        .acceptance(AcceptanceRate::LinearInDegree {
+            lambda0: model.lambda0,
+        })
+        .infectivity(Infectivity::paper_default())
+        .build()?)
+}
+
+/// `POST /v1/simulate`: Eq. (1) trajectories under constant
+/// countermeasures, reported as population means per sample.
+pub fn simulate(req: &SimulateRequest) -> Result<Value> {
+    let dataset = synthesize(&req.network)?;
+    let params = build_params(dataset.classes().clone(), &req.model)?;
+    let initial = NetworkState::initial_uniform(params.n_classes(), req.i0)?;
+    let traj = run_simulation(
+        &params,
+        ConstantControl::new(req.eps1, req.eps2),
+        &initial,
+        req.tf,
+        &SimulateOptions {
+            n_out: req.n_out,
+            ..SimulateOptions::default()
+        },
+    )?;
+    let threshold = rumor_core::equilibrium::r0(&params, req.eps1, req.eps2)?;
+    let n = params.n_classes() as f64;
+    let mean_of = |f: fn(&NetworkState) -> f64| -> Vec<f64> {
+        traj.states().iter().map(|st| f(st) / n).collect()
+    };
+    Ok(Value::obj([
+        ("r0", Value::Num(threshold)),
+        ("n_classes", Value::Num(n)),
+        ("times", Value::num_arr(traj.times())),
+        (
+            "mean_s",
+            Value::num_arr(&mean_of(NetworkState::total_susceptible)),
+        ),
+        (
+            "mean_i",
+            Value::num_arr(&mean_of(NetworkState::total_infected)),
+        ),
+        (
+            "mean_r",
+            Value::num_arr(&mean_of(NetworkState::total_recovered)),
+        ),
+        (
+            "terminal_infected",
+            Value::Num(traj.last_state().total_infected()),
+        ),
+    ]))
+}
+
+/// `POST /v1/threshold`: `r0` of Theorem 1, the `E0`/`E+` equilibria,
+/// the Jacobian verdict of Theorem 2, and threshold sensitivities.
+pub fn threshold(req: &ThresholdRequest) -> Result<Value> {
+    let dataset = synthesize(&req.network)?;
+    let params = build_params(dataset.classes().clone(), &req.model)?;
+    let (r0_value, verdict, consistent) = theorem2_consistency(&params, req.eps1, req.eps2)?;
+    let e0 = zero_equilibrium(&params, req.eps1, req.eps2)?;
+    let e_plus = match positive_equilibrium(&params, req.eps1, req.eps2) {
+        Ok(ep) => Value::obj([(
+            "mean_infected",
+            Value::Num(ep.total_infected() / params.n_classes() as f64),
+        )]),
+        Err(_) => Value::Null,
+    };
+    let sens = r0_sensitivity(&params, req.eps1, req.eps2)?;
+    let scale = critical_countermeasure_scale(&params, req.eps1, req.eps2)?;
+    Ok(Value::obj([
+        ("r0", Value::Num(r0_value)),
+        ("predicted_extinction", Value::Bool(r0_value <= 1.0)),
+        ("jacobian_verdict", Value::Str(format!("{verdict:?}"))),
+        ("consistent_with_r0", Value::Bool(consistent)),
+        (
+            "e0",
+            Value::obj([("s", Value::Num(e0.s()[0])), ("r", Value::Num(e0.r()[0]))]),
+        ),
+        ("e_plus", e_plus),
+        (
+            "sensitivity",
+            Value::obj([
+                ("d_alpha", Value::Num(sens.d_alpha)),
+                ("d_eps1", Value::Num(sens.d_eps1)),
+                ("d_eps2", Value::Num(sens.d_eps2)),
+            ]),
+        ),
+        ("critical_scale", Value::Num(scale)),
+    ]))
+}
+
+/// `POST /v1/optimize`: the watchdog-guarded forward–backward sweep of
+/// Eqs. (15)–(19), returning the `ε1/ε2` schedule and the cost `J`.
+pub fn optimize(req: &OptimizeRequest) -> Result<Value> {
+    let dataset = synthesize(&req.network)?;
+    let params = build_params(dataset.classes().clone(), &req.model)?;
+    let weights = CostWeights::new(req.c1, req.c2)?;
+    let bounds = ControlBounds::new(req.eps_max, req.eps_max)?;
+    let initial = NetworkState::initial_uniform(params.n_classes(), req.i0)?;
+    let guarded = optimize_guarded(
+        &params,
+        &initial,
+        req.tf,
+        &bounds,
+        &weights,
+        &WatchdogOptions {
+            fbsm: FbsmOptions {
+                n_nodes: 101,
+                max_iterations: req.max_iters,
+                tolerance: 1e-4,
+                relaxation: 0.3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )?;
+    let result = &guarded.result;
+    Ok(Value::obj([
+        ("converged", Value::Bool(result.converged)),
+        ("iterations", Value::Num(result.iterations as f64)),
+        ("degraded", Value::Bool(guarded.degraded)),
+        (
+            "source",
+            Value::Str(
+                match guarded.source {
+                    SweepSource::Fbsm => "fbsm",
+                    SweepSource::HeuristicFallback => "heuristic_fallback",
+                }
+                .to_string(),
+            ),
+        ),
+        ("restarts", Value::Num(guarded.restarts.len() as f64)),
+        (
+            "cost",
+            Value::obj([
+                ("running", Value::Num(result.cost.running())),
+                ("total", Value::Num(result.cost.total())),
+            ]),
+        ),
+        (
+            "terminal_infected",
+            Value::Num(result.trajectory.last_state().total_infected()),
+        ),
+        (
+            "schedule",
+            Value::obj([
+                ("t", Value::num_arr(result.control.grid())),
+                ("eps1", Value::num_arr(result.control.eps1_values())),
+                ("eps2", Value::num_arr(result.control.eps2_values())),
+            ]),
+        ),
+    ]))
+}
+
+/// `POST /v1/ensemble`: fault-isolated synchronous-ABM ensemble on the
+/// realized graph, compared against the mean-field prediction. `threads`
+/// comes from the server (resolved once via `rumor_par`).
+pub fn ensemble(req: &EnsembleRequest, threads: usize) -> Result<Value> {
+    let dataset = synthesize(&req.network)?;
+    let graph = dataset.realize_graph()?;
+    // Microscopic rates key off the realized graph's degrees.
+    let classes = DegreeClasses::from_graph(&graph)?;
+    let params = build_params(classes, &req.model)?;
+    let cfg = AbmConfig {
+        alpha: params.alpha(),
+        dt: req.dt,
+        tf: req.tf,
+        eps1: req.eps1,
+        eps2: req.eps2,
+        initial_infected: req.i0,
+        record_every: 10,
+    };
+    let policy = IsolationPolicy { quorum: req.quorum };
+    let isolated = run_ensemble_isolated_threads(
+        &graph,
+        &params,
+        &cfg,
+        Simulator::Synchronous,
+        req.runs,
+        req.network.seed,
+        &policy,
+        Some(threads),
+    )?;
+    let ens = &isolated.result;
+    let mf = mean_field_reference(&params, &cfg, &ens.times)?;
+    let deviation = max_deviation(ens, &mf)?;
+    Ok(Value::obj([
+        ("runs", Value::Num(ens.runs as f64)),
+        ("attempted", Value::Num(isolated.attempted as f64)),
+        ("excluded", Value::Num(isolated.failures.len() as f64)),
+        ("degraded", Value::Bool(isolated.degraded())),
+        ("times", Value::num_arr(&ens.times)),
+        ("i_mean", Value::num_arr(&ens.i_mean)),
+        ("i_std", Value::num_arr(&ens.i_std)),
+        ("max_deviation_vs_ode", Value::Num(deviation)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::parse;
+
+    fn small_net() -> &'static str {
+        r#"{"network": {"nodes": 300, "k_max": 25, "mean_degree": 4}, "tf": 10}"#
+    }
+
+    #[test]
+    fn simulate_handler_is_deterministic() {
+        let req = SimulateRequest::from_value(&parse(small_net()).unwrap()).unwrap();
+        let a = simulate(&req).unwrap();
+        let b = simulate(&req).unwrap();
+        assert_eq!(
+            crate::wire::serialize(&a),
+            crate::wire::serialize(&b),
+            "identical requests must produce identical bytes"
+        );
+        assert!(a.get("times").unwrap().as_arr().unwrap().len() == 201);
+    }
+
+    #[test]
+    fn threshold_handler_reports_consistency() {
+        let req = ThresholdRequest::from_value(
+            &parse(r#"{"network": {"nodes": 300, "k_max": 25, "mean_degree": 4}}"#).unwrap(),
+        )
+        .unwrap();
+        let out = threshold(&req).unwrap();
+        assert!(out.get("r0").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(out.get("consistent_with_r0"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn ensemble_handler_runs_small_workload() {
+        let req = EnsembleRequest::from_value(
+            &parse(
+                r#"{"network": {"nodes": 200, "k_max": 20, "mean_degree": 4},
+                    "tf": 3, "runs": 2}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let out = ensemble(&req, 1).unwrap();
+        assert_eq!(out.get("runs").unwrap().as_f64(), Some(2.0));
+        assert!(!out.get("times").unwrap().as_arr().unwrap().is_empty());
+    }
+}

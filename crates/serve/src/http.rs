@@ -1,0 +1,243 @@
+//! Minimal HTTP/1.1 framing over a [`TcpStream`].
+//!
+//! Only what the service needs: request-line + header parsing,
+//! `Content-Length` bodies with a hard cap (checked **before** the body
+//! is read, so an oversized upload costs one header parse, not 1 MiB of
+//! buffering), `Expect: 100-continue` handling for curl-style clients,
+//! and one-shot responses (`Connection: close` on every exchange — the
+//! service is query-per-connection by design; admission control happens
+//! per connection at the accept queue).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Maximum bytes of request line + headers.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as sent (path only; the service ignores queries).
+    pub target: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Syntactically invalid request (HTTP 400).
+    Malformed(String),
+    /// Declared body exceeds the configured cap (HTTP 413).
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// Configured cap.
+        limit: usize,
+    },
+    /// Unsupported framing, e.g. chunked transfer (HTTP 501).
+    Unsupported(String),
+    /// The socket timed out mid-request (HTTP 408).
+    TimedOut,
+    /// The peer vanished or another I/O failure occurred (no response
+    /// possible).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Malformed(m) => write!(f, "malformed request: {m}"),
+            ReadError::BodyTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds the {limit}-byte cap")
+            }
+            ReadError::Unsupported(m) => write!(f, "unsupported request: {m}"),
+            ReadError::TimedOut => write!(f, "timed out reading the request"),
+            ReadError::Io(e) => write!(f, "i/o error reading the request: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ReadError::TimedOut,
+            _ => ReadError::Io(e),
+        }
+    }
+}
+
+/// Reads and parses one request from the stream. The caller is expected
+/// to have set read/write timeouts on the stream.
+///
+/// # Errors
+///
+/// See [`ReadError`]; every variant except `Io` maps to a well-defined
+/// HTTP status.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // Accumulate until the blank line that ends the header block.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::Malformed(format!(
+                "header block exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Err(ReadError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before a request arrived",
+                )));
+            }
+            return Err(ReadError::Malformed(
+                "connection closed mid-header".to_string(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ReadError::Malformed("non-UTF-8 header block".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(ReadError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed(format!("bad header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut request = Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ReadError::Unsupported(
+            "chunked transfer encoding is not supported; send Content-Length".to_string(),
+        ));
+    }
+    let declared = match request.header("content-length") {
+        None => 0,
+        Some(raw) => raw
+            .parse::<usize>()
+            .map_err(|_| ReadError::Malformed(format!("bad Content-Length {raw:?}")))?,
+    };
+    if declared > max_body {
+        return Err(ReadError::BodyTooLarge {
+            declared,
+            limit: max_body,
+        });
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() < declared && request.header("expect").is_some_and(|v| v.contains("100")) {
+        // The client is waiting for permission to send the body.
+        stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+        stream.flush()?;
+    }
+    while body.len() < declared {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ReadError::Malformed(format!(
+                "connection closed after {} of {declared} body bytes",
+                body.len()
+            )));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(declared);
+    request.body = body;
+    Ok(request)
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a complete one-shot response (`Connection: close`).
+///
+/// # Errors
+///
+/// Propagates socket write failures (the peer may already be gone; the
+/// caller treats this as best-effort).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// The standard reason phrase for the statuses the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}

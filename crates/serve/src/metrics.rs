@@ -1,0 +1,228 @@
+//! Service counters and latency histograms, rendered as plain text for
+//! `GET /metrics`.
+//!
+//! Everything is lock-free atomics: workers record on the request path
+//! without contending on the cache mutex, and the render pass reads a
+//! consistent-enough snapshot (counters are monotone; exactness across
+//! counters is not required of a metrics endpoint). The output format
+//! is Prometheus-flavoured text — counters plus cumulative
+//! per-endpoint latency buckets — without claiming full exposition-
+//! format compliance.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (milliseconds) of the latency histogram buckets; a
+/// final implicit `+Inf` bucket catches the rest.
+pub const LATENCY_BUCKETS_MS: [u64; 7] = [1, 5, 25, 100, 500, 2_500, 10_000];
+
+/// The endpoints with per-endpoint series, in render order.
+pub const ENDPOINTS: [&str; 6] = [
+    "healthz",
+    "metrics",
+    "simulate",
+    "threshold",
+    "optimize",
+    "ensemble",
+];
+
+/// Index into [`ENDPOINTS`] for a request target, if it is known.
+pub fn endpoint_index(method: &str, target: &str) -> Option<usize> {
+    match (method, target) {
+        ("GET", "/healthz") => Some(0),
+        ("GET", "/metrics") => Some(1),
+        ("POST", "/v1/simulate") => Some(2),
+        ("POST", "/v1/threshold") => Some(3),
+        ("POST", "/v1/optimize") => Some(4),
+        ("POST", "/v1/ensemble") => Some(5),
+        _ => None,
+    }
+}
+
+#[derive(Debug, Default)]
+struct EndpointSeries {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    /// Cumulative counts per LATENCY_BUCKETS_MS bound, plus +Inf.
+    buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
+    total_ms: AtomicU64,
+}
+
+/// All service metrics. Cheap to share behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections admitted into the queue.
+    pub admitted: AtomicU64,
+    /// Connections shed with `503` because the queue was full.
+    pub rejected_queue_full: AtomicU64,
+    /// Requests rejected with `413` (body cap).
+    pub rejected_body_too_large: AtomicU64,
+    /// Requests rejected with `400`/`501` (malformed / unsupported).
+    pub rejected_malformed: AtomicU64,
+    /// Requests that exceeded their wall-clock deadline (`504`).
+    pub deadline_exceeded: AtomicU64,
+    /// Requests that timed out mid-read (`408`).
+    pub read_timeouts: AtomicU64,
+    /// Currently executing requests.
+    pub in_flight: AtomicU64,
+    /// Result-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Result-cache misses.
+    pub cache_misses: AtomicU64,
+    /// Result-cache evictions.
+    pub cache_evictions: AtomicU64,
+    per_endpoint: [EndpointSeries; ENDPOINTS.len()],
+}
+
+impl Metrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one finished request against an endpoint series.
+    pub fn record(&self, endpoint: usize, status: u16, elapsed_ms: u64) {
+        let series = &self.per_endpoint[endpoint];
+        series.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            series.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let bucket = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&bound| elapsed_ms <= bound)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        series.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        series.total_ms.fetch_add(elapsed_ms, Ordering::Relaxed);
+    }
+
+    /// Renders the plain-text metrics page.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let counter = |out: &mut String, name: &str, value: u64| {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        };
+        counter(
+            &mut out,
+            "rumor_serve_admitted_total",
+            self.admitted.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rumor_serve_rejected_total{reason=\"queue_full\"}",
+            self.rejected_queue_full.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rumor_serve_rejected_total{reason=\"body_too_large\"}",
+            self.rejected_body_too_large.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rumor_serve_rejected_total{reason=\"malformed\"}",
+            self.rejected_malformed.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rumor_serve_deadline_exceeded_total",
+            self.deadline_exceeded.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rumor_serve_read_timeouts_total",
+            self.read_timeouts.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rumor_serve_in_flight",
+            self.in_flight.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rumor_serve_cache_hits_total",
+            self.cache_hits.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rumor_serve_cache_misses_total",
+            self.cache_misses.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rumor_serve_cache_evictions_total",
+            self.cache_evictions.load(Ordering::Relaxed),
+        );
+        for (idx, name) in ENDPOINTS.iter().enumerate() {
+            let series = &self.per_endpoint[idx];
+            counter(
+                &mut out,
+                &format!("rumor_serve_requests_total{{endpoint=\"{name}\"}}"),
+                series.requests.load(Ordering::Relaxed),
+            );
+            counter(
+                &mut out,
+                &format!("rumor_serve_errors_total{{endpoint=\"{name}\"}}"),
+                series.errors.load(Ordering::Relaxed),
+            );
+            let mut cumulative = 0u64;
+            for (b, &bound) in LATENCY_BUCKETS_MS.iter().enumerate() {
+                cumulative += series.buckets[b].load(Ordering::Relaxed);
+                counter(
+                    &mut out,
+                    &format!(
+                        "rumor_serve_request_duration_ms_bucket{{endpoint=\"{name}\",le=\"{bound}\"}}"
+                    ),
+                    cumulative,
+                );
+            }
+            cumulative += series.buckets[LATENCY_BUCKETS_MS.len()].load(Ordering::Relaxed);
+            counter(
+                &mut out,
+                &format!(
+                    "rumor_serve_request_duration_ms_bucket{{endpoint=\"{name}\",le=\"+Inf\"}}"
+                ),
+                cumulative,
+            );
+            counter(
+                &mut out,
+                &format!("rumor_serve_request_duration_ms_sum{{endpoint=\"{name}\"}}"),
+                series.total_ms.load(Ordering::Relaxed),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_routing_table() {
+        assert_eq!(endpoint_index("GET", "/healthz"), Some(0));
+        assert_eq!(endpoint_index("POST", "/v1/simulate"), Some(2));
+        assert_eq!(endpoint_index("POST", "/healthz"), None);
+        assert_eq!(endpoint_index("GET", "/v1/simulate"), None);
+        assert_eq!(endpoint_index("GET", "/nope"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_render() {
+        let m = Metrics::new();
+        m.record(2, 200, 3); // le=5
+        m.record(2, 200, 90); // le=100
+        m.record(2, 500, 99_999); // +Inf
+        let text = m.render();
+        assert!(text
+            .contains("rumor_serve_request_duration_ms_bucket{endpoint=\"simulate\",le=\"5\"} 1"));
+        assert!(text.contains(
+            "rumor_serve_request_duration_ms_bucket{endpoint=\"simulate\",le=\"10000\"} 2"
+        ));
+        assert!(text.contains(
+            "rumor_serve_request_duration_ms_bucket{endpoint=\"simulate\",le=\"+Inf\"} 3"
+        ));
+        assert!(text.contains("rumor_serve_requests_total{endpoint=\"simulate\"} 3"));
+        assert!(text.contains("rumor_serve_errors_total{endpoint=\"simulate\"} 1"));
+    }
+}

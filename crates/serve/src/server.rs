@@ -1,0 +1,637 @@
+//! The server proper: listener, bounded accept queue, fixed worker
+//! pool, admission control, request routing, and graceful shutdown.
+//!
+//! # Admission control
+//!
+//! Connections flow `accept → bounded queue → worker`. The queue is a
+//! `sync_channel` of depth `queue_depth`; when it is full the acceptor
+//! **sheds load immediately** with `503 Service Unavailable` +
+//! `Retry-After` instead of queuing unboundedly — under overload the
+//! service degrades to fast rejections, never to an ever-growing
+//! backlog or a panic. Each admitted connection carries its accept
+//! timestamp; workers enforce the per-request wall-clock deadline
+//! against it at three checkpoints (post-dequeue, post-parse,
+//! post-compute) and answer `504 Gateway Timeout` once it has passed —
+//! a request cannot burn a worker forever on a response nobody is
+//! waiting for.
+//!
+//! # Shutdown
+//!
+//! The listener runs non-blocking with a short poll so it can observe
+//! the shutdown flag without a wake-up connection. On shutdown the
+//! acceptor stops accepting, drops the queue sender, and every worker
+//! drains what was already admitted before exiting — in-flight work is
+//! finished, new work is refused (the OS backlog gets connection
+//! resets once the listener closes).
+
+use crate::api::{
+    canonical_key, EnsembleRequest, OptimizeRequest, SimulateRequest, ThresholdRequest,
+};
+use crate::cache::LruCache;
+use crate::handlers::{self, HandlerError};
+use crate::http::{self, ReadError, Request};
+use crate::metrics::{endpoint_index, Metrics};
+use crate::wire::{self, Value};
+use crate::ServeError;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the acceptor polls for new connections / shutdown. This
+/// bounds idle-connection accept latency (and shutdown latency), so it
+/// is kept small; one wakeup per millisecond is negligible load.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Configuration of [`serve`]. `Default` matches the CLI defaults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port `0` for ephemeral).
+    pub addr: String,
+    /// Worker threads; `None` resolves via [`rumor_par::resolve_threads`]
+    /// (`--threads` → `RUMOR_THREADS` → available cores).
+    pub threads: Option<usize>,
+    /// Accept-queue depth; beyond it connections are shed with `503`.
+    pub queue_depth: usize,
+    /// LRU result-cache entries (`0` disables caching).
+    pub cache_entries: usize,
+    /// Request-body cap in bytes (`413` beyond it).
+    pub max_body_bytes: usize,
+    /// Per-request wall-clock deadline in milliseconds (`504` beyond it).
+    pub deadline_ms: u64,
+    /// Socket read/write timeout in milliseconds (`408` on expiry).
+    pub io_timeout_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            threads: None,
+            queue_depth: 64,
+            cache_entries: 256,
+            max_body_bytes: 1024 * 1024,
+            deadline_ms: 30_000,
+            io_timeout_ms: 5_000,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates every field up front (bind errors surface later, from
+    /// [`serve`] itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.addr.is_empty() {
+            return Err(ServeError::InvalidConfig("addr: must not be empty".into()));
+        }
+        if self.queue_depth == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue_depth: must be at least 1".into(),
+            ));
+        }
+        if let Some(0) = self.threads {
+            return Err(ServeError::InvalidConfig(
+                "threads: must be at least 1 when given".into(),
+            ));
+        }
+        if self.max_body_bytes < 64 {
+            return Err(ServeError::InvalidConfig(
+                "max_body_bytes: must be at least 64".into(),
+            ));
+        }
+        if self.deadline_ms == 0 {
+            return Err(ServeError::InvalidConfig(
+                "deadline_ms: must be at least 1".into(),
+            ));
+        }
+        if self.io_timeout_ms == 0 {
+            return Err(ServeError::InvalidConfig(
+                "io_timeout_ms: must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One admitted connection, stamped at accept time so deadlines cover
+/// queueing as well as execution.
+struct Job {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
+/// A running server. Dropping it does **not** stop the threads; call
+/// [`Server::shutdown_and_join`] (or hold a [`ServerHandle`] and
+/// `join`) for an orderly exit.
+pub struct Server {
+    local_addr: SocketAddr,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    workers: usize,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// A cloneable handle that can request shutdown from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Requests an orderly shutdown: stop accepting, drain, exit.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Server {
+    /// The bound address (resolves port `0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The live metrics block.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// A handle for requesting shutdown from elsewhere.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Requests shutdown and joins every thread (acceptor + workers).
+    pub fn shutdown_and_join(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until SIGTERM/SIGINT (or a programmatic
+    /// [`crate::signal::request_termination`]) arrives, then shuts down
+    /// gracefully: the listener closes, admitted requests drain, and
+    /// every thread is joined before this returns.
+    pub fn run_until_terminated(self) {
+        crate::signal::install_termination_handlers();
+        while !crate::signal::termination_requested() && !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.shutdown_and_join();
+    }
+}
+
+/// Binds the address and starts the acceptor and worker threads.
+///
+/// # Errors
+///
+/// * [`ServeError::InvalidConfig`] for a rejected configuration.
+/// * [`ServeError::Bind`] when the address cannot be bound.
+pub fn serve(config: &ServeConfig) -> Result<Server, ServeError> {
+    config.validate()?;
+    let workers = rumor_par::resolve_threads(config.threads);
+    let listener = TcpListener::bind(&config.addr).map_err(|source| ServeError::Bind {
+        addr: config.addr.clone(),
+        source,
+    })?;
+    listener.set_nonblocking(true).map_err(ServeError::Io)?;
+    let local_addr = listener.local_addr().map_err(ServeError::Io)?;
+
+    let metrics = Arc::new(Metrics::new());
+    let cache = Arc::new(Mutex::new(LruCache::new(config.cache_entries)));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_depth);
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut threads = Vec::with_capacity(workers + 1);
+    for worker_id in 0..workers {
+        let rx = Arc::clone(&rx);
+        let metrics = Arc::clone(&metrics);
+        let cache = Arc::clone(&cache);
+        let config = config.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("rumor-serve-worker-{worker_id}"))
+                .spawn(move || worker_loop(&rx, &metrics, &cache, &config, workers))
+                .map_err(ServeError::Io)?,
+        );
+    }
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let metrics = Arc::clone(&metrics);
+        let io_timeout = Duration::from_millis(config.io_timeout_ms);
+        threads.push(
+            std::thread::Builder::new()
+                .name("rumor-serve-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, &tx, &shutdown, &metrics, io_timeout))
+                .map_err(ServeError::Io)?,
+        );
+    }
+
+    Ok(Server {
+        local_addr,
+        metrics,
+        shutdown,
+        workers,
+        threads,
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &SyncSender<Job>,
+    shutdown: &AtomicBool,
+    metrics: &Metrics,
+    io_timeout: Duration,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let job = Job {
+                    stream,
+                    accepted: Instant::now(),
+                };
+                match tx.try_send(job) {
+                    Ok(()) => {
+                        metrics.admitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(job)) => {
+                        metrics.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                        shed(job.stream, io_timeout);
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. EMFILE); back off briefly.
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+    // Dropping `tx` (when this fn returns) closes the queue: workers
+    // drain the remaining jobs and exit on Disconnected.
+}
+
+/// Best-effort `503` on an over-admission connection. Never blocks the
+/// acceptor for long: the write timeout is capped small.
+fn shed(mut stream: TcpStream, io_timeout: Duration) {
+    let cap = io_timeout.min(Duration::from_millis(250));
+    let _ = stream.set_write_timeout(Some(cap));
+    let body = br#"{"error":"server is at capacity, retry shortly"}"#;
+    let _ = http::write_response(
+        &mut stream,
+        503,
+        http::reason(503),
+        "application/json",
+        &[("Retry-After", "1")],
+        body,
+    );
+    drain_then_close(stream, cap);
+}
+
+/// Closes a connection whose request was never (fully) read without
+/// aborting it: dropping a socket with unread bytes in the receive
+/// buffer makes the kernel answer RST and discard the response we just
+/// buffered. Half-close our side so the client sees EOF after the
+/// response, then drain its remaining bytes (briefly) so the final
+/// close is clean. Best-effort throughout: a client that keeps sending
+/// past the window gets the RST it asked for.
+fn drain_then_close(mut stream: TcpStream, max_wait: Duration) {
+    use std::io::Read;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(max_wait));
+    let mut sink = [0u8; 4096];
+    for _ in 0..64 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    metrics: &Metrics,
+    cache: &Mutex<LruCache>,
+    config: &ServeConfig,
+    workers: usize,
+) {
+    loop {
+        // Hold the receiver lock only for the dequeue itself.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else {
+            return; // Queue closed and drained: orderly exit.
+        };
+        metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        handle_connection(job, metrics, cache, config, workers);
+        metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Everything needed to answer one connection.
+fn handle_connection(
+    job: Job,
+    metrics: &Metrics,
+    cache: &Mutex<LruCache>,
+    config: &ServeConfig,
+    workers: usize,
+) {
+    let Job {
+        mut stream,
+        accepted,
+    } = job;
+    let io_timeout = Duration::from_millis(config.io_timeout_ms);
+    let deadline = Duration::from_millis(config.deadline_ms);
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let _ = stream.set_nodelay(true);
+
+    // Checkpoint 1: the job may have aged out while queued. The request
+    // bytes were never read, so close via `drain_then_close` (a plain
+    // drop would RST and destroy the 504 in flight).
+    if accepted.elapsed() >= deadline {
+        metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        respond_error(&mut stream, 504, "deadline exceeded while queued");
+        drain_then_close(stream, io_timeout.min(Duration::from_millis(250)));
+        return;
+    }
+
+    let request = match http::read_request(&mut stream, config.max_body_bytes) {
+        Ok(request) => request,
+        Err(e) => {
+            // Every error leaves unread bytes possible (413 refuses a
+            // declared body, 400 stops mid-parse), so each reply ends
+            // with the draining close.
+            match e {
+                ReadError::BodyTooLarge { declared, limit } => {
+                    metrics
+                        .rejected_body_too_large
+                        .fetch_add(1, Ordering::Relaxed);
+                    respond_error(
+                        &mut stream,
+                        413,
+                        &format!("body of {declared} bytes exceeds the {limit}-byte cap"),
+                    );
+                }
+                ReadError::Malformed(m) => {
+                    metrics.rejected_malformed.fetch_add(1, Ordering::Relaxed);
+                    respond_error(&mut stream, 400, &m);
+                }
+                ReadError::Unsupported(m) => {
+                    metrics.rejected_malformed.fetch_add(1, Ordering::Relaxed);
+                    respond_error(&mut stream, 501, &m);
+                }
+                ReadError::TimedOut => {
+                    metrics.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                    respond_error(&mut stream, 408, "timed out reading the request");
+                }
+                ReadError::Io(_) => {} // Peer is gone; nothing to say.
+            }
+            drain_then_close(stream, io_timeout.min(Duration::from_millis(250)));
+            return;
+        }
+    };
+
+    let started = Instant::now();
+    let endpoint = endpoint_index(&request.method, &request.target);
+    let status = route(
+        &mut stream,
+        &request,
+        endpoint,
+        accepted,
+        deadline,
+        metrics,
+        cache,
+        workers,
+    );
+    if let Some(idx) = endpoint {
+        metrics.record(idx, status, started.elapsed().as_millis() as u64);
+    }
+}
+
+/// Routes one parsed request and returns the status that was sent.
+#[allow(clippy::too_many_arguments)]
+fn route(
+    stream: &mut TcpStream,
+    request: &Request,
+    endpoint: Option<usize>,
+    accepted: Instant,
+    deadline: Duration,
+    metrics: &Metrics,
+    cache: &Mutex<LruCache>,
+    workers: usize,
+) -> u16 {
+    let Some(_) = endpoint else {
+        let known_path = matches!(
+            request.target.as_str(),
+            "/healthz"
+                | "/metrics"
+                | "/v1/simulate"
+                | "/v1/threshold"
+                | "/v1/optimize"
+                | "/v1/ensemble"
+        );
+        let (status, message) = if known_path {
+            (405, "method not allowed for this endpoint")
+        } else {
+            (404, "no such endpoint")
+        };
+        respond_error(stream, status, message);
+        return status;
+    };
+
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => {
+            let body = wire::serialize(&Value::obj([("status", Value::Str("ok".into()))]));
+            respond(stream, 200, "application/json", &[], body.as_bytes());
+            200
+        }
+        ("GET", "/metrics") => {
+            let body = metrics.render();
+            respond(
+                stream,
+                200,
+                "text/plain; charset=utf-8",
+                &[],
+                body.as_bytes(),
+            );
+            200
+        }
+        (_, target) => compute_endpoint(
+            stream, request, target, accepted, deadline, metrics, cache, workers,
+        ),
+    }
+}
+
+/// The `POST /v1/*` path: parse JSON → validate → cache lookup →
+/// compute → cache fill, with deadline checkpoints around the
+/// expensive stages.
+#[allow(clippy::too_many_arguments)]
+fn compute_endpoint(
+    stream: &mut TcpStream,
+    request: &Request,
+    target: &str,
+    accepted: Instant,
+    deadline: Duration,
+    metrics: &Metrics,
+    cache: &Mutex<LruCache>,
+    workers: usize,
+) -> u16 {
+    let body_text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => {
+            metrics.rejected_malformed.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, 400, "body is not valid UTF-8");
+            return 400;
+        }
+    };
+    // An empty body means "all defaults" — friendlier than demanding {}.
+    let parsed = if body_text.trim().is_empty() {
+        Ok(Value::Obj(Vec::new()))
+    } else {
+        wire::parse(body_text)
+    };
+    let parsed = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            metrics.rejected_malformed.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, 400, &e.to_string());
+            return 400;
+        }
+    };
+
+    // Validate into the canonical request form.
+    let canonical = match target {
+        "/v1/simulate" => SimulateRequest::from_value(&parsed).map(|r| r.canonical()),
+        "/v1/threshold" => ThresholdRequest::from_value(&parsed).map(|r| r.canonical()),
+        "/v1/optimize" => OptimizeRequest::from_value(&parsed).map(|r| r.canonical()),
+        "/v1/ensemble" => EnsembleRequest::from_value(&parsed).map(|r| r.canonical()),
+        _ => unreachable!("routed endpoints are exhaustive"),
+    };
+    let canonical = match canonical {
+        Ok(v) => v,
+        Err(e) => {
+            respond_error(stream, 400, &e.to_string());
+            return 400;
+        }
+    };
+    let key = canonical_key(target, &canonical);
+
+    if let Ok(mut cache) = cache.lock() {
+        if let Some(body) = cache.get(&key) {
+            metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            respond(
+                stream,
+                200,
+                "application/json",
+                &[("X-Cache", "hit")],
+                &body,
+            );
+            return 200;
+        }
+    }
+    metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    // Checkpoint 2: don't start an expensive compute we can't finish.
+    if accepted.elapsed() >= deadline {
+        metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        respond_error(stream, 504, "deadline exceeded before compute");
+        return 504;
+    }
+
+    // The canonical form re-parses by construction (proptested), so the
+    // unwraps here cannot fire on a value we just built.
+    let computed = match target {
+        "/v1/simulate" => {
+            handlers::simulate(&SimulateRequest::from_value(&canonical).expect("canonical"))
+        }
+        "/v1/threshold" => {
+            handlers::threshold(&ThresholdRequest::from_value(&canonical).expect("canonical"))
+        }
+        "/v1/optimize" => {
+            handlers::optimize(&OptimizeRequest::from_value(&canonical).expect("canonical"))
+        }
+        "/v1/ensemble" => handlers::ensemble(
+            &EnsembleRequest::from_value(&canonical).expect("canonical"),
+            workers,
+        ),
+        _ => unreachable!("routed endpoints are exhaustive"),
+    };
+    let value = match computed {
+        Ok(value) => value,
+        Err(HandlerError::BadRequest(m)) => {
+            respond_error(stream, 400, &m);
+            return 400;
+        }
+        Err(HandlerError::Internal(m)) => {
+            respond_error(stream, 500, &m);
+            return 500;
+        }
+    };
+    let body: Arc<[u8]> = Arc::from(wire::serialize(&value).into_bytes().into_boxed_slice());
+
+    // The result is valid regardless of timing, so cache it either way;
+    // checkpoint 3 only decides what this client hears.
+    if let Ok(mut cache) = cache.lock() {
+        if cache.insert(key, Arc::clone(&body)) {
+            metrics.cache_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    if accepted.elapsed() >= deadline {
+        metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        respond_error(stream, 504, "deadline exceeded during compute");
+        return 504;
+    }
+    respond(
+        stream,
+        200,
+        "application/json",
+        &[("X-Cache", "miss")],
+        &body,
+    );
+    200
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) {
+    let _ = http::write_response(
+        stream,
+        status,
+        http::reason(status),
+        content_type,
+        extra,
+        body,
+    );
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
+    let body = wire::serialize(&Value::obj([("error", Value::Str(message.to_string()))]));
+    respond(stream, status, "application/json", &[], body.as_bytes());
+}

@@ -1,0 +1,87 @@
+//! SIGTERM/SIGINT awareness without a libc crate.
+//!
+//! The vendored-only build has no `signal-hook`, so on Unix this module
+//! registers C handlers through the `signal(2)` symbol std already
+//! links. The handler body does the only thing that is
+//! async-signal-safe here: a relaxed store into a static flag, which
+//! the server's supervision loop polls. On non-Unix targets
+//! installation is a no-op and [`termination_requested`] only ever
+//! reports `false`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// `true` once SIGTERM or SIGINT has been delivered (after
+/// [`install_termination_handlers`] ran).
+pub fn termination_requested() -> bool {
+    TERMINATION_REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Test/CLI hook: raise or clear the flag programmatically, as if a
+/// signal had arrived.
+pub fn request_termination(requested: bool) {
+    TERMINATION_REQUESTED.store(requested, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::TERMINATION_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERMINATION_REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() -> bool {
+        // SAFETY: `signal(2)` with a handler that only performs a
+        // relaxed atomic store is async-signal-safe; the fn pointer is
+        // 'static and ABI-compatible (extern "C" fn(i32)).
+        unsafe {
+            let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+        true
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() -> bool {
+        false
+    }
+}
+
+/// Installs SIGTERM/SIGINT handlers that raise the termination flag.
+/// Returns `false` on platforms where this is unsupported.
+pub fn install_termination_handlers() -> bool {
+    imp::install()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_flag_round_trips() {
+        request_termination(false);
+        assert!(!termination_requested());
+        request_termination(true);
+        assert!(termination_requested());
+        request_termination(false);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn handlers_install_on_unix() {
+        assert!(install_termination_handlers());
+    }
+}

@@ -1,0 +1,328 @@
+//! End-to-end tests of the HTTP service over real sockets.
+//!
+//! A server is bound on an ephemeral port and driven with a raw
+//! `std::net::TcpStream` client — no HTTP library on either side — so
+//! these tests exercise the exact byte-level protocol a curl user sees:
+//! liveness, the compute endpoints, exact cache hits, the body cap, the
+//! bounded-queue `503` under saturation, deadlines, and graceful
+//! drain-on-shutdown.
+
+use rumor_serve::{serve, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed raw response.
+struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn start(config: ServeConfig) -> Server {
+    serve(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..config
+    })
+    .expect("bind ephemeral server")
+}
+
+fn small_sim_body() -> &'static str {
+    r#"{"network": {"nodes": 300, "k_max": 25, "mean_degree": 4}, "tf": 10, "n_out": 41}"#
+}
+
+/// Sends raw request bytes and reads the whole response (the server
+/// closes the connection after each exchange).
+fn exchange(server: &Server, raw: &[u8]) -> Response {
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(raw).expect("send request");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read response");
+    parse_response(&buf)
+}
+
+fn request(server: &Server, method: &str, path: &str, body: &str) -> Response {
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    exchange(server, raw.as_bytes())
+}
+
+fn parse_response(buf: &[u8]) -> Response {
+    let head_end = buf
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete header block");
+    let head = std::str::from_utf8(&buf[..head_end]).expect("utf8 head");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .map(|line| {
+            let (k, v) = line.split_once(':').expect("header line");
+            (k.trim().to_string(), v.trim().to_string())
+        })
+        .collect();
+    Response {
+        status,
+        headers,
+        body: buf[head_end + 4..].to_vec(),
+    }
+}
+
+#[test]
+fn healthz_and_metrics_respond() {
+    let server = start(ServeConfig::default());
+    let health = request(&server, "GET", "/healthz", "");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body_text(), r#"{"status":"ok"}"#);
+
+    let metrics = request(&server, "GET", "/metrics", "");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body_text().contains("rumor_serve_admitted_total"));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn simulate_computes_and_repeats_from_cache_byte_identically() {
+    let server = start(ServeConfig::default());
+    let cold = request(&server, "POST", "/v1/simulate", small_sim_body());
+    assert_eq!(cold.status, 200, "body: {}", cold.body_text());
+    assert_eq!(cold.header("X-Cache"), Some("miss"));
+    let text = cold.body_text();
+    assert!(text.contains("\"times\""), "body: {text}");
+    assert!(text.contains("\"r0\""), "body: {text}");
+
+    // Same request, different field order and whitespace: the canonical
+    // key must match and the cached body must be byte-identical.
+    let reordered =
+        r#"{ "n_out": 41, "tf": 10, "network": {"mean_degree": 4, "nodes": 300, "k_max": 25} }"#;
+    let hit = request(&server, "POST", "/v1/simulate", reordered);
+    assert_eq!(hit.status, 200);
+    assert_eq!(hit.header("X-Cache"), Some("hit"));
+    assert_eq!(hit.body, cold.body, "cache hit must be byte-identical");
+
+    let metrics = request(&server, "GET", "/metrics", "").body_text();
+    assert!(
+        metrics.contains("rumor_serve_cache_hits_total 1"),
+        "metrics: {metrics}"
+    );
+    assert!(metrics.contains("rumor_serve_cache_misses_total 1"));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn threshold_optimize_and_ensemble_answer() {
+    let server = start(ServeConfig::default());
+    let net = r#"{"network": {"nodes": 300, "k_max": 25, "mean_degree": 4}"#;
+
+    let threshold = request(&server, "POST", "/v1/threshold", &format!("{net}}}"));
+    assert_eq!(threshold.status, 200, "body: {}", threshold.body_text());
+    let text = threshold.body_text();
+    assert!(text.contains("\"r0\""));
+    assert!(text.contains("\"consistent_with_r0\":true"), "body: {text}");
+
+    let optimize = request(
+        &server,
+        "POST",
+        "/v1/optimize",
+        &format!("{net}, \"tf\": 20, \"max_iters\": 40}}"),
+    );
+    assert_eq!(optimize.status, 200, "body: {}", optimize.body_text());
+    let text = optimize.body_text();
+    assert!(text.contains("\"schedule\""), "body: {text}");
+    assert!(text.contains("\"cost\""), "body: {text}");
+
+    let ensemble = request(
+        &server,
+        "POST",
+        "/v1/ensemble",
+        r#"{"network": {"nodes": 200, "k_max": 20, "mean_degree": 4}, "tf": 3, "runs": 2}"#,
+    );
+    assert_eq!(ensemble.status, 200, "body: {}", ensemble.body_text());
+    let text = ensemble.body_text();
+    assert!(text.contains("\"i_mean\""), "body: {text}");
+    assert!(text.contains("\"max_deviation_vs_ode\""), "body: {text}");
+    server.shutdown_and_join();
+}
+
+#[test]
+fn malformed_and_unknown_requests_get_4xx() {
+    let server = start(ServeConfig::default());
+    assert_eq!(
+        request(&server, "POST", "/v1/simulate", "{not json").status,
+        400
+    );
+    assert_eq!(
+        request(&server, "POST", "/v1/simulate", r#"{"tf": -5}"#).status,
+        400
+    );
+    assert_eq!(
+        request(&server, "POST", "/v1/simulate", r#"{"bogus_field": 1}"#).status,
+        400
+    );
+    assert_eq!(request(&server, "GET", "/nope", "").status, 404);
+    assert_eq!(request(&server, "POST", "/healthz", "").status, 405);
+    assert_eq!(request(&server, "GET", "/v1/simulate", "").status, 405);
+    let garbage = exchange(&server, b"NOT A REQUEST\r\n\r\n");
+    assert_eq!(garbage.status, 400);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn oversized_body_is_rejected_with_413_before_upload() {
+    let server = start(ServeConfig {
+        max_body_bytes: 4 * 1024,
+        ..ServeConfig::default()
+    });
+    // Declare 2 MiB but send none of it: the server must refuse from
+    // the header alone.
+    let raw = "POST /v1/simulate HTTP/1.1\r\nHost: test\r\nContent-Length: 2097152\r\n\r\n";
+    let response = exchange(&server, raw.as_bytes());
+    assert_eq!(response.status, 413);
+    assert!(response.body_text().contains("exceeds"));
+
+    let metrics = request(&server, "GET", "/metrics", "").body_text();
+    assert!(metrics.contains("rumor_serve_rejected_total{reason=\"body_too_large\"} 1"));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn saturated_queue_sheds_load_with_503_and_recovers() {
+    // One worker, queue depth one: a held connection occupies the
+    // worker, a second fills the queue, a third must be shed.
+    let server = start(ServeConfig {
+        threads: Some(1),
+        queue_depth: 1,
+        io_timeout_ms: 1_500,
+        ..ServeConfig::default()
+    });
+
+    // Occupy the worker: declare a body and never send it. The worker
+    // blocks in read until its io timeout expires.
+    let mut held_a = TcpStream::connect(server.local_addr()).unwrap();
+    held_a
+        .write_all(b"POST /v1/simulate HTTP/1.1\r\nHost: t\r\nContent-Length: 10\r\n\r\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Fill the queue with a second held connection.
+    let mut held_b = TcpStream::connect(server.local_addr()).unwrap();
+    held_b
+        .write_all(b"POST /v1/simulate HTTP/1.1\r\nHost: t\r\nContent-Length: 10\r\n\r\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The third connection finds the queue full and is shed.
+    let shed = request(&server, "GET", "/healthz", "");
+    assert_eq!(shed.status, 503, "body: {}", shed.body_text());
+    assert_eq!(shed.header("Retry-After"), Some("1"));
+
+    // Both held requests expire with 408 and the service recovers.
+    let mut buf = Vec::new();
+    held_a
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    held_a.read_to_end(&mut buf).unwrap();
+    assert!(
+        parse_response(&buf).status == 408,
+        "held connection should time out with 408"
+    );
+    drop(held_a);
+    drop(held_b);
+    std::thread::sleep(Duration::from_millis(500));
+    let ok = request(&server, "GET", "/healthz", "");
+    assert_eq!(ok.status, 200, "service must recover after saturation");
+
+    let metrics = request(&server, "GET", "/metrics", "").body_text();
+    assert!(
+        metrics.contains("rumor_serve_rejected_total{reason=\"queue_full\"} 1"),
+        "metrics: {metrics}"
+    );
+    server.shutdown_and_join();
+}
+
+#[test]
+fn expired_deadline_answers_504() {
+    let server = start(ServeConfig {
+        threads: Some(1),
+        deadline_ms: 200,
+        io_timeout_ms: 1_000,
+        ..ServeConfig::default()
+    });
+    // Occupy the single worker long enough for the next request to age
+    // past its 200 ms deadline while queued.
+    let mut held = TcpStream::connect(server.local_addr()).unwrap();
+    held.write_all(b"POST /v1/simulate HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let late = request(&server, "GET", "/healthz", "");
+    assert_eq!(late.status, 504, "body: {}", late.body_text());
+    drop(held);
+
+    let metrics = request(&server, "GET", "/metrics", "").body_text();
+    assert!(metrics.contains("rumor_serve_deadline_exceeded_total"));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_stops_accepting() {
+    let server = start(ServeConfig::default());
+    let addr = server.local_addr();
+    assert_eq!(request(&server, "GET", "/healthz", "").status, 200);
+    server.shutdown_and_join();
+    // The listener is gone: connections now fail outright (or are
+    // reset before a response arrives).
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(mut stream) => {
+            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+            let mut buf = Vec::new();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(2)))
+                .unwrap();
+            match stream.read_to_end(&mut buf) {
+                Ok(0) => true,
+                Ok(_) => false,
+                Err(_) => true,
+            }
+        }
+    };
+    assert!(refused, "server must stop answering after shutdown");
+}
+
+#[test]
+fn worker_count_resolution_is_shared_with_rumor_par() {
+    // The service resolves its pool through the same public function
+    // the CLI and ensemble layer use — no private re-implementation.
+    let server = start(ServeConfig {
+        threads: Some(3),
+        ..ServeConfig::default()
+    });
+    assert_eq!(server.workers(), rumor_par::resolve_threads(Some(3)));
+    assert_eq!(server.workers(), 3);
+    server.shutdown_and_join();
+}

@@ -1,0 +1,149 @@
+//! Property tests of the JSON wire layer and the canonical request
+//! forms: `parse ∘ serialize = id` on arbitrary values, and
+//! `from_value ∘ canonical = id` on the typed request structs (the
+//! invariant the result cache's exactness rests on).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rumor_serve::api::{EnsembleRequest, OptimizeRequest, SimulateRequest, ThresholdRequest};
+use rumor_serve::wire::{parse, serialize, Value};
+
+/// Generates an arbitrary JSON value with bounded depth and width. The
+/// vendored proptest has no recursive strategy combinators, so the
+/// recursion is hand-rolled from a seeded RNG (deterministic per case).
+fn arbitrary_value(rng: &mut StdRng, depth: usize) -> Value {
+    let pick = if depth == 0 {
+        rng.gen_range(0usize..4) // leaves only
+    } else {
+        rng.gen_range(0usize..6)
+    };
+    match pick {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_range(0u32..2) == 0),
+        2 => Value::Num(arbitrary_number(rng)),
+        3 => Value::Str(arbitrary_string(rng)),
+        4 => {
+            let n = rng.gen_range(0usize..5);
+            Value::Arr((0..n).map(|_| arbitrary_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0usize..5);
+            let mut members: Vec<(String, Value)> = Vec::with_capacity(n);
+            for i in 0..n {
+                // Suffix with the index so keys never collide (the
+                // parser rejects duplicate keys by design).
+                let key = format!("{}_{i}", arbitrary_string(rng));
+                let value = arbitrary_value(rng, depth - 1);
+                members.push((key, value));
+            }
+            Value::Obj(members)
+        }
+    }
+}
+
+fn arbitrary_number(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0u32..5) {
+        0 => rng.gen_range(0u64..2_000_000) as f64 - 1_000_000.0,
+        1 => rng.gen_range(-1.0..1.0),
+        2 => rng.gen_range(-1e12..1e12),
+        3 => rng.gen_range(0.0..1.0) * 1e-200,
+        _ => rng.gen_range(-1.0..1.0) * 1e200,
+    }
+}
+
+fn arbitrary_string(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(0usize..12);
+    (0..n)
+        .map(|_| match rng.gen_range(0u32..6) {
+            0 => char::from(rng.gen_range(b'a'..=b'z')),
+            1 => char::from(rng.gen_range(b'A'..=b'Z')),
+            2 => '"',
+            3 => '\\',
+            4 => char::from_u32(rng.gen_range(1u32..0x20)).unwrap(),
+            _ => ['é', '漢', '😀', '\u{7f}', ' '][rng.gen_range(0usize..5)],
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_serialize_round_trips_arbitrary_values(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = arbitrary_value(&mut rng, 4);
+        let json = serialize(&value);
+        let reparsed = parse(&json);
+        prop_assert_eq!(reparsed.as_ref(), Ok(&value), "json: {}", json);
+        // Serialization is a pure function: a second pass is identical.
+        prop_assert_eq!(serialize(&value), json);
+    }
+
+    #[test]
+    fn simulate_request_canonical_form_round_trips(
+        eps1 in 0.0..1.0_f64,
+        eps2 in 0.0..1.0_f64,
+        tf in 0.5..500.0_f64,
+        i0 in 0.001..0.9_f64,
+        nodes in 10usize..5_000,
+    ) {
+        let body = format!(
+            r#"{{"eps1": {eps1}, "eps2": {eps2}, "tf": {tf}, "i0": {i0},
+                "network": {{"nodes": {nodes}, "k_max": {}, "mean_degree": 2}}}}"#,
+            (nodes / 2).max(2)
+        );
+        let req = SimulateRequest::from_value(&parse(&body).unwrap()).unwrap();
+        let round = SimulateRequest::from_value(&req.canonical()).unwrap();
+        prop_assert_eq!(&req, &round);
+        // And the canonical bytes are stable across the round trip.
+        prop_assert_eq!(serialize(&req.canonical()), serialize(&round.canonical()));
+    }
+
+    #[test]
+    fn threshold_request_canonical_form_round_trips(
+        eps1 in 0.0..1.0_f64,
+        eps2 in 0.0..1.0_f64,
+        alpha in 0.0..0.5_f64,
+        lambda0 in 0.001..1.0_f64,
+    ) {
+        let body = format!(
+            r#"{{"eps1": {eps1}, "eps2": {eps2}, "model": {{"alpha": {alpha}, "lambda0": {lambda0}}}}}"#
+        );
+        let req = ThresholdRequest::from_value(&parse(&body).unwrap()).unwrap();
+        let round = ThresholdRequest::from_value(&req.canonical()).unwrap();
+        prop_assert_eq!(&req, &round);
+    }
+
+    #[test]
+    fn optimize_request_canonical_form_round_trips(
+        tf in 1.0..200.0_f64,
+        c1 in 0.1..100.0_f64,
+        c2 in 0.1..100.0_f64,
+        eps_max in 0.05..1.0_f64,
+        max_iters in 1usize..2_000,
+    ) {
+        let body = format!(
+            r#"{{"tf": {tf}, "c1": {c1}, "c2": {c2}, "eps_max": {eps_max}, "max_iters": {max_iters}}}"#
+        );
+        let req = OptimizeRequest::from_value(&parse(&body).unwrap()).unwrap();
+        let round = OptimizeRequest::from_value(&req.canonical()).unwrap();
+        prop_assert_eq!(&req, &round);
+    }
+
+    #[test]
+    fn ensemble_request_canonical_form_round_trips(
+        tf in 0.5..100.0_f64,
+        dt in 0.01..1.0_f64,
+        runs in 1usize..128,
+        quorum in 0.05..1.0_f64,
+    ) {
+        let body = format!(
+            r#"{{"tf": {tf}, "dt": {dt}, "runs": {runs}, "quorum": {quorum},
+                "network": {{"nodes": 500, "k_max": 40, "mean_degree": 4}}}}"#
+        );
+        let req = EnsembleRequest::from_value(&parse(&body).unwrap()).unwrap();
+        let round = EnsembleRequest::from_value(&req.canonical()).unwrap();
+        prop_assert_eq!(&req, &round);
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`ode`] | ODE integration substrate (Euler/Heun/RK4/DOPRI5/implicit Euler) |
 //! | [`numerics`] | dense linear algebra, eigenvalues, roots, quadrature, interpolation |
 //! | [`par`] | std-only parallel executor with deterministic ordered collection |
+//! | [`serve`] | std-only HTTP/1.1 JSON service with admission control and result caching |
 //!
 //! ## Quickstart
 //!
@@ -69,6 +70,7 @@ pub use rumor_net as net;
 pub use rumor_numerics as numerics;
 pub use rumor_ode as ode;
 pub use rumor_par as par;
+pub use rumor_serve as serve;
 pub use rumor_sim as sim;
 
 /// A convenience prelude importing the most commonly used items.
