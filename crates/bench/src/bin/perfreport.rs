@@ -1,6 +1,10 @@
 //! `perfreport` — headline performance numbers for the allocation-free
 //! hot path, the parallel ensemble layer, and the HTTP service, written
-//! as machine-readable JSON to `BENCH_PR4.json` at the workspace root.
+//! as machine-readable JSON to `BENCH_PR5.json` at the workspace root.
+//! Runs with `rumor-obs` rollups enabled, so the report also carries a
+//! `span_rollup` section: per-span-name call counts and total wall time
+//! plus the instrumentation counters (steps, sweeps, replicas) observed
+//! while the workloads ran.
 //!
 //! Six canonical workloads:
 //!
@@ -59,13 +63,17 @@ const ABM_REPLICAS: usize = 64;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
+    // Span rollups (not the line sink) are on for the whole report: the
+    // near-zero-cost aggregation path the workloads would run with in
+    // production, surfaced as a `span_rollup` section at the end.
+    rumor_obs::set_rollup(true);
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!("perfreport: host has {cores} available core(s)");
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"pr\": 4,");
+    let _ = writeln!(json, "  \"pr\": 5,");
     let _ = writeln!(json, "  \"generated_by\": \"perfreport\",");
     let _ = writeln!(
         json,
@@ -345,6 +353,15 @@ fn main() {
     );
     server.shutdown_and_join();
 
+    // ---- Span rollups accumulated across every workload above. ------
+    let rollup = rumor_obs::snapshot();
+    println!(
+        "rollup: {} span name(s), {} counter(s) aggregated",
+        rollup.spans.len(),
+        rollup.counters.len()
+    );
+    let _ = writeln!(json, "  \"span_rollup\": {},", rumor_obs::rollup_json());
+
     let _ = writeln!(
         json,
         "  \"notes\": [\n    \"parallel ensemble output is bit-identical to the serial run at every thread count (asserted above)\",\n    \"speedups are physical: on a host with {cores} available core(s), thread counts beyond {cores} measure scheduling overhead rather than parallel speedup\",\n    \"serve latencies are end-to-end over a real localhost socket, one connection per request\",\n    \"the admission workload intentionally overloads a queue_depth=8 pool: 503s are the bounded queue working, not a failure\"\n  ]"
@@ -357,8 +374,8 @@ fn main() {
         .and_then(|p| p.parent())
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
-    let path = root.join("BENCH_PR4.json");
-    std::fs::write(&path, &json).expect("write BENCH_PR4.json");
+    let path = root.join("BENCH_PR5.json");
+    std::fs::write(&path, &json).expect("write BENCH_PR5.json");
     println!("wrote {}", path.display());
 }
 

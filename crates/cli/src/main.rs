@@ -57,6 +57,13 @@ PERFORMANCE:
                      RUMOR_THREADS env var, else all available cores);
                      results are bit-identical for every thread count
 
+OBSERVABILITY (all commands):
+    --log-format F   trace output: off (default), text, or json; spans
+                     and events go to stderr unless --trace-out is given.
+                     Tracing never changes numeric results.
+    --trace-out FILE write trace records to FILE instead of stderr
+                     (implies --log-format json when no format is given)
+
 COMMAND OPTIONS:
     simulate: --tf T (default 150)  --i0 F (default 0.1)  --out FILE
     optimize: --tf T (default 100)  --i0 F (default 0.05) --c1 C (5) --c2 C (10)
@@ -111,6 +118,8 @@ fn main() -> ExitCode {
         "queue-depth",
         "cache-entries",
         "deadline-ms",
+        "log-format",
+        "trace-out",
     ];
     let flags = ["strict"];
     let parsed = match Args::parse(rest.iter().cloned(), &allowed, &flags) {
@@ -123,6 +132,31 @@ fn main() -> ExitCode {
     if let Some(stray) = parsed.positional().first() {
         eprintln!("error: unexpected argument {stray:?}; run `rumor help`");
         return ExitCode::from(EXIT_USAGE);
+    }
+    // Observability wiring, before dispatch so every command is traced.
+    // `--trace-out` without a format defaults to JSON lines; an explicit
+    // `--log-format off` wins and disables tracing entirely.
+    let log_format = match parsed.get("log-format") {
+        None => None,
+        Some(v) => match rumor_obs::LogFormat::parse(v) {
+            Some(f) => Some(f),
+            None => {
+                eprintln!("error: --log-format {v:?} is not one of: off, text, json");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+    };
+    match (log_format, parsed.get("trace-out")) {
+        (None | Some(rumor_obs::LogFormat::Off), None) => {}
+        (Some(rumor_obs::LogFormat::Off), Some(_)) => {}
+        (fmt, Some(path)) => {
+            let fmt = fmt.unwrap_or(rumor_obs::LogFormat::Json);
+            if let Err(e) = rumor_obs::init_file(fmt, std::path::Path::new(path)) {
+                eprintln!("error: cannot open trace file {path:?}: {e}");
+                return ExitCode::from(error::EXIT_RUNTIME);
+            }
+        }
+        (Some(fmt), None) => rumor_obs::init(fmt, None),
     }
     match parsed.get_usize("threads", 0) {
         // 0 = "not given": leave resolution to RUMOR_THREADS / the
@@ -149,6 +183,8 @@ fn main() -> ExitCode {
             "unknown command {other:?}; run `rumor help`"
         ))),
     };
+    // Flush and close any trace sink before the process exits.
+    rumor_obs::shutdown();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

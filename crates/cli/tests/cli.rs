@@ -117,3 +117,61 @@ fn serve_rejects_unknown_options_with_exit_two() {
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("unknown option"));
 }
+
+#[test]
+fn bad_log_format_exits_two() {
+    let out = rumor(&["simulate", "--nodes", "200", "--log-format", "yaml"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("--log-format"));
+}
+
+#[test]
+fn trace_out_writes_json_lines_without_touching_stdout() {
+    let path = std::env::temp_dir().join(format!("rumor_cli_trace_{}.jsonl", std::process::id()));
+    let out = rumor(&[
+        "simulate",
+        "--nodes",
+        "300",
+        "--tf",
+        "5",
+        "--trace-out",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    // The human-facing report is unchanged by tracing...
+    assert!(stdout(&out).contains("mean I"), "stdout: {}", stdout(&out));
+    // ...and the spans landed in the file (JSON is the --trace-out
+    // default when no --log-format is given), not on stderr.
+    let text = std::fs::read_to_string(&path).expect("trace file exists");
+    let _ = std::fs::remove_file(&path);
+    assert!(!text.is_empty(), "trace file is empty");
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object line: {line}"
+        );
+    }
+    assert!(text.contains("\"name\":\"ode."), "no ODE spans: {text}");
+    assert!(!stderr(&out).contains("\"type\":\"span\""));
+}
+
+#[test]
+fn log_format_text_goes_to_stderr() {
+    let out = rumor(&[
+        "simulate",
+        "--nodes",
+        "300",
+        "--tf",
+        "5",
+        "--log-format",
+        "text",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("[span] ode."),
+        "stderr: {}",
+        stderr(&out)
+    );
+    // Trace records never pollute stdout (which carries the report).
+    assert!(!stdout(&out).contains("[span]"));
+}

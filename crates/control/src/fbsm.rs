@@ -315,6 +315,7 @@ pub fn optimize_monitored(
             initial.n_classes()
         )));
     }
+    let mut sweep_span = rumor_obs::span("control.fbsm_sweep");
 
     let grid: Vec<f64> = (0..options.n_nodes)
         .map(|i| tf * i as f64 / (options.n_nodes - 1) as f64)
@@ -410,6 +411,15 @@ pub fn optimize_monitored(
         let traj = trajectory_on_grid(params, &control, initial, &grid, options)?;
         let total = evaluate(&traj, &control, weights)?.total();
         cost_history.push(total);
+        // Convergence residual per iteration, for trace consumers.
+        rumor_obs::event(
+            "control.fbsm_iter",
+            &[
+                ("iter", iter.into()),
+                ("change", change.into()),
+                ("cost", total.into()),
+            ],
+        );
         if total.is_finite() && best.as_ref().is_none_or(|(b, _)| total < *b) {
             best = Some((total, control.clone()));
         }
@@ -432,6 +442,14 @@ pub fn optimize_monitored(
             }
         }
     }
+
+    if sweep_span.active() {
+        sweep_span.field("iterations", iterations);
+        sweep_span.field("converged", converged);
+        sweep_span.field("backoffs", relaxation_backoffs);
+    }
+    rumor_obs::add("control.fbsm_sweeps", 1);
+    rumor_obs::add("control.fbsm_iterations", iterations as u64);
 
     let trajectory = trajectory_on_grid(params, &control, initial, &grid, options)?;
     let cost = evaluate(&trajectory, &control, weights)?;

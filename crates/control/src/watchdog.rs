@@ -10,7 +10,7 @@
 //! parameter sets. [`optimize_guarded`] instead:
 //!
 //! 1. runs the instrumented sweep
-//!    ([`optimize_monitored`](crate::fbsm::optimize_monitored)), which
+//!    ([`optimize_monitored`]), which
 //!    checkpoints the best-so-far control internally;
 //! 2. on failure, **classifies** the divergence — [`DivergenceKind::Oscillation`],
 //!    [`DivergenceKind::BlowUp`], or [`DivergenceKind::Stall`] — from the
@@ -245,6 +245,7 @@ pub fn optimize_guarded(
     options: &WatchdogOptions,
 ) -> Result<GuardedSweep> {
     options.validate()?;
+    let mut wd_span = rumor_obs::span("control.watchdog");
     let mut restarts = Vec::new();
     let mut best: Option<SweepResult> = None;
     let mut relaxation = options.fbsm.relaxation;
@@ -259,6 +260,10 @@ pub fn optimize_guarded(
         };
         match optimize_monitored(params, initial, tf, bounds, weights, &opts) {
             Ok(result) if result.converged => {
+                if wd_span.active() {
+                    wd_span.field("restarts", restarts.len());
+                    wd_span.field("degraded", false);
+                }
                 return Ok(GuardedSweep {
                     result,
                     source: SweepSource::Fbsm,
@@ -268,6 +273,14 @@ pub fn optimize_guarded(
             }
             Ok(result) => {
                 let divergence = classify_divergence(&result.change_history, &result.cost_history);
+                rumor_obs::event(
+                    "control.watchdog_restart",
+                    &[
+                        ("attempt", attempt.into()),
+                        ("kind", divergence.to_string().into()),
+                    ],
+                );
+                rumor_obs::add("control.watchdog_restarts", 1);
                 restarts.push(RestartEvent {
                     attempt,
                     relaxation,
@@ -285,6 +298,14 @@ pub fn optimize_guarded(
                 }
             }
             Err(e) if as_ode_error(&e).is_some_and(ode_recoverable) => {
+                rumor_obs::event(
+                    "control.watchdog_restart",
+                    &[
+                        ("attempt", attempt.into()),
+                        ("kind", DivergenceKind::BlowUp.to_string().into()),
+                    ],
+                );
+                rumor_obs::add("control.watchdog_restarts", 1);
                 restarts.push(RestartEvent {
                     attempt,
                     relaxation,
@@ -304,6 +325,11 @@ pub fn optimize_guarded(
     // Retry budget exhausted: degrade. Prefer the best checkpoint a
     // sweep produced; fall back to the myopic heuristic controller when
     // no attempt got far enough to leave one.
+    if wd_span.active() {
+        wd_span.field("restarts", restarts.len());
+        wd_span.field("degraded", true);
+    }
+    rumor_obs::add("control.watchdog_degraded", 1);
     if let Some(result) = best {
         return Ok(GuardedSweep {
             result,

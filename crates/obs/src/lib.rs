@@ -1,0 +1,54 @@
+//! Workspace-wide observability substrate, std-only like `rumor-par`
+//! and `rumor-serve`.
+//!
+//! Three independent facilities share one crate so every runtime layer
+//! can be instrumented without pulling external dependencies:
+//!
+//! * **Tracing** ([`span`], [`event`]) — hierarchical spans with
+//!   monotonic timing and structured fields, emitted through a global
+//!   sink ([`init`]) as human-readable text or JSON lines. When the sink is
+//!   off and rollups are disabled, `span()` is a single relaxed atomic
+//!   load and `Span::field` is a no-op: instrumentation stays in the
+//!   hot paths permanently.
+//! * **Rollups** ([`add`], [`snapshot`]) — process-wide named counters
+//!   and per-span-name duration totals, gathered only while
+//!   [`set_rollup`] is on. `perfreport` uses these to fold span
+//!   statistics into the BENCH json.
+//! * **Metrics** ([`Registry`], [`Counter`], [`Gauge`], [`Histogram`])
+//!   — instantiable (not process-global) primitives with a
+//!   Prometheus-flavoured text renderer. `rumor-serve` builds its
+//!   `/metrics` page from a `Registry` so bucket formatting lives in
+//!   exactly one place.
+//!
+//! # Example
+//!
+//! ```
+//! use rumor_obs::{FieldValue, LogFormat};
+//!
+//! // Collect rollups without emitting any trace output.
+//! rumor_obs::set_rollup(true);
+//! {
+//!     let mut sp = rumor_obs::span("demo.work");
+//!     sp.field("items", 3u64);
+//!     rumor_obs::add("demo.items_processed", 3);
+//!     rumor_obs::event("demo.milestone", &[("phase", FieldValue::from("warmup"))]);
+//! }
+//! let snap = rumor_obs::snapshot();
+//! assert_eq!(snap.counter("demo.items_processed"), Some(3));
+//! assert!(snap.span_stat("demo.work").is_some());
+//! rumor_obs::set_rollup(false);
+//! rumor_obs::reset();
+//! assert_eq!(rumor_obs::format(), LogFormat::Off);
+//! ```
+
+mod metrics;
+mod rollup;
+mod sink;
+mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use rollup::{
+    add, reset, rollup_enabled, rollup_json, set_rollup, snapshot, RollupSnapshot, SpanStat,
+};
+pub use sink::{format, init, init_file, shutdown, LogFormat};
+pub use span::{current_span_id, event, next_trace_id, span, FieldValue, Span};

@@ -1,0 +1,269 @@
+//! Instantiable metric primitives and a Prometheus-flavoured text
+//! renderer.
+//!
+//! Unlike the tracing sink these are **not** process-global:
+//! `rumor-serve` tests run several servers in one process, each with
+//! its own [`Registry`]. Entries render in registration order, so a
+//! registry built the same way always produces byte-identical output —
+//! the property `rumor-serve` pins with its exposition-stability test.
+//!
+//! Rendering is the single home of histogram-bucket formatting:
+//! cumulative counts per bound, a final `le="+Inf"` bucket, then a
+//! `_sum` line — the exact shape `/metrics` has always served.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Up/down gauge (e.g. in-flight requests).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one (wrapping, like the raw atomic it replaces).
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket latency histogram with an implicit `+Inf` bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// One slot per bound plus the overflow bucket; stores per-bucket
+    /// (non-cumulative) counts, cumulated at render time.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given upper bounds (must be sorted).
+    pub fn new(bounds: &[u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+enum Entry {
+    Counter {
+        name: String,
+        c: Arc<Counter>,
+    },
+    Gauge {
+        name: String,
+        g: Arc<Gauge>,
+    },
+    Histogram {
+        base: String,
+        labels: String,
+        h: Arc<Histogram>,
+    },
+}
+
+/// An ordered collection of named metrics with a text renderer.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<Entry>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers a counter under `name` (labels included verbatim,
+    /// e.g. `requests_total{endpoint="simulate"}`).
+    pub fn counter(&mut self, name: impl Into<String>) -> Arc<Counter> {
+        let c = Arc::new(Counter::default());
+        self.entries.push(Entry::Counter {
+            name: name.into(),
+            c: Arc::clone(&c),
+        });
+        c
+    }
+
+    /// Registers a gauge under `name`.
+    pub fn gauge(&mut self, name: impl Into<String>) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::default());
+        self.entries.push(Entry::Gauge {
+            name: name.into(),
+            g: Arc::clone(&g),
+        });
+        g
+    }
+
+    /// Registers a histogram rendered as `{base}_bucket{{{labels},le=...}}`
+    /// lines plus `{base}_sum{{{labels}}}`. `labels` may be empty.
+    pub fn histogram(
+        &mut self,
+        base: impl Into<String>,
+        labels: impl Into<String>,
+        bounds: &[u64],
+    ) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new(bounds));
+        self.entries.push(Entry::Histogram {
+            base: base.into(),
+            labels: labels.into(),
+            h: Arc::clone(&h),
+        });
+        h
+    }
+
+    /// Renders all entries, in registration order, as Prometheus-
+    /// flavoured plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        for entry in &self.entries {
+            match entry {
+                Entry::Counter { name, c } => {
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Entry::Gauge { name, g } => {
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Entry::Histogram { base, labels, h } => {
+                    let sep = if labels.is_empty() { "" } else { "," };
+                    let mut cumulative = 0u64;
+                    for (i, bound) in h.bounds.iter().enumerate() {
+                        cumulative += h.buckets[i].load(Ordering::Relaxed);
+                        let _ = writeln!(
+                            out,
+                            "{base}_bucket{{{labels}{sep}le=\"{bound}\"}} {cumulative}"
+                        );
+                    }
+                    cumulative += h.buckets[h.bounds.len()].load(Ordering::Relaxed);
+                    let _ = writeln!(
+                        out,
+                        "{base}_bucket{{{labels}{sep}le=\"+Inf\"}} {cumulative}"
+                    );
+                    let _ = writeln!(out, "{base}_sum{{{labels}}} {}", h.sum());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn histogram_observe_and_sum() {
+        let h = Histogram::new(&[1, 5, 25]);
+        h.observe(1); // le=1
+        h.observe(3); // le=5
+        h.observe(100); // +Inf
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 104);
+    }
+
+    #[test]
+    fn registry_renders_in_registration_order() {
+        let mut r = Registry::new();
+        let a = r.counter("alpha_total");
+        let g = r.gauge("level");
+        let h = r.histogram("lat_ms", "endpoint=\"x\"", &[1, 5]);
+        a.add(2);
+        g.set(7);
+        h.observe(3);
+        h.observe(42);
+        assert_eq!(
+            r.render(),
+            "alpha_total 2\n\
+             level 7\n\
+             lat_ms_bucket{endpoint=\"x\",le=\"1\"} 0\n\
+             lat_ms_bucket{endpoint=\"x\",le=\"5\"} 1\n\
+             lat_ms_bucket{endpoint=\"x\",le=\"+Inf\"} 2\n\
+             lat_ms_sum{endpoint=\"x\"} 45\n"
+        );
+    }
+
+    #[test]
+    fn unlabelled_histogram_renders_without_leading_comma() {
+        let mut r = Registry::new();
+        let h = r.histogram("d_ms", "", &[10]);
+        h.observe(3);
+        assert_eq!(
+            r.render(),
+            "d_ms_bucket{le=\"10\"} 1\nd_ms_bucket{le=\"+Inf\"} 1\nd_ms_sum{} 3\n"
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Process-wide rollup statistics: named counters and per-span-name
+//! duration totals.
+//!
+//! Collection is off by default; `perfreport` (and tests) switch it on
+//! with [`set_rollup`], run a workload, then read an ordered
+//! [`snapshot`]. A `BTreeMap` keyed by static name keeps snapshots
+//! deterministic, which lets the BENCH json diff cleanly across runs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TABLES: Mutex<Option<Tables>> = Mutex::new(None);
+
+#[derive(Default)]
+struct Tables {
+    counters: BTreeMap<&'static str, u64>,
+    spans: BTreeMap<&'static str, SpanStat>,
+}
+
+/// Aggregate timing for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed spans observed.
+    pub count: u64,
+    /// Summed wall time, nanoseconds (saturating).
+    pub total_ns: u64,
+}
+
+/// Enables or disables rollup collection.
+pub fn set_rollup(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether rollup collection is currently on.
+#[inline]
+pub fn rollup_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn with_tables<R>(f: impl FnOnce(&mut Tables) -> R) -> R {
+    let mut guard = TABLES.lock().unwrap_or_else(|e| e.into_inner());
+    f(guard.get_or_insert_with(Tables::default))
+}
+
+/// Adds `delta` to the named counter. No-op unless rollups are on.
+pub fn add(name: &'static str, delta: u64) {
+    if !rollup_enabled() {
+        return;
+    }
+    with_tables(|t| {
+        let slot = t.counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    });
+}
+
+/// Folds one completed span into the per-name aggregate.
+pub(crate) fn observe_span(name: &'static str, ns: u64) {
+    if !rollup_enabled() {
+        return;
+    }
+    with_tables(|t| {
+        let stat = t.spans.entry(name).or_default();
+        stat.count += 1;
+        stat.total_ns = stat.total_ns.saturating_add(ns);
+    });
+}
+
+/// An ordered, point-in-time copy of all rollup state.
+#[derive(Debug, Clone, Default)]
+pub struct RollupSnapshot {
+    /// `(name, value)` pairs in name order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, stat)` pairs in name order.
+    pub spans: Vec<(String, SpanStat)>,
+}
+
+impl RollupSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a span aggregate by name.
+    pub fn span_stat(&self, name: &str) -> Option<SpanStat> {
+        self.spans.iter().find(|(n, _)| n == name).map(|&(_, s)| s)
+    }
+}
+
+/// Takes an ordered snapshot of the rollup tables.
+pub fn snapshot() -> RollupSnapshot {
+    with_tables(|t| RollupSnapshot {
+        counters: t
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k.to_owned(), v))
+            .collect(),
+        spans: t.spans.iter().map(|(&k, &v)| (k.to_owned(), v)).collect(),
+    })
+}
+
+/// Clears all rollup state (collection flag is left as-is).
+pub fn reset() {
+    with_tables(|t| {
+        t.counters.clear();
+        t.spans.clear();
+    });
+}
+
+/// Renders the current rollup state as a deterministic JSON object:
+/// `{"counters":{...},"spans":{"name":{"count":N,"total_ns":N}}}`.
+pub fn rollup_json() -> String {
+    let snap = snapshot();
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"counters\":{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{v}");
+    }
+    out.push_str("},\"spans\":{");
+    for (i, (name, s)) in snap.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{name}\":{{\"count\":{},\"total_ns\":{}}}",
+            s.count, s.total_ns
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test exercises the global tables end-to-end; keeping it a
+    // single #[test] avoids cross-test interference on global state.
+    #[test]
+    fn rollup_lifecycle() {
+        reset();
+        add("t.ignored", 5); // collection off: dropped
+        set_rollup(true);
+        add("t.a", 2);
+        add("t.a", 3);
+        observe_span("t.sp", 1_000);
+        observe_span("t.sp", 500);
+        let snap = snapshot();
+        assert_eq!(snap.counter("t.a"), Some(5));
+        assert_eq!(snap.counter("t.ignored"), None);
+        let st = snap.span_stat("t.sp").unwrap();
+        assert_eq!(st.count, 2);
+        assert_eq!(st.total_ns, 1_500);
+        let json = rollup_json();
+        assert!(json.contains("\"t.a\":5"), "{json}");
+        assert!(
+            json.contains("\"t.sp\":{\"count\":2,\"total_ns\":1500}"),
+            "{json}"
+        );
+        set_rollup(false);
+        reset();
+        assert!(snapshot().counters.is_empty());
+    }
+}

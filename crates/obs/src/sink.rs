@@ -1,0 +1,115 @@
+//! The global trace sink: where spans and events go, if anywhere.
+//!
+//! The sink is process-global on purpose — instrumentation sites in
+//! `rumor-ode` or `rumor-sim` cannot thread a logger handle through
+//! every call signature without distorting the numeric APIs. The
+//! fast-path cost when tracing is off is one relaxed atomic load.
+//!
+//! Contract:
+//! * [`init`] may be called repeatedly (tests swap sinks); each call
+//!   replaces the writer and flushes the previous one.
+//! * Writes are line-buffered under a mutex; a poisoned lock is
+//!   recovered, never propagated into numeric code.
+//! * Sink I/O errors are swallowed: observability must never change
+//!   control flow in the code under observation.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Output encoding of the global trace sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogFormat {
+    /// No output; spans still time themselves if rollups are enabled.
+    #[default]
+    Off,
+    /// Human-readable single-line records, e.g.
+    /// `[span] ode.adaptive id=3 parent=0 us=812 accepted=204`.
+    Text,
+    /// One JSON object per line, machine-parsable.
+    Json,
+}
+
+impl LogFormat {
+    /// Parses the CLI spelling (`off` / `text` / `json`).
+    pub fn parse(s: &str) -> Option<LogFormat> {
+        match s {
+            "off" => Some(LogFormat::Off),
+            "text" => Some(LogFormat::Text),
+            "json" => Some(LogFormat::Json),
+            _ => None,
+        }
+    }
+}
+
+/// 0 = Off, 1 = Text, 2 = Json. Relaxed is enough: the flag is a
+/// sampling decision, not a synchronization edge.
+static FORMAT: AtomicU8 = AtomicU8::new(0);
+static WRITER: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+
+/// Installs (or replaces) the global sink. `writer = None` routes
+/// records to stderr.
+pub fn init(fmt: LogFormat, writer: Option<Box<dyn Write + Send>>) {
+    let mut guard = WRITER.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(old) = guard.as_mut() {
+        let _ = old.flush();
+    }
+    *guard = writer;
+    FORMAT.store(fmt as u8, Ordering::Relaxed);
+}
+
+/// Installs a buffered file sink at `path` (truncating it).
+pub fn init_file(fmt: LogFormat, path: &Path) -> io::Result<()> {
+    let file = File::create(path)?;
+    init(fmt, Some(Box::new(BufWriter::new(file))));
+    Ok(())
+}
+
+/// Flushes and disables the sink.
+pub fn shutdown() {
+    init(LogFormat::Off, None);
+}
+
+/// The currently installed format.
+pub fn format() -> LogFormat {
+    match FORMAT.load(Ordering::Relaxed) {
+        1 => LogFormat::Text,
+        2 => LogFormat::Json,
+        _ => LogFormat::Off,
+    }
+}
+
+/// Whether any trace output is being emitted.
+#[inline]
+pub(crate) fn enabled() -> bool {
+    FORMAT.load(Ordering::Relaxed) != 0
+}
+
+/// Writes one record line. Errors are deliberately ignored.
+pub(crate) fn emit(line: &str) {
+    let mut guard = WRITER.lock().unwrap_or_else(|e| e.into_inner());
+    match guard.as_mut() {
+        Some(w) => {
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+        None => {
+            let _ = writeln!(io::stderr().lock(), "{line}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        assert_eq!(LogFormat::parse("off"), Some(LogFormat::Off));
+        assert_eq!(LogFormat::parse("text"), Some(LogFormat::Text));
+        assert_eq!(LogFormat::parse("json"), Some(LogFormat::Json));
+        assert_eq!(LogFormat::parse("yaml"), None);
+    }
+}

@@ -1,0 +1,334 @@
+//! Hierarchical spans and point-in-time events.
+//!
+//! A [`Span`] measures a region with `Instant` (monotonic) timing and
+//! carries structured fields. Spans nest through a thread-local stack:
+//! a span opened while another is live records it as `parent`, and
+//! [`event`]s attach to the innermost live span. IDs come from one
+//! process-wide counter, so a request ID minted at `accept` (see
+//! [`next_trace_id`]) never collides with span IDs minted later.
+//!
+//! Disabled-path cost: `span()` performs one relaxed atomic load per
+//! facility and returns an inert guard; `field()` on an inert guard is
+//! a branch on an `Option` discriminant.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::rollup;
+use crate::sink::{self, LogFormat};
+
+/// A structured field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One counter feeds both span IDs and request trace IDs.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Allocates a fresh process-unique ID for threading through a request
+/// (accept → response) independent of any live span.
+pub fn next_trace_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The innermost live span's ID on this thread, or 0 if none.
+pub fn current_span_id() -> u64 {
+    STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+struct SpanMeta {
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    start: Instant,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// RAII guard for a timed region; emits (and/or rolls up) on drop.
+pub struct Span {
+    meta: Option<SpanMeta>,
+}
+
+/// Opens a span named `name`. Inert (near-zero cost) unless the sink
+/// or rollup collection is enabled.
+pub fn span(name: &'static str) -> Span {
+    if !sink::enabled() && !rollup::rollup_enabled() {
+        return Span { meta: None };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = current_span_id();
+    STACK.with(|s| s.borrow_mut().push(id));
+    Span {
+        meta: Some(SpanMeta {
+            name,
+            id,
+            parent,
+            start: Instant::now(),
+            fields: Vec::new(),
+        }),
+    }
+}
+
+impl Span {
+    /// Attaches a structured field; no-op on an inert span.
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(m) = &mut self.meta {
+            m.fields.push((key, value.into()));
+        }
+    }
+
+    /// This span's ID (0 when inert).
+    pub fn id(&self) -> u64 {
+        self.meta.as_ref().map_or(0, |m| m.id)
+    }
+
+    /// Whether the span is actually recording.
+    pub fn active(&self) -> bool {
+        self.meta.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(m) = self.meta.take() else { return };
+        STACK.with(|s| {
+            let mut st = s.borrow_mut();
+            if let Some(pos) = st.iter().rposition(|&x| x == m.id) {
+                st.remove(pos);
+            }
+        });
+        let ns = u64::try_from(m.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        rollup::observe_span(m.name, ns);
+        match sink::format() {
+            LogFormat::Off => {}
+            LogFormat::Text => sink::emit(&render_text(
+                "span",
+                m.name,
+                Some((m.id, m.parent, ns / 1_000)),
+                &m.fields,
+            )),
+            LogFormat::Json => sink::emit(&render_json(
+                "span",
+                m.name,
+                Some((m.id, m.parent, ns / 1_000)),
+                &m.fields,
+            )),
+        }
+    }
+}
+
+/// Emits a point-in-time record attached to the innermost live span.
+pub fn event(name: &'static str, fields: &[(&'static str, FieldValue)]) {
+    match sink::format() {
+        LogFormat::Off => {}
+        LogFormat::Text => sink::emit(&render_text("event", name, None, fields)),
+        LogFormat::Json => sink::emit(&render_json("event", name, None, fields)),
+    }
+}
+
+fn render_text(
+    kind: &str,
+    name: &str,
+    span_part: Option<(u64, u64, u64)>,
+    fields: &[(&'static str, FieldValue)],
+) -> String {
+    let mut out = String::with_capacity(96);
+    let _ = write!(out, "[{kind}] {name}");
+    match span_part {
+        Some((id, parent, us)) => {
+            let _ = write!(out, " id={id} parent={parent} us={us}");
+        }
+        None => {
+            let parent = current_span_id();
+            if parent != 0 {
+                let _ = write!(out, " parent={parent}");
+            }
+        }
+    }
+    for (k, v) in fields {
+        match v {
+            FieldValue::U64(x) => {
+                let _ = write!(out, " {k}={x}");
+            }
+            FieldValue::I64(x) => {
+                let _ = write!(out, " {k}={x}");
+            }
+            FieldValue::F64(x) => {
+                let _ = write!(out, " {k}={x}");
+            }
+            FieldValue::Bool(x) => {
+                let _ = write!(out, " {k}={x}");
+            }
+            FieldValue::Str(x) => {
+                let _ = write!(out, " {k}={x:?}");
+            }
+        }
+    }
+    out
+}
+
+fn render_json(
+    kind: &str,
+    name: &str,
+    span_part: Option<(u64, u64, u64)>,
+    fields: &[(&'static str, FieldValue)],
+) -> String {
+    let mut out = String::with_capacity(128);
+    let _ = write!(out, "{{\"type\":\"{kind}\",\"name\":");
+    push_json_str(&mut out, name);
+    match span_part {
+        Some((id, parent, us)) => {
+            let _ = write!(out, ",\"id\":{id},\"parent\":{parent},\"us\":{us}");
+        }
+        None => {
+            let parent = current_span_id();
+            let _ = write!(out, ",\"parent\":{parent}");
+        }
+    }
+    for (k, v) in fields {
+        out.push(',');
+        push_json_str(&mut out, k);
+        out.push(':');
+        match v {
+            FieldValue::U64(x) => {
+                let _ = write!(out, "{x}");
+            }
+            FieldValue::I64(x) => {
+                let _ = write!(out, "{x}");
+            }
+            FieldValue::F64(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            FieldValue::Bool(x) => {
+                let _ = write!(out, "{x}");
+            }
+            FieldValue::Str(x) => push_json_str(&mut out, x),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_span_costs_nothing_observable() {
+        // Neither sink nor rollup enabled by default in this process.
+        let mut sp = span("test.noop");
+        if !sp.active() {
+            sp.field("ignored", 1u64);
+            assert_eq!(sp.id(), 0);
+        }
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn json_record_shape() {
+        let line = render_json(
+            "event",
+            "x.y",
+            None,
+            &[
+                ("n", FieldValue::U64(3)),
+                ("ok", FieldValue::Bool(true)),
+                ("r", FieldValue::F64(0.5)),
+                ("bad", FieldValue::F64(f64::NAN)),
+                ("s", FieldValue::Str("q\"".into())),
+            ],
+        );
+        assert_eq!(
+            line,
+            "{\"type\":\"event\",\"name\":\"x.y\",\"parent\":0,\"n\":3,\"ok\":true,\"r\":0.5,\"bad\":null,\"s\":\"q\\\"\"}"
+        );
+    }
+
+    #[test]
+    fn trace_ids_are_unique() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, b);
+    }
+}

@@ -209,6 +209,7 @@ impl<S: OdeSystem + ?Sized> OdeSystem for FaultyRhs<S> {
         }
         if injected {
             self.injections.set(self.injections.get() + 1);
+            rumor_obs::add("ode.fault_injections", 1);
         }
     }
 }

@@ -44,6 +44,27 @@ pub struct Run {
     pub rejected: usize,
 }
 
+/// Folds a finished driver run into the enclosing observability span
+/// and the workspace rollup counters.
+fn observe_run(sp: &mut rumor_obs::Span, result: &Result<Run>) {
+    match result {
+        Ok(run) => {
+            if sp.active() {
+                sp.field("accepted", run.accepted);
+                sp.field("rejected", run.rejected);
+            }
+            rumor_obs::add("ode.steps_accepted", run.accepted as u64);
+            rumor_obs::add("ode.steps_rejected", run.rejected as u64);
+        }
+        Err(e) => {
+            if sp.active() {
+                sp.field("error", e.to_string());
+            }
+            rumor_obs::add("ode.integration_errors", 1);
+        }
+    }
+}
+
 fn validate_initial(sys: &dyn OdeSystem, y0: &[f64]) -> Result<()> {
     if y0.len() != sys.dim() {
         return Err(OdeError::DimensionMismatch {
@@ -114,6 +135,20 @@ impl<S: Stepper> FixedStep<S> {
     ///
     /// Same as [`FixedStep::integrate`].
     pub fn run(
+        &mut self,
+        sys: &(impl OdeSystem + ?Sized),
+        t0: f64,
+        y0: &[f64],
+        tf: f64,
+        event: Option<&mut Event<'_>>,
+    ) -> Result<Run> {
+        let mut sp = rumor_obs::span("ode.fixed_step");
+        let result = self.run_inner(sys, t0, y0, tf, event);
+        observe_run(&mut sp, &result);
+        result
+    }
+
+    fn run_inner(
         &mut self,
         sys: &(impl OdeSystem + ?Sized),
         t0: f64,
@@ -331,6 +366,20 @@ impl Adaptive {
     ///
     /// Same as [`Adaptive::integrate`].
     pub fn run(
+        &mut self,
+        sys: &(impl OdeSystem + ?Sized),
+        t0: f64,
+        y0: &[f64],
+        tf: f64,
+        event: Option<&mut Event<'_>>,
+    ) -> Result<Run> {
+        let mut sp = rumor_obs::span("ode.adaptive");
+        let result = self.run_inner(sys, t0, y0, tf, event);
+        observe_run(&mut sp, &result);
+        result
+    }
+
+    fn run_inner(
         &mut self,
         sys: &(impl OdeSystem + ?Sized),
         t0: f64,

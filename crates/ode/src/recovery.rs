@@ -1,6 +1,6 @@
 //! Guarded integration: a stepper fallback chain with bounded retries.
 //!
-//! The plain [`Adaptive`](crate::integrator::Adaptive) driver turns any
+//! The plain [`Adaptive`] driver turns any
 //! numerical trouble — a non-finite right-hand side, a step-size
 //! underflow, an exhausted step budget — into a hard error, which is the
 //! right default for a library but the wrong behavior for a production
@@ -255,6 +255,30 @@ impl Guarded {
         y0: &[f64],
         tf: f64,
     ) -> Result<GuardedRun> {
+        let mut sp = rumor_obs::span("ode.guarded");
+        let result = self.run_inner(sys, t0, y0, tf);
+        if let Ok(run) = &result {
+            if sp.active() {
+                sp.field("engagements", run.report.events.len());
+                sp.field("quarantined", run.report.quarantined.len());
+                sp.field("completed", run.report.completed);
+            }
+            rumor_obs::add("ode.fallback_engagements", run.report.events.len() as u64);
+            rumor_obs::add(
+                "ode.quarantined_windows",
+                run.report.quarantined.len() as u64,
+            );
+        }
+        result
+    }
+
+    fn run_inner(
+        &mut self,
+        sys: &(impl OdeSystem + ?Sized),
+        t0: f64,
+        y0: &[f64],
+        tf: f64,
+    ) -> Result<GuardedRun> {
         self.config.validate()?;
         self.policy.validate()?;
 
@@ -333,6 +357,18 @@ impl Guarded {
                 t_w,
                 &mut solution,
                 &mut report,
+            );
+            rumor_obs::event(
+                "ode.fallback",
+                &[
+                    ("t_fail", checkpoint_t.into()),
+                    (
+                        "stage",
+                        rescued_by
+                            .map_or_else(|| "none".to_string(), |s| s.to_string())
+                            .into(),
+                    ),
+                ],
             );
             report.events.push(RecoveryEvent {
                 t_fail: checkpoint_t,

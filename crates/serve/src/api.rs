@@ -1,7 +1,7 @@
 //! Typed request structs for the JSON endpoints.
 //!
 //! Every endpoint body deserializes into an owned request struct via
-//! [`FromValue`]-style constructors: unknown fields are rejected (typos
+//! `from_value`-style constructors: unknown fields are rejected (typos
 //! fail loudly, matching the CLI's flag policy), missing fields take the
 //! CLI's documented defaults, and every field is range-checked *before*
 //! any engine runs — the service refuses work it can see is invalid or

@@ -1,15 +1,16 @@
 //! Service counters and latency histograms, rendered as plain text for
 //! `GET /metrics`.
 //!
-//! Everything is lock-free atomics: workers record on the request path
-//! without contending on the cache mutex, and the render pass reads a
-//! consistent-enough snapshot (counters are monotone; exactness across
-//! counters is not required of a metrics endpoint). The output format
-//! is Prometheus-flavoured text — counters plus cumulative
-//! per-endpoint latency buckets — without claiming full exposition-
-//! format compliance.
+//! Since PR 5 the primitives come from `rumor-obs`: every series is
+//! registered in a shared [`Registry`] whose renderer owns the
+//! histogram-bucket formatting (cumulative per-bound counts, `+Inf`,
+//! `_sum`) — the page is byte-for-byte identical to the hand-rolled
+//! formatter it replaced, which the `exposition_is_stable_byte_for_byte`
+//! test pins. Everything is lock-free atomics on the record path; the
+//! registry is only walked at render time.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use rumor_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
 
 /// Upper bounds (milliseconds) of the latency histogram buckets; a
 /// final implicit `+Inf` bucket catches the rest.
@@ -38,159 +39,102 @@ pub fn endpoint_index(method: &str, target: &str) -> Option<usize> {
     }
 }
 
-#[derive(Debug, Default)]
 struct EndpointSeries {
-    requests: AtomicU64,
-    errors: AtomicU64,
-    /// Cumulative counts per LATENCY_BUCKETS_MS bound, plus +Inf.
-    buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
-    total_ms: AtomicU64,
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    latency: Arc<Histogram>,
 }
 
-/// All service metrics. Cheap to share behind an `Arc`.
-#[derive(Debug, Default)]
+/// All service metrics. Cheap to share behind an `Arc`; each server
+/// instance owns its own registry (tests run several per process).
 pub struct Metrics {
+    registry: Registry,
     /// Connections admitted into the queue.
-    pub admitted: AtomicU64,
+    pub admitted: Arc<Counter>,
     /// Connections shed with `503` because the queue was full.
-    pub rejected_queue_full: AtomicU64,
+    pub rejected_queue_full: Arc<Counter>,
     /// Requests rejected with `413` (body cap).
-    pub rejected_body_too_large: AtomicU64,
+    pub rejected_body_too_large: Arc<Counter>,
     /// Requests rejected with `400`/`501` (malformed / unsupported).
-    pub rejected_malformed: AtomicU64,
+    pub rejected_malformed: Arc<Counter>,
     /// Requests that exceeded their wall-clock deadline (`504`).
-    pub deadline_exceeded: AtomicU64,
+    pub deadline_exceeded: Arc<Counter>,
     /// Requests that timed out mid-read (`408`).
-    pub read_timeouts: AtomicU64,
+    pub read_timeouts: Arc<Counter>,
     /// Currently executing requests.
-    pub in_flight: AtomicU64,
+    pub in_flight: Arc<Gauge>,
     /// Result-cache hits.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Arc<Counter>,
     /// Result-cache misses.
-    pub cache_misses: AtomicU64,
+    pub cache_misses: Arc<Counter>,
     /// Result-cache evictions.
-    pub cache_evictions: AtomicU64,
+    pub cache_evictions: Arc<Counter>,
     per_endpoint: [EndpointSeries; ENDPOINTS.len()],
 }
 
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
 impl Metrics {
-    /// A zeroed metrics block.
+    /// A zeroed metrics block. Registration order here *is* the render
+    /// order of the `/metrics` page — do not reorder.
     pub fn new() -> Self {
-        Metrics::default()
+        let mut registry = Registry::new();
+        let admitted = registry.counter("rumor_serve_admitted_total");
+        let rejected_queue_full =
+            registry.counter("rumor_serve_rejected_total{reason=\"queue_full\"}");
+        let rejected_body_too_large =
+            registry.counter("rumor_serve_rejected_total{reason=\"body_too_large\"}");
+        let rejected_malformed =
+            registry.counter("rumor_serve_rejected_total{reason=\"malformed\"}");
+        let deadline_exceeded = registry.counter("rumor_serve_deadline_exceeded_total");
+        let read_timeouts = registry.counter("rumor_serve_read_timeouts_total");
+        let in_flight = registry.gauge("rumor_serve_in_flight");
+        let cache_hits = registry.counter("rumor_serve_cache_hits_total");
+        let cache_misses = registry.counter("rumor_serve_cache_misses_total");
+        let cache_evictions = registry.counter("rumor_serve_cache_evictions_total");
+        let per_endpoint = ENDPOINTS.map(|name| EndpointSeries {
+            requests: registry
+                .counter(format!("rumor_serve_requests_total{{endpoint=\"{name}\"}}")),
+            errors: registry.counter(format!("rumor_serve_errors_total{{endpoint=\"{name}\"}}")),
+            latency: registry.histogram(
+                "rumor_serve_request_duration_ms",
+                format!("endpoint=\"{name}\""),
+                &LATENCY_BUCKETS_MS,
+            ),
+        });
+        Metrics {
+            registry,
+            admitted,
+            rejected_queue_full,
+            rejected_body_too_large,
+            rejected_malformed,
+            deadline_exceeded,
+            read_timeouts,
+            in_flight,
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            per_endpoint,
+        }
     }
 
     /// Records one finished request against an endpoint series.
     pub fn record(&self, endpoint: usize, status: u16, elapsed_ms: u64) {
         let series = &self.per_endpoint[endpoint];
-        series.requests.fetch_add(1, Ordering::Relaxed);
+        series.requests.inc();
         if status >= 400 {
-            series.errors.fetch_add(1, Ordering::Relaxed);
+            series.errors.inc();
         }
-        let bucket = LATENCY_BUCKETS_MS
-            .iter()
-            .position(|&bound| elapsed_ms <= bound)
-            .unwrap_or(LATENCY_BUCKETS_MS.len());
-        series.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        series.total_ms.fetch_add(elapsed_ms, Ordering::Relaxed);
+        series.latency.observe(elapsed_ms);
     }
 
-    /// Renders the plain-text metrics page.
+    /// Renders the plain-text metrics page from the shared registry.
     pub fn render(&self) -> String {
-        let mut out = String::with_capacity(2048);
-        let counter = |out: &mut String, name: &str, value: u64| {
-            out.push_str(name);
-            out.push(' ');
-            out.push_str(&value.to_string());
-            out.push('\n');
-        };
-        counter(
-            &mut out,
-            "rumor_serve_admitted_total",
-            self.admitted.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "rumor_serve_rejected_total{reason=\"queue_full\"}",
-            self.rejected_queue_full.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "rumor_serve_rejected_total{reason=\"body_too_large\"}",
-            self.rejected_body_too_large.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "rumor_serve_rejected_total{reason=\"malformed\"}",
-            self.rejected_malformed.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "rumor_serve_deadline_exceeded_total",
-            self.deadline_exceeded.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "rumor_serve_read_timeouts_total",
-            self.read_timeouts.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "rumor_serve_in_flight",
-            self.in_flight.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "rumor_serve_cache_hits_total",
-            self.cache_hits.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "rumor_serve_cache_misses_total",
-            self.cache_misses.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "rumor_serve_cache_evictions_total",
-            self.cache_evictions.load(Ordering::Relaxed),
-        );
-        for (idx, name) in ENDPOINTS.iter().enumerate() {
-            let series = &self.per_endpoint[idx];
-            counter(
-                &mut out,
-                &format!("rumor_serve_requests_total{{endpoint=\"{name}\"}}"),
-                series.requests.load(Ordering::Relaxed),
-            );
-            counter(
-                &mut out,
-                &format!("rumor_serve_errors_total{{endpoint=\"{name}\"}}"),
-                series.errors.load(Ordering::Relaxed),
-            );
-            let mut cumulative = 0u64;
-            for (b, &bound) in LATENCY_BUCKETS_MS.iter().enumerate() {
-                cumulative += series.buckets[b].load(Ordering::Relaxed);
-                counter(
-                    &mut out,
-                    &format!(
-                        "rumor_serve_request_duration_ms_bucket{{endpoint=\"{name}\",le=\"{bound}\"}}"
-                    ),
-                    cumulative,
-                );
-            }
-            cumulative += series.buckets[LATENCY_BUCKETS_MS.len()].load(Ordering::Relaxed);
-            counter(
-                &mut out,
-                &format!(
-                    "rumor_serve_request_duration_ms_bucket{{endpoint=\"{name}\",le=\"+Inf\"}}"
-                ),
-                cumulative,
-            );
-            counter(
-                &mut out,
-                &format!("rumor_serve_request_duration_ms_sum{{endpoint=\"{name}\"}}"),
-                series.total_ms.load(Ordering::Relaxed),
-            );
-        }
-        out
+        self.registry.render()
     }
 }
 
@@ -224,5 +168,118 @@ mod tests {
         ));
         assert!(text.contains("rumor_serve_requests_total{endpoint=\"simulate\"} 3"));
         assert!(text.contains("rumor_serve_errors_total{endpoint=\"simulate\"} 1"));
+    }
+
+    #[test]
+    fn exposition_is_stable_byte_for_byte() {
+        // Drive a deterministic set of recordings through the registry
+        // and through the legacy formatter (fed the same tallies), and
+        // require identical output — the contract that dashboards and
+        // scrapers survive the rumor-obs migration unchanged.
+        let m = Metrics::new();
+        m.admitted.add(7);
+        m.rejected_queue_full.inc();
+        m.deadline_exceeded.add(2);
+        m.in_flight.set(3);
+        m.cache_hits.add(5);
+        m.cache_misses.add(4);
+        // (endpoint, status, elapsed_ms); covers first/middle/+Inf buckets.
+        let recordings: &[(usize, u16, u64)] = &[
+            (0, 200, 0),
+            (2, 200, 3),
+            (2, 200, 90),
+            (2, 500, 99_999),
+            (4, 400, 17),
+            (5, 200, 2_400),
+        ];
+        for &(idx, status, ms) in recordings {
+            m.record(idx, status, ms);
+        }
+
+        // Legacy formatter, fed per-bucket tallies recomputed exactly as
+        // the old AtomicU64 array accumulated them.
+        let mut expected = String::new();
+        let line = |out: &mut String, name: &str, v: u64| {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        };
+        line(&mut expected, "rumor_serve_admitted_total", 7);
+        line(
+            &mut expected,
+            "rumor_serve_rejected_total{reason=\"queue_full\"}",
+            1,
+        );
+        line(
+            &mut expected,
+            "rumor_serve_rejected_total{reason=\"body_too_large\"}",
+            0,
+        );
+        line(
+            &mut expected,
+            "rumor_serve_rejected_total{reason=\"malformed\"}",
+            0,
+        );
+        line(&mut expected, "rumor_serve_deadline_exceeded_total", 2);
+        line(&mut expected, "rumor_serve_read_timeouts_total", 0);
+        line(&mut expected, "rumor_serve_in_flight", 3);
+        line(&mut expected, "rumor_serve_cache_hits_total", 5);
+        line(&mut expected, "rumor_serve_cache_misses_total", 4);
+        line(&mut expected, "rumor_serve_cache_evictions_total", 0);
+        for (idx, name) in ENDPOINTS.iter().enumerate() {
+            let hits: Vec<(u16, u64)> = recordings
+                .iter()
+                .filter(|r| r.0 == idx)
+                .map(|&(_, s, ms)| (s, ms))
+                .collect();
+            line(
+                &mut expected,
+                &format!("rumor_serve_requests_total{{endpoint=\"{name}\"}}"),
+                hits.len() as u64,
+            );
+            line(
+                &mut expected,
+                &format!("rumor_serve_errors_total{{endpoint=\"{name}\"}}"),
+                hits.iter().filter(|(s, _)| *s >= 400).count() as u64,
+            );
+            let mut per_bucket = vec![0u64; LATENCY_BUCKETS_MS.len() + 1];
+            let mut sum = 0u64;
+            for &(_, ms) in &hits {
+                let b = LATENCY_BUCKETS_MS
+                    .iter()
+                    .position(|&bound| ms <= bound)
+                    .unwrap_or(LATENCY_BUCKETS_MS.len());
+                per_bucket[b] += 1;
+                sum += ms;
+            }
+            let mut cumulative = 0u64;
+            for (b, &bound) in LATENCY_BUCKETS_MS.iter().enumerate() {
+                cumulative += per_bucket[b];
+                line(
+                    &mut expected,
+                    &format!(
+                        "rumor_serve_request_duration_ms_bucket{{endpoint=\"{name}\",le=\"{bound}\"}}"
+                    ),
+                    cumulative,
+                );
+            }
+            cumulative += per_bucket[LATENCY_BUCKETS_MS.len()];
+            line(
+                &mut expected,
+                &format!(
+                    "rumor_serve_request_duration_ms_bucket{{endpoint=\"{name}\",le=\"+Inf\"}}"
+                ),
+                cumulative,
+            );
+            line(
+                &mut expected,
+                &format!("rumor_serve_request_duration_ms_sum{{endpoint=\"{name}\"}}"),
+                sum,
+            );
+        }
+        assert_eq!(m.render(), expected);
+        // Rendering twice is also stable (no internal mutation).
+        assert_eq!(m.render(), m.render());
     }
 }

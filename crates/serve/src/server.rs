@@ -124,6 +124,10 @@ impl ServeConfig {
 struct Job {
     stream: TcpStream,
     accepted: Instant,
+    /// Per-request trace ID, assigned at accept and echoed back to the
+    /// client as `X-Trace-Id` — the join key between a client-observed
+    /// response and the server-side trace spans.
+    trace_id: u64,
 }
 
 /// A running server. Dropping it does **not** stop the threads; call
@@ -266,14 +270,15 @@ fn accept_loop(
                 let job = Job {
                     stream,
                     accepted: Instant::now(),
+                    trace_id: rumor_obs::next_trace_id(),
                 };
                 match tx.try_send(job) {
                     Ok(()) => {
-                        metrics.admitted.fetch_add(1, Ordering::Relaxed);
+                        metrics.admitted.inc();
                     }
                     Err(TrySendError::Full(job)) => {
-                        metrics.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
-                        shed(job.stream, io_timeout);
+                        metrics.rejected_queue_full.inc();
+                        shed(job.stream, job.trace_id, io_timeout);
                     }
                     Err(TrySendError::Disconnected(_)) => break,
                 }
@@ -293,18 +298,20 @@ fn accept_loop(
 
 /// Best-effort `503` on an over-admission connection. Never blocks the
 /// acceptor for long: the write timeout is capped small.
-fn shed(mut stream: TcpStream, io_timeout: Duration) {
+fn shed(mut stream: TcpStream, trace_id: u64, io_timeout: Duration) {
     let cap = io_timeout.min(Duration::from_millis(250));
     let _ = stream.set_write_timeout(Some(cap));
     let body = br#"{"error":"server is at capacity, retry shortly"}"#;
+    let trace = trace_id.to_string();
     let _ = http::write_response(
         &mut stream,
         503,
         http::reason(503),
         "application/json",
-        &[("Retry-After", "1")],
+        &[("Retry-After", "1"), ("X-Trace-Id", &trace)],
         body,
     );
+    rumor_obs::event("serve.shed", &[("trace", trace_id.into())]);
     drain_then_close(stream, cap);
 }
 
@@ -344,9 +351,9 @@ fn worker_loop(
         let Ok(job) = job else {
             return; // Queue closed and drained: orderly exit.
         };
-        metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        metrics.in_flight.inc();
         handle_connection(job, metrics, cache, config, workers);
-        metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        metrics.in_flight.dec();
     }
 }
 
@@ -361,7 +368,10 @@ fn handle_connection(
     let Job {
         mut stream,
         accepted,
+        trace_id,
     } = job;
+    let mut sp = rumor_obs::span("serve.request");
+    sp.field("trace", trace_id);
     let io_timeout = Duration::from_millis(config.io_timeout_ms);
     let deadline = Duration::from_millis(config.deadline_ms);
     let _ = stream.set_read_timeout(Some(io_timeout));
@@ -372,8 +382,9 @@ fn handle_connection(
     // bytes were never read, so close via `drain_then_close` (a plain
     // drop would RST and destroy the 504 in flight).
     if accepted.elapsed() >= deadline {
-        metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-        respond_error(&mut stream, 504, "deadline exceeded while queued");
+        metrics.deadline_exceeded.inc();
+        sp.field("status", 504u64);
+        respond_error(&mut stream, trace_id, 504, "deadline exceeded while queued");
         drain_then_close(stream, io_timeout.min(Duration::from_millis(250)));
         return;
     }
@@ -386,26 +397,29 @@ fn handle_connection(
             // with the draining close.
             match e {
                 ReadError::BodyTooLarge { declared, limit } => {
-                    metrics
-                        .rejected_body_too_large
-                        .fetch_add(1, Ordering::Relaxed);
+                    metrics.rejected_body_too_large.inc();
+                    sp.field("status", 413u64);
                     respond_error(
                         &mut stream,
+                        trace_id,
                         413,
                         &format!("body of {declared} bytes exceeds the {limit}-byte cap"),
                     );
                 }
                 ReadError::Malformed(m) => {
-                    metrics.rejected_malformed.fetch_add(1, Ordering::Relaxed);
-                    respond_error(&mut stream, 400, &m);
+                    metrics.rejected_malformed.inc();
+                    sp.field("status", 400u64);
+                    respond_error(&mut stream, trace_id, 400, &m);
                 }
                 ReadError::Unsupported(m) => {
-                    metrics.rejected_malformed.fetch_add(1, Ordering::Relaxed);
-                    respond_error(&mut stream, 501, &m);
+                    metrics.rejected_malformed.inc();
+                    sp.field("status", 501u64);
+                    respond_error(&mut stream, trace_id, 501, &m);
                 }
                 ReadError::TimedOut => {
-                    metrics.read_timeouts.fetch_add(1, Ordering::Relaxed);
-                    respond_error(&mut stream, 408, "timed out reading the request");
+                    metrics.read_timeouts.inc();
+                    sp.field("status", 408u64);
+                    respond_error(&mut stream, trace_id, 408, "timed out reading the request");
                 }
                 ReadError::Io(_) => {} // Peer is gone; nothing to say.
             }
@@ -420,12 +434,20 @@ fn handle_connection(
         &mut stream,
         &request,
         endpoint,
+        trace_id,
         accepted,
         deadline,
         metrics,
         cache,
         workers,
     );
+    if sp.active() {
+        sp.field(
+            "endpoint",
+            endpoint.map_or("other", |idx| crate::metrics::ENDPOINTS[idx]),
+        );
+        sp.field("status", u64::from(status));
+    }
     if let Some(idx) = endpoint {
         metrics.record(idx, status, started.elapsed().as_millis() as u64);
     }
@@ -437,6 +459,7 @@ fn route(
     stream: &mut TcpStream,
     request: &Request,
     endpoint: Option<usize>,
+    trace_id: u64,
     accepted: Instant,
     deadline: Duration,
     metrics: &Metrics,
@@ -458,20 +481,28 @@ fn route(
         } else {
             (404, "no such endpoint")
         };
-        respond_error(stream, status, message);
+        respond_error(stream, trace_id, status, message);
         return status;
     };
 
     match (request.method.as_str(), request.target.as_str()) {
         ("GET", "/healthz") => {
             let body = wire::serialize(&Value::obj([("status", Value::Str("ok".into()))]));
-            respond(stream, 200, "application/json", &[], body.as_bytes());
+            respond(
+                stream,
+                trace_id,
+                200,
+                "application/json",
+                &[],
+                body.as_bytes(),
+            );
             200
         }
         ("GET", "/metrics") => {
             let body = metrics.render();
             respond(
                 stream,
+                trace_id,
                 200,
                 "text/plain; charset=utf-8",
                 &[],
@@ -480,7 +511,7 @@ fn route(
             200
         }
         (_, target) => compute_endpoint(
-            stream, request, target, accepted, deadline, metrics, cache, workers,
+            stream, request, target, trace_id, accepted, deadline, metrics, cache, workers,
         ),
     }
 }
@@ -493,6 +524,7 @@ fn compute_endpoint(
     stream: &mut TcpStream,
     request: &Request,
     target: &str,
+    trace_id: u64,
     accepted: Instant,
     deadline: Duration,
     metrics: &Metrics,
@@ -502,8 +534,8 @@ fn compute_endpoint(
     let body_text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => {
-            metrics.rejected_malformed.fetch_add(1, Ordering::Relaxed);
-            respond_error(stream, 400, "body is not valid UTF-8");
+            metrics.rejected_malformed.inc();
+            respond_error(stream, trace_id, 400, "body is not valid UTF-8");
             return 400;
         }
     };
@@ -516,8 +548,8 @@ fn compute_endpoint(
     let parsed = match parsed {
         Ok(v) => v,
         Err(e) => {
-            metrics.rejected_malformed.fetch_add(1, Ordering::Relaxed);
-            respond_error(stream, 400, &e.to_string());
+            metrics.rejected_malformed.inc();
+            respond_error(stream, trace_id, 400, &e.to_string());
             return 400;
         }
     };
@@ -533,7 +565,7 @@ fn compute_endpoint(
     let canonical = match canonical {
         Ok(v) => v,
         Err(e) => {
-            respond_error(stream, 400, &e.to_string());
+            respond_error(stream, trace_id, 400, &e.to_string());
             return 400;
         }
     };
@@ -541,9 +573,10 @@ fn compute_endpoint(
 
     if let Ok(mut cache) = cache.lock() {
         if let Some(body) = cache.get(&key) {
-            metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            metrics.cache_hits.inc();
             respond(
                 stream,
+                trace_id,
                 200,
                 "application/json",
                 &[("X-Cache", "hit")],
@@ -552,17 +585,22 @@ fn compute_endpoint(
             return 200;
         }
     }
-    metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    metrics.cache_misses.inc();
 
     // Checkpoint 2: don't start an expensive compute we can't finish.
     if accepted.elapsed() >= deadline {
-        metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-        respond_error(stream, 504, "deadline exceeded before compute");
+        metrics.deadline_exceeded.inc();
+        respond_error(stream, trace_id, 504, "deadline exceeded before compute");
         return 504;
     }
 
     // The canonical form re-parses by construction (proptested), so the
     // unwraps here cannot fire on a value we just built.
+    let mut compute_span = rumor_obs::span("serve.compute");
+    if compute_span.active() {
+        compute_span.field("trace", trace_id);
+        compute_span.field("target", target);
+    }
     let computed = match target {
         "/v1/simulate" => {
             handlers::simulate(&SimulateRequest::from_value(&canonical).expect("canonical"))
@@ -579,14 +617,15 @@ fn compute_endpoint(
         ),
         _ => unreachable!("routed endpoints are exhaustive"),
     };
+    drop(compute_span);
     let value = match computed {
         Ok(value) => value,
         Err(HandlerError::BadRequest(m)) => {
-            respond_error(stream, 400, &m);
+            respond_error(stream, trace_id, 400, &m);
             return 400;
         }
         Err(HandlerError::Internal(m)) => {
-            respond_error(stream, 500, &m);
+            respond_error(stream, trace_id, 500, &m);
             return 500;
         }
     };
@@ -596,16 +635,17 @@ fn compute_endpoint(
     // checkpoint 3 only decides what this client hears.
     if let Ok(mut cache) = cache.lock() {
         if cache.insert(key, Arc::clone(&body)) {
-            metrics.cache_evictions.fetch_add(1, Ordering::Relaxed);
+            metrics.cache_evictions.inc();
         }
     }
     if accepted.elapsed() >= deadline {
-        metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-        respond_error(stream, 504, "deadline exceeded during compute");
+        metrics.deadline_exceeded.inc();
+        respond_error(stream, trace_id, 504, "deadline exceeded during compute");
         return 504;
     }
     respond(
         stream,
+        trace_id,
         200,
         "application/json",
         &[("X-Cache", "miss")],
@@ -616,22 +656,34 @@ fn compute_endpoint(
 
 fn respond(
     stream: &mut TcpStream,
+    trace_id: u64,
     status: u16,
     content_type: &str,
     extra: &[(&str, &str)],
     body: &[u8],
 ) {
+    let trace = trace_id.to_string();
+    let mut headers: Vec<(&str, &str)> = Vec::with_capacity(extra.len() + 1);
+    headers.extend_from_slice(extra);
+    headers.push(("X-Trace-Id", &trace));
     let _ = http::write_response(
         stream,
         status,
         http::reason(status),
         content_type,
-        extra,
+        &headers,
         body,
     );
 }
 
-fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
+fn respond_error(stream: &mut TcpStream, trace_id: u64, status: u16, message: &str) {
     let body = wire::serialize(&Value::obj([("error", Value::Str(message.to_string()))]));
-    respond(stream, status, "application/json", &[], body.as_bytes());
+    respond(
+        stream,
+        trace_id,
+        status,
+        "application/json",
+        &[],
+        body.as_bytes(),
+    );
 }

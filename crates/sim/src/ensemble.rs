@@ -110,7 +110,14 @@ pub fn run_ensemble_threads(
         return Err(SimError::InvalidConfig("need at least one run".into()));
     }
     let workers = rumor_par::resolve_threads(threads);
+    let mut ens_span = rumor_obs::span("sim.ensemble");
+    if ens_span.active() {
+        ens_span.field("runs", n_runs);
+        ens_span.field("workers", workers);
+    }
     let trajectories = rumor_par::par_map_indexed(n_runs, workers, |r| {
+        let mut sp = rumor_obs::span("sim.replica");
+        sp.field("replica", r);
         run_replica(
             graph,
             params,
@@ -285,7 +292,14 @@ where
         return Err(SimError::InvalidConfig("need at least one run".into()));
     }
     let workers = rumor_par::resolve_threads(threads);
+    let mut ens_span = rumor_obs::span("sim.ensemble_isolated");
+    if ens_span.active() {
+        ens_span.field("runs", n_runs);
+        ens_span.field("workers", workers);
+    }
     let outcomes = rumor_par::par_map_indexed(n_runs, workers, |r| {
+        let mut sp = rumor_obs::span("sim.replica");
+        sp.field("replica", r);
         runner(r, base_seed.wrapping_add(r as u64))
     });
     // Serial merge in replica order: grid from the first *surviving*
@@ -300,6 +314,11 @@ where
         let traj = match outcome {
             Ok(t) => t,
             Err(e) => {
+                rumor_obs::event(
+                    "sim.exclusion",
+                    &[("replica", r.into()), ("reason", e.to_string().into())],
+                );
+                rumor_obs::add("sim.replicas_excluded", 1);
                 failures.push(ReplicaFailure {
                     replica: r,
                     seed,
@@ -312,6 +331,11 @@ where
             times = traj.times().to_vec();
             stats = vec![RunningStats::new(); times.len()];
         } else if traj.len() != times.len() {
+            rumor_obs::event(
+                "sim.exclusion",
+                &[("replica", r.into()), ("reason", "grid mismatch".into())],
+            );
+            rumor_obs::add("sim.replicas_excluded", 1);
             failures.push(ReplicaFailure {
                 replica: r,
                 seed,
@@ -325,7 +349,21 @@ where
         succeeded += 1;
     }
     let required = policy.required(n_runs);
+    rumor_obs::event(
+        "sim.quorum",
+        &[
+            ("succeeded", succeeded.into()),
+            ("required", required.into()),
+            ("attempted", n_runs.into()),
+            ("met", (succeeded >= required).into()),
+        ],
+    );
+    if ens_span.active() {
+        ens_span.field("succeeded", succeeded);
+        ens_span.field("excluded", failures.len());
+    }
     if succeeded < required {
+        rumor_obs::add("sim.quorum_failures", 1);
         return Err(SimError::QuorumNotMet {
             succeeded,
             required,

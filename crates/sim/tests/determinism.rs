@@ -131,6 +131,48 @@ fn isolated_ensemble_bit_identical_across_thread_counts() {
     }
 }
 
+#[test]
+fn json_tracing_does_not_perturb_ensemble_output() {
+    // Observability must be free of observer effects: with the JSON
+    // trace sink and rollups enabled, ensemble statistics stay
+    // bit-identical to the untraced baseline at every thread count.
+    let (g, p) = setup();
+    let baseline =
+        run_ensemble_threads(&g, &p, &cfg(), Simulator::Synchronous, 8, 42, Some(1)).unwrap();
+
+    let path = std::env::temp_dir().join(format!("rumor_sim_trace_{}.jsonl", std::process::id()));
+    rumor_obs::init_file(rumor_obs::LogFormat::Json, &path).expect("open trace file");
+    rumor_obs::set_rollup(true);
+    for t in [1usize, 4] {
+        let traced =
+            run_ensemble_threads(&g, &p, &cfg(), Simulator::Synchronous, 8, 42, Some(t)).unwrap();
+        assert_bit_identical(&baseline, &traced, &format!("traced, {t} threads"));
+    }
+    rumor_obs::set_rollup(false);
+    rumor_obs::shutdown();
+
+    // The sink received well-formed JSON-lines records for the runs.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert!(!text.is_empty(), "trace file is empty");
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object line: {line}"
+        );
+        assert!(line.contains("\"type\":"), "record without a type: {line}");
+    }
+    assert!(text.contains("\"name\":\"sim.ensemble\""));
+    assert!(text.contains("\"name\":\"sim.replica\""));
+    // And the rollup aggregated the replica spans (2 runs x 8 replicas,
+    // plus whatever concurrently running tests contributed).
+    let snap = rumor_obs::snapshot();
+    assert!(
+        snap.span_stat("sim.replica").map_or(0, |s| s.count) >= 16,
+        "rollup missed replica spans"
+    );
+}
+
 /// Deterministic synthetic trajectory whose level encodes the seed, so
 /// the merged statistics expose any replica-order mixup.
 fn synth_traj(len: usize, seed: u64) -> SimTrajectory {

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Dependency-hygiene gate: the workspace is std-only by policy — every
+# crate in the normal (non-dev) dependency graph must be either a
+# workspace crate or a vendored path dependency under vendor/.
+#
+# `cargo tree` prints path dependencies with their filesystem location
+# in parentheses (e.g. `rumor-core v0.1.0 (/repo/crates/core)`) and
+# registry crates without one (e.g. `rand v0.8.5`), so any line lacking
+# a path is an external crate that slipped into the build graph.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+external=$(cargo tree --workspace --edges normal --prefix none \
+  | sed 's/ (\*)$//' \
+  | sort -u \
+  | grep -v ' (' \
+  | grep -v '^$' || true)
+
+if [ -n "$external" ]; then
+  echo "dependency hygiene violation: registry (non-path) crates in the normal dependency graph:" >&2
+  echo "$external" >&2
+  echo "workspace crates must stay std-only; vendor a path crate or drop the dependency" >&2
+  exit 1
+fi
+echo "dependency hygiene OK: every normal dependency is a workspace or vendored path crate"
