@@ -1,12 +1,27 @@
 //! `perfreport` — headline performance numbers for the allocation-free
 //! hot path, the parallel ensemble layer, and the HTTP service, written
-//! as machine-readable JSON to `BENCH_PR5.json` at the workspace root.
+//! as machine-readable JSON to `BENCH_PR6.json` at the workspace root.
 //! Runs with `rumor-obs` rollups enabled, so the report also carries a
 //! `span_rollup` section: per-span-name call counts and total wall time
 //! plus the instrumentation counters (steps, sweeps, replicas) observed
 //! while the workloads ran.
 //!
-//! Six canonical workloads:
+//! Doubles as the CI perf-regression gate:
+//!
+//! ```sh
+//! perfreport [--out FILE] [--check BASELINE.json] [--tolerance F]
+//! ```
+//!
+//! With `--check`, a handful of headline metrics from the fresh run are
+//! compared against the committed baseline and the process exits 1 if
+//! any throughput falls below `tolerance × baseline` (or a wall time
+//! exceeds `baseline / tolerance`). The default tolerance 0.35 is
+//! deliberately generous: CI runners differ wildly from the machines
+//! baselines are recorded on, so the gate only catches order-of-
+//! magnitude regressions (a dropped `--release`, an accidentally
+//! quadratic loop), not percent-level noise.
+//!
+//! Seven canonical workloads:
 //!
 //! 1. **RHS evals/s** — the heterogeneous SIR right-hand side on the
 //!    Digg-calibrated class structure (the kernel every integrator step
@@ -26,6 +41,10 @@
 //! 6. **Sustained req/s at the admission limit** — concurrent clients
 //!    hammering the server; reports the served rate plus how many
 //!    requests were shed with `503` by the bounded queue.
+//! 7. **Durable campaign throughput** — a 200-point threshold sweep
+//!    submitted to `/v1/jobs`, measured end to end through the durable
+//!    queue: journaled state transitions, per-point result persistence,
+//!    and checkpoints included.
 //!
 //! Numbers are measured on whatever host runs the binary; the report
 //! records `available_parallelism` so speedups can be judged against the
@@ -62,7 +81,51 @@ use std::time::{Duration, Instant};
 const ABM_REPLICAS: usize = 64;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
+/// Command-line configuration for the report/gate.
+struct Config {
+    out: PathBuf,
+    check: Option<PathBuf>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        out: PathBuf::from("BENCH_PR6.json"),
+        check: None,
+        tolerance: 0.35,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--out" => config.out = PathBuf::from(value("--out")),
+            "--check" => config.check = Some(PathBuf::from(value("--check"))),
+            "--tolerance" => {
+                let raw = value("--tolerance");
+                config.tolerance = match raw.parse::<f64>() {
+                    Ok(t) if t > 0.0 && t <= 1.0 => t,
+                    _ => {
+                        eprintln!("error: --tolerance must be in (0, 1], got {raw:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("error: unknown option {other:?} (expected --out, --check, --tolerance)");
+                std::process::exit(2);
+            }
+        }
+    }
+    config
+}
+
 fn main() {
+    let config = parse_args();
     // Span rollups (not the line sink) are on for the whole report: the
     // near-zero-cost aggregation path the workloads would run with in
     // production, surfaced as a `span_rollup` section at the end.
@@ -73,7 +136,7 @@ fn main() {
     println!("perfreport: host has {cores} available core(s)");
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"pr\": 5,");
+    let _ = writeln!(json, "  \"pr\": 6,");
     let _ = writeln!(json, "  \"generated_by\": \"perfreport\",");
     let _ = writeln!(
         json,
@@ -324,7 +387,7 @@ fn main() {
                     let (mut ok, mut rejected) = (0u64, 0u64);
                     let start = Instant::now();
                     while start.elapsed() < window {
-                        match raw_request(addr, "/v1/simulate", sim_body) {
+                        match raw_request(addr, "POST", "/v1/simulate", sim_body) {
                             Some(response) if response.starts_with("HTTP/1.1 200") => ok += 1,
                             Some(response) if response.starts_with("HTTP/1.1 503") => {
                                 rejected += 1;
@@ -353,6 +416,60 @@ fn main() {
     );
     server.shutdown_and_join();
 
+    // ---- Workload 7: durable campaign throughput. -------------------
+    // A 200-point threshold sweep through the journaled job queue: every
+    // point pays the durability tax (journaled transitions, persisted
+    // results, periodic checkpoints), so points/s measures the whole
+    // durable path, not just the engine.
+    let jobs_dir =
+        std::env::temp_dir().join(format!("rumor_perfreport_jobs_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&jobs_dir);
+    std::fs::create_dir_all(&jobs_dir).expect("create jobs dir");
+    let server = serve(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: Some(2),
+        jobs_dir: Some(jobs_dir.to_string_lossy().into_owned()),
+        ..ServeConfig::default()
+    })
+    .expect("bind jobs server");
+    let campaign = r#"{"kind": "threshold_sweep", "points": 200, "sweep": {"from": 0.01, "to": 0.05}, "base": {"network": {"nodes": 300, "k_max": 25, "mean_degree": 4}}}"#;
+    let jobs_points = 200u64;
+    let start = Instant::now();
+    let submitted = http_request(&server, "/v1/jobs", campaign);
+    let submit_body = submitted.split("\r\n\r\n").nth(1).unwrap_or("");
+    let job_id = wire::parse(submit_body)
+        .ok()
+        .and_then(|v| v.get("id").and_then(|id| id.as_str().map(str::to_string)))
+        .expect("submit response carries a job id");
+    let status_path = format!("/v1/jobs/{job_id}");
+    loop {
+        let response =
+            raw_request(server.local_addr(), "GET", &status_path, "").expect("job status request");
+        if response.contains("\"state\":\"done\"") {
+            break;
+        }
+        assert!(
+            !response.contains("\"failed\"") && !response.contains("\"partial\""),
+            "benchmark campaign did not finish clean: {response}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(300),
+            "benchmark campaign did not finish within 300 s"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let jobs_wall = start.elapsed().as_secs_f64();
+    let jobs_rate = jobs_points as f64 / jobs_wall;
+    println!(
+        "jobs: {jobs_points}-point durable threshold sweep in {jobs_wall:.3} s = {jobs_rate:.1} points/s"
+    );
+    let _ = writeln!(
+        json,
+        "  \"jobs\": {{ \"points\": {jobs_points}, \"wall_s\": {jobs_wall:.4}, \"points_per_s\": {jobs_rate:.2} }},"
+    );
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&jobs_dir);
+
     // ---- Span rollups accumulated across every workload above. ------
     let rollup = rumor_obs::snapshot();
     println!(
@@ -368,32 +485,117 @@ fn main() {
     );
     json.push_str("}\n");
 
-    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    // Relative --out paths land at the workspace root (two up from
+    // CARGO_MANIFEST_DIR = crates/bench), absolute paths go verbatim.
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(|p| p.parent())
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
-    let path = root.join("BENCH_PR5.json");
-    std::fs::write(&path, &json).expect("write BENCH_PR5.json");
+    let path = if config.out.is_absolute() {
+        config.out.clone()
+    } else {
+        root.join(&config.out)
+    };
+    std::fs::write(&path, &json).expect("write report");
     println!("wrote {}", path.display());
+
+    if let Some(baseline_path) = &config.check {
+        let baseline_path = if baseline_path.is_absolute() {
+            baseline_path.clone()
+        } else {
+            root.join(baseline_path)
+        };
+        if !gate(&json, &baseline_path, config.tolerance) {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The headline metrics the regression gate watches: a JSON path and
+/// whether larger values are better (throughputs) or worse (wall times).
+const GATE_METRICS: [(&str, &str, bool); 4] = [
+    ("rhs", "evals_per_s", true),
+    ("wire", "parse_validate_per_s", true),
+    ("jobs", "points_per_s", true),
+    ("fbsm", "wall_s", false),
+];
+
+/// Compares the fresh report against the committed baseline. Returns
+/// false (→ exit 1) when any watched metric regresses past the
+/// tolerance; metrics absent from the baseline are reported and skipped
+/// so the gate keeps working across report-format growth.
+fn gate(current_json: &str, baseline_path: &std::path::Path, tolerance: f64) -> bool {
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "perf gate: cannot read baseline {}: {e}",
+                baseline_path.display()
+            );
+            return false;
+        }
+    };
+    let baseline = match wire::parse(&baseline_text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!(
+                "perf gate: baseline {} is not valid JSON: {e}",
+                baseline_path.display()
+            );
+            return false;
+        }
+    };
+    let current = wire::parse(current_json).expect("fresh report is valid JSON");
+    let metric = |v: &wire::Value, section: &str, key: &str| {
+        v.get(section)
+            .and_then(|s| s.get(key))
+            .and_then(|x| x.as_f64())
+    };
+    println!(
+        "perf gate: comparing against {} (tolerance {tolerance})",
+        baseline_path.display()
+    );
+    let mut ok = true;
+    for (section, key, higher_is_better) in GATE_METRICS {
+        let Some(base) = metric(&baseline, section, key) else {
+            println!("  {section}.{key}: not in baseline, skipped");
+            continue;
+        };
+        let now = metric(&current, section, key).expect("fresh report carries all gate metrics");
+        let (passed, limit) = if higher_is_better {
+            (now >= base * tolerance, base * tolerance)
+        } else {
+            (now <= base / tolerance, base / tolerance)
+        };
+        println!(
+            "  {section}.{key}: baseline {base:.2}, current {now:.2}, {} {limit:.2} → {}",
+            if higher_is_better { "floor" } else { "ceiling" },
+            if passed { "ok" } else { "REGRESSION" }
+        );
+        ok &= passed;
+    }
+    if !ok {
+        eprintln!("perf gate: regression past {tolerance}x tolerance (see table above)");
+    }
+    ok
 }
 
 /// One full HTTP exchange against the bench server; panics on failure
 /// (the server is in-process, so failures are bugs, not flakiness).
 fn http_request(server: &Server, path: &str, body: &str) -> String {
-    raw_request(server.local_addr(), path, body).expect("bench request")
+    raw_request(server.local_addr(), "POST", path, body).expect("bench request")
 }
 
 /// One full HTTP exchange; `None` on connection failure (expected under
 /// deliberate overload in the admission workload).
-fn raw_request(addr: std::net::SocketAddr, path: &str, body: &str) -> Option<String> {
+fn raw_request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> Option<String> {
     let mut stream = TcpStream::connect(addr).ok()?;
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .ok()?;
     let request = format!(
-        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(request.as_bytes()).ok()?;

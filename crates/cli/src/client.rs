@@ -1,0 +1,98 @@
+//! Minimal std-only HTTP/1.1 client for the `rumor jobs` subcommand.
+//!
+//! One request per connection (`Connection: close`), blocking I/O with
+//! socket timeouts. This is deliberately the smallest client that can
+//! talk to `rumor serve`: the jobs endpoints answer small JSON bodies
+//! immediately, so there is nothing to stream or keep alive.
+
+use crate::error::CliError;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed HTTP response: status code plus the full body text.
+pub struct HttpResponse {
+    /// The status code from the response line.
+    pub status: u16,
+    /// The response body (the service always answers JSON text).
+    pub body: String,
+}
+
+/// Issues one request against `addr` and reads the response to EOF.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<HttpResponse, CliError> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| CliError::runtime(format!("cannot connect to {addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .and_then(|_| stream.set_write_timeout(Some(Duration::from_secs(30))))
+        .map_err(|e| CliError::runtime(format!("cannot configure socket: {e}")))?;
+    let mut stream = stream;
+    let payload = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|_| stream.write_all(payload.as_bytes()))
+        .map_err(|e| CliError::runtime(format!("cannot send request to {addr}: {e}")))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| CliError::runtime(format!("cannot read response from {addr}: {e}")))?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &str) -> Result<HttpResponse, CliError> {
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| CliError::runtime("malformed HTTP response (no header terminator)"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| CliError::runtime(format!("malformed HTTP status line: {status_line:?}")))?;
+    // With `Connection: close` the body runs to EOF; honor
+    // Content-Length anyway so a keep-alive answer still parses.
+    let length = head
+        .lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok());
+    let body = match length {
+        Some(n) if n <= body.len() => &body[..n],
+        _ => body,
+    };
+    Ok(HttpResponse {
+        status,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_parse_status_and_body() {
+        let r = parse_response(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}extra",
+        )
+        .unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "{}");
+
+        let r = parse_response("HTTP/1.1 404 Not Found\r\n\r\nmissing").unwrap();
+        assert_eq!(r.status, 404);
+        assert_eq!(r.body, "missing");
+
+        assert!(parse_response("garbage").is_err());
+        assert!(parse_response("NOPE\r\n\r\n").is_err());
+    }
+}

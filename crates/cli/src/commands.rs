@@ -388,6 +388,7 @@ pub fn serve(args: &Args) -> CliResult {
         queue_depth: args.get_usize("queue-depth", 64)?,
         cache_entries: args.get_usize("cache-entries", 256)?,
         deadline_ms: args.get_u64("deadline-ms", 30_000)?,
+        jobs_dir: args.get("jobs-dir").map(str::to_string),
         ..rumor_serve::ServeConfig::default()
     };
     let server = rumor_serve::serve(&config)?;
@@ -400,10 +401,231 @@ pub fn serve(args: &Args) -> CliResult {
         config.deadline_ms
     );
     println!("endpoints: GET /healthz /metrics; POST /v1/{{simulate,threshold,optimize,ensemble}}");
+    match &config.jobs_dir {
+        Some(dir) => println!("durable jobs enabled under {dir:?}: POST/GET /v1/jobs"),
+        None => println!("durable jobs disabled (enable with --jobs-dir DIR)"),
+    }
     println!("press Ctrl-C (or send SIGTERM) for a graceful drain-and-exit");
     server.run_until_terminated();
     println!("rumor-serve: drained and stopped");
     Ok(())
+}
+
+/// Issues one jobs-API request and checks the HTTP status. Returns the
+/// raw body (needed verbatim by `results`) plus its parsed form.
+fn jobs_call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(String, rumor_serve::wire::Value), CliError> {
+    use rumor_serve::wire::{parse, Value};
+    let resp = crate::client::request(addr, method, path, body)?;
+    let value = parse(&resp.body).unwrap_or(Value::Null);
+    if resp.status != 200 {
+        let detail = value
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| resp.body.trim())
+            .to_string();
+        let message = format!("{method} {path}: server answered {}: {detail}", resp.status);
+        // 400 means the submission or transition was rejected up front;
+        // everything else (404, 500, 503) is a runtime condition.
+        return Err(if resp.status == 400 {
+            CliError::config(message)
+        } else {
+            CliError::runtime(message)
+        });
+    }
+    Ok((resp.body, value))
+}
+
+/// One human-readable line for a job status object.
+fn job_status_line(v: &rumor_serve::wire::Value) -> String {
+    use rumor_serve::wire::Value;
+    let text = |k: &str| v.get(k).and_then(Value::as_str).unwrap_or("?").to_string();
+    let num = |k: &str| v.get(k).and_then(Value::as_f64).unwrap_or(0.0) as u64;
+    let quarantined = v
+        .get("quarantined")
+        .and_then(Value::as_arr)
+        .map_or(0, |a| a.len());
+    let mut line = format!(
+        "{} [{}]: {}, {}/{} points, {} quarantined, {} retries",
+        text("id"),
+        text("kind"),
+        text("state"),
+        num("completed"),
+        num("total"),
+        quarantined,
+        num("retries"),
+    );
+    if let Some(err) = v.get("last_error").and_then(Value::as_str) {
+        line.push_str(&format!(" (last error: {err})"));
+    }
+    line
+}
+
+/// Polls a job until it reaches a terminal state and prints the final
+/// status line. Under `--strict`, anything but `done` is a degraded
+/// result (exit 4).
+fn jobs_wait(addr: &str, id: &str, strict: bool) -> CliResult {
+    use rumor_serve::wire::Value;
+    loop {
+        let (_, v) = jobs_call(addr, "GET", &format!("/v1/jobs/{id}"), None)?;
+        let state = v
+            .get("state")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        match state.as_str() {
+            "done" | "partial" | "failed" | "cancelled" => {
+                println!("{}", job_status_line(&v));
+                if strict && state != "done" {
+                    return Err(CliError::degraded(format!(
+                        "job {id} finished {state} under --strict"
+                    )));
+                }
+                return Ok(());
+            }
+            _ => std::thread::sleep(std::time::Duration::from_millis(200)),
+        }
+    }
+}
+
+/// `rumor jobs`: client for the durable campaign endpoints of a running
+/// `rumor serve --jobs-dir DIR` instance.
+///
+/// ```text
+/// rumor jobs submit  [--spec FILE] [--wait]   # POST /v1/jobs
+/// rumor jobs list                             # GET  /v1/jobs
+/// rumor jobs status  ID [--wait]              # GET  /v1/jobs/{id}
+/// rumor jobs results ID [--out FILE]          # GET  /v1/jobs/{id}/results
+/// rumor jobs cancel  ID                       # POST /v1/jobs/{id}/cancel
+/// rumor jobs resume  ID [--wait]              # POST /v1/jobs/{id}/resume
+/// ```
+pub fn jobs(args: &Args) -> CliResult {
+    use rumor_serve::wire::Value;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_string();
+    let positional = args.positional();
+    let action = positional.first().map(String::as_str).unwrap_or("");
+    let expected_args: usize = match action {
+        "submit" | "list" => 1,
+        "status" | "results" | "cancel" | "resume" => 2,
+        "" => {
+            return Err(CliError::usage(
+                "jobs needs an action: submit, list, status, results, cancel, resume",
+            ))
+        }
+        other => {
+            return Err(CliError::usage(format!(
+            "unknown jobs action {other:?}; expected submit, list, status, results, cancel, resume"
+        )))
+        }
+    };
+    if positional.len() != expected_args {
+        return Err(CliError::usage(format!(
+            "jobs {action} takes {} argument(s), got {}; run `rumor help`",
+            expected_args - 1,
+            positional.len() - 1
+        )));
+    }
+    let job_id = positional.get(1).map(String::as_str).unwrap_or("");
+    match action {
+        "submit" => {
+            let body = match args.get("spec") {
+                Some(path) => std::fs::read_to_string(path).map_err(|e| {
+                    CliError::runtime(format!("cannot read spec file {path:?}: {e}"))
+                })?,
+                None => "{}".to_string(),
+            };
+            let (_, v) = jobs_call(&addr, "POST", "/v1/jobs", Some(&body))?;
+            let id = v
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| CliError::runtime("malformed submit response (no id)"))?
+                .to_string();
+            println!(
+                "submitted {id}: {} over {} points",
+                v.get("kind").and_then(Value::as_str).unwrap_or("?"),
+                v.get("points").and_then(Value::as_f64).unwrap_or(0.0) as u64
+            );
+            if args.has_flag("wait") {
+                jobs_wait(&addr, &id, args.has_flag("strict"))
+            } else {
+                println!("poll with: rumor jobs status {id} --addr {addr}");
+                Ok(())
+            }
+        }
+        "list" => {
+            let (_, v) = jobs_call(&addr, "GET", "/v1/jobs", None)?;
+            let jobs = v.get("jobs").and_then(Value::as_arr).map_or(&[][..], |a| a);
+            if jobs.is_empty() {
+                println!("no jobs");
+            }
+            for job in jobs {
+                println!("{}", job_status_line(job));
+            }
+            Ok(())
+        }
+        "status" => {
+            if args.has_flag("wait") {
+                jobs_wait(&addr, job_id, args.has_flag("strict"))
+            } else {
+                let (_, v) = jobs_call(&addr, "GET", &format!("/v1/jobs/{job_id}"), None)?;
+                println!("{}", job_status_line(&v));
+                let state = v.get("state").and_then(Value::as_str).unwrap_or("");
+                if args.has_flag("strict") && matches!(state, "partial" | "failed" | "cancelled") {
+                    return Err(CliError::degraded(format!(
+                        "job {job_id} is {state} under --strict"
+                    )));
+                }
+                Ok(())
+            }
+        }
+        "results" => {
+            let (raw, v) = jobs_call(&addr, "GET", &format!("/v1/jobs/{job_id}/results"), None)?;
+            match args.get("out") {
+                Some(path) => {
+                    // The raw body goes out verbatim: for a finished
+                    // campaign it is byte-identical across interrupted
+                    // + recovered and uninterrupted runs.
+                    std::fs::write(path, raw.as_bytes()).map_err(|e| {
+                        CliError::runtime(format!("cannot write results to {path:?}: {e}"))
+                    })?;
+                    println!(
+                        "{} result(s) ({}) written to {path}",
+                        v.get("results")
+                            .and_then(Value::as_arr)
+                            .map_or(0, |a| a.len()),
+                        v.get("state").and_then(Value::as_str).unwrap_or("?")
+                    );
+                }
+                None => println!("{raw}"),
+            }
+            Ok(())
+        }
+        "cancel" => {
+            let (_, v) = jobs_call(&addr, "POST", &format!("/v1/jobs/{job_id}/cancel"), None)?;
+            println!(
+                "{job_id}: {}",
+                v.get("state").and_then(Value::as_str).unwrap_or("?")
+            );
+            Ok(())
+        }
+        "resume" => {
+            let (_, v) = jobs_call(&addr, "POST", &format!("/v1/jobs/{job_id}/resume"), None)?;
+            println!(
+                "{job_id}: {}",
+                v.get("state").and_then(Value::as_str).unwrap_or("?")
+            );
+            if args.has_flag("wait") {
+                jobs_wait(&addr, job_id, args.has_flag("strict"))
+            } else {
+                Ok(())
+            }
+        }
+        _ => unreachable!("action validated above"),
+    }
 }
 
 /// `rumor selftest`: deterministic fault-injection drills for the

@@ -12,6 +12,7 @@
 //! list (`--edges`) or a synthesized Digg-like graph (`--nodes`).
 
 mod args;
+mod client;
 mod commands;
 mod error;
 
@@ -31,6 +32,7 @@ COMMANDS:
     optimize   watchdog-guarded forward-backward sweep for the cheapest countermeasures
     abm        fault-isolated agent-based ensemble vs the mean-field prediction
     serve      run the HTTP/1.1 JSON service (simulate/threshold/optimize/ensemble)
+    jobs       submit and manage durable campaigns on a running serve instance
     selftest   deterministic fault-injection drills for the guarded integrator
     help       print this message
 
@@ -74,9 +76,21 @@ COMMAND OPTIONS:
               --queue-depth N (default 64; beyond it requests are shed with 503)
               --cache-entries N (default 256; 0 disables the result cache)
               --deadline-ms MS (default 30000; late requests answer 504)
+              --jobs-dir DIR (enable durable campaign jobs persisted in DIR;
+                              a restart resumes interrupted campaigns)
               endpoints: GET /healthz /metrics,
-                         POST /v1/{simulate,threshold,optimize,ensemble}
+                         POST /v1/{simulate,threshold,optimize,ensemble},
+                         POST/GET /v1/jobs (with --jobs-dir)
               runs until SIGTERM/SIGINT, then drains in-flight requests
+    jobs:     rumor jobs submit  [--spec FILE] [--wait]   submit a campaign
+              rumor jobs list                             list known jobs
+              rumor jobs status  ID [--wait]              inspect one job
+              rumor jobs results ID [--out FILE]          fetch the result set
+              rumor jobs cancel  ID                       stop at a point boundary
+              rumor jobs resume  ID [--wait]              re-queue with fresh retries
+              all actions take --addr A (default 127.0.0.1:8080); --wait polls
+              to a terminal state, and --strict makes anything but `done`
+              exit 4; --spec FILE is the JSON submission body (default {})
     selftest: --tf T (default 40)   --i0 F (default 0.05)
 
 EXIT CODES:
@@ -118,10 +132,12 @@ fn main() -> ExitCode {
         "queue-depth",
         "cache-entries",
         "deadline-ms",
+        "jobs-dir",
+        "spec",
         "log-format",
         "trace-out",
     ];
-    let flags = ["strict"];
+    let flags = ["strict", "wait"];
     let parsed = match Args::parse(rest.iter().cloned(), &allowed, &flags) {
         Ok(a) => a,
         Err(e) => {
@@ -129,9 +145,13 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     };
-    if let Some(stray) = parsed.positional().first() {
-        eprintln!("error: unexpected argument {stray:?}; run `rumor help`");
-        return ExitCode::from(EXIT_USAGE);
+    // `jobs` takes positional arguments (an action and possibly a job
+    // id); every other command takes options only.
+    if command != "jobs" {
+        if let Some(stray) = parsed.positional().first() {
+            eprintln!("error: unexpected argument {stray:?}; run `rumor help`");
+            return ExitCode::from(EXIT_USAGE);
+        }
     }
     // Observability wiring, before dispatch so every command is traced.
     // `--trace-out` without a format defaults to JSON lines; an explicit
@@ -174,6 +194,7 @@ fn main() -> ExitCode {
         "optimize" => commands::optimize(&parsed),
         "abm" => commands::abm(&parsed),
         "serve" => commands::serve(&parsed),
+        "jobs" => commands::jobs(&parsed),
         "selftest" => commands::selftest(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -1,0 +1,270 @@
+//! End-to-end crash-recovery drills for durable campaign jobs, driven
+//! entirely through the `rumor` binary: a `serve --jobs-dir` instance
+//! is SIGKILLed mid-campaign, restarted on the same directory, and must
+//! resume from its durable checkpoint and finish with a result set
+//! byte-identical to an uninterrupted control run.
+//!
+//! The results body deliberately carries no job id or timing, which is
+//! what makes the byte-for-byte comparison meaningful.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn rumor(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rumor"))
+        .args(args)
+        .output()
+        .expect("spawn rumor binary")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos();
+    let dir = std::env::temp_dir().join(format!(
+        "rumor_jobs_e2e_{tag}_{}_{nanos}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A `rumor serve --jobs-dir` child whose listening address has been
+/// scraped from its startup banner. Killed on drop so a failed test
+/// cannot leak servers.
+struct ServeChild {
+    child: Child,
+    addr: String,
+}
+
+impl ServeChild {
+    fn start(jobs_dir: &Path) -> ServeChild {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_rumor"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--jobs-dir",
+                jobs_dir.to_str().unwrap(),
+                "--threads",
+                "2",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn rumor serve");
+        let out = child.stdout.take().unwrap();
+        let mut reader = BufReader::new(out);
+        let mut addr = None;
+        for _ in 0..20 {
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                break;
+            }
+            if let Some(rest) = line.split("listening on http://").nth(1) {
+                addr = Some(rest.split_whitespace().next().unwrap().to_string());
+                break;
+            }
+        }
+        // Keep draining the pipe so the server can never block on it.
+        std::thread::spawn(move || {
+            let _ = std::io::copy(&mut reader, &mut std::io::sink());
+        });
+        ServeChild {
+            child,
+            addr: addr.expect("serve did not print its listening banner"),
+        }
+    }
+
+    /// SIGKILL — no drain, no shutdown hooks, exactly the crash the
+    /// durability layer is specified against.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// The completed-point count scraped from `rumor jobs status` output
+/// ("job-000001 [threshold_sweep]: running, 137/1000 points, ...").
+fn completed_points(addr: &str, id: &str) -> Option<(u64, String)> {
+    let out = rumor(&["jobs", "status", id, "--addr", addr]);
+    if out.status.code() != Some(0) {
+        return None;
+    }
+    let text = stdout(&out);
+    let state = text
+        .split(": ")
+        .nth(1)?
+        .split(',')
+        .next()?
+        .trim()
+        .to_string();
+    let done = text.split(", ").nth(1)?.split('/').next()?.parse().ok()?;
+    Some((done, state))
+}
+
+fn submit(addr: &str, spec: &Path) -> String {
+    let out = rumor(&[
+        "jobs",
+        "submit",
+        "--addr",
+        addr,
+        "--spec",
+        spec.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let id = text
+        .split("submitted ")
+        .nth(1)
+        .and_then(|rest| rest.split(':').next())
+        .expect("submit output carries the job id");
+    id.to_string()
+}
+
+fn wait_done(addr: &str, id: &str, timeout: Duration) -> String {
+    let start = Instant::now();
+    loop {
+        if let Some((_, state)) = completed_points(addr, id) {
+            if ["done", "partial", "failed", "cancelled"].contains(&state.as_str()) {
+                return state;
+            }
+        }
+        assert!(
+            start.elapsed() < timeout,
+            "job {id} did not reach a terminal state within {timeout:?}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn results_body(addr: &str, id: &str) -> Vec<u8> {
+    let out = rumor(&["jobs", "results", id, "--addr", addr]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    out.stdout
+}
+
+/// Acceptance drill: SIGKILL mid-campaign, restart, byte-identical
+/// results. The campaign is a 1000-point threshold sweep throttled just
+/// enough that the kill reliably lands in the middle.
+#[test]
+fn sigkill_mid_campaign_resumes_and_matches_uninterrupted_run() {
+    let spec = temp_dir("spec").join("campaign.json");
+    std::fs::write(
+        &spec,
+        r#"{"kind": "threshold_sweep", "points": 1000, "throttle_ms": 2,
+            "sweep": {"from": 0.01, "to": 0.05},
+            "base": {"network": {"nodes": 300, "k_max": 25, "mean_degree": 4}}}"#,
+    )
+    .unwrap();
+
+    // Control: the same campaign run start-to-finish, never interrupted.
+    let control_dir = temp_dir("control");
+    let control = ServeChild::start(&control_dir);
+    let control_id = submit(&control.addr, &spec);
+    assert_eq!(
+        wait_done(&control.addr, &control_id, Duration::from_secs(120)),
+        "done"
+    );
+    let expected = results_body(&control.addr, &control_id);
+    drop(control);
+
+    // Interrupted: kill -9 once the campaign is demonstrably mid-flight.
+    let crash_dir = temp_dir("crash");
+    let mut victim = ServeChild::start(&crash_dir);
+    let id = submit(&victim.addr, &spec);
+    let start = Instant::now();
+    loop {
+        if let Some((done, state)) = completed_points(&victim.addr, &id) {
+            assert_ne!(state, "done", "campaign finished before the kill landed");
+            if done >= 50 {
+                break;
+            }
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "campaign made no observable progress before the kill"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    victim.kill();
+
+    // Restart on the same directory: recovery re-queues the interrupted
+    // job and it runs to completion with no client intervention.
+    let revived = ServeChild::start(&crash_dir);
+    assert_eq!(
+        wait_done(&revived.addr, &id, Duration::from_secs(120)),
+        "done"
+    );
+    let recovered = results_body(&revived.addr, &id);
+    assert_eq!(
+        recovered, expected,
+        "recovered campaign must be byte-identical to the uninterrupted run"
+    );
+
+    let _ = std::fs::remove_dir_all(control_dir);
+    let _ = std::fs::remove_dir_all(crash_dir);
+}
+
+/// Persistent faults exhaust their retry budget, quarantine, and leave
+/// the job `partial` with an explicit manifest — visible both through
+/// the CLI status line and the results body, and fatal under --strict.
+#[test]
+fn persistent_faults_degrade_to_partial_with_quarantine_manifest() {
+    let dir = temp_dir("faults");
+    let spec = dir.join("campaign.json");
+    std::fs::write(
+        &spec,
+        r#"{"kind": "threshold_sweep", "points": 8,
+            "inject": {"transient": [1], "persistent": [3, 6]},
+            "base": {"network": {"nodes": 300, "k_max": 25, "mean_degree": 4}}}"#,
+    )
+    .unwrap();
+    let server = ServeChild::start(&dir);
+
+    // --wait --strict: the partial outcome is reported and then fatal.
+    let out = rumor(&[
+        "jobs",
+        "submit",
+        "--addr",
+        &server.addr,
+        "--spec",
+        spec.to_str().unwrap(),
+        "--wait",
+        "--strict",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("partial"), "stdout: {}", stdout(&out));
+    assert!(
+        stdout(&out).contains("2 quarantined"),
+        "stdout: {}",
+        stdout(&out)
+    );
+
+    let body = String::from_utf8(results_body(&server.addr, "job-000001")).unwrap();
+    assert!(body.contains(r#""state":"partial""#), "body: {body}");
+    assert!(body.contains(r#""quarantined":[3,6]"#), "body: {body}");
+    // The transient point retried into the result set; the quarantined
+    // points are absent from it.
+    assert!(body.contains(r#"{"point":1,"#), "body: {body}");
+    assert!(!body.contains(r#"{"point":3,"#), "body: {body}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}

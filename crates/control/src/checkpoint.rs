@@ -1,0 +1,105 @@
+//! A compact, versioned byte encoding of a [`PiecewiseControl`]
+//! schedule.
+//!
+//! This is the watchdog's in-memory best-so-far checkpoint made
+//! external: the durable-jobs layer persists the previous grid point's
+//! optimized schedule between points (and across process restarts), and
+//! feeds it back through [`FbsmOptions::initial_control`] so a resumed
+//! sweep warm-starts instead of re-deriving the schedule from the
+//! mid-box guess.
+//!
+//! Format (all little-endian): `magic "RCP1"` · `n: u32` · `grid: n×f64`
+//! · `eps1: n×f64` · `eps2: n×f64`. Decoding revalidates through
+//! [`PiecewiseControl::from_values`], so corrupt bytes surface as a
+//! structured error, never as NaN inside a sweep.
+//!
+//! [`FbsmOptions::initial_control`]: crate::fbsm::FbsmOptions::initial_control
+
+use crate::schedule::PiecewiseControl;
+use crate::{ControlError, Result};
+
+/// Format tag, bumped on any layout change.
+const MAGIC: &[u8; 4] = b"RCP1";
+
+/// Encodes a schedule into the versioned checkpoint byte form.
+pub fn encode_schedule(control: &PiecewiseControl) -> Vec<u8> {
+    let grid = control.grid();
+    let mut out = Vec::with_capacity(8 + 24 * grid.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(grid.len() as u32).to_le_bytes());
+    for series in [grid, control.eps1_values(), control.eps2_values()] {
+        for &x in series {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes checkpoint bytes back into a schedule.
+///
+/// # Errors
+///
+/// Returns [`ControlError::InvalidConfig`] for a wrong magic, a
+/// truncated buffer, trailing bytes, or node values the schedule
+/// validation rejects.
+pub fn decode_schedule(bytes: &[u8]) -> Result<PiecewiseControl> {
+    let bad = |reason: &str| ControlError::InvalidConfig(format!("control checkpoint: {reason}"));
+    if bytes.len() < 8 {
+        return Err(bad("truncated header"));
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(bad("unrecognized format tag"));
+    }
+    let n = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    let expected = 8 + 24 * n;
+    if bytes.len() != expected {
+        return Err(bad(&format!(
+            "expected {expected} bytes for {n} nodes, got {}",
+            bytes.len()
+        )));
+    }
+    let f64_at = |i: usize| {
+        let start = 8 + 8 * i;
+        f64::from_le_bytes(bytes[start..start + 8].try_into().expect("8 bytes"))
+    };
+    let grid: Vec<f64> = (0..n).map(f64_at).collect();
+    let eps1: Vec<f64> = (n..2 * n).map(f64_at).collect();
+    let eps2: Vec<f64> = (2 * n..3 * n).map(f64_at).collect();
+    PiecewiseControl::from_values(grid, eps1, eps2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_schedule() {
+        let pc = PiecewiseControl::from_values(
+            vec![0.0, 1.5, 4.0],
+            vec![0.4, 0.25, 0.0],
+            vec![0.0, 0.125, 0.5],
+        )
+        .unwrap();
+        let bytes = encode_schedule(&pc);
+        let back = decode_schedule(&bytes).unwrap();
+        assert_eq!(back, pc);
+    }
+
+    #[test]
+    fn rejects_corrupt_bytes() {
+        let pc = PiecewiseControl::constant(2.0, 5, 0.3, 0.1).unwrap();
+        let bytes = encode_schedule(&pc);
+        assert!(decode_schedule(&[]).is_err());
+        assert!(decode_schedule(&bytes[..bytes.len() - 1]).is_err());
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(decode_schedule(&wrong_magic).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_schedule(&trailing).is_err());
+        // A NaN node value fails schedule validation on decode.
+        let mut nan_value = bytes;
+        nan_value[8 + 8 * 5..8 + 8 * 6].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(decode_schedule(&nan_value).is_err());
+    }
+}

@@ -54,6 +54,13 @@ pub struct FbsmOptions {
     /// condition becomes `φ(tf) = w`). The deadline-constrained solver
     /// [`optimize_to_target`] raises this until its target is met.
     pub terminal_weight: f64,
+    /// Warm start: when set, the sweep's initial iterate is this
+    /// schedule resampled onto the sweep grid (and clamped into the
+    /// box) instead of the mid-box constant guess. In a parameter
+    /// sweep, seeding each grid point with the previous point's
+    /// optimum typically cuts the iteration count by an integer
+    /// factor — neighboring problems have neighboring optima.
+    pub initial_control: Option<PiecewiseControl>,
 }
 
 impl Default for FbsmOptions {
@@ -72,6 +79,7 @@ impl Default for FbsmOptions {
             guard_ode: None,
             adjoint: AdjointVariant::default(),
             terminal_weight: 1.0,
+            initial_control: None,
         }
     }
 }
@@ -320,13 +328,27 @@ pub fn optimize_monitored(
     let grid: Vec<f64> = (0..options.n_nodes)
         .map(|i| tf * i as f64 / (options.n_nodes - 1) as f64)
         .collect();
-    // Start from mid-box controls: a feasible, non-degenerate guess.
-    let mut control = PiecewiseControl::constant(
-        tf,
-        options.n_nodes,
-        bounds.eps1_max / 2.0,
-        bounds.eps2_max / 2.0,
-    )?;
+    let mut control = match &options.initial_control {
+        // Warm start: resample the prior schedule onto this grid
+        // (constant extrapolation covers a longer horizon) and clamp
+        // into the current box so the iterate is always feasible.
+        Some(prior) => {
+            use rumor_core::control::ControlSchedule;
+            let e1: Vec<f64> = grid.iter().map(|&t| prior.eps1(t)).collect();
+            let e2: Vec<f64> = grid.iter().map(|&t| prior.eps2(t)).collect();
+            let mut warm = PiecewiseControl::from_values(grid.clone(), e1, e2)?;
+            warm.clamp_to(bounds);
+            warm
+        }
+        // Cold start from mid-box controls: a feasible, non-degenerate
+        // guess.
+        None => PiecewiseControl::constant(
+            tf,
+            options.n_nodes,
+            bounds.eps1_max / 2.0,
+            bounds.eps2_max / 2.0,
+        )?,
+    };
 
     let y0 = initial.to_flat();
     let mut cost_history = Vec::new();
@@ -411,15 +433,6 @@ pub fn optimize_monitored(
         let traj = trajectory_on_grid(params, &control, initial, &grid, options)?;
         let total = evaluate(&traj, &control, weights)?.total();
         cost_history.push(total);
-        // Convergence residual per iteration, for trace consumers.
-        rumor_obs::event(
-            "control.fbsm_iter",
-            &[
-                ("iter", iter.into()),
-                ("change", change.into()),
-                ("cost", total.into()),
-            ],
-        );
         if total.is_finite() && best.as_ref().is_none_or(|(b, _)| total < *b) {
             best = Some((total, control.clone()));
         }
@@ -443,6 +456,21 @@ pub fn optimize_monitored(
         }
     }
 
+    // Per-iteration convergence residuals for trace consumers, replayed
+    // from the recorded histories once the loop is done — the sweep's
+    // hot loop itself does no per-iteration trace work.
+    if rumor_obs::format() != rumor_obs::LogFormat::Off {
+        for (i, (&change, &cost)) in change_history.iter().zip(&cost_history).enumerate() {
+            rumor_obs::event(
+                "control.fbsm_iter",
+                &[
+                    ("iter", (i + 1).into()),
+                    ("change", change.into()),
+                    ("cost", cost.into()),
+                ],
+            );
+        }
+    }
     if sweep_span.active() {
         sweep_span.field("iterations", iterations);
         sweep_span.field("converged", converged);
@@ -584,6 +612,83 @@ mod tests {
         opts = quick_options();
         let bad_init = NetworkState::initial_uniform(2, 0.1).unwrap();
         assert!(optimize(&p, &bad_init, 1.0, &bounds, &w, &opts).is_err());
+    }
+
+    #[test]
+    fn warm_start_cuts_iterations_in_a_parameter_sweep() {
+        // The sweep scenario the jobs layer runs: solve at one lambda0,
+        // then re-solve at a neighboring lambda0 seeded with the first
+        // optimum. The warm start must converge in strictly fewer
+        // iterations than a cold start of the same problem.
+        let classes = DegreeClasses::from_degrees(&[1, 1, 2, 2, 3, 6]).unwrap();
+        let build = |lambda0: f64| {
+            ModelParams::builder(classes.clone())
+                .alpha(0.002)
+                .acceptance(AcceptanceRate::LinearInDegree { lambda0 })
+                .infectivity(Infectivity::paper_default())
+                .build()
+                .unwrap()
+        };
+        let base = build(0.02);
+        let init = NetworkState::initial_uniform(base.n_classes(), 0.1).unwrap();
+        let bounds = ControlBounds::new(0.6, 0.6).unwrap();
+        let w = CostWeights::paper_default();
+        let opts = quick_options();
+
+        let first = optimize(&base, &init, 20.0, &bounds, &w, &opts).unwrap();
+        let neighbor = build(0.022);
+        let cold = optimize(&neighbor, &init, 20.0, &bounds, &w, &opts).unwrap();
+        let warm_opts = FbsmOptions {
+            initial_control: Some(first.control.clone()),
+            ..opts
+        };
+        let warm = optimize(&neighbor, &init, 20.0, &bounds, &w, &warm_opts).unwrap();
+        assert!(warm.converged);
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {} iterations",
+            warm.iterations,
+            cold.iterations
+        );
+        // The warm start lands on the same optimum, not a different one.
+        assert!(
+            (warm.cost.total() - cold.cost.total()).abs() < 0.05 * cold.cost.total().abs(),
+            "warm cost {} vs cold cost {}",
+            warm.cost.total(),
+            cold.cost.total()
+        );
+    }
+
+    #[test]
+    fn warm_start_resamples_across_grids_and_horizons() {
+        // A prior schedule on a coarser grid and shorter horizon is
+        // still a legal seed: it resamples by interpolation, extends by
+        // constant extrapolation, and clamps into the (tighter) box.
+        let p = params();
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.1).unwrap();
+        let w = CostWeights::paper_default();
+        let prior = PiecewiseControl::from_values(
+            vec![0.0, 5.0, 10.0],
+            vec![0.9, 0.5, 0.1],
+            vec![0.4, 0.3, 0.2],
+        )
+        .unwrap();
+        let bounds = ControlBounds::new(0.6, 0.25).unwrap();
+        let opts = FbsmOptions {
+            initial_control: Some(prior),
+            ..quick_options()
+        };
+        let result = optimize(&p, &init, 20.0, &bounds, &w, &opts).unwrap();
+        assert!(result
+            .control
+            .eps1_values()
+            .iter()
+            .all(|&v| (0.0..=0.6).contains(&v)));
+        assert!(result
+            .control
+            .eps2_values()
+            .iter()
+            .all(|&v| (0.0..=0.25).contains(&v)));
     }
 
     #[test]

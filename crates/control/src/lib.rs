@@ -33,6 +33,9 @@
 //! * [`watchdog`] — guarded execution of the sweep: divergence
 //!   classification, restart backoff with reduced relaxation, and
 //!   graceful degradation to the heuristic controller.
+//! * [`checkpoint`] — a versioned byte encoding of a schedule, used by
+//!   the durable-jobs layer to warm-start sweep campaigns across
+//!   process restarts.
 //!
 //! Note on Eq. (16): the paper writes the `Θ`-coupling of the adjoint
 //! with per-class terms `ψ_i λ_i S_i`; differentiating the Hamiltonian
@@ -50,6 +53,7 @@
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::manual_is_multiple_of)]
 
+pub mod checkpoint;
 pub mod cost;
 pub mod costate;
 pub mod fbsm;

@@ -1,0 +1,57 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Every record the journal or results log writes is framed with a
+//! CRC of its payload; replay treats a mismatch as a torn tail and
+//! truncates there. The vendored dependency set has no checksum crate,
+//! so the classic reflected-polynomial table is built at first use.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (IEEE, reflected, init/final xor `0xFFFF_FFFF`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let a = crc32(b"durable campaign jobs");
+        let b = crc32(b"durable campaign jobt");
+        assert_ne!(a, b);
+    }
+}

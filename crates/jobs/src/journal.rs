@@ -1,0 +1,151 @@
+//! The write-ahead journal record codec.
+//!
+//! Each journal entry is one framed record (see [`crate::record`])
+//! whose payload starts with a tag byte. The journal is the durable
+//! truth for a job's state machine: replaying it left-to-right yields
+//! the job's current state, quarantine set, and retry tally. Records
+//! that fail to decode (unknown tag, short payload) are skipped rather
+//! than fatal — a newer build must be able to replay an older journal.
+
+use crate::record::{put_bytes, Cursor};
+use crate::state::JobState;
+
+const TAG_TRANSITION: u8 = 1;
+const TAG_POINT_RETRY: u8 = 2;
+const TAG_POINT_QUARANTINED: u8 = 3;
+const TAG_CLEAR_QUARANTINE: u8 = 4;
+
+/// One durable journal entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// The job entered `to` (reason is free text: `"submit"`,
+    /// `"start"`, `"recovered"`, `"resume"`, `"cancel"`, …).
+    Transition {
+        /// New state.
+        to: JobState,
+        /// Why the transition happened.
+        reason: String,
+    },
+    /// One attempt at a point failed and will be retried.
+    PointRetry {
+        /// Grid point index.
+        index: u64,
+        /// 0-based attempt number that failed.
+        attempt: u32,
+        /// The failure message.
+        error: String,
+    },
+    /// A point exhausted its attempt budget (or failed permanently)
+    /// and was quarantined.
+    PointQuarantined {
+        /// Grid point index.
+        index: u64,
+        /// Attempts consumed.
+        attempts: u32,
+        /// The final failure message.
+        error: String,
+    },
+    /// `resume` cleared the quarantine set for a fresh attempt budget.
+    ClearQuarantine,
+}
+
+impl JournalRecord {
+    /// Encodes the record as a journal payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            JournalRecord::Transition { to, reason } => {
+                out.push(TAG_TRANSITION);
+                out.push(to.as_u8());
+                put_bytes(&mut out, reason.as_bytes());
+            }
+            JournalRecord::PointRetry {
+                index,
+                attempt,
+                error,
+            } => {
+                out.push(TAG_POINT_RETRY);
+                out.extend_from_slice(&index.to_le_bytes());
+                out.extend_from_slice(&attempt.to_le_bytes());
+                put_bytes(&mut out, error.as_bytes());
+            }
+            JournalRecord::PointQuarantined {
+                index,
+                attempts,
+                error,
+            } => {
+                out.push(TAG_POINT_QUARANTINED);
+                out.extend_from_slice(&index.to_le_bytes());
+                out.extend_from_slice(&attempts.to_le_bytes());
+                put_bytes(&mut out, error.as_bytes());
+            }
+            JournalRecord::ClearQuarantine => out.push(TAG_CLEAR_QUARANTINE),
+        }
+        out
+    }
+
+    /// Decodes a journal payload; `None` for unknown or short records.
+    pub fn decode(payload: &[u8]) -> Option<JournalRecord> {
+        let mut c = Cursor::new(payload);
+        match c.u8()? {
+            TAG_TRANSITION => Some(JournalRecord::Transition {
+                to: JobState::from_u8(c.u8()?)?,
+                reason: c.string()?,
+            }),
+            TAG_POINT_RETRY => Some(JournalRecord::PointRetry {
+                index: c.u64()?,
+                attempt: c.u32()?,
+                error: c.string()?,
+            }),
+            TAG_POINT_QUARANTINED => Some(JournalRecord::PointQuarantined {
+                index: c.u64()?,
+                attempts: c.u32()?,
+                error: c.string()?,
+            }),
+            TAG_CLEAR_QUARANTINE => Some(JournalRecord::ClearQuarantine),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trips() {
+        let records = [
+            JournalRecord::Transition {
+                to: JobState::Running,
+                reason: "start".into(),
+            },
+            JournalRecord::PointRetry {
+                index: 6_212,
+                attempt: 1,
+                error: "transient: injected".into(),
+            },
+            JournalRecord::PointQuarantined {
+                index: 6_212,
+                attempts: 3,
+                error: "poison".into(),
+            },
+            JournalRecord::ClearQuarantine,
+        ];
+        for r in &records {
+            assert_eq!(JournalRecord::decode(&r.encode()).as_ref(), Some(r));
+        }
+    }
+
+    #[test]
+    fn unknown_or_truncated_records_decode_to_none() {
+        assert_eq!(JournalRecord::decode(&[]), None);
+        assert_eq!(JournalRecord::decode(&[99, 0, 0]), None);
+        let mut good = JournalRecord::Transition {
+            to: JobState::Done,
+            reason: "x".into(),
+        }
+        .encode();
+        good.truncate(good.len() - 1);
+        assert_eq!(JournalRecord::decode(&good), None);
+    }
+}

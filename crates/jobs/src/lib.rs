@@ -1,0 +1,113 @@
+//! # rumor-jobs
+//!
+//! Durable campaign jobs for the rumor-containment stack. The paper's
+//! countermeasure workflow is not one solve but a campaign — thousands
+//! of `(λ0, ε1max, ε2max)` grid points or ensemble replicas whose
+//! cost-effectiveness comparisons only mean something if every point
+//! completes *or is accounted for*. This crate makes campaigns survive
+//! crashes:
+//!
+//! * **Write-ahead queue** — a job is durable (spec + `queued`
+//!   journal record, fsynced) before `submit` returns ([`store`],
+//!   [`manager`]).
+//! * **CRC-checked journals** — every record is length- and
+//!   CRC32-framed; replay truncates torn tails instead of failing
+//!   ([`record`]).
+//! * **Journaled state machine** — `queued → running →
+//!   done/partial/failed/cancelled`, with recovery (`running → queued`)
+//!   and resume edges; each transition hits the journal before memory
+//!   ([`state`]).
+//! * **Resumable checkpoints** — per-point results append to a log,
+//!   and an atomic-rename checkpoint carries warm-start bytes (the
+//!   FBSM watchdog checkpoint, externalized), so a sweep interrupted
+//!   at point 6,212/10,000 restarts there ([`spec`], [`store`]).
+//! * **Retry with quarantine** — bounded attempts, exponential backoff
+//!   with deterministic jitter, per-attempt deadlines; poison points
+//!   are quarantined and the campaign finishes `partial` with an
+//!   explicit manifest of what is missing ([`retry`]).
+//!
+//! The crate is std-only and knows nothing about HTTP or the rumor
+//! model: the embedding service supplies a [`PointRunner`] that
+//! interprets the opaque spec payload, and (optionally) a shared
+//! `rumor-obs` registry for the metrics block.
+
+pub mod crc;
+pub mod journal;
+pub mod manager;
+pub mod metrics;
+pub mod record;
+pub mod retry;
+pub mod spec;
+pub mod state;
+pub mod store;
+
+pub use manager::{JobManager, JobManagerConfig, JobStatus, PointOutcome, PointRunner};
+pub use metrics::JobsMetrics;
+pub use retry::RetryPolicy;
+pub use spec::{Checkpoint, JobSpec};
+pub use state::JobState;
+
+use std::fmt;
+
+/// Failures from the durable job subsystem.
+#[derive(Debug)]
+pub enum JobsError {
+    /// A configuration field was rejected.
+    InvalidConfig(String),
+    /// Persistence failed (the context names the file and operation).
+    Io {
+        /// What was being done to which path.
+        context: String,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+    /// A durable structure could not be decoded.
+    Corrupt(String),
+    /// No job with the given ID.
+    UnknownJob(String),
+    /// The requested state change is not a legal edge.
+    InvalidTransition {
+        /// Current state.
+        from: state::JobState,
+        /// Requested state.
+        to: state::JobState,
+    },
+}
+
+impl fmt::Display for JobsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobsError::InvalidConfig(m) => write!(f, "invalid jobs configuration: {m}"),
+            JobsError::Io { context, source } => write!(f, "jobs i/o failure: {context}: {source}"),
+            JobsError::Corrupt(m) => write!(f, "corrupt job store: {m}"),
+            JobsError::UnknownJob(id) => write!(f, "unknown job {id:?}"),
+            JobsError::InvalidTransition { from, to } => {
+                write!(f, "illegal job transition {from} -> {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobsError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique, freshly created temporary directory for one test.
+    pub fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("rumor-jobs-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+}

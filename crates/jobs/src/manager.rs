@@ -1,0 +1,852 @@
+//! The durable job manager: submission, execution, recovery, retry,
+//! cancellation, and resume.
+//!
+//! One background worker drains a FIFO of job IDs and iterates each
+//! campaign's points through the embedder-supplied [`PointRunner`].
+//! Points run sequentially on purpose — optimize sweeps thread a
+//! warm-start schedule from point to point, and the per-point engines
+//! already parallelize internally.
+//!
+//! Durability contract (see the crate docs for the full argument):
+//!
+//! * every state transition is journaled and fsynced **before** the
+//!   in-memory state changes;
+//! * a completed point is appended to the results log before progress
+//!   counters move; the log is fsynced at every checkpoint and at every
+//!   transition, and its CRC framing makes a torn tail detectable;
+//! * `kill -9` at any instant loses at most the work since the last
+//!   checkpoint — replay re-queues the job and execution continues at
+//!   the first point without a result record.
+
+use std::collections::{BTreeSet, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use rumor_obs::FieldValue;
+
+use crate::journal::JournalRecord;
+use crate::metrics::JobsMetrics;
+use crate::retry::RetryPolicy;
+use crate::spec::{Checkpoint, JobSpec};
+use crate::state::JobState;
+use crate::store;
+use crate::JobsError;
+
+/// What happened when the runner executed one point.
+pub enum PointOutcome {
+    /// The point succeeded; `payload` is its durable result and `warm`
+    /// (if any) replaces the warm-start bytes handed to later points.
+    Ok {
+        /// Serialized point result, stored verbatim in the results log.
+        payload: Vec<u8>,
+        /// Updated warm-start bytes, or `None` to keep the current ones.
+        warm: Option<Vec<u8>>,
+    },
+    /// The attempt failed but retrying may help (timeouts, transient
+    /// numerical trouble). Retried with backoff up to the attempt
+    /// budget, then quarantined.
+    Transient(String),
+    /// The point can never succeed (invalid parameters for this grid
+    /// point). Quarantined immediately.
+    Permanent(String),
+}
+
+/// Executes campaign points. Implemented by the embedding service;
+/// must be deterministic in `(spec, index)` for the byte-identical
+/// recovery guarantee to hold.
+pub trait PointRunner: Send + Sync {
+    /// Runs point `index` of `spec`. `attempt` is 0-based; `warm`
+    /// carries the warm-start bytes produced by the most recent
+    /// successful point (surviving restarts via the checkpoint file).
+    fn run_point(
+        &self,
+        spec: &JobSpec,
+        index: u64,
+        attempt: u32,
+        warm: Option<&[u8]>,
+    ) -> PointOutcome;
+}
+
+impl<F> PointRunner for F
+where
+    F: Fn(&JobSpec, u64, u32, Option<&[u8]>) -> PointOutcome + Send + Sync,
+{
+    fn run_point(
+        &self,
+        spec: &JobSpec,
+        index: u64,
+        attempt: u32,
+        warm: Option<&[u8]>,
+    ) -> PointOutcome {
+        self(spec, index, attempt, warm)
+    }
+}
+
+/// Manager configuration.
+#[derive(Debug, Clone)]
+pub struct JobManagerConfig {
+    /// Root directory holding one subdirectory per job.
+    pub root: PathBuf,
+    /// Retry/backoff policy applied to every point.
+    pub retry: RetryPolicy,
+    /// Points between durable checkpoints (results fsync + checkpoint
+    /// rename). Smaller = less work lost to `kill -9`, more I/O.
+    pub checkpoint_interval: u64,
+}
+
+impl JobManagerConfig {
+    /// A config with default retry policy and checkpoint interval.
+    pub fn new(root: impl Into<PathBuf>) -> JobManagerConfig {
+        JobManagerConfig {
+            root: root.into(),
+            retry: RetryPolicy::default(),
+            checkpoint_interval: 32,
+        }
+    }
+}
+
+/// A point-in-time view of one job, including its partial-result
+/// manifest (`quarantined` + `missing`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// Job ID (`job-NNNNNN`).
+    pub id: String,
+    /// Campaign kind label from the spec.
+    pub kind: String,
+    /// Current state.
+    pub state: JobState,
+    /// Total points in the campaign.
+    pub total: u64,
+    /// Points with durable results.
+    pub completed: u64,
+    /// Quarantined point indices, ascending.
+    pub quarantined: Vec<u64>,
+    /// Retried attempts so far.
+    pub retries: u64,
+    /// Most recent point failure, if any.
+    pub last_error: Option<String>,
+}
+
+impl JobStatus {
+    /// Points neither completed nor quarantined.
+    pub fn missing(&self) -> u64 {
+        self.total
+            .saturating_sub(self.completed)
+            .saturating_sub(self.quarantined.len() as u64)
+    }
+}
+
+struct JobInner {
+    state: JobState,
+    completed: u64,
+    quarantined: BTreeSet<u64>,
+    retries: u64,
+    last_error: Option<String>,
+}
+
+struct JobEntry {
+    id: String,
+    seq: u64,
+    dir: PathBuf,
+    spec: JobSpec,
+    cancel: AtomicBool,
+    inner: Mutex<JobInner>,
+}
+
+impl JobEntry {
+    fn status(&self) -> JobStatus {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        JobStatus {
+            id: self.id.clone(),
+            kind: self.spec.kind.clone(),
+            state: inner.state,
+            total: self.spec.n_points,
+            completed: inner.completed,
+            quarantined: inner.quarantined.iter().copied().collect(),
+            retries: inner.retries,
+            last_error: inner.last_error.clone(),
+        }
+    }
+}
+
+/// The durable job manager. Construct with [`JobManager::open`]; share
+/// behind the returned `Arc`.
+pub struct JobManager {
+    config: JobManagerConfig,
+    runner: Arc<dyn PointRunner>,
+    metrics: Arc<JobsMetrics>,
+    jobs: Mutex<HashMap<String, Arc<JobEntry>>>,
+    tx: Mutex<Option<Sender<String>>>,
+    stop: AtomicBool,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    next_seq: AtomicU64,
+}
+
+impl JobManager {
+    /// Opens (creating if needed) the jobs directory, replays every job
+    /// found there, re-queues interrupted and queued work, and starts
+    /// the worker.
+    ///
+    /// # Errors
+    ///
+    /// [`JobsError::InvalidConfig`] for a bad retry policy or zero
+    /// checkpoint interval; [`JobsError::Io`] if the directory cannot
+    /// be created or scanned. Individual corrupt job directories are
+    /// skipped (with a `jobs.corrupt` event), not fatal.
+    pub fn open(
+        config: JobManagerConfig,
+        runner: Arc<dyn PointRunner>,
+        metrics: Arc<JobsMetrics>,
+    ) -> Result<Arc<JobManager>, JobsError> {
+        config.retry.validate().map_err(JobsError::InvalidConfig)?;
+        if config.checkpoint_interval == 0 {
+            return Err(JobsError::InvalidConfig(
+                "checkpoint_interval must be at least 1".into(),
+            ));
+        }
+        std::fs::create_dir_all(&config.root).map_err(|e| JobsError::Io {
+            context: format!("create jobs dir ({})", config.root.display()),
+            source: e,
+        })?;
+
+        let mut jobs = HashMap::new();
+        let mut to_enqueue: Vec<(u64, String)> = Vec::new();
+        let mut max_seq = 0u64;
+        for dir in store::list_job_dirs(&config.root)? {
+            let id = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let seq = id
+                .strip_prefix("job-")
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0);
+            max_seq = max_seq.max(seq);
+            let loaded = match store::load_job(&dir) {
+                Ok(l) => l,
+                Err(e) => {
+                    rumor_obs::event(
+                        "jobs.corrupt",
+                        &[
+                            ("job", FieldValue::from(id.as_str())),
+                            ("error", FieldValue::from(e.to_string())),
+                        ],
+                    );
+                    continue;
+                }
+            };
+            let mut state = loaded.state;
+            if state == JobState::Running {
+                // Interrupted by a crash: journal the recovery edge so
+                // the on-disk state machine is consistent again.
+                let mut journal = store::open_journal(&dir)?;
+                journal
+                    .append_sync(
+                        &JournalRecord::Transition {
+                            to: JobState::Queued,
+                            reason: "recovered".into(),
+                        }
+                        .encode(),
+                    )
+                    .map_err(|e| JobsError::Io {
+                        context: format!("journal recovery ({})", dir.display()),
+                        source: e,
+                    })?;
+                state = JobState::Queued;
+                metrics.recovered.inc();
+                rumor_obs::add("jobs.recovered", 1);
+                rumor_obs::event(
+                    "jobs.recovered",
+                    &[
+                        ("job", FieldValue::from(id.as_str())),
+                        ("completed", FieldValue::from(loaded.completed.len())),
+                        ("total", FieldValue::from(loaded.spec.n_points)),
+                    ],
+                );
+            }
+            if state == JobState::Queued {
+                to_enqueue.push((seq, id.clone()));
+            }
+            let entry = Arc::new(JobEntry {
+                id: id.clone(),
+                seq,
+                dir,
+                spec: loaded.spec,
+                cancel: AtomicBool::new(false),
+                inner: Mutex::new(JobInner {
+                    state,
+                    completed: loaded.completed.len() as u64,
+                    quarantined: loaded.quarantined,
+                    retries: loaded.retries,
+                    last_error: loaded.last_error,
+                }),
+            });
+            jobs.insert(id, entry);
+        }
+
+        let (tx, rx) = mpsc::channel::<String>();
+        to_enqueue.sort();
+        for (_, id) in &to_enqueue {
+            let _ = tx.send(id.clone());
+        }
+
+        let manager = Arc::new(JobManager {
+            config,
+            runner,
+            metrics,
+            jobs: Mutex::new(jobs),
+            tx: Mutex::new(Some(tx)),
+            stop: AtomicBool::new(false),
+            worker: Mutex::new(None),
+            next_seq: AtomicU64::new(max_seq + 1),
+        });
+        let for_worker = Arc::clone(&manager);
+        let handle = std::thread::Builder::new()
+            .name("rumor-jobs-worker".into())
+            .spawn(move || {
+                while let Ok(id) = rx.recv() {
+                    if for_worker.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    for_worker.run_job(&id);
+                }
+            })
+            .map_err(|e| JobsError::Io {
+                context: "spawn jobs worker".into(),
+                source: e,
+            })?;
+        *manager.worker.lock().unwrap_or_else(|e| e.into_inner()) = Some(handle);
+        Ok(manager)
+    }
+
+    /// The metrics block this manager records into.
+    pub fn metrics(&self) -> &JobsMetrics {
+        &self.metrics
+    }
+
+    /// Submits a campaign; returns its job ID once the spec and the
+    /// `queued` transition are durable.
+    ///
+    /// # Errors
+    ///
+    /// [`JobsError::InvalidConfig`] for an empty campaign;
+    /// [`JobsError::Io`] if persistence fails (nothing is enqueued).
+    pub fn submit(&self, spec: JobSpec) -> Result<String, JobsError> {
+        if spec.n_points == 0 {
+            return Err(JobsError::InvalidConfig(
+                "a campaign needs at least one point".into(),
+            ));
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let id = format!("job-{seq:06}");
+        let dir = self.config.root.join(&id);
+        store::create_job_dir(&dir, &spec)?;
+        let mut journal = store::open_journal(&dir)?;
+        journal
+            .append_sync(
+                &JournalRecord::Transition {
+                    to: JobState::Queued,
+                    reason: "submit".into(),
+                }
+                .encode(),
+            )
+            .map_err(|e| JobsError::Io {
+                context: format!("journal submit ({})", dir.display()),
+                source: e,
+            })?;
+        let entry = Arc::new(JobEntry {
+            id: id.clone(),
+            seq,
+            dir,
+            spec,
+            cancel: AtomicBool::new(false),
+            inner: Mutex::new(JobInner {
+                state: JobState::Queued,
+                completed: 0,
+                quarantined: BTreeSet::new(),
+                retries: 0,
+                last_error: None,
+            }),
+        });
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id.clone(), entry);
+        self.metrics.submitted.inc();
+        rumor_obs::add("jobs.submitted", 1);
+        rumor_obs::event(
+            "jobs.transition",
+            &[
+                ("job", FieldValue::from(id.as_str())),
+                ("to", FieldValue::from("queued")),
+                ("reason", FieldValue::from("submit")),
+            ],
+        );
+        self.enqueue(&id);
+        Ok(id)
+    }
+
+    fn enqueue(&self, id: &str) {
+        let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(tx) = guard.as_ref() {
+            let _ = tx.send(id.to_string());
+        }
+    }
+
+    fn entry(&self, id: &str) -> Option<Arc<JobEntry>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(id)
+            .cloned()
+    }
+
+    /// The status of one job, or `None` for an unknown ID.
+    pub fn status(&self, id: &str) -> Option<JobStatus> {
+        self.entry(id).map(|e| e.status())
+    }
+
+    /// Statuses of every known job, in submission order.
+    pub fn list(&self) -> Vec<JobStatus> {
+        let mut entries: Vec<Arc<JobEntry>> = self
+            .jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect();
+        entries.sort_by_key(|e| e.seq);
+        entries.iter().map(|e| e.status()).collect()
+    }
+
+    /// The durable results of a job: `(index, payload)` ascending.
+    /// Available at any time; mid-run it returns the points completed
+    /// so far.
+    ///
+    /// # Errors
+    ///
+    /// [`JobsError::UnknownJob`] / [`JobsError::Io`].
+    pub fn results(&self, id: &str) -> Result<Vec<(u64, Vec<u8>)>, JobsError> {
+        let entry = self
+            .entry(id)
+            .ok_or_else(|| JobsError::UnknownJob(id.to_string()))?;
+        store::read_results(&entry.dir)
+    }
+
+    /// Requests cancellation. A queued job is cancelled immediately; a
+    /// running one stops at its next point boundary. Returns the state
+    /// observed at the time of the call.
+    ///
+    /// # Errors
+    ///
+    /// [`JobsError::UnknownJob`]; [`JobsError::InvalidTransition`] if
+    /// the job already finished (cancelling a cancelled job is a no-op).
+    pub fn cancel(&self, id: &str) -> Result<JobState, JobsError> {
+        let entry = self
+            .entry(id)
+            .ok_or_else(|| JobsError::UnknownJob(id.to_string()))?;
+        let mut inner = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner.state {
+            JobState::Queued => {
+                let mut journal = store::open_journal(&entry.dir)?;
+                journal
+                    .append_sync(
+                        &JournalRecord::Transition {
+                            to: JobState::Cancelled,
+                            reason: "cancel".into(),
+                        }
+                        .encode(),
+                    )
+                    .map_err(|e| JobsError::Io {
+                        context: format!("journal cancel ({})", entry.dir.display()),
+                        source: e,
+                    })?;
+                inner.state = JobState::Cancelled;
+                entry.cancel.store(true, Ordering::Relaxed);
+                self.metrics.cancelled.inc();
+                rumor_obs::event(
+                    "jobs.transition",
+                    &[
+                        ("job", FieldValue::from(id)),
+                        ("to", FieldValue::from("cancelled")),
+                        ("reason", FieldValue::from("cancel")),
+                    ],
+                );
+                Ok(JobState::Cancelled)
+            }
+            JobState::Running => {
+                entry.cancel.store(true, Ordering::Relaxed);
+                Ok(JobState::Running)
+            }
+            JobState::Cancelled => Ok(JobState::Cancelled),
+            other => Err(JobsError::InvalidTransition {
+                from: other,
+                to: JobState::Cancelled,
+            }),
+        }
+    }
+
+    /// Re-queues a `partial`, `failed`, or `cancelled` job: clears its
+    /// quarantine set (journaled) so poisoned points get a fresh
+    /// attempt budget, and completed points are kept — only missing
+    /// work re-runs.
+    ///
+    /// # Errors
+    ///
+    /// [`JobsError::UnknownJob`]; [`JobsError::InvalidTransition`] from
+    /// any other state (`done` has nothing to resume).
+    pub fn resume(&self, id: &str) -> Result<(), JobsError> {
+        let entry = self
+            .entry(id)
+            .ok_or_else(|| JobsError::UnknownJob(id.to_string()))?;
+        {
+            let mut inner = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if !inner.state.can_transition(JobState::Queued) || inner.state == JobState::Running {
+                return Err(JobsError::InvalidTransition {
+                    from: inner.state,
+                    to: JobState::Queued,
+                });
+            }
+            let mut journal = store::open_journal(&entry.dir)?;
+            journal
+                .append(&JournalRecord::ClearQuarantine.encode())
+                .and_then(|()| {
+                    journal.append_sync(
+                        &JournalRecord::Transition {
+                            to: JobState::Queued,
+                            reason: "resume".into(),
+                        }
+                        .encode(),
+                    )
+                })
+                .map_err(|e| JobsError::Io {
+                    context: format!("journal resume ({})", entry.dir.display()),
+                    source: e,
+                })?;
+            inner.quarantined.clear();
+            inner.state = JobState::Queued;
+            entry.cancel.store(false, Ordering::Relaxed);
+        }
+        rumor_obs::event(
+            "jobs.transition",
+            &[
+                ("job", FieldValue::from(id)),
+                ("to", FieldValue::from("queued")),
+                ("reason", FieldValue::from("resume")),
+            ],
+        );
+        self.enqueue(id);
+        Ok(())
+    }
+
+    /// Stops the worker at the next point boundary and joins it. An
+    /// interrupted job is transitioned back to `queued` on disk, so the
+    /// next `open` of the same directory picks it up.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        *self.tx.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        let handle = self.worker.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+
+    fn run_job(&self, id: &str) {
+        let Some(entry) = self.entry(id) else { return };
+        // A stale queue entry (e.g. cancelled while queued) is skipped.
+        {
+            let inner = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if inner.state != JobState::Queued {
+                return;
+            }
+        }
+        let mut span = rumor_obs::span("jobs.run");
+        span.field("job", entry.id.as_str());
+        span.field("points", entry.spec.n_points);
+        self.metrics.running.inc();
+        let outcome = self.run_job_inner(&entry);
+        self.metrics.running.dec();
+        if let Err(e) = outcome {
+            // Persistence failed mid-run; surface through status and
+            // leave the on-disk state for the next recovery scan.
+            let mut inner = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.last_error = Some(e.to_string());
+            rumor_obs::event(
+                "jobs.error",
+                &[
+                    ("job", FieldValue::from(entry.id.as_str())),
+                    ("error", FieldValue::from(e.to_string())),
+                ],
+            );
+        }
+    }
+
+    fn run_job_inner(&self, entry: &JobEntry) -> Result<(), JobsError> {
+        let mut journal = store::open_journal(&entry.dir)?;
+        journal_transition(entry, &mut journal, JobState::Running, "start")?;
+
+        let (mut results, mut completed) = store::open_results(&entry.dir)?;
+        let mut warm: Option<Vec<u8>> = store::read_checkpoint(&entry.dir)?
+            .map(|c| c.warm)
+            .filter(|w| !w.is_empty());
+        let mut quarantined: BTreeSet<u64> = entry
+            .inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .quarantined
+            .clone();
+        let retry = self.config.retry;
+        let deadline = retry.attempt_deadline();
+        let mut since_checkpoint = 0u64;
+
+        let write_results_error = |e: std::io::Error| JobsError::Io {
+            context: format!("append result ({})", entry.dir.display()),
+            source: e,
+        };
+
+        for index in 0..entry.spec.n_points {
+            if self.stop.load(Ordering::Relaxed) {
+                // Graceful shutdown: park the job back in the queue
+                // durably; the next open re-enqueues it.
+                results.sync().map_err(write_results_error)?;
+                store::write_checkpoint(
+                    &entry.dir,
+                    &Checkpoint {
+                        completed: completed.len() as u64,
+                        warm: warm.clone().unwrap_or_default(),
+                    },
+                )?;
+                return journal_transition(entry, &mut journal, JobState::Queued, "shutdown");
+            }
+            if entry.cancel.load(Ordering::Relaxed) {
+                results.sync().map_err(write_results_error)?;
+                journal_transition(entry, &mut journal, JobState::Cancelled, "cancel")?;
+                self.metrics.cancelled.inc();
+                return Ok(());
+            }
+            if completed.contains(&index) || quarantined.contains(&index) {
+                continue;
+            }
+
+            let mut attempt = 0u32;
+            loop {
+                let started = Instant::now();
+                let outcome = self
+                    .runner
+                    .run_point(&entry.spec, index, attempt, warm.as_deref());
+                let elapsed = started.elapsed();
+                let outcome = if elapsed > deadline {
+                    PointOutcome::Transient(format!(
+                        "attempt exceeded its {} ms deadline ({} ms)",
+                        retry.attempt_deadline_ms,
+                        elapsed.as_millis()
+                    ))
+                } else {
+                    outcome
+                };
+                match outcome {
+                    PointOutcome::Ok { payload, warm: w } => {
+                        results
+                            .append(&store::encode_result(index, &payload))
+                            .map_err(write_results_error)?;
+                        completed.insert(index);
+                        if let Some(w) = w {
+                            warm = Some(w);
+                        }
+                        self.metrics.points_completed.inc();
+                        rumor_obs::add("jobs.points_completed", 1);
+                        {
+                            let mut inner = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
+                            inner.completed = completed.len() as u64;
+                        }
+                        since_checkpoint += 1;
+                        if since_checkpoint >= self.config.checkpoint_interval {
+                            results.sync().map_err(write_results_error)?;
+                            store::write_checkpoint(
+                                &entry.dir,
+                                &Checkpoint {
+                                    completed: completed.len() as u64,
+                                    warm: warm.clone().unwrap_or_default(),
+                                },
+                            )?;
+                            since_checkpoint = 0;
+                            rumor_obs::add("jobs.checkpoints", 1);
+                        }
+                        break;
+                    }
+                    PointOutcome::Transient(error) => {
+                        journal
+                            .append_sync(
+                                &JournalRecord::PointRetry {
+                                    index,
+                                    attempt,
+                                    error: error.clone(),
+                                }
+                                .encode(),
+                            )
+                            .map_err(|e| JobsError::Io {
+                                context: format!("journal retry ({})", entry.dir.display()),
+                                source: e,
+                            })?;
+                        self.metrics.points_retried.inc();
+                        rumor_obs::add("jobs.points_retried", 1);
+                        rumor_obs::event(
+                            "jobs.retry",
+                            &[
+                                ("job", FieldValue::from(entry.id.as_str())),
+                                ("point", FieldValue::from(index)),
+                                ("attempt", FieldValue::from(attempt)),
+                                ("error", FieldValue::from(error.as_str())),
+                            ],
+                        );
+                        {
+                            let mut inner = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
+                            inner.retries += 1;
+                            inner.last_error = Some(error.clone());
+                        }
+                        attempt += 1;
+                        if attempt >= retry.max_attempts {
+                            self.quarantine(
+                                entry,
+                                &mut journal,
+                                &mut quarantined,
+                                index,
+                                attempt,
+                                error,
+                            )?;
+                            break;
+                        }
+                        std::thread::sleep(retry.backoff(entry.seq, index, attempt - 1));
+                    }
+                    PointOutcome::Permanent(error) => {
+                        self.quarantine(
+                            entry,
+                            &mut journal,
+                            &mut quarantined,
+                            index,
+                            attempt + 1,
+                            error,
+                        )?;
+                        break;
+                    }
+                }
+            }
+        }
+
+        results.sync().map_err(write_results_error)?;
+        store::write_checkpoint(
+            &entry.dir,
+            &Checkpoint {
+                completed: completed.len() as u64,
+                warm: warm.unwrap_or_default(),
+            },
+        )?;
+        let final_state = if entry.cancel.load(Ordering::Relaxed) {
+            JobState::Cancelled
+        } else if quarantined.is_empty() && completed.len() as u64 == entry.spec.n_points {
+            JobState::Done
+        } else if completed.is_empty() {
+            JobState::Failed
+        } else {
+            JobState::Partial
+        };
+        journal_transition(entry, &mut journal, final_state, "finished")?;
+        match final_state {
+            JobState::Done => self.metrics.done.inc(),
+            JobState::Partial => self.metrics.partial.inc(),
+            JobState::Failed => self.metrics.failed.inc(),
+            JobState::Cancelled => self.metrics.cancelled.inc(),
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn quarantine(
+        &self,
+        entry: &JobEntry,
+        journal: &mut crate::record::RecordWriter,
+        quarantined: &mut BTreeSet<u64>,
+        index: u64,
+        attempts: u32,
+        error: String,
+    ) -> Result<(), JobsError> {
+        journal
+            .append_sync(
+                &JournalRecord::PointQuarantined {
+                    index,
+                    attempts,
+                    error: error.clone(),
+                }
+                .encode(),
+            )
+            .map_err(|e| JobsError::Io {
+                context: format!("journal quarantine ({})", entry.dir.display()),
+                source: e,
+            })?;
+        quarantined.insert(index);
+        self.metrics.points_quarantined.inc();
+        rumor_obs::add("jobs.points_quarantined", 1);
+        rumor_obs::event(
+            "jobs.quarantine",
+            &[
+                ("job", FieldValue::from(entry.id.as_str())),
+                ("point", FieldValue::from(index)),
+                ("attempts", FieldValue::from(attempts)),
+                ("error", FieldValue::from(error.as_str())),
+            ],
+        );
+        let mut inner = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.quarantined.insert(index);
+        inner.last_error = Some(error);
+        Ok(())
+    }
+}
+
+/// Journals a state transition (fsynced) and only then updates the
+/// in-memory state — the write-ahead ordering the recovery argument
+/// rests on.
+fn journal_transition(
+    entry: &JobEntry,
+    journal: &mut crate::record::RecordWriter,
+    to: JobState,
+    reason: &str,
+) -> Result<(), JobsError> {
+    {
+        let inner = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(
+            inner.state.can_transition(to),
+            "illegal transition {} -> {}",
+            inner.state,
+            to
+        );
+    }
+    journal
+        .append_sync(
+            &JournalRecord::Transition {
+                to,
+                reason: reason.into(),
+            }
+            .encode(),
+        )
+        .map_err(|e| JobsError::Io {
+            context: format!("journal transition ({})", entry.dir.display()),
+            source: e,
+        })?;
+    let mut inner = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
+    inner.state = to;
+    drop(inner);
+    rumor_obs::add("jobs.transitions", 1);
+    rumor_obs::event(
+        "jobs.transition",
+        &[
+            ("job", FieldValue::from(entry.id.as_str())),
+            ("to", FieldValue::from(to.as_str())),
+            ("reason", FieldValue::from(reason)),
+        ],
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Job metrics, registered into a shared `rumor-obs` [`Registry`].
+//!
+//! The embedding service passes its own registry so job series render
+//! on the same `/metrics` page as the request counters; tests use
+//! [`JobsMetrics::standalone`] to get an isolated block.
+
+use rumor_obs::{Counter, Gauge, Registry};
+use std::sync::Arc;
+
+/// Counters and gauges describing the durable job subsystem.
+pub struct JobsMetrics {
+    /// Jobs accepted by `submit`.
+    pub submitted: Arc<Counter>,
+    /// Jobs re-queued by the startup recovery scan.
+    pub recovered: Arc<Counter>,
+    /// Jobs that finished `done`.
+    pub done: Arc<Counter>,
+    /// Jobs that finished `partial`.
+    pub partial: Arc<Counter>,
+    /// Jobs that finished `failed`.
+    pub failed: Arc<Counter>,
+    /// Jobs that finished `cancelled`.
+    pub cancelled: Arc<Counter>,
+    /// Points completed successfully.
+    pub points_completed: Arc<Counter>,
+    /// Point attempts that failed and were retried.
+    pub points_retried: Arc<Counter>,
+    /// Points quarantined after exhausting their attempt budget.
+    pub points_quarantined: Arc<Counter>,
+    /// Jobs currently executing.
+    pub running: Arc<Gauge>,
+}
+
+impl JobsMetrics {
+    /// Registers every job series (in stable order) into `registry`.
+    pub fn register(registry: &mut Registry) -> Arc<JobsMetrics> {
+        Arc::new(JobsMetrics {
+            submitted: registry.counter("rumor_jobs_submitted_total"),
+            recovered: registry.counter("rumor_jobs_recovered_total"),
+            done: registry.counter("rumor_jobs_finished_total{state=\"done\"}"),
+            partial: registry.counter("rumor_jobs_finished_total{state=\"partial\"}"),
+            failed: registry.counter("rumor_jobs_finished_total{state=\"failed\"}"),
+            cancelled: registry.counter("rumor_jobs_finished_total{state=\"cancelled\"}"),
+            points_completed: registry.counter("rumor_jobs_points_completed_total"),
+            points_retried: registry.counter("rumor_jobs_points_retried_total"),
+            points_quarantined: registry.counter("rumor_jobs_points_quarantined_total"),
+            running: registry.gauge("rumor_jobs_running"),
+        })
+    }
+
+    /// A metrics block backed by a private registry (for tests and
+    /// embedders without a shared page).
+    pub fn standalone() -> Arc<JobsMetrics> {
+        let mut registry = Registry::new();
+        JobsMetrics::register(&mut registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_in_stable_order() {
+        let mut r = Registry::new();
+        let m = JobsMetrics::register(&mut r);
+        m.submitted.add(2);
+        m.points_retried.inc();
+        m.running.set(1);
+        let page = r.render();
+        let submitted = page.find("rumor_jobs_submitted_total 2").unwrap();
+        let recovered = page.find("rumor_jobs_recovered_total 0").unwrap();
+        let retried = page.find("rumor_jobs_points_retried_total 1").unwrap();
+        let running = page.find("rumor_jobs_running 1").unwrap();
+        assert!(submitted < recovered && recovered < retried && retried < running);
+    }
+}

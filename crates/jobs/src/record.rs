@@ -1,0 +1,324 @@
+//! Length- and CRC-framed append-only record files.
+//!
+//! Both the transition journal and the per-point results log share one
+//! on-disk framing: `[len: u32 LE][crc32(payload): u32 LE][payload]`.
+//! A reader walks records until the file ends cleanly or it hits a torn
+//! tail — a short header, a length running past end-of-file, or a CRC
+//! mismatch — and reports the byte length of the valid prefix. Opening
+//! for append truncates to that prefix first, so a crash mid-write
+//! costs at most the record being written, never the records before it.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+
+/// Upper bound on a single record payload; anything larger on replay is
+/// treated as tail corruption rather than allocated.
+const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
+
+/// The decoded contents of a record file: the valid records plus how
+/// many trailing bytes were dropped as a torn tail.
+pub struct Replay {
+    /// Payloads of every intact record, in write order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte length of the valid prefix.
+    pub valid_len: u64,
+    /// Bytes discarded after the valid prefix (0 on a clean file).
+    pub torn_bytes: u64,
+}
+
+/// Reads and validates every record in `path`. A missing file replays
+/// as empty.
+pub fn replay(path: &Path) -> io::Result<Replay> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while let Some(header) = bytes.get(pos..pos + 8) {
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN {
+            break;
+        }
+        let body_start = pos + 8;
+        let Some(payload) = bytes.get(body_start..body_start + len as usize) else {
+            break;
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        records.push(payload.to_vec());
+        pos = body_start + len as usize;
+    }
+    Ok(Replay {
+        records,
+        valid_len: pos as u64,
+        torn_bytes: bytes.len() as u64 - pos as u64,
+    })
+}
+
+/// An append handle to a record file, truncated to its valid prefix at
+/// open time.
+pub struct RecordWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl RecordWriter {
+    /// Opens `path` for appending, first replaying it and truncating
+    /// any torn tail. Returns the writer together with the replay.
+    pub fn open(path: &Path) -> io::Result<(RecordWriter, Replay)> {
+        let replayed = replay(path)?;
+        // Never truncate on open: the valid prefix must survive; only
+        // the torn tail (if any) is cut below via set_len.
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        if replayed.torn_bytes > 0 {
+            file.set_len(replayed.valid_len)?;
+        }
+        let mut writer = RecordWriter {
+            file,
+            path: path.to_path_buf(),
+        };
+        // Position at the logical end (set_len does not move the cursor).
+        writer.file.seek_end()?;
+        Ok((writer, replayed))
+    }
+
+    /// Appends one framed record. Buffered by the OS; call [`sync`] to
+    /// force it to stable storage.
+    ///
+    /// [`sync`]: RecordWriter::sync
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)
+    }
+
+    /// Appends one record and fsyncs the file.
+    pub fn append_sync(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.append(payload)?;
+        self.sync()
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// The path this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+trait SeekEnd {
+    fn seek_end(&mut self) -> io::Result<()>;
+}
+
+impl SeekEnd for File {
+    fn seek_end(&mut self) -> io::Result<()> {
+        use std::io::Seek;
+        self.seek(io::SeekFrom::End(0)).map(|_| ())
+    }
+}
+
+/// Writes `bytes` to `path` atomically: a temporary sibling is written
+/// and fsynced, renamed over the target, and the directory is fsynced
+/// so the rename itself is durable. Readers see the old contents or the
+/// new, never a mix.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_data();
+    }
+    Ok(())
+}
+
+/// Reads a file written by [`write_atomic`]; a missing file is `None`.
+pub fn read_atomic(path: &Path) -> io::Result<Option<Vec<u8>>> {
+    match std::fs::read(path) {
+        Ok(b) => Ok(Some(b)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// A cursor over an encoded record payload, for the journal and spec
+/// codecs. All integers are little-endian; byte strings are u32
+/// length-prefixed.
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wraps a payload.
+    pub fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let out = self.bytes.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a u32 length-prefixed byte string.
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a u32 length-prefixed UTF-8 string (lossy on bad bytes —
+    /// the journal only ever writes valid UTF-8, but replay must not
+    /// panic on corruption).
+    pub fn string(&mut self) -> Option<String> {
+        self.bytes()
+            .map(|b| String::from_utf8_lossy(b).into_owned())
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Appends a u32 length-prefixed byte string to `out`.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::temp_dir;
+
+    #[test]
+    fn round_trips_records() {
+        let dir = temp_dir("record-roundtrip");
+        let path = dir.join("log");
+        {
+            let (mut w, rep) = RecordWriter::open(&path).unwrap();
+            assert!(rep.records.is_empty());
+            w.append(b"alpha").unwrap();
+            w.append(b"").unwrap();
+            w.append_sync(b"beta").unwrap();
+        }
+        let rep = replay(&path).unwrap();
+        assert_eq!(
+            rep.records,
+            vec![b"alpha".to_vec(), vec![], b"beta".to_vec()]
+        );
+        assert_eq!(rep.torn_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_reopen() {
+        let dir = temp_dir("record-torn");
+        let path = dir.join("log");
+        {
+            let (mut w, _) = RecordWriter::open(&path).unwrap();
+            w.append_sync(b"keep me").unwrap();
+        }
+        // Simulate a crash mid-append: a partial header.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[9, 0, 0]).unwrap();
+        }
+        let (mut w, rep) = RecordWriter::open(&path).unwrap();
+        assert_eq!(rep.records, vec![b"keep me".to_vec()]);
+        assert_eq!(rep.torn_bytes, 3);
+        w.append_sync(b"after recovery").unwrap();
+        let rep = replay(&path).unwrap();
+        assert_eq!(
+            rep.records,
+            vec![b"keep me".to_vec(), b"after recovery".to_vec()]
+        );
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let dir = temp_dir("record-crc");
+        let path = dir.join("log");
+        {
+            let (mut w, _) = RecordWriter::open(&path).unwrap();
+            w.append(b"first").unwrap();
+            w.append_sync(b"second").unwrap();
+        }
+        // Flip one payload byte of the second record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let rep = replay(&path).unwrap();
+        assert_eq!(rep.records, vec![b"first".to_vec()]);
+        assert!(rep.torn_bytes > 0);
+    }
+
+    #[test]
+    fn atomic_write_round_trips() {
+        let dir = temp_dir("record-atomic");
+        let path = dir.join("state.bin");
+        assert_eq!(read_atomic(&path).unwrap(), None);
+        write_atomic(&path, b"v1").unwrap();
+        assert_eq!(read_atomic(&path).unwrap(), Some(b"v1".to_vec()));
+        write_atomic(&path, b"v2-longer").unwrap();
+        assert_eq!(read_atomic(&path).unwrap(), Some(b"v2-longer".to_vec()));
+    }
+
+    #[test]
+    fn cursor_codec_round_trips() {
+        let mut buf = Vec::new();
+        buf.push(7u8);
+        buf.extend_from_slice(&42u32.to_le_bytes());
+        buf.extend_from_slice(&7_000_000_000u64.to_le_bytes());
+        put_bytes(&mut buf, b"payload");
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.u8(), Some(7));
+        assert_eq!(c.u32(), Some(42));
+        assert_eq!(c.u64(), Some(7_000_000_000));
+        assert_eq!(c.bytes(), Some(&b"payload"[..]));
+        assert!(c.at_end());
+        assert_eq!(c.u8(), None);
+    }
+}

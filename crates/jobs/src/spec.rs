@@ -1,0 +1,108 @@
+//! Job specifications.
+//!
+//! The jobs layer is deliberately ignorant of what a campaign computes:
+//! a spec is a `kind` label, a point count, and an opaque payload the
+//! embedding service (rumor-serve) interprets when it runs points. The
+//! payload is stored verbatim — for the HTTP service it is the
+//! canonical JSON of the submitted request, which makes re-running a
+//! recovered job byte-for-byte identical to the original submission.
+
+use crate::record::{put_bytes, Cursor};
+
+/// What a job should compute: an opaque, durable campaign description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Campaign kind label (e.g. `"threshold_sweep"`); interpreted by
+    /// the embedding service's point runner.
+    pub kind: String,
+    /// Number of grid points / replicas in the campaign.
+    pub n_points: u64,
+    /// Opaque campaign parameters (canonical request bytes).
+    pub payload: Vec<u8>,
+}
+
+impl JobSpec {
+    /// Encodes the spec for its atomic on-disk file.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.kind.len() + self.payload.len());
+        put_bytes(&mut out, self.kind.as_bytes());
+        out.extend_from_slice(&self.n_points.to_le_bytes());
+        put_bytes(&mut out, &self.payload);
+        out
+    }
+
+    /// Decodes a spec file; `None` if the bytes are malformed.
+    pub fn decode(bytes: &[u8]) -> Option<JobSpec> {
+        let mut c = Cursor::new(bytes);
+        let kind = c.string()?;
+        let n_points = c.u64()?;
+        let payload = c.bytes()?.to_vec();
+        if !c.at_end() {
+            return None;
+        }
+        Some(JobSpec {
+            kind,
+            n_points,
+            payload,
+        })
+    }
+}
+
+/// A durable per-job checkpoint: how far the campaign has advanced plus
+/// opaque warm-start bytes the point runner threads from point to point
+/// (for optimize sweeps this is the serialized best control schedule —
+/// the FBSM watchdog checkpoint, externalized).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Checkpoint {
+    /// Points completed when the checkpoint was written.
+    pub completed: u64,
+    /// Opaque warm-start state; empty means none.
+    pub warm: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Encodes the checkpoint for its atomic on-disk file.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.warm.len());
+        out.extend_from_slice(&self.completed.to_le_bytes());
+        put_bytes(&mut out, &self.warm);
+        out
+    }
+
+    /// Decodes a checkpoint file; `None` if malformed.
+    pub fn decode(bytes: &[u8]) -> Option<Checkpoint> {
+        let mut c = Cursor::new(bytes);
+        let completed = c.u64()?;
+        let warm = c.bytes()?.to_vec();
+        if !c.at_end() {
+            return None;
+        }
+        Some(Checkpoint { completed, warm })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips() {
+        let spec = JobSpec {
+            kind: "threshold_sweep".into(),
+            n_points: 10_000,
+            payload: br#"{"points":10000}"#.to_vec(),
+        };
+        assert_eq!(JobSpec::decode(&spec.encode()), Some(spec));
+        assert_eq!(JobSpec::decode(b"garbage"), None);
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let ck = Checkpoint {
+            completed: 6_212,
+            warm: vec![1, 2, 3],
+        };
+        assert_eq!(Checkpoint::decode(&ck.encode()), Some(ck));
+        assert_eq!(Checkpoint::decode(&[0; 3]), None);
+    }
+}

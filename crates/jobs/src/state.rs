@@ -1,0 +1,154 @@
+//! The job state machine.
+//!
+//! ```text
+//!            submit            start
+//!   (new) ──────────▶ Queued ────────▶ Running
+//!                       ▲  ▲             │
+//!                resume │  │ recovery    ├─▶ Done       (every point ok)
+//!                       │  └─────────────┤
+//!   Partial/Failed/─────┘                ├─▶ Partial    (quarantined points)
+//!   Cancelled                            ├─▶ Failed     (no point succeeded)
+//!                                        └─▶ Cancelled  (flag observed)
+//! ```
+//!
+//! `Done` is the only terminal state a job cannot leave; the other
+//! finished states can be re-queued with `resume`, which also clears
+//! the quarantine set so poisoned points get a fresh attempt budget.
+//! Every transition the manager performs is journaled and fsynced
+//! before the in-memory state changes.
+
+use std::fmt;
+
+/// Lifecycle state of a campaign job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and waiting for the executor.
+    Queued,
+    /// A worker is iterating its points.
+    Running,
+    /// Every point completed.
+    Done,
+    /// Finished, but some points are quarantined; results carry a
+    /// manifest of what is missing.
+    Partial,
+    /// Finished with no successful point.
+    Failed,
+    /// Stopped by request before completion.
+    Cancelled,
+}
+
+impl JobState {
+    /// Stable wire/journal encoding.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+            JobState::Done => 2,
+            JobState::Partial => 3,
+            JobState::Failed => 4,
+            JobState::Cancelled => 5,
+        }
+    }
+
+    /// Decodes the journal encoding.
+    pub fn from_u8(v: u8) -> Option<JobState> {
+        Some(match v {
+            0 => JobState::Queued,
+            1 => JobState::Running,
+            2 => JobState::Done,
+            3 => JobState::Partial,
+            4 => JobState::Failed,
+            5 => JobState::Cancelled,
+            _ => return None,
+        })
+    }
+
+    /// The lowercase API spelling (`"queued"`, `"running"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Partial => "partial",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job has stopped executing (successfully or not).
+    pub fn is_finished(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Partial | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    /// Whether `self → to` is a legal transition for the manager to
+    /// journal. Recovery (`Running → Queued`) and resume
+    /// (`Partial/Failed/Cancelled → Queued`) are the only edges that
+    /// point backwards.
+    pub fn can_transition(self, to: JobState) -> bool {
+        use JobState::*;
+        matches!(
+            (self, to),
+            (Queued, Running)
+                | (Queued, Cancelled)
+                | (Running, Done)
+                | (Running, Partial)
+                | (Running, Failed)
+                | (Running, Cancelled)
+                | (Running, Queued)
+                | (Partial, Queued)
+                | (Failed, Queued)
+                | (Cancelled, Queued)
+        )
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_round_trips() {
+        for s in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Partial,
+            JobState::Failed,
+            JobState::Cancelled,
+        ] {
+            assert_eq!(JobState::from_u8(s.as_u8()), Some(s));
+        }
+        assert_eq!(JobState::from_u8(200), None);
+    }
+
+    #[test]
+    fn legal_edges() {
+        use JobState::*;
+        assert!(Queued.can_transition(Running));
+        assert!(Running.can_transition(Done));
+        assert!(Running.can_transition(Queued), "recovery edge");
+        assert!(Partial.can_transition(Queued), "resume edge");
+        assert!(!Done.can_transition(Queued), "done is terminal");
+        assert!(!Queued.can_transition(Done), "cannot skip running");
+        assert!(!Failed.can_transition(Running));
+    }
+
+    #[test]
+    fn finished_classification() {
+        assert!(!JobState::Queued.is_finished());
+        assert!(!JobState::Running.is_finished());
+        assert!(JobState::Done.is_finished());
+        assert!(JobState::Partial.is_finished());
+        assert!(JobState::Failed.is_finished());
+        assert!(JobState::Cancelled.is_finished());
+    }
+}

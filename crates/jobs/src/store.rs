@@ -1,0 +1,364 @@
+//! On-disk layout of one job and the replay that reconstructs it.
+//!
+//! ```text
+//! <jobs_dir>/<job-id>/
+//!   spec.bin        written once at submit (atomic rename + fsync)
+//!   journal.log     framed CRC records; every state transition fsynced
+//!   results.log     framed CRC records: [index u64 LE][payload…]
+//!   checkpoint.bin  atomic-rename progress + warm-start bytes
+//! ```
+//!
+//! Replay order on open: spec → journal (state machine, quarantine,
+//! retries) → results (completed point set, torn tail truncated) →
+//! checkpoint (warm-start bytes). A job found `Running` was interrupted
+//! by a crash; the manager re-queues it and execution continues at the
+//! first point without a result record — never from zero.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use crate::journal::JournalRecord;
+use crate::record::{self, RecordWriter};
+use crate::spec::{Checkpoint, JobSpec};
+use crate::state::JobState;
+use crate::JobsError;
+
+/// File names inside a job directory.
+pub const SPEC_FILE: &str = "spec.bin";
+/// Journal log file name.
+pub const JOURNAL_FILE: &str = "journal.log";
+/// Results log file name.
+pub const RESULTS_FILE: &str = "results.log";
+/// Checkpoint file name.
+pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
+
+/// Everything replayed from a job directory.
+pub struct LoadedJob {
+    /// The durable spec.
+    pub spec: JobSpec,
+    /// State after journal replay (`Queued` if the journal is empty).
+    pub state: JobState,
+    /// Quarantined point indices (after any `ClearQuarantine`).
+    pub quarantined: BTreeSet<u64>,
+    /// Total retry records seen.
+    pub retries: u64,
+    /// Most recent point failure message, if any.
+    pub last_error: Option<String>,
+    /// Completed point indices present in the results log.
+    pub completed: BTreeSet<u64>,
+    /// Warm-start bytes from the checkpoint file (empty if none).
+    pub warm: Vec<u8>,
+    /// Bytes dropped from torn tails during replay (journal + results).
+    pub torn_bytes: u64,
+}
+
+/// Encodes one results-log payload.
+pub fn encode_result(index: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&index.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes one results-log payload into `(index, payload)`.
+pub fn decode_result(payload: &[u8]) -> Option<(u64, &[u8])> {
+    let idx = payload.get(..8)?;
+    Some((
+        u64::from_le_bytes(idx.try_into().expect("8 bytes")),
+        &payload[8..],
+    ))
+}
+
+fn io_err(context: &str, path: &Path, e: std::io::Error) -> JobsError {
+    JobsError::Io {
+        context: format!("{context} ({})", path.display()),
+        source: e,
+    }
+}
+
+/// Creates a job directory and durably writes its spec.
+pub fn create_job_dir(dir: &Path, spec: &JobSpec) -> Result<(), JobsError> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err("create job dir", dir, e))?;
+    let spec_path = dir.join(SPEC_FILE);
+    record::write_atomic(&spec_path, &spec.encode())
+        .map_err(|e| io_err("write spec", &spec_path, e))
+}
+
+/// Opens the journal for appending (truncating any torn tail).
+pub fn open_journal(dir: &Path) -> Result<RecordWriter, JobsError> {
+    let path = dir.join(JOURNAL_FILE);
+    RecordWriter::open(&path)
+        .map(|(w, _)| w)
+        .map_err(|e| io_err("open journal", &path, e))
+}
+
+/// Opens the results log for appending and returns the completed set.
+pub fn open_results(dir: &Path) -> Result<(RecordWriter, BTreeSet<u64>), JobsError> {
+    let path = dir.join(RESULTS_FILE);
+    let (w, replayed) = RecordWriter::open(&path).map_err(|e| io_err("open results", &path, e))?;
+    let mut completed = BTreeSet::new();
+    for rec in &replayed.records {
+        if let Some((idx, _)) = decode_result(rec) {
+            completed.insert(idx);
+        }
+    }
+    Ok((w, completed))
+}
+
+/// Reads the assembled results: `(index, payload)` sorted by index,
+/// first record winning on duplicates (a crash between append and
+/// checkpoint can legitimately re-run a point; payloads are
+/// deterministic, but first-wins keeps assembly order-independent).
+pub fn read_results(dir: &Path) -> Result<Vec<(u64, Vec<u8>)>, JobsError> {
+    let path = dir.join(RESULTS_FILE);
+    let replayed = record::replay(&path).map_err(|e| io_err("read results", &path, e))?;
+    let mut seen = BTreeSet::new();
+    let mut out: Vec<(u64, Vec<u8>)> = Vec::with_capacity(replayed.records.len());
+    for rec in &replayed.records {
+        if let Some((idx, payload)) = decode_result(rec) {
+            if seen.insert(idx) {
+                out.push((idx, payload.to_vec()));
+            }
+        }
+    }
+    out.sort_by_key(|&(idx, _)| idx);
+    Ok(out)
+}
+
+/// Durably replaces the checkpoint file.
+pub fn write_checkpoint(dir: &Path, ck: &Checkpoint) -> Result<(), JobsError> {
+    let path = dir.join(CHECKPOINT_FILE);
+    record::write_atomic(&path, &ck.encode()).map_err(|e| io_err("write checkpoint", &path, e))
+}
+
+/// Reads the checkpoint file; `None` if absent or undecodable (a
+/// checkpoint is an optimization, so corruption degrades to a cold
+/// warm-start, never an error).
+pub fn read_checkpoint(dir: &Path) -> Result<Option<Checkpoint>, JobsError> {
+    let path = dir.join(CHECKPOINT_FILE);
+    Ok(record::read_atomic(&path)
+        .map_err(|e| io_err("read checkpoint", &path, e))?
+        .and_then(|b| Checkpoint::decode(&b)))
+}
+
+/// Replays a whole job directory.
+pub fn load_job(dir: &Path) -> Result<LoadedJob, JobsError> {
+    let spec_path = dir.join(SPEC_FILE);
+    let spec_bytes = record::read_atomic(&spec_path)
+        .map_err(|e| io_err("read spec", &spec_path, e))?
+        .ok_or_else(|| JobsError::Corrupt(format!("{}: missing spec", dir.display())))?;
+    let spec = JobSpec::decode(&spec_bytes)
+        .ok_or_else(|| JobsError::Corrupt(format!("{}: undecodable spec", dir.display())))?;
+
+    let journal_path = dir.join(JOURNAL_FILE);
+    let journal =
+        record::replay(&journal_path).map_err(|e| io_err("read journal", &journal_path, e))?;
+    let mut state = JobState::Queued;
+    let mut quarantined = BTreeSet::new();
+    let mut retries = 0u64;
+    let mut last_error = None;
+    for rec in &journal.records {
+        match JournalRecord::decode(rec) {
+            Some(JournalRecord::Transition { to, .. }) => state = to,
+            Some(JournalRecord::PointRetry { error, .. }) => {
+                retries += 1;
+                last_error = Some(error);
+            }
+            Some(JournalRecord::PointQuarantined { index, error, .. }) => {
+                quarantined.insert(index);
+                last_error = Some(error);
+            }
+            Some(JournalRecord::ClearQuarantine) => quarantined.clear(),
+            // Forward compatibility: skip records this build cannot read.
+            None => {}
+        }
+    }
+
+    let results_path = dir.join(RESULTS_FILE);
+    let results =
+        record::replay(&results_path).map_err(|e| io_err("read results", &results_path, e))?;
+    let mut completed = BTreeSet::new();
+    for rec in &results.records {
+        if let Some((idx, _)) = decode_result(rec) {
+            completed.insert(idx);
+        }
+    }
+
+    let ck_path = dir.join(CHECKPOINT_FILE);
+    let warm = record::read_atomic(&ck_path)
+        .map_err(|e| io_err("read checkpoint", &ck_path, e))?
+        .and_then(|b| Checkpoint::decode(&b))
+        .map(|c| c.warm)
+        .unwrap_or_default();
+
+    Ok(LoadedJob {
+        spec,
+        state,
+        quarantined,
+        retries,
+        last_error,
+        completed,
+        warm,
+        torn_bytes: journal.torn_bytes + results.torn_bytes,
+    })
+}
+
+/// Lists job directories under `root`, sorted by name (submission
+/// order, since IDs embed a zero-padded sequence number).
+pub fn list_job_dirs(root: &Path) -> Result<Vec<PathBuf>, JobsError> {
+    let mut dirs = Vec::new();
+    let entries = match std::fs::read_dir(root) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(dirs),
+        Err(e) => return Err(io_err("list jobs dir", root, e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("list jobs dir", root, e))?;
+        let path = entry.path();
+        if path.is_dir() && path.join(SPEC_FILE).exists() {
+            dirs.push(path);
+        }
+    }
+    dirs.sort();
+    Ok(dirs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::temp_dir;
+
+    #[test]
+    fn load_replays_journal_results_and_checkpoint() {
+        let root = temp_dir("store-load");
+        let dir = root.join("job-000001");
+        let spec = JobSpec {
+            kind: "threshold_sweep".into(),
+            n_points: 5,
+            payload: b"{}".to_vec(),
+        };
+        create_job_dir(&dir, &spec).unwrap();
+        let mut journal = open_journal(&dir).unwrap();
+        for rec in [
+            JournalRecord::Transition {
+                to: JobState::Queued,
+                reason: "submit".into(),
+            },
+            JournalRecord::Transition {
+                to: JobState::Running,
+                reason: "start".into(),
+            },
+            JournalRecord::PointRetry {
+                index: 3,
+                attempt: 0,
+                error: "flaky".into(),
+            },
+            JournalRecord::PointQuarantined {
+                index: 3,
+                attempts: 3,
+                error: "poison".into(),
+            },
+        ] {
+            journal.append_sync(&rec.encode()).unwrap();
+        }
+        let (mut results, completed) = open_results(&dir).unwrap();
+        assert!(completed.is_empty());
+        results.append_sync(&encode_result(0, b"r0")).unwrap();
+        results.append_sync(&encode_result(1, b"r1")).unwrap();
+        write_checkpoint(
+            &dir,
+            &Checkpoint {
+                completed: 2,
+                warm: vec![9, 9],
+            },
+        )
+        .unwrap();
+
+        let loaded = load_job(&dir).unwrap();
+        assert_eq!(loaded.spec, spec);
+        assert_eq!(loaded.state, JobState::Running, "interrupted mid-run");
+        assert_eq!(loaded.completed.iter().copied().collect::<Vec<_>>(), [0, 1]);
+        assert_eq!(loaded.quarantined.iter().copied().collect::<Vec<_>>(), [3]);
+        assert_eq!(loaded.retries, 1);
+        assert_eq!(loaded.warm, vec![9, 9]);
+        assert_eq!(loaded.last_error.as_deref(), Some("poison"));
+    }
+
+    #[test]
+    fn results_assembly_sorts_and_dedupes_first_wins() {
+        let root = temp_dir("store-results");
+        let dir = root.join("job-000001");
+        create_job_dir(
+            &dir,
+            &JobSpec {
+                kind: "k".into(),
+                n_points: 3,
+                payload: vec![],
+            },
+        )
+        .unwrap();
+        let (mut results, _) = open_results(&dir).unwrap();
+        results.append(&encode_result(2, b"two")).unwrap();
+        results.append(&encode_result(0, b"zero")).unwrap();
+        results
+            .append_sync(&encode_result(2, b"two-again"))
+            .unwrap();
+        let assembled = read_results(&dir).unwrap();
+        assert_eq!(assembled, vec![(0, b"zero".to_vec()), (2, b"two".to_vec())]);
+    }
+
+    #[test]
+    fn clear_quarantine_resets_the_set() {
+        let root = temp_dir("store-clearq");
+        let dir = root.join("job-000001");
+        create_job_dir(
+            &dir,
+            &JobSpec {
+                kind: "k".into(),
+                n_points: 2,
+                payload: vec![],
+            },
+        )
+        .unwrap();
+        let mut journal = open_journal(&dir).unwrap();
+        journal
+            .append_sync(
+                &JournalRecord::PointQuarantined {
+                    index: 1,
+                    attempts: 3,
+                    error: "x".into(),
+                }
+                .encode(),
+            )
+            .unwrap();
+        journal
+            .append_sync(&JournalRecord::ClearQuarantine.encode())
+            .unwrap();
+        let loaded = load_job(&dir).unwrap();
+        assert!(loaded.quarantined.is_empty());
+    }
+
+    #[test]
+    fn list_job_dirs_skips_non_jobs() {
+        let root = temp_dir("store-list");
+        std::fs::create_dir_all(root.join("not-a-job")).unwrap();
+        std::fs::write(root.join("stray-file"), b"x").unwrap();
+        for id in ["job-000002", "job-000001"] {
+            create_job_dir(
+                &root.join(id),
+                &JobSpec {
+                    kind: "k".into(),
+                    n_points: 1,
+                    payload: vec![],
+                },
+            )
+            .unwrap();
+        }
+        let dirs = list_job_dirs(&root).unwrap();
+        let names: Vec<_> = dirs
+            .iter()
+            .map(|d| d.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["job-000001", "job-000002"]);
+    }
+}

@@ -1,0 +1,489 @@
+//! Durability integration tests: full lifecycle, retry/quarantine,
+//! simulated crash recovery, cancel/resume.
+//!
+//! The "crash" here is simulated by writing the exact on-disk state a
+//! `kill -9` leaves behind (spec + journal ending in `running` + a
+//! partial results log) and opening a fresh manager over it; the
+//! process-level SIGKILL test lives in the CLI crate's e2e suite.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rumor_jobs::journal::JournalRecord;
+use rumor_jobs::store;
+use rumor_jobs::{
+    JobManager, JobManagerConfig, JobSpec, JobState, JobsMetrics, PointOutcome, PointRunner,
+    RetryPolicy,
+};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("rumor-jobs-it-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp root");
+    dir
+}
+
+fn spec(n_points: u64) -> JobSpec {
+    JobSpec {
+        kind: "square".into(),
+        n_points,
+        payload: b"{}".to_vec(),
+    }
+}
+
+/// Deterministic runner: payload of point i is the text `i*i`.
+fn square_runner() -> Arc<dyn PointRunner> {
+    Arc::new(
+        |_spec: &JobSpec, index: u64, _attempt: u32, _warm: Option<&[u8]>| PointOutcome::Ok {
+            payload: (index * index).to_string().into_bytes(),
+            warm: None,
+        },
+    )
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 3,
+        base_backoff_ms: 1,
+        max_backoff_ms: 4,
+        attempt_deadline_ms: 10_000,
+    }
+}
+
+fn config(root: &std::path::Path) -> JobManagerConfig {
+    JobManagerConfig {
+        retry: fast_retry(),
+        checkpoint_interval: 4,
+        ..JobManagerConfig::new(root)
+    }
+}
+
+fn wait_finished(mgr: &JobManager, id: &str, timeout: Duration) -> JobState {
+    let start = Instant::now();
+    loop {
+        let st = mgr.status(id).expect("job exists");
+        if st.state.is_finished() {
+            return st.state;
+        }
+        assert!(
+            start.elapsed() < timeout,
+            "job {id} still {} after {timeout:?}",
+            st.state
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn happy_path_runs_to_done_with_ordered_results() {
+    let root = temp_root("happy");
+    let mgr = JobManager::open(config(&root), square_runner(), JobsMetrics::standalone()).unwrap();
+    let id = mgr.submit(spec(10)).unwrap();
+    assert_eq!(
+        wait_finished(&mgr, &id, Duration::from_secs(10)),
+        JobState::Done
+    );
+    let status = mgr.status(&id).unwrap();
+    assert_eq!(status.completed, 10);
+    assert!(status.quarantined.is_empty());
+    assert_eq!(status.missing(), 0);
+    let results = mgr.results(&id).unwrap();
+    assert_eq!(results.len(), 10);
+    for (i, (idx, payload)) in results.iter().enumerate() {
+        assert_eq!(*idx, i as u64);
+        assert_eq!(payload, (idx * idx).to_string().as_bytes());
+    }
+    assert_eq!(mgr.metrics().done.get(), 1);
+    assert_eq!(mgr.metrics().points_completed.get(), 10);
+    mgr.shutdown();
+}
+
+#[test]
+fn transient_faults_are_retried_to_success() {
+    let root = temp_root("transient");
+    // Point 5 fails on attempt 0 only.
+    let runner = Arc::new(
+        |_spec: &JobSpec, index: u64, attempt: u32, _warm: Option<&[u8]>| {
+            if index == 5 && attempt == 0 {
+                PointOutcome::Transient("injected transient fault".into())
+            } else {
+                PointOutcome::Ok {
+                    payload: index.to_string().into_bytes(),
+                    warm: None,
+                }
+            }
+        },
+    );
+    let mgr = JobManager::open(config(&root), runner, JobsMetrics::standalone()).unwrap();
+    let id = mgr.submit(spec(8)).unwrap();
+    assert_eq!(
+        wait_finished(&mgr, &id, Duration::from_secs(10)),
+        JobState::Done
+    );
+    let status = mgr.status(&id).unwrap();
+    assert_eq!(status.completed, 8);
+    assert_eq!(status.retries, 1);
+    assert_eq!(mgr.metrics().points_retried.get(), 1);
+    assert_eq!(mgr.metrics().points_quarantined.get(), 0);
+    mgr.shutdown();
+}
+
+#[test]
+fn persistent_faults_quarantine_and_finish_partial_with_manifest() {
+    let root = temp_root("poison");
+    let runner = Arc::new(
+        |_spec: &JobSpec, index: u64, _attempt: u32, _warm: Option<&[u8]>| {
+            if index == 3 || index == 7 {
+                PointOutcome::Transient("injected persistent fault".into())
+            } else {
+                PointOutcome::Ok {
+                    payload: index.to_string().into_bytes(),
+                    warm: None,
+                }
+            }
+        },
+    );
+    let mgr = JobManager::open(config(&root), runner, JobsMetrics::standalone()).unwrap();
+    let id = mgr.submit(spec(10)).unwrap();
+    assert_eq!(
+        wait_finished(&mgr, &id, Duration::from_secs(10)),
+        JobState::Partial
+    );
+    let status = mgr.status(&id).unwrap();
+    assert_eq!(status.completed, 8);
+    assert_eq!(
+        status.quarantined,
+        vec![3, 7],
+        "manifest lists poison points"
+    );
+    assert_eq!(status.missing(), 0);
+    // 2 points x (3 attempts - 1 success) retries, then quarantine.
+    assert_eq!(mgr.metrics().points_quarantined.get(), 2);
+    assert_eq!(mgr.metrics().partial.get(), 1);
+    let results = mgr.results(&id).unwrap();
+    let indices: Vec<u64> = results.iter().map(|(i, _)| *i).collect();
+    assert_eq!(indices, vec![0, 1, 2, 4, 5, 6, 8, 9]);
+    mgr.shutdown();
+}
+
+#[test]
+fn permanent_faults_skip_the_retry_budget() {
+    let root = temp_root("permanent");
+    let attempts = Arc::new(AtomicU64::new(0));
+    let seen = Arc::clone(&attempts);
+    let runner = Arc::new(
+        move |_spec: &JobSpec, index: u64, _attempt: u32, _warm: Option<&[u8]>| {
+            if index == 1 {
+                seen.fetch_add(1, Ordering::Relaxed);
+                PointOutcome::Permanent("bad grid point".into())
+            } else {
+                PointOutcome::Ok {
+                    payload: vec![b'x'],
+                    warm: None,
+                }
+            }
+        },
+    );
+    let mgr = JobManager::open(config(&root), runner, JobsMetrics::standalone()).unwrap();
+    let id = mgr.submit(spec(3)).unwrap();
+    assert_eq!(
+        wait_finished(&mgr, &id, Duration::from_secs(10)),
+        JobState::Partial
+    );
+    assert_eq!(
+        attempts.load(Ordering::Relaxed),
+        1,
+        "no retries for permanent"
+    );
+    assert_eq!(mgr.status(&id).unwrap().quarantined, vec![1]);
+    mgr.shutdown();
+}
+
+#[test]
+fn all_points_failing_means_failed() {
+    let root = temp_root("failed");
+    let runner = Arc::new(
+        |_spec: &JobSpec, _index: u64, _attempt: u32, _warm: Option<&[u8]>| {
+            PointOutcome::Permanent("nothing works".into())
+        },
+    );
+    let mgr = JobManager::open(config(&root), runner, JobsMetrics::standalone()).unwrap();
+    let id = mgr.submit(spec(3)).unwrap();
+    assert_eq!(
+        wait_finished(&mgr, &id, Duration::from_secs(10)),
+        JobState::Failed
+    );
+    let status = mgr.status(&id).unwrap();
+    assert_eq!(status.completed, 0);
+    assert_eq!(status.quarantined.len(), 3);
+    mgr.shutdown();
+}
+
+#[test]
+fn crash_mid_run_recovers_and_preserves_prior_results_byte_for_byte() {
+    let root = temp_root("crash");
+    let job_dir = root.join("job-000001");
+    let the_spec = spec(10);
+
+    // Fabricate the aftermath of a kill -9: spec, journal ending in
+    // `running`, results for points 0..5, and a checkpoint.
+    store::create_job_dir(&job_dir, &the_spec).unwrap();
+    let mut journal = store::open_journal(&job_dir).unwrap();
+    journal
+        .append_sync(
+            &JournalRecord::Transition {
+                to: JobState::Queued,
+                reason: "submit".into(),
+            }
+            .encode(),
+        )
+        .unwrap();
+    journal
+        .append_sync(
+            &JournalRecord::Transition {
+                to: JobState::Running,
+                reason: "start".into(),
+            }
+            .encode(),
+        )
+        .unwrap();
+    drop(journal);
+    let (mut results, _) = store::open_results(&job_dir).unwrap();
+    for i in 0..5u64 {
+        results
+            .append_sync(&store::encode_result(i, (i * i).to_string().as_bytes()))
+            .unwrap();
+    }
+    drop(results);
+    let pre_crash_log = std::fs::read(job_dir.join(store::RESULTS_FILE)).unwrap();
+    assert!(!pre_crash_log.is_empty());
+
+    // A fresh manager over the same directory must re-queue and finish
+    // the job without redoing points 0..5.
+    let reran = Arc::new(AtomicBool::new(false));
+    let saw_early_point = Arc::clone(&reran);
+    let runner = Arc::new(
+        move |_spec: &JobSpec, index: u64, _attempt: u32, _warm: Option<&[u8]>| {
+            if index < 5 {
+                saw_early_point.store(true, Ordering::Relaxed);
+            }
+            PointOutcome::Ok {
+                payload: (index * index).to_string().into_bytes(),
+                warm: None,
+            }
+        },
+    );
+    let metrics = JobsMetrics::standalone();
+    let mgr = JobManager::open(config(&root), runner, Arc::clone(&metrics)).unwrap();
+    assert_eq!(metrics.recovered.get(), 1, "recovery scan found the job");
+    assert_eq!(
+        wait_finished(&mgr, "job-000001", Duration::from_secs(10)),
+        JobState::Done
+    );
+    assert!(
+        !reran.load(Ordering::Relaxed),
+        "resumed from the checkpointed results, not from zero"
+    );
+
+    // The pre-crash prefix of the results log is untouched: the log is
+    // append-only, so recovery cannot rewrite history.
+    let post_log = std::fs::read(job_dir.join(store::RESULTS_FILE)).unwrap();
+    assert!(post_log.len() > pre_crash_log.len());
+    assert_eq!(&post_log[..pre_crash_log.len()], &pre_crash_log[..]);
+
+    // And the assembled results are exactly what an uninterrupted run
+    // of the same campaign produces.
+    let recovered_results = mgr.results("job-000001").unwrap();
+    mgr.shutdown();
+
+    let clean_root = temp_root("crash-clean");
+    let clean = JobManager::open(
+        config(&clean_root),
+        square_runner(),
+        JobsMetrics::standalone(),
+    )
+    .unwrap();
+    let clean_id = clean.submit(spec(10)).unwrap();
+    wait_finished(&clean, &clean_id, Duration::from_secs(10));
+    assert_eq!(recovered_results, clean.results(&clean_id).unwrap());
+    clean.shutdown();
+}
+
+#[test]
+fn cancel_then_resume_completes_the_job() {
+    let root = temp_root("cancel");
+    let gate = Arc::new(AtomicBool::new(false));
+    let slow = Arc::clone(&gate);
+    let runner = Arc::new(
+        move |_spec: &JobSpec, index: u64, _attempt: u32, _warm: Option<&[u8]>| {
+            if !slow.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            PointOutcome::Ok {
+                payload: index.to_string().into_bytes(),
+                warm: None,
+            }
+        },
+    );
+    let mgr = JobManager::open(config(&root), runner, JobsMetrics::standalone()).unwrap();
+    let id = mgr.submit(spec(200)).unwrap();
+    // Let it make some progress, then cancel.
+    let start = Instant::now();
+    while mgr.status(&id).unwrap().completed == 0 {
+        assert!(start.elapsed() < Duration::from_secs(10));
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    mgr.cancel(&id).unwrap();
+    let state = wait_finished(&mgr, &id, Duration::from_secs(10));
+    assert_eq!(state, JobState::Cancelled);
+    let at_cancel = mgr.status(&id).unwrap().completed;
+    assert!(at_cancel < 200, "cancel stopped the campaign early");
+
+    // Resume: completed points are kept, the rest run (fast now).
+    gate.store(true, Ordering::Relaxed);
+    mgr.resume(&id).unwrap();
+    assert_eq!(
+        wait_finished(&mgr, &id, Duration::from_secs(30)),
+        JobState::Done
+    );
+    assert_eq!(mgr.status(&id).unwrap().completed, 200);
+    mgr.shutdown();
+}
+
+#[test]
+fn resume_clears_quarantine_for_a_fresh_budget() {
+    let root = temp_root("resume-q");
+    let healed = Arc::new(AtomicBool::new(false));
+    let h = Arc::clone(&healed);
+    let runner = Arc::new(
+        move |_spec: &JobSpec, index: u64, _attempt: u32, _warm: Option<&[u8]>| {
+            if index == 2 && !h.load(Ordering::Relaxed) {
+                PointOutcome::Permanent("still poisoned".into())
+            } else {
+                PointOutcome::Ok {
+                    payload: index.to_string().into_bytes(),
+                    warm: None,
+                }
+            }
+        },
+    );
+    let mgr = JobManager::open(config(&root), runner, JobsMetrics::standalone()).unwrap();
+    let id = mgr.submit(spec(4)).unwrap();
+    assert_eq!(
+        wait_finished(&mgr, &id, Duration::from_secs(10)),
+        JobState::Partial
+    );
+    assert_eq!(mgr.status(&id).unwrap().quarantined, vec![2]);
+
+    healed.store(true, Ordering::Relaxed);
+    mgr.resume(&id).unwrap();
+    assert_eq!(
+        wait_finished(&mgr, &id, Duration::from_secs(10)),
+        JobState::Done
+    );
+    let status = mgr.status(&id).unwrap();
+    assert!(status.quarantined.is_empty());
+    assert_eq!(status.completed, 4);
+    mgr.shutdown();
+}
+
+#[test]
+fn attempt_deadline_quarantines_wedged_points() {
+    let root = temp_root("deadline");
+    let runner = Arc::new(
+        |_spec: &JobSpec, index: u64, _attempt: u32, _warm: Option<&[u8]>| {
+            if index == 0 {
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            PointOutcome::Ok {
+                payload: vec![b'y'],
+                warm: None,
+            }
+        },
+    );
+    let cfg = JobManagerConfig {
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff_ms: 1,
+            max_backoff_ms: 2,
+            attempt_deadline_ms: 5,
+        },
+        checkpoint_interval: 4,
+        ..JobManagerConfig::new(&root)
+    };
+    let mgr = JobManager::open(cfg, runner, JobsMetrics::standalone()).unwrap();
+    let id = mgr.submit(spec(2)).unwrap();
+    assert_eq!(
+        wait_finished(&mgr, &id, Duration::from_secs(10)),
+        JobState::Partial
+    );
+    let status = mgr.status(&id).unwrap();
+    assert_eq!(status.quarantined, vec![0]);
+    assert!(status.last_error.unwrap().contains("deadline"));
+    mgr.shutdown();
+}
+
+#[test]
+fn warm_bytes_thread_between_points_and_survive_restart() {
+    let root = temp_root("warm");
+    // Each point appends its index byte to the warm state; the payload
+    // records the warm bytes it received.
+    let runner = Arc::new(
+        |_spec: &JobSpec, index: u64, _attempt: u32, warm: Option<&[u8]>| {
+            let mut next = warm.map(<[u8]>::to_vec).unwrap_or_default();
+            let received = next.clone();
+            next.push(index as u8);
+            PointOutcome::Ok {
+                payload: received,
+                warm: Some(next),
+            }
+        },
+    );
+    let cfg = JobManagerConfig {
+        checkpoint_interval: 1, // checkpoint every point so warm is durable
+        ..config(&root)
+    };
+    let mgr = JobManager::open(
+        cfg.clone(),
+        Arc::clone(&runner) as Arc<dyn PointRunner>,
+        JobsMetrics::standalone(),
+    )
+    .unwrap();
+    let id = mgr.submit(spec(3)).unwrap();
+    wait_finished(&mgr, &id, Duration::from_secs(10));
+    let results = mgr.results(&id).unwrap();
+    assert_eq!(
+        results[2].1,
+        vec![0u8, 1],
+        "point 2 saw warm state from 0 and 1"
+    );
+    mgr.shutdown();
+
+    // Simulate a crash after point 3 of a longer job: warm bytes come
+    // back from the checkpoint file.
+    let job_dir = root.join(&id);
+    let ck = store::read_checkpoint(&job_dir).unwrap().unwrap();
+    assert_eq!(ck.warm, vec![0u8, 1, 2]);
+}
+
+#[test]
+fn unknown_job_and_illegal_transitions_are_errors() {
+    let root = temp_root("errors");
+    let mgr = JobManager::open(config(&root), square_runner(), JobsMetrics::standalone()).unwrap();
+    assert!(mgr.status("job-999999").is_none());
+    assert!(mgr.results("job-999999").is_err());
+    assert!(mgr.cancel("job-999999").is_err());
+    assert!(mgr.resume("job-999999").is_err());
+
+    let id = mgr.submit(spec(2)).unwrap();
+    wait_finished(&mgr, &id, Duration::from_secs(10));
+    // Done is terminal: no resume, no cancel.
+    assert!(mgr.resume(&id).is_err());
+    assert!(mgr.cancel(&id).is_err());
+    // Empty campaigns are rejected.
+    assert!(mgr.submit(spec(0)).is_err());
+    mgr.shutdown();
+}

@@ -32,6 +32,7 @@ pub struct SpanStat {
 /// Enables or disables rollup collection.
 pub fn set_rollup(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
+    crate::span::refresh_active();
 }
 
 /// Whether rollup collection is currently on.

@@ -58,6 +58,7 @@ pub fn init(fmt: LogFormat, writer: Option<Box<dyn Write + Send>>) {
     }
     *guard = writer;
     FORMAT.store(fmt as u8, Ordering::Relaxed);
+    crate::span::refresh_active();
 }
 
 /// Installs a buffered file sink at `path` (truncating it).

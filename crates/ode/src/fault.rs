@@ -208,8 +208,19 @@ impl<S: OdeSystem + ?Sized> OdeSystem for FaultyRhs<S> {
             }
         }
         if injected {
+            // Tally locally only: the RHS is the integrator's innermost
+            // loop, so the shared rollup table is touched once per
+            // wrapper lifetime (see `Drop`), not once per evaluation.
             self.injections.set(self.injections.get() + 1);
-            rumor_obs::add("ode.fault_injections", 1);
+        }
+    }
+}
+
+impl<S: ?Sized> Drop for FaultyRhs<S> {
+    fn drop(&mut self) {
+        let n = self.injections.get();
+        if n > 0 {
+            rumor_obs::add("ode.fault_injections", n as u64);
         }
     }
 }

@@ -33,12 +33,12 @@ impl std::error::Error for ApiError {}
 
 type Result<T> = std::result::Result<T, ApiError>;
 
-fn field_err(key: &str, reason: impl fmt::Display) -> ApiError {
+pub(crate) fn field_err(key: &str, reason: impl fmt::Display) -> ApiError {
     ApiError(format!("field {key:?}: {reason}"))
 }
 
 /// Checks that `v` is an object whose keys all appear in `allowed`.
-fn check_keys(v: &Value, context: &str, allowed: &[&str]) -> Result<()> {
+pub(crate) fn check_keys(v: &Value, context: &str, allowed: &[&str]) -> Result<()> {
     let Some(members) = v.as_obj() else {
         return Err(ApiError(format!("{context} must be a JSON object")));
     };
@@ -53,7 +53,7 @@ fn check_keys(v: &Value, context: &str, allowed: &[&str]) -> Result<()> {
     Ok(())
 }
 
-fn get_f64(v: &Value, key: &str, default: f64) -> Result<f64> {
+pub(crate) fn get_f64(v: &Value, key: &str, default: f64) -> Result<f64> {
     match v.get(key) {
         None => Ok(default),
         Some(item) => item
@@ -62,7 +62,7 @@ fn get_f64(v: &Value, key: &str, default: f64) -> Result<f64> {
     }
 }
 
-fn get_usize(v: &Value, key: &str, default: usize) -> Result<usize> {
+pub(crate) fn get_usize(v: &Value, key: &str, default: usize) -> Result<usize> {
     match v.get(key) {
         None => Ok(default),
         Some(item) => {
@@ -77,7 +77,7 @@ fn get_usize(v: &Value, key: &str, default: usize) -> Result<usize> {
     }
 }
 
-fn get_u64(v: &Value, key: &str, default: u64) -> Result<u64> {
+pub(crate) fn get_u64(v: &Value, key: &str, default: u64) -> Result<u64> {
     get_usize(v, key, default as usize).map(|x| x as u64)
 }
 

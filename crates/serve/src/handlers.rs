@@ -12,6 +12,7 @@ use crate::api::{
 };
 use crate::wire::Value;
 use rumor_control::fbsm::FbsmOptions;
+use rumor_control::schedule::PiecewiseControl;
 use rumor_control::watchdog::{optimize_guarded, SweepSource, WatchdogOptions};
 use rumor_control::{ControlBounds, CostWeights};
 use rumor_core::control::ConstantControl;
@@ -224,14 +225,25 @@ pub fn threshold(req: &ThresholdRequest) -> Result<Value> {
 /// `POST /v1/optimize`: the watchdog-guarded forward–backward sweep of
 /// Eqs. (15)–(19), returning the `ε1/ε2` schedule and the cost `J`.
 pub fn optimize(req: &OptimizeRequest) -> Result<Value> {
+    optimize_with_warm(req, None).map(|(value, _)| value)
+}
+
+/// [`optimize`] with an optional warm-start schedule (a neighbouring
+/// sweep point's solution), also returning the optimized schedule so a
+/// campaign can thread it into the next point. Used by the durable-jobs
+/// `optimize_sweep` runner; the plain endpoint always starts cold.
+pub fn optimize_with_warm(
+    req: &OptimizeRequest,
+    initial: Option<PiecewiseControl>,
+) -> Result<(Value, PiecewiseControl)> {
     let dataset = synthesize(&req.network)?;
     let params = build_params(dataset.classes().clone(), &req.model)?;
     let weights = CostWeights::new(req.c1, req.c2)?;
     let bounds = ControlBounds::new(req.eps_max, req.eps_max)?;
-    let initial = NetworkState::initial_uniform(params.n_classes(), req.i0)?;
+    let initial_state = NetworkState::initial_uniform(params.n_classes(), req.i0)?;
     let guarded = optimize_guarded(
         &params,
-        &initial,
+        &initial_state,
         req.tf,
         &bounds,
         &weights,
@@ -241,13 +253,14 @@ pub fn optimize(req: &OptimizeRequest) -> Result<Value> {
                 max_iterations: req.max_iters,
                 tolerance: 1e-4,
                 relaxation: 0.3,
+                initial_control: initial,
                 ..Default::default()
             },
             ..Default::default()
         },
     )?;
     let result = &guarded.result;
-    Ok(Value::obj([
+    let value = Value::obj([
         ("converged", Value::Bool(result.converged)),
         ("iterations", Value::Num(result.iterations as f64)),
         ("degraded", Value::Bool(guarded.degraded)),
@@ -281,7 +294,8 @@ pub fn optimize(req: &OptimizeRequest) -> Result<Value> {
                 ("eps2", Value::num_arr(result.control.eps2_values())),
             ]),
         ),
-    ]))
+    ]);
+    Ok((value, guarded.result.control))
 }
 
 /// `POST /v1/ensemble`: fault-isolated synchronous-ABM ensemble on the

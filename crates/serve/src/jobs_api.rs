@@ -1,0 +1,306 @@
+//! The wire form of a durable campaign job submission.
+//!
+//! `POST /v1/jobs` accepts a campaign: a `kind` (which engine runs at
+//! each point), a point count, a `base` request validated exactly like
+//! the corresponding synchronous endpoint, and a `sweep` over the
+//! acceptance scale `λ0`. The validated submission serializes to one
+//! canonical byte string which becomes the durable [`JobSpec`]
+//! payload — re-running a recovered job decodes byte-for-byte the same
+//! campaign the client submitted.
+//!
+//! Two deliberately boring test seams ride along: `throttle_ms` slows
+//! points down (so crash-recovery tests can kill the server
+//! mid-campaign deterministically) and `inject` marks points that fail
+//! transiently (retry succeeds) or persistently (retry never helps, the
+//! point quarantines and the job finishes `partial`).
+
+use crate::api::{
+    check_keys, field_err, get_f64, get_u64, ApiError, EnsembleRequest, OptimizeRequest,
+    ThresholdRequest,
+};
+use crate::wire::{self, Value};
+use rumor_jobs::JobSpec;
+
+type Result<T> = std::result::Result<T, ApiError>;
+
+/// Which engine a campaign drives at each grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// `r0`/equilibrium analysis per `λ0` grid point.
+    ThresholdSweep,
+    /// Guarded-FBSM optimization per `λ0` grid point, threading the
+    /// previous point's schedule as a warm start.
+    OptimizeSweep,
+    /// One ABM replica per point (`seed = base seed + index`).
+    Ensemble,
+}
+
+impl JobKind {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobKind::ThresholdSweep => "threshold_sweep",
+            JobKind::OptimizeSweep => "optimize_sweep",
+            JobKind::Ensemble => "ensemble",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<JobKind> {
+        match s {
+            "threshold_sweep" => Some(JobKind::ThresholdSweep),
+            "optimize_sweep" => Some(JobKind::OptimizeSweep),
+            "ensemble" => Some(JobKind::Ensemble),
+            _ => None,
+        }
+    }
+}
+
+/// `POST /v1/jobs` — a validated campaign submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSubmitRequest {
+    /// Engine driven at each point.
+    pub kind: JobKind,
+    /// Grid points (or replicas) in the campaign.
+    pub points: u64,
+    /// Canonical form of the per-point base request (same validation as
+    /// the synchronous endpoint of the same name).
+    pub base: Value,
+    /// Sweep start: `λ0` at point 0.
+    pub sweep_from: f64,
+    /// Sweep end: `λ0` at the last point.
+    pub sweep_to: f64,
+    /// Artificial per-point delay (test seam; capped small).
+    pub throttle_ms: u64,
+    /// Points that fail on their first attempt only.
+    pub inject_transient: Vec<u64>,
+    /// Points that fail on every attempt.
+    pub inject_persistent: Vec<u64>,
+}
+
+fn index_list(v: &Value, key: &str, points: u64) -> Result<Vec<u64>> {
+    let Some(item) = v.get(key) else {
+        return Ok(Vec::new());
+    };
+    let Some(items) = item.as_arr() else {
+        return Err(field_err(key, "must be an array of point indices"));
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for x in items {
+        let n = x
+            .as_f64()
+            .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+            .ok_or_else(|| field_err(key, "must be an array of non-negative integers"))?;
+        if n >= points as f64 {
+            return Err(field_err(
+                key,
+                format!("index {n} is out of range for a {points}-point campaign"),
+            ));
+        }
+        out.push(n as u64);
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+impl JobSubmitRequest {
+    /// Largest campaign a single submission may enqueue.
+    pub const MAX_POINTS: u64 = 100_000;
+
+    /// Parses and validates a job submission body.
+    pub fn from_value(v: &Value) -> Result<Self> {
+        check_keys(
+            v,
+            "request",
+            &["kind", "points", "base", "sweep", "throttle_ms", "inject"],
+        )?;
+        let kind = match v.get("kind") {
+            None => JobKind::ThresholdSweep,
+            Some(item) => item.as_str().and_then(JobKind::parse).ok_or_else(|| {
+                field_err(
+                    "kind",
+                    "must be one of threshold_sweep, optimize_sweep, ensemble",
+                )
+            })?,
+        };
+        let points = get_u64(v, "points", 100)?;
+        if !(1..=Self::MAX_POINTS).contains(&points) {
+            return Err(field_err(
+                "points",
+                format!("must lie in [1, {}]", Self::MAX_POINTS),
+            ));
+        }
+        let (sweep_from, sweep_to) = match v.get("sweep") {
+            None => (0.01, 0.05),
+            Some(sweep) => {
+                check_keys(sweep, "sweep", &["from", "to"])?;
+                (get_f64(sweep, "from", 0.01)?, get_f64(sweep, "to", 0.05)?)
+            }
+        };
+        for (key, x) in [("sweep.from", sweep_from), ("sweep.to", sweep_to)] {
+            if !(x.is_finite() && x > 0.0 && x <= 10.0) {
+                return Err(field_err(key, format!("must lie in (0, 10], got {x}")));
+            }
+        }
+        let throttle_ms = get_u64(v, "throttle_ms", 0)?;
+        if throttle_ms > 100 {
+            return Err(field_err("throttle_ms", "must lie in [0, 100]"));
+        }
+        let (inject_transient, inject_persistent) = match v.get("inject") {
+            None => (Vec::new(), Vec::new()),
+            Some(inject) => {
+                check_keys(inject, "inject", &["transient", "persistent"])?;
+                (
+                    index_list(inject, "transient", points)?,
+                    index_list(inject, "persistent", points)?,
+                )
+            }
+        };
+        let base_raw = v.get("base").cloned().unwrap_or(Value::Obj(Vec::new()));
+        let base = match kind {
+            JobKind::ThresholdSweep => {
+                ThresholdRequest::from_value(&base_raw).map(|r| r.canonical())
+            }
+            JobKind::OptimizeSweep => OptimizeRequest::from_value(&base_raw).map(|r| r.canonical()),
+            JobKind::Ensemble => EnsembleRequest::from_value(&base_raw).map(|r| r.canonical()),
+        }
+        .map_err(|e| ApiError(format!("base: {e}")))?;
+        Ok(JobSubmitRequest {
+            kind,
+            points,
+            base,
+            sweep_from,
+            sweep_to,
+            throttle_ms,
+            inject_transient,
+            inject_persistent,
+        })
+    }
+
+    /// The canonical (defaults-materialized, fixed-order) wire value.
+    pub fn canonical(&self) -> Value {
+        let num_list = |xs: &[u64]| Value::Arr(xs.iter().map(|&x| Value::Num(x as f64)).collect());
+        Value::obj([
+            ("kind", Value::Str(self.kind.as_str().to_string())),
+            ("points", Value::Num(self.points as f64)),
+            ("base", self.base.clone()),
+            (
+                "sweep",
+                Value::obj([
+                    ("from", Value::Num(self.sweep_from)),
+                    ("to", Value::Num(self.sweep_to)),
+                ]),
+            ),
+            ("throttle_ms", Value::Num(self.throttle_ms as f64)),
+            (
+                "inject",
+                Value::obj([
+                    ("transient", num_list(&self.inject_transient)),
+                    ("persistent", num_list(&self.inject_persistent)),
+                ]),
+            ),
+        ])
+    }
+
+    /// The durable job spec: kind label, point count, and the canonical
+    /// submission bytes as the opaque payload.
+    pub fn to_spec(&self) -> JobSpec {
+        JobSpec {
+            kind: self.kind.as_str().to_string(),
+            n_points: self.points,
+            payload: wire::serialize(&self.canonical()).into_bytes(),
+        }
+    }
+
+    /// Decodes a durable spec back into the validated submission. The
+    /// payload is the canonical form, which re-parses by construction;
+    /// errors mean a foreign or corrupt payload.
+    pub fn decode_spec(spec: &JobSpec) -> Result<Self> {
+        let text = std::str::from_utf8(&spec.payload)
+            .map_err(|_| ApiError("spec payload is not UTF-8".into()))?;
+        let value = wire::parse(text).map_err(|e| ApiError(format!("spec payload: {e}")))?;
+        JobSubmitRequest::from_value(&value)
+    }
+
+    /// The swept `λ0` at grid point `index` (linear interpolation from
+    /// `sweep_from` to `sweep_to`; a 1-point campaign sits at `from`).
+    pub fn lambda0_at(&self, index: u64) -> f64 {
+        let denom = self.points.saturating_sub(1).max(1) as f64;
+        self.sweep_from + (self.sweep_to - self.sweep_from) * index as f64 / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::parse;
+
+    #[test]
+    fn defaults_fill_missing_fields() {
+        let req = JobSubmitRequest::from_value(&parse("{}").unwrap()).unwrap();
+        assert_eq!(req.kind, JobKind::ThresholdSweep);
+        assert_eq!(req.points, 100);
+        assert_eq!(req.throttle_ms, 0);
+        assert!(req.inject_transient.is_empty());
+        // Base was validated and canonicalized with its own defaults.
+        assert!(req.base.get("network").is_some());
+        assert!(req.base.get("model").is_some());
+    }
+
+    #[test]
+    fn bad_submissions_are_rejected() {
+        for bad in [
+            r#"{"kind": "nope"}"#,
+            r#"{"points": 0}"#,
+            r#"{"points": 1000001}"#,
+            r#"{"sweep": {"from": 0}}"#,
+            r#"{"sweep": {"upto": 1}}"#,
+            r#"{"throttle_ms": 5000}"#,
+            r#"{"points": 4, "inject": {"persistent": [9]}}"#,
+            r#"{"inject": {"persistent": [-1]}}"#,
+            r#"{"kind": "ensemble", "base": {"runs": 500}}"#,
+            r#"{"base": {"tff": 1}}"#,
+        ] {
+            assert!(
+                JobSubmitRequest::from_value(&parse(bad).unwrap()).is_err(),
+                "accepted {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_byte_for_byte() {
+        let req = JobSubmitRequest::from_value(
+            &parse(
+                r#"{"kind": "optimize_sweep", "points": 7,
+                    "sweep": {"from": 0.02, "to": 0.03},
+                    "inject": {"transient": [3, 1, 3]},
+                    "base": {"tf": 20, "network": {"nodes": 300, "k_max": 25}}}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let spec = req.to_spec();
+        assert_eq!(spec.kind, "optimize_sweep");
+        assert_eq!(spec.n_points, 7);
+        let back = JobSubmitRequest::decode_spec(&spec).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.to_spec().payload, spec.payload);
+        // Injection lists are normalized (sorted, deduped).
+        assert_eq!(back.inject_transient, vec![1, 3]);
+    }
+
+    #[test]
+    fn sweep_interpolates_inclusively() {
+        let req = JobSubmitRequest::from_value(
+            &parse(r#"{"points": 5, "sweep": {"from": 0.01, "to": 0.05}}"#).unwrap(),
+        )
+        .unwrap();
+        assert!((req.lambda0_at(0) - 0.01).abs() < 1e-12);
+        assert!((req.lambda0_at(2) - 0.03).abs() < 1e-12);
+        assert!((req.lambda0_at(4) - 0.05).abs() < 1e-12);
+        let single = JobSubmitRequest::from_value(&parse(r#"{"points": 1}"#).unwrap()).unwrap();
+        assert!((single.lambda0_at(0) - 0.01).abs() < 1e-12);
+    }
+}

@@ -11,8 +11,12 @@
 //! | `POST /v1/threshold` | `r0` (Theorem 1), `E0`/`E+` equilibria, Theorem-2 consistency |
 //! | `POST /v1/optimize` | guarded-FBSM `ε1/ε2` schedule and cost `J` (Eqs. (15)–(19)) |
 //! | `POST /v1/ensemble` | fault-isolated parallel ABM ensemble vs the mean field |
+//! | `POST /v1/jobs` | submit a durable campaign (crash-safe sweep over `λ0` or replicas) |
+//! | `GET /v1/jobs` / `GET /v1/jobs/{id}` | list / inspect campaign state and quarantine manifest |
+//! | `GET /v1/jobs/{id}/results` | the durable per-point result set (partial mid-run) |
+//! | `POST /v1/jobs/{id}/cancel` / `.../resume` | stop at a point boundary / re-queue with a fresh retry budget |
 //! | `GET /healthz` | liveness |
-//! | `GET /metrics` | text counters: requests, cache, rejections, in-flight, latency histograms |
+//! | `GET /metrics` | text counters: requests, cache, rejections, in-flight, latency histograms, job series |
 //!
 //! Production posture on a one-machine budget:
 //!
@@ -27,6 +31,10 @@
 //!   [`api`]).
 //! * **Graceful shutdown** — SIGTERM/SIGINT close the listener and
 //!   drain in-flight jobs before exit ([`signal`]).
+//! * **Durable campaigns** — `/v1/jobs` submissions persist through a
+//!   write-ahead journal (`rumor-jobs`); `kill -9` mid-campaign costs
+//!   at most one checkpoint interval and the restarted server resumes
+//!   from the durable checkpoint ([`jobs_api`], [`jobs_exec`]).
 //!
 //! The wire layer ([`wire`]) is a hand-rolled strict JSON
 //! parser/serializer, because the offline vendored build has no serde.
@@ -35,6 +43,8 @@ pub mod api;
 pub mod cache;
 pub mod handlers;
 pub mod http;
+pub mod jobs_api;
+pub mod jobs_exec;
 pub mod metrics;
 pub mod server;
 pub mod signal;

@@ -17,16 +17,18 @@ use std::sync::Arc;
 pub const LATENCY_BUCKETS_MS: [u64; 7] = [1, 5, 25, 100, 500, 2_500, 10_000];
 
 /// The endpoints with per-endpoint series, in render order.
-pub const ENDPOINTS: [&str; 6] = [
+pub const ENDPOINTS: [&str; 7] = [
     "healthz",
     "metrics",
     "simulate",
     "threshold",
     "optimize",
     "ensemble",
+    "jobs",
 ];
 
-/// Index into [`ENDPOINTS`] for a request target, if it is known.
+/// Index into [`ENDPOINTS`] for a request target, if it is known. The
+/// jobs family (`/v1/jobs`, `/v1/jobs/{id}`, …) shares one series.
 pub fn endpoint_index(method: &str, target: &str) -> Option<usize> {
     match (method, target) {
         ("GET", "/healthz") => Some(0),
@@ -35,6 +37,7 @@ pub fn endpoint_index(method: &str, target: &str) -> Option<usize> {
         ("POST", "/v1/threshold") => Some(3),
         ("POST", "/v1/optimize") => Some(4),
         ("POST", "/v1/ensemble") => Some(5),
+        ("GET" | "POST", t) if t == "/v1/jobs" || t.starts_with("/v1/jobs/") => Some(6),
         _ => None,
     }
 }
@@ -70,6 +73,9 @@ pub struct Metrics {
     /// Result-cache evictions.
     pub cache_evictions: Arc<Counter>,
     per_endpoint: [EndpointSeries; ENDPOINTS.len()],
+    /// Durable-job series (shared with the [`rumor_jobs::JobManager`]),
+    /// rendered at the end of the page.
+    pub jobs: Arc<rumor_jobs::JobsMetrics>,
 }
 
 impl Default for Metrics {
@@ -106,6 +112,7 @@ impl Metrics {
                 &LATENCY_BUCKETS_MS,
             ),
         });
+        let jobs = rumor_jobs::JobsMetrics::register(&mut registry);
         Metrics {
             registry,
             admitted,
@@ -119,6 +126,7 @@ impl Metrics {
             cache_misses,
             cache_evictions,
             per_endpoint,
+            jobs,
         }
     }
 
@@ -149,6 +157,14 @@ mod tests {
         assert_eq!(endpoint_index("POST", "/healthz"), None);
         assert_eq!(endpoint_index("GET", "/v1/simulate"), None);
         assert_eq!(endpoint_index("GET", "/nope"), None);
+        assert_eq!(endpoint_index("POST", "/v1/jobs"), Some(6));
+        assert_eq!(endpoint_index("GET", "/v1/jobs/job-000001"), Some(6));
+        assert_eq!(
+            endpoint_index("GET", "/v1/jobs/job-000001/results"),
+            Some(6)
+        );
+        assert_eq!(endpoint_index("DELETE", "/v1/jobs"), None);
+        assert_eq!(endpoint_index("GET", "/v1/jobsx"), None);
     }
 
     #[test]
@@ -278,6 +294,20 @@ mod tests {
                 sum,
             );
         }
+        // The durable-job series render last, in registration order.
+        line(&mut expected, "rumor_jobs_submitted_total", 0);
+        line(&mut expected, "rumor_jobs_recovered_total", 0);
+        for state in ["done", "partial", "failed", "cancelled"] {
+            line(
+                &mut expected,
+                &format!("rumor_jobs_finished_total{{state=\"{state}\"}}"),
+                0,
+            );
+        }
+        line(&mut expected, "rumor_jobs_points_completed_total", 0);
+        line(&mut expected, "rumor_jobs_points_retried_total", 0);
+        line(&mut expected, "rumor_jobs_points_quarantined_total", 0);
+        line(&mut expected, "rumor_jobs_running", 0);
         assert_eq!(m.render(), expected);
         // Rendering twice is also stable (no internal mutation).
         assert_eq!(m.render(), m.render());

@@ -30,9 +30,12 @@ use crate::api::{
 use crate::cache::LruCache;
 use crate::handlers::{self, HandlerError};
 use crate::http::{self, ReadError, Request};
+use crate::jobs_api::JobSubmitRequest;
+use crate::jobs_exec::CampaignRunner;
 use crate::metrics::{endpoint_index, Metrics};
 use crate::wire::{self, Value};
 use crate::ServeError;
+use rumor_jobs::{JobManager, JobManagerConfig, JobStatus, JobsError};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
@@ -63,6 +66,10 @@ pub struct ServeConfig {
     pub deadline_ms: u64,
     /// Socket read/write timeout in milliseconds (`408` on expiry).
     pub io_timeout_ms: u64,
+    /// Durable-jobs directory; `None` disables the `/v1/jobs` family
+    /// (those endpoints answer `503`). Opening the directory replays
+    /// its journals and resumes interrupted campaigns.
+    pub jobs_dir: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +82,7 @@ impl Default for ServeConfig {
             max_body_bytes: 1024 * 1024,
             deadline_ms: 30_000,
             io_timeout_ms: 5_000,
+            jobs_dir: None,
         }
     }
 }
@@ -115,6 +123,13 @@ impl ServeConfig {
                 "io_timeout_ms: must be at least 1".into(),
             ));
         }
+        if let Some(dir) = &self.jobs_dir {
+            if dir.is_empty() {
+                return Err(ServeError::InvalidConfig(
+                    "jobs_dir: must not be empty when given".into(),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -139,6 +154,7 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     workers: usize,
     threads: Vec<JoinHandle<()>>,
+    jobs: Option<Arc<JobManager>>,
 }
 
 /// A cloneable handle that can request shutdown from another thread.
@@ -177,11 +193,21 @@ impl Server {
         }
     }
 
-    /// Requests shutdown and joins every thread (acceptor + workers).
+    /// The durable job manager, when `jobs_dir` was configured.
+    pub fn jobs(&self) -> Option<Arc<JobManager>> {
+        self.jobs.clone()
+    }
+
+    /// Requests shutdown and joins every thread (acceptor + workers),
+    /// then parks the job worker: a running campaign transitions back
+    /// to `queued` on disk so the next start resumes it.
     pub fn shutdown_and_join(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         for handle in self.threads.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(jobs) = self.jobs.take() {
+            jobs.shutdown();
         }
     }
 
@@ -215,6 +241,17 @@ pub fn serve(config: &ServeConfig) -> Result<Server, ServeError> {
     let local_addr = listener.local_addr().map_err(ServeError::Io)?;
 
     let metrics = Arc::new(Metrics::new());
+    let jobs = match &config.jobs_dir {
+        Some(dir) => Some(
+            JobManager::open(
+                JobManagerConfig::new(dir),
+                Arc::new(CampaignRunner { workers }),
+                Arc::clone(&metrics.jobs),
+            )
+            .map_err(jobs_open_error)?,
+        ),
+        None => None,
+    };
     let cache = Arc::new(Mutex::new(LruCache::new(config.cache_entries)));
     let shutdown = Arc::new(AtomicBool::new(false));
     let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_depth);
@@ -226,10 +263,11 @@ pub fn serve(config: &ServeConfig) -> Result<Server, ServeError> {
         let metrics = Arc::clone(&metrics);
         let cache = Arc::clone(&cache);
         let config = config.clone();
+        let jobs = jobs.clone();
         threads.push(
             std::thread::Builder::new()
                 .name(format!("rumor-serve-worker-{worker_id}"))
-                .spawn(move || worker_loop(&rx, &metrics, &cache, &config, workers))
+                .spawn(move || worker_loop(&rx, &metrics, &cache, &config, workers, jobs.as_ref()))
                 .map_err(ServeError::Io)?,
         );
     }
@@ -251,7 +289,20 @@ pub fn serve(config: &ServeConfig) -> Result<Server, ServeError> {
         shutdown,
         workers,
         threads,
+        jobs,
     })
+}
+
+/// Maps a job-store failure at startup onto the service error space.
+fn jobs_open_error(e: JobsError) -> ServeError {
+    match e {
+        JobsError::InvalidConfig(m) => ServeError::InvalidConfig(format!("jobs: {m}")),
+        JobsError::Io { context, source } => ServeError::Io(std::io::Error::new(
+            source.kind(),
+            format!("jobs: {context}: {source}"),
+        )),
+        other => ServeError::InvalidConfig(format!("jobs: {other}")),
+    }
 }
 
 fn accept_loop(
@@ -341,6 +392,7 @@ fn worker_loop(
     cache: &Mutex<LruCache>,
     config: &ServeConfig,
     workers: usize,
+    jobs: Option<&Arc<JobManager>>,
 ) {
     loop {
         // Hold the receiver lock only for the dequeue itself.
@@ -352,7 +404,7 @@ fn worker_loop(
             return; // Queue closed and drained: orderly exit.
         };
         metrics.in_flight.inc();
-        handle_connection(job, metrics, cache, config, workers);
+        handle_connection(job, metrics, cache, config, workers, jobs);
         metrics.in_flight.dec();
     }
 }
@@ -364,6 +416,7 @@ fn handle_connection(
     cache: &Mutex<LruCache>,
     config: &ServeConfig,
     workers: usize,
+    jobs: Option<&Arc<JobManager>>,
 ) {
     let Job {
         mut stream,
@@ -440,6 +493,7 @@ fn handle_connection(
         metrics,
         cache,
         workers,
+        jobs,
     );
     if sp.active() {
         sp.field(
@@ -465,17 +519,20 @@ fn route(
     metrics: &Metrics,
     cache: &Mutex<LruCache>,
     workers: usize,
+    jobs: Option<&Arc<JobManager>>,
 ) -> u16 {
     let Some(_) = endpoint else {
+        let target = request.target.as_str();
         let known_path = matches!(
-            request.target.as_str(),
+            target,
             "/healthz"
                 | "/metrics"
                 | "/v1/simulate"
                 | "/v1/threshold"
                 | "/v1/optimize"
                 | "/v1/ensemble"
-        );
+        ) || target == "/v1/jobs"
+            || target.starts_with("/v1/jobs/");
         let (status, message) = if known_path {
             (405, "method not allowed for this endpoint")
         } else {
@@ -510,10 +567,200 @@ fn route(
             );
             200
         }
+        (method, target) if target == "/v1/jobs" || target.starts_with("/v1/jobs/") => {
+            jobs_endpoint(stream, request, method, target, trace_id, jobs)
+        }
         (_, target) => compute_endpoint(
             stream, request, target, trace_id, accepted, deadline, metrics, cache, workers,
         ),
     }
+}
+
+/// The stateful `/v1/jobs` family. Responses are never cached — they
+/// describe mutable job state, not a pure function of the request.
+fn jobs_endpoint(
+    stream: &mut TcpStream,
+    request: &Request,
+    method: &str,
+    target: &str,
+    trace_id: u64,
+    jobs: Option<&Arc<JobManager>>,
+) -> u16 {
+    let Some(manager) = jobs else {
+        respond_error(
+            stream,
+            trace_id,
+            503,
+            "durable jobs are not enabled (start the server with a jobs directory)",
+        );
+        return 503;
+    };
+
+    // `/v1/jobs` | `/v1/jobs/{id}` | `/v1/jobs/{id}/{action}`.
+    let rest = target.strip_prefix("/v1/jobs").unwrap_or_default();
+    let mut parts = rest.trim_start_matches('/').splitn(2, '/');
+    let id = parts.next().unwrap_or_default();
+    let action = parts.next().unwrap_or_default();
+
+    let outcome: Result<(u16, Value), (u16, String)> = match (method, id, action) {
+        ("POST", "", "") => jobs_submit(request, manager),
+        ("GET", "", "") => Ok((
+            200,
+            Value::obj([(
+                "jobs",
+                Value::Arr(manager.list().iter().map(status_value).collect()),
+            )]),
+        )),
+        ("GET", id, "") => match manager.status(id) {
+            Some(status) => Ok((200, status_value(&status))),
+            None => Err((404, format!("unknown job {id:?}"))),
+        },
+        ("GET", id, "results") => jobs_results(manager, id),
+        ("POST", id, "cancel") => match manager.cancel(id) {
+            Ok(state) => Ok((
+                200,
+                Value::obj([
+                    ("id", Value::Str(id.to_string())),
+                    ("state", Value::Str(state.as_str().to_string())),
+                ]),
+            )),
+            Err(e) => Err(jobs_error_status(e)),
+        },
+        ("POST", id, "resume") => match manager.resume(id) {
+            Ok(()) => Ok((
+                200,
+                Value::obj([
+                    ("id", Value::Str(id.to_string())),
+                    ("state", Value::Str("queued".to_string())),
+                ]),
+            )),
+            Err(e) => Err(jobs_error_status(e)),
+        },
+        ("GET" | "POST", _, _) => Err((404, "no such jobs endpoint".to_string())),
+        _ => Err((405, "method not allowed for this endpoint".to_string())),
+    };
+    match outcome {
+        Ok((status, value)) => {
+            let body = wire::serialize(&value);
+            respond(
+                stream,
+                trace_id,
+                status,
+                "application/json",
+                &[],
+                body.as_bytes(),
+            );
+            status
+        }
+        Err((status, message)) => {
+            respond_error(stream, trace_id, status, &message);
+            status
+        }
+    }
+}
+
+fn jobs_submit(
+    request: &Request,
+    manager: &Arc<JobManager>,
+) -> Result<(u16, Value), (u16, String)> {
+    let body_text = std::str::from_utf8(&request.body)
+        .map_err(|_| (400, "body is not valid UTF-8".to_string()))?;
+    let parsed = if body_text.trim().is_empty() {
+        Value::Obj(Vec::new())
+    } else {
+        wire::parse(body_text).map_err(|e| (400, e.to_string()))?
+    };
+    let submission = JobSubmitRequest::from_value(&parsed).map_err(|e| (400, e.to_string()))?;
+    let id = manager
+        .submit(submission.to_spec())
+        .map_err(jobs_error_status)?;
+    Ok((
+        200,
+        Value::obj([
+            ("id", Value::Str(id)),
+            ("state", Value::Str("queued".to_string())),
+            ("kind", Value::Str(submission.kind.as_str().to_string())),
+            ("points", Value::Num(submission.points as f64)),
+        ]),
+    ))
+}
+
+/// Assembles the durable result set. The body deliberately excludes the
+/// job ID and timing so two campaigns over the same spec — one
+/// uninterrupted, one killed and recovered — produce byte-identical
+/// bodies when complete.
+fn jobs_results(manager: &Arc<JobManager>, id: &str) -> Result<(u16, Value), (u16, String)> {
+    let status = manager
+        .status(id)
+        .ok_or_else(|| (404, format!("unknown job {id:?}")))?;
+    let rows = manager.results(id).map_err(jobs_error_status)?;
+    let mut results = Vec::with_capacity(rows.len());
+    for (index, payload) in rows {
+        let parsed = std::str::from_utf8(&payload)
+            .ok()
+            .and_then(|text| wire::parse(text).ok());
+        results.push(parsed.unwrap_or_else(|| {
+            Value::obj([("point", Value::Num(index as f64)), ("raw", Value::Null)])
+        }));
+    }
+    Ok((
+        200,
+        Value::obj([
+            ("state", Value::Str(status.state.as_str().to_string())),
+            ("total", Value::Num(status.total as f64)),
+            ("completed", Value::Num(status.completed as f64)),
+            (
+                "quarantined",
+                Value::Arr(
+                    status
+                        .quarantined
+                        .iter()
+                        .map(|&i| Value::Num(i as f64))
+                        .collect(),
+                ),
+            ),
+            ("missing", Value::Num(status.missing() as f64)),
+            ("results", Value::Arr(results)),
+        ]),
+    ))
+}
+
+fn status_value(status: &JobStatus) -> Value {
+    Value::obj([
+        ("id", Value::Str(status.id.clone())),
+        ("kind", Value::Str(status.kind.clone())),
+        ("state", Value::Str(status.state.as_str().to_string())),
+        ("total", Value::Num(status.total as f64)),
+        ("completed", Value::Num(status.completed as f64)),
+        (
+            "quarantined",
+            Value::Arr(
+                status
+                    .quarantined
+                    .iter()
+                    .map(|&i| Value::Num(i as f64))
+                    .collect(),
+            ),
+        ),
+        ("missing", Value::Num(status.missing() as f64)),
+        ("retries", Value::Num(status.retries as f64)),
+        (
+            "last_error",
+            match &status.last_error {
+                Some(m) => Value::Str(m.clone()),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+fn jobs_error_status(e: JobsError) -> (u16, String) {
+    let status = match &e {
+        JobsError::UnknownJob(_) => 404,
+        JobsError::InvalidConfig(_) | JobsError::InvalidTransition { .. } => 400,
+        JobsError::Io { .. } | JobsError::Corrupt(_) => 500,
+    };
+    (status, e.to_string())
 }
 
 /// The `POST /v1/*` path: parse JSON → validate → cache lookup →

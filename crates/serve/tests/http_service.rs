@@ -326,3 +326,175 @@ fn worker_count_resolution_is_shared_with_rumor_par() {
     assert_eq!(server.workers(), 3);
     server.shutdown_and_join();
 }
+
+/// A unique, freshly created jobs directory for one test.
+fn temp_jobs_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rumor-serve-jobs-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).expect("create jobs dir");
+    dir
+}
+
+/// Polls a job's status endpoint until it reaches a finished state.
+fn wait_for_finish(server: &Server, id: &str, timeout: Duration) -> String {
+    let started = std::time::Instant::now();
+    loop {
+        let status = request(server, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status.status, 200, "body: {}", status.body_text());
+        let text = status.body_text();
+        for state in ["\"done\"", "\"partial\"", "\"failed\"", "\"cancelled\""] {
+            if text.contains(&format!("\"state\":{state}")) {
+                return text;
+            }
+        }
+        assert!(
+            started.elapsed() < timeout,
+            "job {id} did not finish in {timeout:?}: {text}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn jobs_endpoints_answer_503_when_disabled() {
+    let server = start(ServeConfig::default());
+    let refused = request(&server, "POST", "/v1/jobs", "{}");
+    assert_eq!(refused.status, 503, "body: {}", refused.body_text());
+    assert!(refused.body_text().contains("not enabled"));
+    assert_eq!(request(&server, "GET", "/v1/jobs", "").status, 503);
+    // Method/path hygiene is independent of the manager.
+    assert_eq!(request(&server, "DELETE", "/v1/jobs", "").status, 405);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn job_campaign_runs_retries_and_quarantines_over_http() {
+    let dir = temp_jobs_dir("campaign");
+    let server = start(ServeConfig {
+        jobs_dir: Some(dir.to_string_lossy().into_owned()),
+        ..ServeConfig::default()
+    });
+
+    // Point 1 fails once (retry succeeds); point 3 is poison and must
+    // quarantine, leaving the campaign `partial` with a manifest.
+    let submitted = request(
+        &server,
+        "POST",
+        "/v1/jobs",
+        r#"{"kind": "threshold_sweep", "points": 5,
+            "sweep": {"from": 0.02, "to": 0.03},
+            "inject": {"transient": [1], "persistent": [3]},
+            "base": {"network": {"nodes": 300, "k_max": 25, "mean_degree": 4}}}"#,
+    );
+    assert_eq!(submitted.status, 200, "body: {}", submitted.body_text());
+    let text = submitted.body_text();
+    assert!(text.contains("\"state\":\"queued\""), "body: {text}");
+    let id = text
+        .split("\"id\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("job id in response")
+        .to_string();
+
+    let finished = wait_for_finish(&server, &id, Duration::from_secs(60));
+    assert!(finished.contains("\"state\":\"partial\""), "{finished}");
+    assert!(finished.contains("\"quarantined\":[3]"), "{finished}");
+    assert!(finished.contains("\"completed\":4"), "{finished}");
+
+    let results = request(&server, "GET", &format!("/v1/jobs/{id}/results"), "");
+    assert_eq!(results.status, 200);
+    let body = results.body_text();
+    assert!(body.contains("\"quarantined\":[3]"), "{body}");
+    assert!(body.contains("\"lambda0\":0.02"), "{body}");
+    assert!(body.contains("\"r0\""), "{body}");
+    // Four durable point results, none for the quarantined index.
+    assert_eq!(body.matches("\"point\":").count(), 4, "{body}");
+    assert!(!body.contains("\"point\":3"), "{body}");
+
+    // The job list and the metrics page both see the campaign.
+    let listed = request(&server, "GET", "/v1/jobs", "").body_text();
+    assert!(listed.contains(&id), "{listed}");
+    let metrics = request(&server, "GET", "/metrics", "").body_text();
+    assert!(
+        metrics.contains("rumor_jobs_submitted_total 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("rumor_jobs_finished_total{state=\"partial\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("rumor_jobs_points_quarantined_total 1"),
+        "{metrics}"
+    );
+
+    // Unknown jobs and illegal transitions map to clean statuses.
+    assert_eq!(
+        request(&server, "GET", "/v1/jobs/job-999999", "").status,
+        404
+    );
+    assert_eq!(
+        request(&server, "POST", &format!("/v1/jobs/{id}/bogus"), "").status,
+        404
+    );
+
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancelled_job_resumes_and_completes_without_rerunning_points() {
+    let dir = temp_jobs_dir("resume");
+    let server = start(ServeConfig {
+        jobs_dir: Some(dir.to_string_lossy().into_owned()),
+        ..ServeConfig::default()
+    });
+
+    // Throttled so cancel lands mid-campaign.
+    let submitted = request(
+        &server,
+        "POST",
+        "/v1/jobs",
+        r#"{"kind": "threshold_sweep", "points": 40, "throttle_ms": 25,
+            "base": {"network": {"nodes": 300, "k_max": 25, "mean_degree": 4}}}"#,
+    );
+    assert_eq!(submitted.status, 200, "body: {}", submitted.body_text());
+    let text = submitted.body_text();
+    let id = text
+        .split("\"id\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("job id")
+        .to_string();
+
+    std::thread::sleep(Duration::from_millis(200));
+    let cancel = request(&server, "POST", &format!("/v1/jobs/{id}/cancel"), "");
+    assert_eq!(cancel.status, 200, "body: {}", cancel.body_text());
+    let finished = wait_for_finish(&server, &id, Duration::from_secs(30));
+    assert!(finished.contains("\"state\":\"cancelled\""), "{finished}");
+
+    let resume = request(&server, "POST", &format!("/v1/jobs/{id}/resume"), "");
+    assert_eq!(resume.status, 200, "body: {}", resume.body_text());
+    let finished = wait_for_finish(&server, &id, Duration::from_secs(60));
+    assert!(finished.contains("\"state\":\"done\""), "{finished}");
+    assert!(finished.contains("\"completed\":40"), "{finished}");
+
+    // Resuming a done job is an illegal transition -> 400.
+    assert_eq!(
+        request(&server, "POST", &format!("/v1/jobs/{id}/resume"), "").status,
+        400
+    );
+
+    let results = request(&server, "GET", &format!("/v1/jobs/{id}/results"), "");
+    let body = results.body_text();
+    assert_eq!(body.matches("\"point\":").count(), 40, "{body}");
+
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
