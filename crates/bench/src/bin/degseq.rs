@@ -1,0 +1,86 @@
+//! `degseq` — writes the Digg-equivalent degree sequence to a file,
+//! one degree per line, preceded by `#`-comment header lines recording
+//! the generating configuration.
+//!
+//! This is the deterministic fallback behind `scripts/fetch_digg.sh`:
+//! the real Digg2009 distribution link is dead and the data is not
+//! redistributable, so anything that needs the degree sequence (bench
+//! tiers, external tooling, plotting) can synthesize the calibrated
+//! equivalent reproducibly — same bytes on every machine, every run.
+//!
+//! ```sh
+//! cargo run --release -p rumor-bench --bin degseq -- [--scale small|full] [--out FILE]
+//! ```
+//!
+//! Defaults: `--scale full`, `--out results/digg_degrees.txt`.
+
+use rumor_bench::{digg_dataset, results_dir, Scale};
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+
+fn main() {
+    let mut scale = Scale::Full;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--scale" => {
+                scale = match value("--scale").as_str() {
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => {
+                        eprintln!("error: --scale must be small or full, got {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--out" => out = Some(PathBuf::from(value("--out"))),
+            other => {
+                eprintln!("error: unknown option {other:?} (expected --scale, --out)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let path = out.unwrap_or_else(|| {
+        std::fs::create_dir_all(results_dir()).expect("create results dir");
+        results_dir().join("digg_degrees.txt")
+    });
+
+    let ds = digg_dataset(scale);
+    let s = ds.summary();
+    let file = std::fs::File::create(&path).expect("create degree-sequence file");
+    let mut w = BufWriter::new(file);
+    writeln!(
+        w,
+        "# synthetic Digg2009-equivalent degree sequence (one degree per line)"
+    )
+    .expect("write header");
+    writeln!(
+        w,
+        "# nodes: {}, classes: {}, k: [{}, {}], mean: {:.4}, gamma: {:.6}, seed: {:#x}",
+        s.nodes,
+        s.degree_classes,
+        s.min_degree,
+        s.max_degree,
+        s.mean_degree,
+        ds.gamma(),
+        ds.config().seed
+    )
+    .expect("write header");
+    for &k in ds.degrees() {
+        writeln!(w, "{k}").expect("write degree");
+    }
+    w.flush().expect("flush degree sequence");
+    println!(
+        "wrote {} degrees ({} classes) to {}",
+        s.nodes,
+        s.degree_classes,
+        path.display()
+    );
+}

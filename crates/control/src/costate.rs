@@ -23,6 +23,7 @@
 
 use crate::CostWeights;
 use rumor_core::control::ControlSchedule;
+use rumor_core::kernels;
 use rumor_core::params::ModelParams;
 use rumor_ode::solution::Solution;
 use rumor_ode::system::OdeSystem;
@@ -128,26 +129,33 @@ impl<C: ControlSchedule> OdeSystem for CostateSystem<'_, C> {
             .expect("forward trajectory must cover the adjoint's time span");
         let s = &state[..n];
         let i = &state[n..2 * n];
-        // Θ(t) from the stored forward state, via the fused ϕ/⟨k⟩ table.
-        let theta: f64 = theta_w.iter().zip(i).map(|(w, ii)| w * ii).sum();
-        // Network coupling Σ_i (ψ_i − φ_i) λ_i S_i (exact adjoint only).
-        let coupling: f64 = match self.variant {
-            AdjointVariant::Exact => (0..n).map(|j| (y[j] - y[n + j]) * lambda[j] * s[j]).sum(),
-            AdjointVariant::PaperDiagonal => 0.0,
-        };
-        for j in 0..n {
-            let psi = y[j];
-            let phi_j = y[n + j];
-            dydt[j] = -2.0 * self.weights.c1 * eps1 * eps1 * s[j]
-                + psi * (lambda[j] * theta + eps1)
-                - phi_j * lambda[j] * theta;
-            let coupling_j = match self.variant {
-                AdjointVariant::Exact => coupling,
-                AdjointVariant::PaperDiagonal => (psi - phi_j) * lambda[j] * s[j],
-            };
-            dydt[n + j] = -2.0 * self.weights.c2 * eps2 * eps2 * i[j]
-                + theta_w[j] * coupling_j
-                + phi_j * eps2;
+        // Θ(t) from the stored forward state, via the fused ϕ/⟨k⟩ table
+        // and the chunked dot kernel.
+        let theta = kernels::dot(theta_w, i);
+        let (psi, phi) = y.split_at(n);
+        let (dpsi, dphi) = dydt.split_at_mut(n);
+        let c1e1sq2 = 2.0 * self.weights.c1 * eps1 * eps1;
+        let c2e2sq2 = 2.0 * self.weights.c2 * eps2 * eps2;
+        match self.variant {
+            AdjointVariant::Exact => {
+                // Network coupling Σ_i (ψ_i − φ_i) λ_i S_i, reduced once
+                // with the chunked kernel, then the element-wise body.
+                let coupling = kernels::coupling_sum(psi, phi, lambda, s);
+                kernels::costate_rhs(
+                    s, i, psi, phi, lambda, theta_w, theta, coupling, c1e1sq2, c2e2sq2, eps1, eps2,
+                    dpsi, dphi,
+                );
+            }
+            AdjointVariant::PaperDiagonal => {
+                // Ablation-only path: the diagonal coupling is per-class,
+                // so the body stays a plain loop.
+                for j in 0..n {
+                    dpsi[j] = -c1e1sq2 * s[j] + psi[j] * (lambda[j] * theta + eps1)
+                        - phi[j] * lambda[j] * theta;
+                    let coupling_j = (psi[j] - phi[j]) * lambda[j] * s[j];
+                    dphi[j] = -c2e2sq2 * i[j] + theta_w[j] * coupling_j + phi[j] * eps2;
+                }
+            }
         }
     }
 }
@@ -175,10 +183,10 @@ pub fn stationary_controls(
     phi: &[f64],
     weights: &CostWeights,
 ) -> (f64, f64) {
-    let s2: f64 = s.iter().map(|x| x * x).sum();
-    let i2: f64 = i.iter().map(|x| x * x).sum();
-    let num1: f64 = psi.iter().zip(s).map(|(p, x)| p * x).sum();
-    let num2: f64 = phi.iter().zip(i).map(|(p, x)| p * x).sum();
+    let s2 = kernels::dot(s, s);
+    let i2 = kernels::dot(i, i);
+    let num1 = kernels::dot(psi, s);
+    let num2 = kernels::dot(phi, i);
     let e1 = if s2 > 0.0 {
         num1 / (2.0 * weights.c1 * s2)
     } else {
@@ -208,12 +216,7 @@ pub fn hamiltonian(
 ) -> f64 {
     let n = params.n_classes();
     let lambda = params.lambda();
-    let theta: f64 = params
-        .theta_weights()
-        .iter()
-        .zip(i)
-        .map(|(w, ii)| w * ii)
-        .sum();
+    let theta = kernels::dot(params.theta_weights(), i);
     let mut h = 0.0;
     for j in 0..n {
         h += weights.c1 * eps1 * eps1 * s[j] * s[j] + weights.c2 * eps2 * eps2 * i[j] * i[j];

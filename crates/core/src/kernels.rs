@@ -1,0 +1,406 @@
+//! Chunked, auto-vectorizable numeric kernels for the per-class hot
+//! loops.
+//!
+//! Every kernel here comes in two forms:
+//!
+//! * the **chunked** form — fixed-width [`LANES`]-lane loops over
+//!   [`slice::chunks_exact`] with a scalar in-order remainder, shaped so
+//!   LLVM's auto-vectorizer turns the lane loop into SIMD without any
+//!   `unsafe` or intrinsics;
+//! * a **scalar reference** (`*_scalar`) — a differently-written plain
+//!   indexed implementation with the *same association order* (per-lane
+//!   strided sums combined lane 0 → lane `LANES−1`, then the remainder in
+//!   order), so the two must agree **bit for bit** on every input.
+//!
+//! The bit-identity contract is what makes the fast path safe to evolve:
+//! `tests/kernel_identity.rs` pins chunked against scalar at class
+//! counts {1, 7, 8, 9, 264, 848}, so any future rewrite that silently
+//! changes the floating-point association order fails the suite instead
+//! of drifting results.
+//!
+//! Reductions (the `Θ` dot product, the adjoint coupling sum) are the
+//! kernels that *need* this treatment: a strict left-fold cannot be
+//! vectorized without reassociation, so we fix one deterministic
+//! lane-wise association and implement it twice. Element-wise maps (the
+//! SIR and costate right-hand sides) are order-free per element; they are
+//! chunked over disjoint `split_at_mut` slices so the optimizer can prove
+//! independence.
+
+/// Fixed vector width of every chunked kernel (f64 lanes). Eight lanes
+/// fill one AVX-512 register or two AVX2 registers — wide enough to
+/// saturate either, narrow enough that the remainder loop stays cheap at
+/// small class counts.
+pub const LANES: usize = 8;
+
+/// Chunked dot product `Σ_i a_i b_i`.
+///
+/// Accumulates into [`LANES`] independent lanes (block-strided), combines
+/// the lanes in index order, then folds the remainder in order. The
+/// result is deterministic and bit-identical to [`dot_scalar`] — but it
+/// is *not* the naive left-fold sum, so compare against the reference,
+/// not against `iter().sum()`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the slices differ in length; release
+/// builds truncate to the shorter length via `zip`.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let blocks = n / LANES;
+    let split = blocks * LANES;
+    let mut acc = [0.0f64; LANES];
+    for (ca, cb) in a[..split]
+        .chunks_exact(LANES)
+        .zip(b[..split].chunks_exact(LANES))
+    {
+        for j in 0..LANES {
+            acc[j] += ca[j] * cb[j];
+        }
+    }
+    let mut total = 0.0;
+    for lane in acc {
+        total += lane;
+    }
+    for (x, y) in a[split..n].iter().zip(&b[split..n]) {
+        total += x * y;
+    }
+    total
+}
+
+/// Scalar reference for [`dot`]: per-lane strided sequential sums,
+/// combined in the same fixed order. Bit-identical to the chunked form
+/// by construction.
+pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let blocks = n / LANES;
+    let mut total = 0.0;
+    for j in 0..LANES {
+        let mut lane = 0.0;
+        let mut i = j;
+        while i < blocks * LANES {
+            lane += a[i] * b[i];
+            i += LANES;
+        }
+        total += lane;
+    }
+    for i in blocks * LANES..n {
+        total += a[i] * b[i];
+    }
+    total
+}
+
+/// Chunked adjoint coupling sum `Σ_i (a_i − b_i) · w_i · s_i` (the
+/// network term of the costate `φ̇` equation, with `a = ψ`, `b = φ`,
+/// `w = λ`, `s = S`). Same lane association as [`dot`].
+pub fn coupling_sum(a: &[f64], b: &[f64], w: &[f64], s: &[f64]) -> f64 {
+    debug_assert!(b.len() >= a.len() && w.len() >= a.len() && s.len() >= a.len());
+    let n = a.len();
+    let blocks = n / LANES;
+    let split = blocks * LANES;
+    let mut acc = [0.0f64; LANES];
+    let mut base = 0;
+    while base < split {
+        for j in 0..LANES {
+            let i = base + j;
+            acc[j] += (a[i] - b[i]) * w[i] * s[i];
+        }
+        base += LANES;
+    }
+    let mut total = 0.0;
+    for lane in acc {
+        total += lane;
+    }
+    for i in split..n {
+        total += (a[i] - b[i]) * w[i] * s[i];
+    }
+    total
+}
+
+/// Scalar reference for [`coupling_sum`], strided per lane.
+pub fn coupling_sum_scalar(a: &[f64], b: &[f64], w: &[f64], s: &[f64]) -> f64 {
+    let n = a.len();
+    let blocks = n / LANES;
+    let mut total = 0.0;
+    for j in 0..LANES {
+        let mut lane = 0.0;
+        let mut i = j;
+        while i < blocks * LANES {
+            lane += (a[i] - b[i]) * w[i] * s[i];
+            i += LANES;
+        }
+        total += lane;
+    }
+    for i in blocks * LANES..n {
+        total += (a[i] - b[i]) * w[i] * s[i];
+    }
+    total
+}
+
+/// Chunked element-wise SIR right-hand side (paper Eq. (1)) for one
+/// evaluation instant:
+///
+/// ```text
+/// ds_i = α − λ_i s_i Θ − ε1 s_i
+/// di_i = λ_i s_i Θ − ε2 i_i
+/// dr_i = ε1 s_i + ε2 i_i − recycle
+/// ```
+///
+/// Element-wise maps carry no reduction, so chunking does not change any
+/// association — the output is bit-identical to [`sir_rhs_scalar`] *and*
+/// to the historical per-index loop. The chunked shape (disjoint
+/// `chunks_exact` over every slice) is what lets LLVM keep the three
+/// streams in registers and vectorize the body.
+#[allow(clippy::too_many_arguments)]
+pub fn sir_rhs(
+    s: &[f64],
+    inf: &[f64],
+    lambda: &[f64],
+    theta: f64,
+    alpha: f64,
+    eps1: f64,
+    eps2: f64,
+    recycle: f64,
+    ds: &mut [f64],
+    di: &mut [f64],
+    dr: &mut [f64],
+) {
+    let n = s.len();
+    // Re-slice every stream to the common length so the optimizer sees
+    // one shared bound and drops the per-index checks inside the lanes.
+    let (s, inf, lambda) = (&s[..n], &inf[..n], &lambda[..n]);
+    let (ds, di, dr) = (&mut ds[..n], &mut di[..n], &mut dr[..n]);
+    let split = (n / LANES) * LANES;
+    let mut base = 0;
+    while base < split {
+        for j in 0..LANES {
+            let i = base + j;
+            let force = lambda[i] * s[i] * theta;
+            ds[i] = alpha - force - eps1 * s[i];
+            di[i] = force - eps2 * inf[i];
+            dr[i] = eps1 * s[i] + eps2 * inf[i] - recycle;
+        }
+        base += LANES;
+    }
+    for i in split..n {
+        let force = lambda[i] * s[i] * theta;
+        ds[i] = alpha - force - eps1 * s[i];
+        di[i] = force - eps2 * inf[i];
+        dr[i] = eps1 * s[i] + eps2 * inf[i] - recycle;
+    }
+}
+
+/// Scalar reference for [`sir_rhs`]: the historical plain indexed loop.
+#[allow(clippy::too_many_arguments)]
+pub fn sir_rhs_scalar(
+    s: &[f64],
+    inf: &[f64],
+    lambda: &[f64],
+    theta: f64,
+    alpha: f64,
+    eps1: f64,
+    eps2: f64,
+    recycle: f64,
+    ds: &mut [f64],
+    di: &mut [f64],
+    dr: &mut [f64],
+) {
+    for i in 0..s.len() {
+        let force = lambda[i] * s[i] * theta;
+        ds[i] = alpha - force - eps1 * s[i];
+        di[i] = force - eps2 * inf[i];
+        dr[i] = eps1 * s[i] + eps2 * inf[i] - recycle;
+    }
+}
+
+/// Chunked element-wise costate right-hand side (paper Eqs. (15)–(16),
+/// exact-adjoint form) for one evaluation instant, given the already
+/// reduced network scalars `theta` and `coupling`:
+///
+/// ```text
+/// dψ_j = −2 c1 ε1² s_j + ψ_j (λ_j Θ + ε1) − φ_j λ_j Θ
+/// dφ_j = −2 c2 ε2² i_j + θw_j · coupling + φ_j ε2
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn costate_rhs(
+    s: &[f64],
+    inf: &[f64],
+    psi: &[f64],
+    phi: &[f64],
+    lambda: &[f64],
+    theta_w: &[f64],
+    theta: f64,
+    coupling: f64,
+    c1e1sq2: f64,
+    c2e2sq2: f64,
+    eps1: f64,
+    eps2: f64,
+    dpsi: &mut [f64],
+    dphi: &mut [f64],
+) {
+    let n = s.len();
+    debug_assert!(
+        inf.len() == n
+            && psi.len() == n
+            && phi.len() == n
+            && lambda.len() >= n
+            && theta_w.len() >= n
+            && dpsi.len() == n
+            && dphi.len() == n
+    );
+    let split = (n / LANES) * LANES;
+    let mut base = 0;
+    while base < split {
+        for j in 0..LANES {
+            let i = base + j;
+            dpsi[i] =
+                -c1e1sq2 * s[i] + psi[i] * (lambda[i] * theta + eps1) - phi[i] * lambda[i] * theta;
+            dphi[i] = -c2e2sq2 * inf[i] + theta_w[i] * coupling + phi[i] * eps2;
+        }
+        base += LANES;
+    }
+    for i in split..n {
+        dpsi[i] =
+            -c1e1sq2 * s[i] + psi[i] * (lambda[i] * theta + eps1) - phi[i] * lambda[i] * theta;
+        dphi[i] = -c2e2sq2 * inf[i] + theta_w[i] * coupling + phi[i] * eps2;
+    }
+}
+
+/// Scalar reference for [`costate_rhs`]: the plain indexed loop.
+#[allow(clippy::too_many_arguments)]
+pub fn costate_rhs_scalar(
+    s: &[f64],
+    inf: &[f64],
+    psi: &[f64],
+    phi: &[f64],
+    lambda: &[f64],
+    theta_w: &[f64],
+    theta: f64,
+    coupling: f64,
+    c1e1sq2: f64,
+    c2e2sq2: f64,
+    eps1: f64,
+    eps2: f64,
+    dpsi: &mut [f64],
+    dphi: &mut [f64],
+) {
+    for i in 0..s.len() {
+        dpsi[i] =
+            -c1e1sq2 * s[i] + psi[i] * (lambda[i] * theta + eps1) - phi[i] * lambda[i] * theta;
+        dphi[i] = -c2e2sq2 * inf[i] + theta_w[i] * coupling + phi[i] * eps2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random fill without pulling `rand` into the
+    /// unit tests: SplitMix64 mapped into [lo, hi).
+    fn fill(seed: u64, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                lo + (hi - lo) * (z >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    const SIZES: [usize; 8] = [0, 1, 7, 8, 9, 63, 264, 848];
+
+    #[test]
+    fn dot_matches_scalar_bitwise() {
+        for &n in &SIZES {
+            let a = fill(1, n, -2.0, 2.0);
+            let b = fill(2, n, -1.0, 3.0);
+            assert_eq!(
+                dot(&a, &b).to_bits(),
+                dot_scalar(&a, &b).to_bits(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_is_close_to_naive_sum() {
+        let a = fill(3, 848, 0.0, 1.0);
+        let b = fill(4, 848, 0.0, 1.0);
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-12 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn coupling_matches_scalar_bitwise() {
+        for &n in &SIZES {
+            let a = fill(5, n, -1.0, 1.0);
+            let b = fill(6, n, -1.0, 1.0);
+            let w = fill(7, n, 0.0, 2.0);
+            let s = fill(8, n, 0.0, 1.0);
+            assert_eq!(
+                coupling_sum(&a, &b, &w, &s).to_bits(),
+                coupling_sum_scalar(&a, &b, &w, &s).to_bits(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn sir_rhs_matches_scalar_bitwise() {
+        for &n in &SIZES {
+            let s = fill(9, n, 0.0, 1.0);
+            let inf = fill(10, n, 0.0, 1.0);
+            let lambda = fill(11, n, 0.0, 0.5);
+            let (mut ds, mut di, mut dr) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+            let (mut ds2, mut di2, mut dr2) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+            sir_rhs(
+                &s, &inf, &lambda, 0.3, 0.01, 0.2, 0.05, 0.01, &mut ds, &mut di, &mut dr,
+            );
+            sir_rhs_scalar(
+                &s, &inf, &lambda, 0.3, 0.01, 0.2, 0.05, 0.01, &mut ds2, &mut di2, &mut dr2,
+            );
+            for i in 0..n {
+                assert_eq!(ds[i].to_bits(), ds2[i].to_bits());
+                assert_eq!(di[i].to_bits(), di2[i].to_bits());
+                assert_eq!(dr[i].to_bits(), dr2[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn costate_rhs_matches_scalar_bitwise() {
+        for &n in &SIZES {
+            let s = fill(12, n, 0.0, 1.0);
+            let inf = fill(13, n, 0.0, 1.0);
+            let psi = fill(14, n, -1.0, 1.0);
+            let phi = fill(15, n, -1.0, 1.0);
+            let lambda = fill(16, n, 0.0, 0.5);
+            let tw = fill(17, n, 0.0, 0.1);
+            let (mut dp, mut df) = (vec![0.0; n], vec![0.0; n]);
+            let (mut dp2, mut df2) = (vec![0.0; n], vec![0.0; n]);
+            costate_rhs(
+                &s, &inf, &psi, &phi, &lambda, &tw, 0.2, 0.7, 0.4, 0.8, 0.1, 0.2, &mut dp, &mut df,
+            );
+            costate_rhs_scalar(
+                &s, &inf, &psi, &phi, &lambda, &tw, 0.2, 0.7, 0.4, 0.8, 0.1, 0.2, &mut dp2,
+                &mut df2,
+            );
+            for i in 0..n {
+                assert_eq!(dp[i].to_bits(), dp2[i].to_bits());
+                assert_eq!(df[i].to_bits(), df2[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dot_scalar(&[], &[]), 0.0);
+        assert_eq!(coupling_sum(&[], &[], &[], &[]), 0.0);
+        assert_eq!(dot(&[2.0], &[3.0]), 6.0);
+    }
+}

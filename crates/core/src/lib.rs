@@ -23,6 +23,9 @@
 //!
 //! * [`functions`] — the acceptance-rate `λ(k)` and infectivity `ω(k)`
 //!   families (constant, linear, saturating `k^β/(1+k^γ)`).
+//! * [`kernels`] — chunked auto-vectorizable per-class kernels (the `Θ`
+//!   dot product, the SIR/costate right-hand sides) with bit-identical
+//!   scalar references.
 //! * [`params`] — validated model parameters bound to a degree partition.
 //! * [`state`] — the per-class state vector with `Θ`, norms and the
 //!   `Dist0`/`Dist+` distances used in Figs. 2–3.
@@ -73,6 +76,7 @@
 pub mod control;
 pub mod equilibrium;
 pub mod functions;
+pub mod kernels;
 pub mod model;
 pub mod params;
 pub mod sensitivity;

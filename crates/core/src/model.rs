@@ -100,11 +100,12 @@ impl<'p, C: ControlSchedule> RumorModel<'p, C> {
 
     /// Computes `Θ` from a flat state slice (layout `[S.., I.., R..]`):
     /// a single dot product against the precomputed
-    /// [`ModelParams::theta_weights`] table.
+    /// [`ModelParams::theta_weights`] table, evaluated with the chunked
+    /// [`crate::kernels::dot`] kernel (bit-identical to
+    /// [`crate::kernels::dot_scalar`], *not* to a naive left-fold).
     pub fn theta_flat(&self, y: &[f64]) -> f64 {
         let n = self.params.n_classes();
-        let w = self.params.theta_weights();
-        w.iter().zip(&y[n..2 * n]).map(|(wj, ij)| wj * ij).sum()
+        crate::kernels::dot(self.params.theta_weights(), &y[n..2 * n])
     }
 }
 
@@ -116,7 +117,6 @@ impl<C: ControlSchedule> OdeSystem for RumorModel<'_, C> {
     fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
         let n = self.params.n_classes();
         let alpha = self.params.alpha();
-        let lambda = self.params.lambda();
         let eps1 = self.control.eps1(t);
         let eps2 = self.control.eps2(t);
         let theta = self.theta_flat(y);
@@ -124,14 +124,23 @@ impl<C: ControlSchedule> OdeSystem for RumorModel<'_, C> {
             MassConvention::Conserving => alpha,
             MassConvention::AsPrinted => 0.0,
         };
-        for i in 0..n {
-            let s = y[i];
-            let inf = y[n + i];
-            let force = lambda[i] * s * theta;
-            dydt[i] = alpha - force - eps1 * s;
-            dydt[n + i] = force - eps2 * inf;
-            dydt[2 * n + i] = eps1 * s + eps2 * inf - recycle;
-        }
+        let (s, rest) = y.split_at(n);
+        let inf = &rest[..n];
+        let (ds, rest) = dydt.split_at_mut(n);
+        let (di, dr) = rest.split_at_mut(n);
+        crate::kernels::sir_rhs(
+            s,
+            inf,
+            self.params.lambda(),
+            theta,
+            alpha,
+            eps1,
+            eps2,
+            recycle,
+            ds,
+            di,
+            dr,
+        );
     }
 }
 

@@ -45,13 +45,19 @@ pub struct DiggConfig {
 
 impl Default for DiggConfig {
     /// The full-scale Digg2009-equivalent configuration.
+    ///
+    /// The seed is chosen so the sampled sequence reproduces the
+    /// published **848 distinct degree classes** exactly (alongside the
+    /// configured node count and degree span); nearby seeds give
+    /// 844–884 classes, so the class count — which sets the ODE system
+    /// size everywhere — would otherwise drift from the paper's.
     fn default() -> Self {
         DiggConfig {
             nodes: 71_367,
             k_min: 1,
             k_max: 995,
             target_mean_degree: 24.0,
-            seed: 0x2009_D166,
+            seed: 0x2009_D195,
         }
     }
 }

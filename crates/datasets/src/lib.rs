@@ -12,6 +12,9 @@
 //!   depend on (see DESIGN.md §2 for the substitution argument).
 //! * [`edgelist`] — plain edge-list reading/writing, so the *real*
 //!   Digg2009 file can be dropped in without code changes.
+//! * [`streaming`] — two-pass streaming ingest building the CSR in
+//!   O(file size) with exact-sized allocations; byte-identical result to
+//!   [`edgelist`] and fast enough for million-node synthetic graphs.
 //! * [`summary`] — dataset statistics used by the experiment harness to
 //!   print Table I.
 
@@ -26,6 +29,7 @@
 
 pub mod digg;
 pub mod edgelist;
+pub mod streaming;
 pub mod summary;
 
 mod error;

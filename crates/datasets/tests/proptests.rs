@@ -3,7 +3,45 @@
 use proptest::prelude::*;
 use rumor_datasets::digg::{analytic_mean_degree, calibrate_gamma, DiggConfig, DiggDataset};
 use rumor_datasets::edgelist::{read_edge_list, write_edge_list};
+use rumor_datasets::streaming::load_edge_list_path;
 use rumor_net::graph::{EdgeKind, Graph};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Renders random edges as edge-list text with varied (but valid)
+/// formatting: separator choice, optional comment and blank lines.
+fn render_edge_list(edges: &[(u64, u64)], style: u64) -> String {
+    let mut text = String::new();
+    if style.is_multiple_of(3) {
+        text.push_str("# generated fixture\n");
+    }
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        let sep = match (style as usize + i) % 4 {
+            0 => " ",
+            1 => "\t",
+            2 => ",",
+            _ => " , ",
+        };
+        text.push_str(&format!("{u}{sep}{v}\n"));
+        if (style as usize + i).is_multiple_of(7) {
+            text.push('\n');
+        }
+    }
+    text
+}
+
+/// Writes `contents` to a unique temp file, runs `f`, removes the file.
+fn with_temp_file<T>(contents: &str, f: impl FnOnce(&std::path::Path) -> T) -> T {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "rumor_dataset_prop_{}_{}.txt",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, contents).unwrap();
+    let out = f(&path);
+    let _ = std::fs::remove_file(&path);
+    out
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -67,6 +105,46 @@ proptest! {
         d2.sort_unstable();
         prop_assert_eq!(d1, d2);
         prop_assert_eq!(g.edge_count(), back.edge_count());
+    }
+
+    #[test]
+    fn streaming_ingest_is_identical_to_in_memory_reader(
+        edges in proptest::collection::vec((0u64..400, 0u64..400), 0..120),
+        style in 0u64..24,
+        directed in 0u64..2,
+    ) {
+        let kind = if directed == 1 { EdgeKind::Directed } else { EdgeKind::Undirected };
+        let text = render_edge_list(&edges, style);
+        let reference = read_edge_list(text.as_bytes(), kind).unwrap();
+        let (streamed, stats) = with_temp_file(&text, |p| load_edge_list_path(p, kind)).unwrap();
+        // Full structural identity: same offsets, targets, kind, edge
+        // count (Graph equality is CSR equality) — and, consequently,
+        // identical degree histograms.
+        prop_assert_eq!(&streamed, &reference);
+        prop_assert_eq!(streamed.degrees(), reference.degrees());
+        prop_assert_eq!(stats.edges as usize, edges.len());
+        prop_assert_eq!(stats.nodes as usize, reference.node_count());
+        prop_assert_eq!(stats.bytes as usize, text.len());
+    }
+
+    #[test]
+    fn streaming_ingest_compacts_sparse_ids_like_in_memory_reader(
+        picks in proptest::collection::vec((0usize..6, 0usize..6), 1..40),
+    ) {
+        // Ids straddle the interner's direct-map/hash-map boundary; the
+        // compaction order (first appearance) must match exactly.
+        const SOURCES: [u64; 6] = [0, 3, 17, 40_000_000, 1 << 30, u64::MAX - 1];
+        const TARGETS: [u64; 6] = [1, 9, 256, 50_000_000, 1 << 40, u64::MAX];
+        let edges: Vec<(u64, u64)> = picks
+            .into_iter()
+            .map(|(a, b)| (SOURCES[a], TARGETS[b]))
+            .collect();
+        let text = render_edge_list(&edges, 1);
+        let reference = read_edge_list(text.as_bytes(), EdgeKind::Undirected).unwrap();
+        let (streamed, _) =
+            with_temp_file(&text, |p| load_edge_list_path(p, EdgeKind::Undirected)).unwrap();
+        prop_assert_eq!(&streamed, &reference);
+        prop_assert_eq!(streamed.degrees(), reference.degrees());
     }
 
     #[test]

@@ -96,6 +96,68 @@ impl Graph {
         Ok(g)
     }
 
+    /// Builds a graph directly from CSR parts, skipping the edge-list
+    /// intermediate entirely — the streaming-ingest constructor.
+    ///
+    /// `offsets` must be monotone with `offsets[0] == 0` and
+    /// `offsets.last() == targets.len()`; `edge_count` is the number of
+    /// *input* edges the CSR encodes (for [`EdgeKind::Undirected`],
+    /// `targets.len()` counts each edge twice, self-loops included).
+    /// Adjacency lists are sorted in place, so a CSR filled in file
+    /// order ends up identical to one built via [`Graph::from_edges`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidGeneratorConfig`] for malformed
+    /// offsets or an oversized node count, and
+    /// [`NetError::NodeOutOfBounds`] if a target references a node
+    /// `>= node_count`.
+    pub fn from_csr_parts(
+        offsets: Vec<usize>,
+        targets: Vec<u32>,
+        kind: EdgeKind,
+        edge_count: usize,
+    ) -> Result<Self> {
+        if offsets.is_empty() {
+            return Err(NetError::InvalidGeneratorConfig(
+                "CSR offsets must contain at least the leading zero".into(),
+            ));
+        }
+        let node_count = offsets.len() - 1;
+        if node_count > u32::MAX as usize {
+            return Err(NetError::InvalidGeneratorConfig(format!(
+                "node_count {node_count} exceeds u32 capacity"
+            )));
+        }
+        if offsets[0] != 0 || *offsets.last().expect("non-empty") != targets.len() {
+            return Err(NetError::InvalidGeneratorConfig(format!(
+                "CSR offsets must start at 0 and end at targets.len() = {}",
+                targets.len()
+            )));
+        }
+        if offsets.windows(2).any(|w| w[1] < w[0]) {
+            return Err(NetError::InvalidGeneratorConfig(
+                "CSR offsets must be monotone non-decreasing".into(),
+            ));
+        }
+        for &v in &targets {
+            if v as usize >= node_count {
+                return Err(NetError::NodeOutOfBounds {
+                    node: v as usize,
+                    node_count,
+                });
+            }
+        }
+        let mut g = Graph {
+            offsets,
+            targets,
+            kind,
+            edge_count,
+        };
+        g.sort_adjacency();
+        Ok(g)
+    }
+
     fn sort_adjacency(&mut self) {
         for u in 0..self.node_count() {
             let (s, e) = (self.offsets[u], self.offsets[u + 1]);
@@ -297,5 +359,45 @@ mod tests {
     fn degrees_vector_matches_individual_queries() {
         let g = triangle();
         assert_eq!(g.degrees(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn from_csr_parts_matches_from_edges() {
+        // The same triangle, CSR filled in arbitrary within-row order:
+        // sort_adjacency must normalize it to the from_edges layout.
+        let g = Graph::from_csr_parts(
+            vec![0, 2, 4, 6],
+            vec![2, 1, 0, 2, 1, 0],
+            EdgeKind::Undirected,
+            3,
+        )
+        .unwrap();
+        assert_eq!(g, triangle());
+    }
+
+    #[test]
+    fn from_csr_parts_rejects_malformed_input() {
+        // Empty offsets.
+        assert!(Graph::from_csr_parts(vec![], vec![], EdgeKind::Directed, 0).is_err());
+        // Leading offset not zero.
+        assert!(Graph::from_csr_parts(vec![1, 1], vec![0], EdgeKind::Directed, 1).is_err());
+        // Final offset disagrees with targets length.
+        assert!(Graph::from_csr_parts(vec![0, 2], vec![0], EdgeKind::Directed, 2).is_err());
+        // Non-monotone offsets.
+        assert!(
+            Graph::from_csr_parts(vec![0, 2, 1, 3], vec![0, 1, 2], EdgeKind::Directed, 3).is_err()
+        );
+        // Target out of bounds.
+        assert!(matches!(
+            Graph::from_csr_parts(vec![0, 1], vec![9], EdgeKind::Directed, 1),
+            Err(NetError::NodeOutOfBounds { node: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn from_csr_parts_empty_graph() {
+        let g = Graph::from_csr_parts(vec![0], vec![], EdgeKind::Undirected, 0).unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
     }
 }

@@ -1,5 +1,14 @@
 //! Synchronous discrete-time agent-based SIR simulation.
+//!
+//! The step loop runs on the flat arenas of [`crate::arena`]: one byte
+//! of state per agent (double-buffered) and a one-bit-per-node active
+//! set, iterated in ascending node order. This keeps a million-node
+//! replica at ~2 MB of mutable state and makes the per-step walk
+//! cache-linear, while consuming the RNG in exactly the same order as
+//! the historical index-vector implementation ([`run_reference`]) —
+//! trajectories are bit-identical at equal seeds.
 
+use crate::arena::{BitSet, StateArena};
 use crate::{NodeState, Result, SimError, SimTrajectory};
 use rand::Rng;
 use rumor_core::params::ModelParams;
@@ -169,6 +178,101 @@ pub fn run(
 ) -> Result<SimTrajectory> {
     validate(cfg)?;
     let tables = build_tables(graph, params)?;
+    let mut arena = StateArena::new(seed_states(graph, cfg.initial_infected, rng));
+    let n = graph.node_count();
+    let active = BitSet::from_pred(n, |u| graph.degree(u) > 0);
+    let active_count = active.count().max(1);
+
+    let p_immunize = 1.0 - (-cfg.eps1 * cfg.dt).exp();
+    let p_block = 1.0 - (-cfg.eps2 * cfg.dt).exp();
+
+    let n_steps = (cfg.tf / cfg.dt).round() as usize;
+    let mut traj = SimTrajectory::new(tables.class_size.len());
+    record(&mut traj, 0.0, arena.current(), &tables, active_count);
+
+    // All per-step buffers are hoisted: the loop body is allocation-free.
+    let n_class = tables.class_size.len();
+    let mut recovered_per_class = vec![0usize; n_class];
+    let mut recycle_prob = vec![0.0_f64; n_class];
+    for step in 1..=n_steps {
+        // Demographic recycling: in each class, an expected density α·dt
+        // of the class flows R → S, realized as an independent per-node
+        // flip with probability α·size_k·dt / R_count_k.
+        recycle_prob.iter_mut().for_each(|p| *p = 0.0);
+        if cfg.alpha > 0.0 {
+            recovered_per_class.iter_mut().for_each(|c| *c = 0);
+            for u in active.iter() {
+                if arena.get(u) == NodeState::Recovered {
+                    recovered_per_class[tables.class[u]] += 1;
+                }
+            }
+            for c in 0..n_class {
+                if recovered_per_class[c] > 0 {
+                    recycle_prob[c] = (cfg.alpha * tables.class_size[c] as f64 * cfg.dt
+                        / recovered_per_class[c] as f64)
+                        .min(1.0);
+                }
+            }
+        }
+        for u in active.iter() {
+            match arena.get(u) {
+                NodeState::Susceptible => {
+                    // Immunization.
+                    if p_immunize > 0.0 && rng.gen_bool(p_immunize) {
+                        arena.stage(u, NodeState::Recovered);
+                        continue;
+                    }
+                    // Contact one uniformly random neighbor.
+                    let nb = graph.neighbors(u);
+                    let v = nb[rng.gen_range(0..nb.len())] as usize;
+                    if arena.get(v) == NodeState::Infected {
+                        let hazard = tables.lambda[u] * tables.omega_over_k[v];
+                        let p_inf = 1.0 - (-hazard * cfg.dt).exp();
+                        if p_inf > 0.0 && rng.gen_bool(p_inf.min(1.0)) {
+                            arena.stage(u, NodeState::Infected);
+                        }
+                    }
+                }
+                NodeState::Infected => {
+                    if p_block > 0.0 && rng.gen_bool(p_block) {
+                        arena.stage(u, NodeState::Recovered);
+                    }
+                }
+                NodeState::Recovered => {
+                    let p = recycle_prob[tables.class[u]];
+                    if p > 0.0 && rng.gen_bool(p) {
+                        arena.stage(u, NodeState::Susceptible);
+                    }
+                }
+            }
+        }
+        arena.commit();
+        if step % cfg.record_every == 0 || step == n_steps {
+            record(
+                &mut traj,
+                step as f64 * cfg.dt,
+                arena.current(),
+                &tables,
+                active_count,
+            );
+        }
+    }
+    Ok(traj)
+}
+
+/// The pre-arena implementation of [`run`], retained verbatim as the
+/// bit-identity reference: `tests/abm_arena_identity.rs` asserts that
+/// [`run`] reproduces this trajectory exactly at equal seeds. Not part
+/// of the public API.
+#[doc(hidden)]
+pub fn run_reference(
+    graph: &Graph,
+    params: &ModelParams,
+    cfg: &AbmConfig,
+    rng: &mut impl Rng,
+) -> Result<SimTrajectory> {
+    validate(cfg)?;
+    let tables = build_tables(graph, params)?;
     let mut states = seed_states(graph, cfg.initial_infected, rng);
     let n = graph.node_count();
     let active: Vec<usize> = (0..n).filter(|&u| graph.degree(u) > 0).collect();
@@ -185,9 +289,6 @@ pub fn run(
     let n_class = tables.class_size.len();
     let mut recovered_per_class = vec![0usize; n_class];
     for step in 1..=n_steps {
-        // Demographic recycling: in each class, an expected density α·dt
-        // of the class flows R → S, realized as an independent per-node
-        // flip with probability α·size_k·dt / R_count_k.
         let mut recycle_prob = vec![0.0_f64; n_class];
         if cfg.alpha > 0.0 {
             recovered_per_class.iter_mut().for_each(|c| *c = 0);
@@ -207,12 +308,10 @@ pub fn run(
         for &u in &active {
             match states[u] {
                 NodeState::Susceptible => {
-                    // Immunization.
                     if p_immunize > 0.0 && rng.gen_bool(p_immunize) {
                         next_states[u] = NodeState::Recovered;
                         continue;
                     }
-                    // Contact one uniformly random neighbor.
                     let nb = graph.neighbors(u);
                     let v = nb[rng.gen_range(0..nb.len())] as usize;
                     if states[v] == NodeState::Infected {

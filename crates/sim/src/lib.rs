@@ -31,6 +31,7 @@
 #![allow(clippy::manual_is_multiple_of)]
 
 pub mod abm;
+pub mod arena;
 pub mod ensemble;
 pub mod gillespie;
 
