@@ -1,6 +1,6 @@
 //! `perfreport` — headline performance numbers for the allocation-free
 //! hot path, the parallel ensemble layer, and the HTTP service, written
-//! as machine-readable JSON to `BENCH_PR7.json` at the workspace root.
+//! as machine-readable JSON to `BENCH_PR8.json` at the workspace root.
 //! Runs with `rumor-obs` rollups enabled, so the report also carries a
 //! `span_rollup` section: per-span-name call counts and total wall time
 //! plus the instrumentation counters (steps, sweeps, replicas) observed
@@ -56,12 +56,26 @@
 //!    and checkpoints included.
 //! 8. **digg_full** — the full 71,367-node / 848-class Digg-equivalent
 //!    problem: RHS evals/s at 848 classes plus a warm-start-continued
-//!    FBSM sweep. Runs on every invocation (and so on every PR).
-//! 9. **synthetic_1m** (`--heavy`, nightly) — a deterministic
-//!    million-node edge list streamed from disk through the two-pass
-//!    CSR ingest (`rumor_datasets::streaming`), then a synchronous ABM
-//!    replica stepped over all million agents on the flat state arena;
-//!    reports ingest MB/s + edges/s and ABM node-steps/s.
+//!    FBSM sweep whose continuation rounds run with backtracking
+//!    under-relaxation until the sweep genuinely converges (final
+//!    residual <= 1e-4 is pinned in the committed report). Runs on
+//!    every invocation (and so on every PR).
+//! 9. **intra_scaling** — the deterministic intra-replica thread table:
+//!    the 848-class RHS, the 848-class costate RHS and a sharded
+//!    million-agent ABM step at 1/2/4/8 inner-pool threads, each row
+//!    asserting bitwise identity against the serial kernel. On a
+//!    single-core host the parallel rows measure dispatch overhead,
+//!    not speedup; the table is keyed `t1`/`t2`/... so the perf gate
+//!    can watch the serial row on any host.
+//! 10. **ingest_sparse** — streaming two-pass CSR ingest of an edge
+//!     list whose node ids all sit at or above the interner's 2^24
+//!     direct-map limit, exercising the hash fallback and its geometric
+//!     capacity reservation.
+//! 11. **synthetic_1m** (`--heavy`, nightly) — a deterministic
+//!     million-node edge list streamed from disk through the two-pass
+//!     CSR ingest (`rumor_datasets::streaming`), then a synchronous ABM
+//!     replica stepped over all million agents on the flat state arena;
+//!     reports ingest MB/s + edges/s and ABM node-steps/s.
 //!
 //! Numbers are measured on whatever host runs the binary; the report
 //! records `available_parallelism` so speedups can be judged against the
@@ -75,6 +89,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rumor_bench::{digg_dataset, fig4_params, Scale};
+use rumor_control::costate::CostateSystem;
 use rumor_control::fbsm::{optimize_monitored, FbsmOptions, SweepResult};
 use rumor_control::{ControlBounds, CostWeights};
 use rumor_core::control::ConstantControl;
@@ -82,18 +97,22 @@ use rumor_core::functions::{AcceptanceRate, Infectivity};
 use rumor_core::model::RumorModel;
 use rumor_core::params::ModelParams;
 use rumor_core::state::NetworkState;
+use rumor_datasets::streaming::StreamingCsrBuilder;
 use rumor_net::degree::DegreeClasses;
 use rumor_net::generators::barabasi_albert;
-use rumor_net::graph::EdgeKind;
+use rumor_net::graph::{EdgeKind, Graph};
+use rumor_ode::integrator::{Adaptive, AdaptiveConfig};
 use rumor_ode::system::OdeSystem;
+use rumor_par::InnerPool;
 use rumor_serve::api::SimulateRequest;
 use rumor_serve::{serve, wire, ServeConfig, Server};
-use rumor_sim::abm::{self, AbmConfig};
+use rumor_sim::abm::{self, run_sharded, AbmConfig};
 use rumor_sim::ensemble::{run_ensemble_threads, EnsembleResult, Simulator};
 use std::fmt::Write as _;
 use std::io::{Read, Write as _};
 use std::net::TcpStream;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const ABM_REPLICAS: usize = 64;
@@ -110,7 +129,7 @@ struct Config {
 
 fn parse_args() -> Config {
     let mut config = Config {
-        out: PathBuf::from("BENCH_PR7.json"),
+        out: PathBuf::from("BENCH_PR8.json"),
         check: None,
         tolerance: 0.25,
         heavy: false,
@@ -160,7 +179,7 @@ fn main() {
     println!("perfreport: host has {cores} available core(s)");
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"pr\": 7,");
+    let _ = writeln!(json, "  \"pr\": 8,");
     let _ = writeln!(json, "  \"generated_by\": \"perfreport\",");
     let _ = writeln!(
         json,
@@ -286,15 +305,28 @@ fn main() {
     // is then finished off by warm-started continuation rounds,
     // reported (with the final residual) separately from the timed
     // sweep so the gate metric keeps its fixed-size meaning.
+    // `inner_threads` is pinned to 1 on every gated sweep so the wall
+    // time the perf gate watches stays comparable across hosts with
+    // different core counts (and to the single-core baseline).
     let options = FbsmOptions {
         n_nodes: 81,
         max_iterations: 150,
         tolerance: 1e-4,
         relaxation: 0.3,
+        inner_threads: Some(1),
         ..Default::default()
     };
     let tf = 40.0;
-    let fbsm = fbsm_workload(&fbsm_params, &initial, tf, &bounds, &weights, &options, 3);
+    let fbsm = fbsm_workload(
+        &fbsm_params,
+        &initial,
+        tf,
+        &bounds,
+        &weights,
+        &options,
+        3,
+        false,
+    );
     println!(
         "fbsm: {} classes, tf = {tf}: {}",
         fbsm_params.n_classes(),
@@ -514,8 +546,15 @@ fn main() {
         max_iterations: 60,
         tolerance: 1e-4,
         relaxation: 0.3,
+        inner_threads: Some(1),
         ..Default::default()
     };
+    // The capped timed sweep stays the fixed-size gate workload; the
+    // continuation rounds run with backtracking under-relaxation (retry
+    // an oscillating update at a smaller step inside the same iteration
+    // instead of accepting it), which is what carries this problem past
+    // the ~4e-3 plateau plain damping stalls at and down to genuine
+    // convergence (residual <= 1e-4, pinned in the committed report).
     let full_fbsm = fbsm_workload(
         &full_params,
         &full_initial,
@@ -523,7 +562,14 @@ fn main() {
         &bounds,
         &weights,
         &full_options,
-        3,
+        12,
+        true,
+    );
+    assert!(
+        full_fbsm.converged_final && full_fbsm.final_residual_after <= 1e-4,
+        "digg_full continuation must converge to <= 1e-4, got converged {} residual {:.3e}",
+        full_fbsm.converged_final,
+        full_fbsm.final_residual_after
     );
     println!(
         "digg_full fbsm: {} classes, tf = {tf}: {}",
@@ -538,7 +584,17 @@ fn main() {
         full_fbsm.to_json(full_params.n_classes(), tf, full_options.n_nodes)
     );
 
-    // ---- Workload 9 (--heavy): million-node ingest + ABM stepping. --
+    // ---- Workload 9: deterministic intra-replica thread scaling. ----
+    let _ = writeln!(
+        json,
+        "  \"intra_scaling\": {},",
+        intra_scaling_section(&full_params)
+    );
+
+    // ---- Workload 10: sparse-id streaming ingest (hash fallback). ---
+    let _ = writeln!(json, "  \"ingest_sparse\": {},", ingest_sparse_section());
+
+    // ---- Workload 11 (--heavy): million-node ingest + ABM stepping. --
     if config.heavy {
         let _ = writeln!(json, "  \"synthetic_1m\": {},", synthetic_1m_section());
     }
@@ -554,7 +610,7 @@ fn main() {
 
     let _ = writeln!(
         json,
-        "  \"notes\": [\n    \"parallel ensemble output is bit-identical to the serial run at every thread count (asserted above)\",\n    \"speedups are physical: on a host with {cores} available core(s), thread counts beyond {cores} measure scheduling overhead rather than parallel speedup\",\n    \"serve latencies are end-to-end over a real localhost socket, one connection per request\",\n    \"the admission workload intentionally overloads a queue_depth=8 pool: 503s are the bounded queue working, not a failure\"\n  ]"
+        "  \"notes\": [\n    \"parallel ensemble output is bit-identical to the serial run at every thread count (asserted above)\",\n    \"speedups are physical: on a host with {cores} available core(s), thread counts beyond {cores} measure scheduling overhead rather than parallel speedup\",\n    \"intra_scaling rows beyond t{cores} on this host measure pool dispatch overhead, not parallel speedup; bit-identity is asserted for every row regardless\",\n    \"gated fbsm sweeps pin inner_threads = 1 so their wall times stay host-comparable; production solves resolve the inner budget from RUMOR_INNER_THREADS / --threads\",\n    \"serve latencies are end-to-end over a real localhost socket, one connection per request\",\n    \"the admission workload intentionally overloads a queue_depth=8 pool: 503s are the bounded queue working, not a failure\"\n  ]"
     );
     json.push_str("}\n");
 
@@ -688,6 +744,7 @@ fn fbsm_workload(
     weights: &CostWeights,
     options: &FbsmOptions,
     max_rounds: usize,
+    backtracking_continuation: bool,
 ) -> FbsmBench {
     let start = Instant::now();
     let first = optimize_monitored(params, initial, tf, bounds, weights, options).expect("sweep");
@@ -700,6 +757,7 @@ fn fbsm_workload(
     while !last.converged && continuation_rounds + 1 < max_rounds {
         let warm = FbsmOptions {
             initial_control: Some(last.control.clone()),
+            backtracking: backtracking_continuation,
             ..options.clone()
         };
         last = optimize_monitored(params, initial, tf, bounds, weights, &warm)
@@ -724,6 +782,254 @@ fn fbsm_workload(
     }
 }
 
+/// SplitMix64 finalizer shared by the synthetic graph generators below.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Builds the deterministic million-node graph in process through the
+/// two-phase [`StreamingCsrBuilder`] protocol (no file round-trip):
+/// replay the same SplitMix64 edge stream into `count`, then `place`.
+fn synthetic_graph_in_process(n: usize, out_degree: usize) -> Graph {
+    let edges = |sink: &mut dyn FnMut(u64, u64)| {
+        for u in 0..n {
+            for j in 0..out_degree {
+                let v = (splitmix64((u as u64) << 3 | j as u64) % n as u64) as usize;
+                if v != u {
+                    sink(u as u64, v as u64);
+                }
+            }
+        }
+    };
+    let mut b = StreamingCsrBuilder::new(EdgeKind::Undirected);
+    edges(&mut |u, v| b.count(u, v).expect("count"));
+    b.start_placement();
+    edges(&mut |u, v| b.place(u, v).expect("place"));
+    let (graph, _) = b.finish().expect("finish synthetic CSR");
+    graph
+}
+
+/// The tentpole's scaling table: the 848-class RHS, the 848-class
+/// costate RHS and a sharded million-agent ABM step, each at inner-pool
+/// sizes 1/2/4/8 with bitwise identity against the serial kernel
+/// asserted per row. Keyed `t1`/`t2`/`t4`/`t8` so the gate can watch
+/// the serial row by dotted path on any host.
+fn intra_scaling_section(full_params: &ModelParams) -> String {
+    let n = full_params.n_classes();
+    let mut json = String::from("{\n");
+
+    // -- 848-class forward RHS (theta reduction + element map). -------
+    let y = NetworkState::initial_uniform(n, 0.1)
+        .expect("state")
+        .to_flat();
+    let serial_model = RumorModel::new(full_params, ConstantControl::new(0.2, 0.05));
+    let mut d_serial = vec![0.0; y.len()];
+    serial_model.rhs(0.0, &y, &mut d_serial);
+    let _ = writeln!(json, "    \"rhs_848\": {{");
+    let mut t1_rate = 0.0f64;
+    for (pos, &threads) in THREAD_COUNTS.iter().enumerate() {
+        let pool = Arc::new(InnerPool::new(threads));
+        let model = RumorModel::new(full_params, ConstantControl::new(0.2, 0.05))
+            .with_pool(Some(Arc::clone(&pool)));
+        let mut dydt = vec![0.0; y.len()];
+        model.rhs(0.0, &y, &mut dydt);
+        let identical = dydt
+            .iter()
+            .zip(&d_serial)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(identical, "pooled RHS diverged at {threads} thread(s)");
+        for _ in 0..50 {
+            model.rhs(0.0, &y, &mut dydt);
+        }
+        let (evals, wall, rate) = best_rate_window(100, || model.rhs(0.0, &y, &mut dydt));
+        if threads == 1 {
+            t1_rate = rate;
+        }
+        println!(
+            "intra rhs_848: {threads} thread(s): {evals} evals in {wall:.3} s = {rate:.0} evals/s, speedup vs t1 {:.2}x, bit-identical: {identical}",
+            rate / t1_rate
+        );
+        let comma = if pos + 1 == THREAD_COUNTS.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            json,
+            "      \"t{threads}\": {{ \"evals\": {evals}, \"wall_s\": {wall:.4}, \"evals_per_s\": {rate:.1}, \"speedup_vs_t1\": {:.3}, \"bit_identical_to_serial\": {identical} }}{comma}",
+            rate / t1_rate
+        );
+    }
+    let _ = writeln!(json, "    }},");
+
+    // -- 848-class costate (adjoint) RHS over a real forward solve. ---
+    let control = ConstantControl::new(0.2, 0.05);
+    let forward = Adaptive::with_config(AdaptiveConfig {
+        rtol: 1e-6,
+        atol: 1e-8,
+        ..Default::default()
+    })
+    .integrate(&serial_model, 0.0, &y, 40.0)
+    .expect("forward solve for costate bench");
+    let weights = CostWeights::paper_default();
+    let serial_costate = CostateSystem::new(full_params, &forward, &control, weights);
+    let yc = serial_costate.terminal_condition();
+    let mut dc_serial = vec![0.0; yc.len()];
+    serial_costate.rhs(20.0, &yc, &mut dc_serial);
+    let _ = writeln!(json, "    \"costate_848\": {{");
+    let mut t1_rate = 0.0f64;
+    for (pos, &threads) in THREAD_COUNTS.iter().enumerate() {
+        let pool = Arc::new(InnerPool::new(threads));
+        let costate = CostateSystem::new(full_params, &forward, &control, weights)
+            .with_pool(Some(Arc::clone(&pool)));
+        let mut dydt = vec![0.0; yc.len()];
+        costate.rhs(20.0, &yc, &mut dydt);
+        let identical = dydt
+            .iter()
+            .zip(&dc_serial)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(
+            identical,
+            "pooled costate RHS diverged at {threads} thread(s)"
+        );
+        for _ in 0..50 {
+            costate.rhs(20.0, &yc, &mut dydt);
+        }
+        let (evals, wall, rate) = best_rate_window(100, || costate.rhs(20.0, &yc, &mut dydt));
+        if threads == 1 {
+            t1_rate = rate;
+        }
+        println!(
+            "intra costate_848: {threads} thread(s): {evals} evals in {wall:.3} s = {rate:.0} evals/s, speedup vs t1 {:.2}x, bit-identical: {identical}",
+            rate / t1_rate
+        );
+        let comma = if pos + 1 == THREAD_COUNTS.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            json,
+            "      \"t{threads}\": {{ \"evals\": {evals}, \"wall_s\": {wall:.4}, \"evals_per_s\": {rate:.1}, \"speedup_vs_t1\": {:.3}, \"bit_identical_to_serial\": {identical} }}{comma}",
+            rate / t1_rate
+        );
+    }
+    let _ = writeln!(json, "    }},");
+
+    // -- Sharded million-agent ABM stepping. --------------------------
+    const N_1M: usize = 1_000_000;
+    let graph = synthetic_graph_in_process(N_1M, 4);
+    let classes = DegreeClasses::from_graph(&graph).expect("1M classes");
+    let abm_params = ModelParams::builder(classes)
+        .alpha(0.0)
+        .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.05 })
+        .infectivity(Infectivity::paper_default())
+        .build()
+        .expect("1M params");
+    let abm_cfg = AbmConfig {
+        alpha: 0.0,
+        dt: 1.0,
+        tf: 3.0,
+        eps1: 0.02,
+        eps2: 0.1,
+        initial_infected: 0.02,
+        record_every: 3,
+    };
+    let n_steps = (abm_cfg.tf / abm_cfg.dt).round() as u64;
+    let active = graph.degrees().into_iter().filter(|&d| d > 0).count();
+    let serial_traj =
+        run_sharded(&graph, &abm_params, &abm_cfg, 1_000_003, None).expect("serial sharded ABM");
+    let _ = writeln!(json, "    \"abm_1m\": {{");
+    let mut t1_rate = 0.0f64;
+    for (pos, &threads) in THREAD_COUNTS.iter().enumerate() {
+        let pool = InnerPool::new(threads);
+        let start = Instant::now();
+        let traj = run_sharded(&graph, &abm_params, &abm_cfg, 1_000_003, Some(&pool))
+            .expect("pooled sharded ABM");
+        let wall = start.elapsed().as_secs_f64();
+        let identical = traj == serial_traj;
+        assert!(identical, "sharded ABM diverged at {threads} thread(s)");
+        let rate = active as f64 * n_steps as f64 / wall;
+        if threads == 1 {
+            t1_rate = rate;
+        }
+        println!(
+            "intra abm_1m: {threads} thread(s): {active} active nodes x {n_steps} steps in {wall:.3} s = {rate:.0} node-steps/s, speedup vs t1 {:.2}x, bit-identical: {identical}",
+            rate / t1_rate
+        );
+        let comma = if pos + 1 == THREAD_COUNTS.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            json,
+            "      \"t{threads}\": {{ \"active_nodes\": {active}, \"steps\": {n_steps}, \"wall_s\": {wall:.4}, \"node_steps_per_s\": {rate:.1}, \"speedup_vs_t1\": {:.3}, \"bit_identical_to_serial\": {identical} }}{comma}",
+            rate / t1_rate
+        );
+    }
+    let _ = writeln!(json, "    }}");
+    json.push_str("  }");
+    json
+}
+
+/// Streaming ingest of an edge list whose raw node ids all sit at or
+/// above the interner's 2^24 direct-map limit, so every id takes the
+/// hash-fallback path (with its geometric capacity reservation).
+fn ingest_sparse_section() -> String {
+    use std::io::{BufWriter, Write as _};
+
+    const NODES: usize = 120_000;
+    const EDGES: usize = 360_000;
+    const BASE: u64 = 1 << 24;
+    // Deterministic sparse ids spread over a 2^40 band above the limit.
+    let id = |i: usize| BASE + splitmix64(0xC0FFEE ^ i as u64) % (1u64 << 40);
+
+    let path = std::env::temp_dir().join(format!("rumor_sparse_ingest_{}.txt", std::process::id()));
+    {
+        let file = std::fs::File::create(&path).expect("create sparse edge list");
+        let mut w = BufWriter::with_capacity(1 << 20, file);
+        for e in 0..EDGES {
+            let a = (splitmix64(e as u64) % NODES as u64) as usize;
+            let b = (splitmix64(!(e as u64)) % NODES as u64) as usize;
+            if a == b {
+                continue;
+            }
+            let mut line = String::with_capacity(32);
+            let _ = writeln!(line, "{} {}", id(a), id(b));
+            w.write_all(line.as_bytes()).expect("write sparse edge");
+        }
+        w.flush().expect("flush sparse edge list");
+    }
+    let start = Instant::now();
+    let (graph, stats) =
+        rumor_datasets::streaming::load_edge_list_path(&path, EdgeKind::Undirected)
+            .expect("stream sparse edge list");
+    let wall = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        stats.nodes as usize <= NODES,
+        "id compaction must not invent nodes"
+    );
+    let mbytes = stats.bytes as f64 / 1e6;
+    let mbytes_per_s = mbytes / wall;
+    let edges_per_s = stats.edges as f64 / wall;
+    println!(
+        "ingest_sparse: {} nodes (all ids >= 2^24), {} edges, {mbytes:.1} MB in {wall:.3} s = {mbytes_per_s:.1} MB/s ({edges_per_s:.0} edges/s)",
+        stats.nodes, stats.edges
+    );
+    format!(
+        "{{ \"nodes\": {}, \"edges\": {}, \"bytes\": {}, \"min_raw_id\": {BASE}, \"wall_s\": {wall:.4}, \"mbytes_per_s\": {mbytes_per_s:.2}, \"edges_per_s\": {edges_per_s:.1}, \"graph_nodes\": {} }}",
+        stats.nodes,
+        stats.edges,
+        stats.bytes,
+        graph.node_count()
+    )
+}
+
 /// The million-node tier: writes a deterministic synthetic edge list to
 /// a temp file, streams it through the two-pass CSR ingest, then steps
 /// one synchronous-ABM replica over all agents on the flat state arena.
@@ -733,14 +1039,6 @@ fn synthetic_1m_section() -> String {
 
     const N: usize = 1_000_000;
     const OUT_DEGREE: usize = 4;
-
-    // SplitMix64: a deterministic edge list, no file to distribute.
-    fn splitmix64(mut x: u64) -> u64 {
-        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^ (x >> 31)
-    }
 
     let path = std::env::temp_dir().join(format!("rumor_synth_1m_{}.txt", std::process::id()));
     let gen_start = Instant::now();
@@ -822,12 +1120,16 @@ fn synthetic_1m_section() -> String {
 /// times). The `synthetic_1m.*` paths only exist in `--heavy` reports;
 /// the gate skips paths missing from either side, so one baseline
 /// serves both the per-PR and the nightly tier.
-const GATE_METRICS: [(&str, bool); 7] = [
+const GATE_METRICS: [(&str, bool); 11] = [
     ("rhs.evals_per_s", true),
     ("wire.parse_validate_per_s", true),
     ("jobs.points_per_s", true),
     ("fbsm.wall_s", false),
     ("digg_full.rhs.evals_per_s", true),
+    ("intra_scaling.rhs_848.t1.evals_per_s", true),
+    ("intra_scaling.costate_848.t1.evals_per_s", true),
+    ("intra_scaling.abm_1m.t1.node_steps_per_s", true),
+    ("ingest_sparse.mbytes_per_s", true),
     ("synthetic_1m.ingest.mbytes_per_s", true),
     ("synthetic_1m.abm.node_steps_per_s", true),
 ];

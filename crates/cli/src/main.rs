@@ -58,6 +58,12 @@ PERFORMANCE:
     --threads N      worker threads for ensemble replicas (default: the
                      RUMOR_THREADS env var, else all available cores);
                      results are bit-identical for every thread count
+    --inner-threads N
+                     intra-replica worker threads for the Theta/RHS,
+                     costate and sharded-ABM kernels of a single solve
+                     (default: the RUMOR_INNER_THREADS env var, else the
+                     --threads/RUMOR_THREADS budget); results are
+                     bit-identical for every inner thread count
 
 OBSERVABILITY (all commands):
     --log-format F   trace output: off (default), text, or json; spans
@@ -128,6 +134,7 @@ fn main() -> ExitCode {
         "runs",
         "quorum",
         "threads",
+        "inner-threads",
         "addr",
         "queue-depth",
         "cache-entries",
@@ -183,6 +190,16 @@ fn main() -> ExitCode {
         // machine's available parallelism.
         Ok(0) => {}
         Ok(t) => rumor_par::set_thread_override(Some(t)),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    }
+    match parsed.get_usize("inner-threads", 0) {
+        // 0 = "not given": leave resolution to RUMOR_INNER_THREADS /
+        // the outer thread budget.
+        Ok(0) => {}
+        Ok(t) => rumor_par::set_inner_thread_override(Some(t)),
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(EXIT_USAGE);

@@ -27,7 +27,9 @@ use rumor_core::kernels;
 use rumor_core::params::ModelParams;
 use rumor_ode::solution::Solution;
 use rumor_ode::system::OdeSystem;
+use rumor_par::InnerPool;
 use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Which form of the `φ̇` coupling the adjoint uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,6 +58,11 @@ pub struct CostateSystem<'a, C> {
     /// Scratch buffer for sampling the forward state inside `rhs`
     /// (called once per stage evaluation) without allocating.
     state_scratch: RefCell<Vec<f64>>,
+    /// Optional intra-replica worker pool for the Θ/coupling reductions
+    /// and the element-wise costate body. The partitioned kernels are
+    /// bit-identical with and without a pool, so this only affects
+    /// wall-clock, never the backward sweep's result.
+    pool: Option<Arc<InnerPool>>,
 }
 
 impl<'a, C: ControlSchedule> CostateSystem<'a, C> {
@@ -86,7 +93,16 @@ impl<'a, C: ControlSchedule> CostateSystem<'a, C> {
             weights,
             variant,
             state_scratch: RefCell::new(vec![0.0; dim]),
+            pool: None,
         }
+    }
+
+    /// Attaches (or detaches, with `None`) an intra-replica worker pool
+    /// for the backward sweep's kernels. Bit-identical to the pool-less
+    /// system at every pool size.
+    pub fn with_pool(mut self, pool: Option<Arc<InnerPool>>) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The active adjoint variant.
@@ -130,8 +146,12 @@ impl<C: ControlSchedule> OdeSystem for CostateSystem<'_, C> {
         let s = &state[..n];
         let i = &state[n..2 * n];
         // Θ(t) from the stored forward state, via the fused ϕ/⟨k⟩ table
-        // and the chunked dot kernel.
-        let theta = kernels::dot(theta_w, i);
+        // and the partitioned dot reduction (bit-identical serial or
+        // pooled, at every thread count).
+        let theta = match &self.pool {
+            Some(pool) => kernels::dot_pooled(pool, theta_w, i),
+            None => kernels::dot_partitioned(theta_w, i),
+        };
         let (psi, phi) = y.split_at(n);
         let (dpsi, dphi) = dydt.split_at_mut(n);
         let c1e1sq2 = 2.0 * self.weights.c1 * eps1 * eps1;
@@ -139,12 +159,24 @@ impl<C: ControlSchedule> OdeSystem for CostateSystem<'_, C> {
         match self.variant {
             AdjointVariant::Exact => {
                 // Network coupling Σ_i (ψ_i − φ_i) λ_i S_i, reduced once
-                // with the chunked kernel, then the element-wise body.
-                let coupling = kernels::coupling_sum(psi, phi, lambda, s);
-                kernels::costate_rhs(
-                    s, i, psi, phi, lambda, theta_w, theta, coupling, c1e1sq2, c2e2sq2, eps1, eps2,
-                    dpsi, dphi,
-                );
+                // over the fixed partition plan, then the element-wise
+                // body over disjoint class chunks.
+                match &self.pool {
+                    Some(pool) => {
+                        let coupling = kernels::coupling_sum_pooled(pool, psi, phi, lambda, s);
+                        kernels::costate_rhs_pooled(
+                            pool, s, i, psi, phi, lambda, theta_w, theta, coupling, c1e1sq2,
+                            c2e2sq2, eps1, eps2, dpsi, dphi,
+                        );
+                    }
+                    None => {
+                        let coupling = kernels::coupling_sum_partitioned(psi, phi, lambda, s);
+                        kernels::costate_rhs(
+                            s, i, psi, phi, lambda, theta_w, theta, coupling, c1e1sq2, c2e2sq2,
+                            eps1, eps2, dpsi, dphi,
+                        );
+                    }
+                }
             }
             AdjointVariant::PaperDiagonal => {
                 // Ablation-only path: the diagonal coupling is per-class,

@@ -61,6 +61,26 @@ pub struct FbsmOptions {
     /// optimum typically cuts the iteration count by an integer
     /// factor — neighboring problems have neighboring optima.
     pub initial_control: Option<PiecewiseControl>,
+    /// Intra-replica thread count for the sweep's forward/backward
+    /// kernels, resolved through
+    /// [`rumor_par::resolve_inner_threads`] (`None` consults the
+    /// `--inner-threads` override, `RUMOR_INNER_THREADS`, then the
+    /// `--threads`/`RUMOR_THREADS` chain — the replica-vs-intra split
+    /// policy: a single sweep soaks the full budget). The partitioned
+    /// kernels are bit-identical at every thread count, so this knob
+    /// affects wall-clock only, never the optimum.
+    pub inner_threads: Option<usize>,
+    /// Backtracking under-relaxation: when the relaxed update *grows*
+    /// the control change (damped-Picard oscillation), retry the same
+    /// iteration's convex combination with a halved relaxation weight
+    /// (down to `relaxation_floor`) instead of accepting the
+    /// oscillating iterate and only damping the *next* one. The retry
+    /// is nearly free — the stationary controls are already computed,
+    /// no re-integration happens — and suppresses the plateau the
+    /// accept-then-damp scheme hits on stiff large-class problems
+    /// (`digg_full`). Off by default to preserve the historical sweep
+    /// behavior.
+    pub backtracking: bool,
 }
 
 impl Default for FbsmOptions {
@@ -80,6 +100,8 @@ impl Default for FbsmOptions {
             adjoint: AdjointVariant::default(),
             terminal_weight: 1.0,
             initial_control: None,
+            inner_threads: None,
+            backtracking: false,
         }
     }
 }
@@ -366,15 +388,30 @@ pub fn optimize_monitored(
     // contracts, cautiously restore it toward the configured value.
     let mut delta = options.relaxation;
 
+    // Intra-replica pool for the forward/backward kernels, per the
+    // resolved inner-thread budget. Skipped when the class count fits a
+    // single kernel partition — the pool could never dispatch. The
+    // partitioned kernels are bit-identical with and without the pool,
+    // so the resolved count can never change the optimum.
+    let inner_threads = rumor_par::resolve_inner_threads(options.inner_threads);
+    let pool = if inner_threads > 1 && rumor_core::kernels::partition_count(n) > 1 {
+        Some(std::sync::Arc::new(rumor_par::InnerPool::new(
+            inner_threads,
+        )))
+    } else {
+        None
+    };
+
     for iter in 1..=options.max_iterations {
         iterations = iter;
         // (i) Forward pass.
-        let model = RumorModel::new(params, &control);
+        let model = RumorModel::new(params, &control).with_pool(pool.clone());
         let forward = integrate_pass(options, &model, 0.0, &y0, tf)?;
 
         // (ii) Backward pass.
         let costate =
-            CostateSystem::with_variant(params, &forward, &control, *weights, options.adjoint);
+            CostateSystem::with_variant(params, &forward, &control, *weights, options.adjoint)
+                .with_pool(pool.clone());
         let terminal = costate.weighted_terminal_condition(options.terminal_weight);
         let backward = integrate_pass(options, &costate, tf, &terminal, 0.0)?;
 
@@ -390,41 +427,60 @@ pub fn optimize_monitored(
             e1_new.push(u1.clamp(0.0, bounds.eps1_max));
             e2_new.push(u2.clamp(0.0, bounds.eps2_max));
         }
-        // Relaxed update.
-        let d = delta;
-        let e1_relaxed: Vec<f64> = control
-            .eps1_values()
-            .iter()
-            .zip(&e1_new)
-            .map(|(old, new)| (1.0 - d) * old + d * new)
-            .collect();
-        let e2_relaxed: Vec<f64> = control
-            .eps2_values()
-            .iter()
-            .zip(&e2_new)
-            .map(|(old, new)| (1.0 - d) * old + d * new)
-            .collect();
-        // Convergence metric: node-wise change scaled by each channel's
-        // bound (a pure relative metric explodes on near-zero values).
-        let mut change: f64 = 0.0;
-        for (old, new) in control.eps1_values().iter().zip(&e1_relaxed) {
-            change = change.max((old - new).abs() / bounds.eps1_max);
-        }
-        for (old, new) in control.eps2_values().iter().zip(&e2_relaxed) {
-            change = change.max((old - new).abs() / bounds.eps2_max);
-        }
-        let mut next = control.clone();
-        next.set_values(e1_relaxed, e2_relaxed)?;
+        // Relaxed update: convex combination with the previous iterate
+        // at weight `d`, plus the convergence metric — node-wise change
+        // scaled by each channel's bound (a pure relative metric
+        // explodes on near-zero values).
+        let relax = |d: f64| {
+            let e1_relaxed: Vec<f64> = control
+                .eps1_values()
+                .iter()
+                .zip(&e1_new)
+                .map(|(old, new)| (1.0 - d) * old + d * new)
+                .collect();
+            let e2_relaxed: Vec<f64> = control
+                .eps2_values()
+                .iter()
+                .zip(&e2_new)
+                .map(|(old, new)| (1.0 - d) * old + d * new)
+                .collect();
+            let mut change: f64 = 0.0;
+            for (old, new) in control.eps1_values().iter().zip(&e1_relaxed) {
+                change = change.max((old - new).abs() / bounds.eps1_max);
+            }
+            for (old, new) in control.eps2_values().iter().zip(&e2_relaxed) {
+                change = change.max((old - new).abs() / bounds.eps2_max);
+            }
+            (e1_relaxed, e2_relaxed, change)
+        };
+        let (mut e1_relaxed, mut e2_relaxed, mut change) = relax(delta);
 
         if change > last_change {
-            let lowered = (delta * 0.5).max(options.relaxation_floor);
-            if lowered < delta {
-                relaxation_backoffs += 1;
+            if options.backtracking {
+                // Backtracking under-relaxation: retry *this* update with
+                // a halved weight before accepting it — the stationary
+                // controls are already in hand, so each retry is just the
+                // convex combination again, no re-integration. Stops at
+                // the floor so damping can never fake convergence.
+                while change > last_change && delta > options.relaxation_floor {
+                    delta = (delta * 0.5).max(options.relaxation_floor);
+                    relaxation_backoffs += 1;
+                    (e1_relaxed, e2_relaxed, change) = relax(delta);
+                }
+            } else {
+                // Historical accept-then-damp: keep the oscillating
+                // iterate, halve the weight for the next one.
+                let lowered = (delta * 0.5).max(options.relaxation_floor);
+                if lowered < delta {
+                    relaxation_backoffs += 1;
+                }
+                delta = lowered;
             }
-            delta = lowered;
         } else {
             delta = (delta * 1.05).min(options.relaxation);
         }
+        let mut next = control.clone();
+        next.set_values(e1_relaxed, e2_relaxed)?;
         last_change = change;
         change_history.push(change);
         control = next;
@@ -709,6 +765,111 @@ mod tests {
         .unwrap();
         assert!(
             result.trajectory.last_state().total_infected() < free.last_state().total_infected()
+        );
+    }
+
+    /// Tentpole determinism contract at the sweep level: a full FBSM
+    /// solve on a problem large enough that the inner pool genuinely
+    /// dispatches (class count above `PART_CHUNK`) must reproduce the
+    /// single-threaded sweep bit for bit at every inner thread count.
+    #[test]
+    fn sweep_is_bit_identical_across_inner_thread_counts() {
+        let degrees: Vec<usize> = (1..=300).collect();
+        let classes = DegreeClasses::from_degrees(&degrees).unwrap();
+        assert!(rumor_core::kernels::partition_count(classes.len()) > 1);
+        let p = ModelParams::builder(classes)
+            .alpha(0.002)
+            .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.002 })
+            .infectivity(Infectivity::paper_default())
+            .build()
+            .unwrap();
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.1).unwrap();
+        let bounds = ControlBounds::new(0.6, 0.6).unwrap();
+        let w = CostWeights::paper_default();
+        let opts = |threads: usize| FbsmOptions {
+            n_nodes: 21,
+            max_iterations: 5,
+            tolerance: 1e-3,
+            relaxation: 0.5,
+            inner_threads: Some(threads),
+            ..Default::default()
+        };
+        let serial = optimize(&p, &init, 10.0, &bounds, &w, &opts(1)).unwrap();
+        for threads in [2usize, 4] {
+            let pooled = optimize(&p, &init, 10.0, &bounds, &w, &opts(threads)).unwrap();
+            assert_eq!(pooled.iterations, serial.iterations, "threads = {threads}");
+            assert_eq!(
+                pooled.cost.total().to_bits(),
+                serial.cost.total().to_bits(),
+                "cost at threads = {threads}"
+            );
+            for (a, b) in pooled
+                .change_history
+                .iter()
+                .zip(serial.change_history.iter())
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "change at threads = {threads}");
+            }
+            for (a, b) in pooled
+                .control
+                .eps1_values()
+                .iter()
+                .zip(serial.control.eps1_values())
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "eps1 at threads = {threads}");
+            }
+            for (a, b) in pooled
+                .control
+                .eps2_values()
+                .iter()
+                .zip(serial.control.eps2_values())
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "eps2 at threads = {threads}");
+            }
+        }
+    }
+
+    /// Backtracking under-relaxation: with `backtracking: true` an
+    /// oscillation is retried at a smaller step inside the same
+    /// iteration instead of accepted. The sweep must still converge on
+    /// the small problem, land inside the box, and report any backoffs
+    /// through the existing telemetry field.
+    #[test]
+    fn backtracking_sweep_converges_inside_the_box() {
+        let p = params();
+        let init = NetworkState::initial_uniform(p.n_classes(), 0.1).unwrap();
+        let bounds = ControlBounds::new(0.6, 0.6).unwrap();
+        let w = CostWeights::paper_default();
+        let opts = FbsmOptions {
+            backtracking: true,
+            // A deliberately aggressive first step so the retry path has
+            // oscillations to damp.
+            relaxation: 0.9,
+            ..quick_options()
+        };
+        let result = optimize(&p, &init, 20.0, &bounds, &w, &opts).unwrap();
+        assert!(result.converged, "backtracking sweep did not converge");
+        assert!(result.final_relaxation >= opts.relaxation_floor);
+        assert!(result
+            .control
+            .eps1_values()
+            .iter()
+            .all(|&v| (0.0..=0.6).contains(&v)));
+        assert!(result
+            .control
+            .eps2_values()
+            .iter()
+            .all(|&v| (0.0..=0.6).contains(&v)));
+        // The reference (non-backtracking) solution on the same problem
+        // lands on the same optimum: backtracking changes the path, not
+        // the destination.
+        let reference = optimize(&p, &init, 20.0, &bounds, &w, &quick_options()).unwrap();
+        assert!(
+            (result.cost.total() - reference.cost.total()).abs()
+                < 0.05 * reference.cost.total().abs(),
+            "backtracking cost {} vs reference {}",
+            result.cost.total(),
+            reference.cost.total()
         );
     }
 }

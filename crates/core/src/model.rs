@@ -3,6 +3,8 @@
 use crate::control::ControlSchedule;
 use crate::params::ModelParams;
 use rumor_ode::system::OdeSystem;
+use rumor_par::InnerPool;
+use std::sync::Arc;
 
 /// How the recovered compartment treats the inflow `α`.
 ///
@@ -60,6 +62,11 @@ pub struct RumorModel<'p, C> {
     params: &'p ModelParams,
     control: C,
     convention: MassConvention,
+    /// Optional intra-replica worker pool for the Θ reduction and the
+    /// element-wise RHS map. The partitioned kernels are bit-identical
+    /// with and without a pool (see `kernels::PART_CHUNK`), so this only
+    /// affects wall-clock, never results.
+    pool: Option<Arc<InnerPool>>,
 }
 
 impl<'p, C: ControlSchedule> RumorModel<'p, C> {
@@ -80,7 +87,16 @@ impl<'p, C: ControlSchedule> RumorModel<'p, C> {
             params,
             control,
             convention,
+            pool: None,
         }
+    }
+
+    /// Attaches (or detaches, with `None`) an intra-replica worker pool.
+    /// Splits the per-class kernels across the pool's threads; output is
+    /// bit-identical to the pool-less model at every pool size.
+    pub fn with_pool(mut self, pool: Option<Arc<InnerPool>>) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The bound parameters.
@@ -100,12 +116,20 @@ impl<'p, C: ControlSchedule> RumorModel<'p, C> {
 
     /// Computes `Θ` from a flat state slice (layout `[S.., I.., R..]`):
     /// a single dot product against the precomputed
-    /// [`ModelParams::theta_weights`] table, evaluated with the chunked
-    /// [`crate::kernels::dot`] kernel (bit-identical to
-    /// [`crate::kernels::dot_scalar`], *not* to a naive left-fold).
+    /// [`ModelParams::theta_weights`] table, evaluated with the
+    /// partitioned [`crate::kernels::dot_partitioned`] reduction
+    /// (bit-identical to [`crate::kernels::dot_partitioned_scalar`] and
+    /// to the pooled form at every thread count; equal to
+    /// [`crate::kernels::dot`] whenever the class count fits one
+    /// [`crate::kernels::PART_CHUNK`] partition).
     pub fn theta_flat(&self, y: &[f64]) -> f64 {
         let n = self.params.n_classes();
-        crate::kernels::dot(self.params.theta_weights(), &y[n..2 * n])
+        let w = self.params.theta_weights();
+        let i = &y[n..2 * n];
+        match &self.pool {
+            Some(pool) => crate::kernels::dot_pooled(pool, w, i),
+            None => crate::kernels::dot_partitioned(w, i),
+        }
     }
 }
 
@@ -128,19 +152,35 @@ impl<C: ControlSchedule> OdeSystem for RumorModel<'_, C> {
         let inf = &rest[..n];
         let (ds, rest) = dydt.split_at_mut(n);
         let (di, dr) = rest.split_at_mut(n);
-        crate::kernels::sir_rhs(
-            s,
-            inf,
-            self.params.lambda(),
-            theta,
-            alpha,
-            eps1,
-            eps2,
-            recycle,
-            ds,
-            di,
-            dr,
-        );
+        match &self.pool {
+            Some(pool) => crate::kernels::sir_rhs_pooled(
+                pool,
+                s,
+                inf,
+                self.params.lambda(),
+                theta,
+                alpha,
+                eps1,
+                eps2,
+                recycle,
+                ds,
+                di,
+                dr,
+            ),
+            None => crate::kernels::sir_rhs(
+                s,
+                inf,
+                self.params.lambda(),
+                theta,
+                alpha,
+                eps1,
+                eps2,
+                recycle,
+                ds,
+                di,
+                dr,
+            ),
+        }
     }
 }
 

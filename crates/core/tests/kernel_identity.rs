@@ -51,12 +51,23 @@ fn theta_flat_is_bit_identical_to_scalar_reference_at_every_class_count() {
         for _ in 0..10 {
             let y = random_state(n, &mut rng);
             let chunked = model.theta_flat(&y);
-            let scalar = kernels::dot_scalar(p.theta_weights(), &y[n..2 * n]);
+            // The model reduces Θ over the fixed partition plan (so the
+            // association is identical with and without an inner pool);
+            // the reference is the partitioned *scalar* mirror. For
+            // n <= PART_CHUNK this equals the plain scalar dot.
+            let scalar = kernels::dot_partitioned_scalar(p.theta_weights(), &y[n..2 * n]);
             assert_eq!(
                 chunked.to_bits(),
                 scalar.to_bits(),
                 "theta mismatch at n = {n}"
             );
+            if n <= kernels::PART_CHUNK {
+                assert_eq!(
+                    scalar.to_bits(),
+                    kernels::dot_scalar(p.theta_weights(), &y[n..2 * n]).to_bits(),
+                    "single-partition theta must equal the plain scalar dot at n = {n}"
+                );
+            }
         }
     }
 }
@@ -72,8 +83,9 @@ fn model_rhs_is_bit_identical_to_scalar_reference_at_every_class_count() {
             let mut fast = vec![0.0; 3 * n];
             model.rhs(0.0, &y, &mut fast);
 
-            // Scalar reference path: scalar Θ reduction + scalar RHS map.
-            let theta = kernels::dot_scalar(p.theta_weights(), &y[n..2 * n]);
+            // Scalar reference path: partitioned scalar Θ reduction +
+            // scalar RHS map.
+            let theta = kernels::dot_partitioned_scalar(p.theta_weights(), &y[n..2 * n]);
             let mut ds = vec![0.0; n];
             let mut di = vec![0.0; n];
             let mut dr = vec![0.0; n];
@@ -126,6 +138,45 @@ fn reduction_kernels_match_their_scalar_references_on_random_data() {
                 kernels::coupling_sum_scalar(&a, &b, &w, &s).to_bits(),
                 "coupling at n = {n}"
             );
+        }
+    }
+}
+
+/// Intra-parallel identity: a model driven through an [`InnerPool`] of
+/// 1, 2, 4 or 8 threads must reproduce the serial model bit for bit at
+/// every class count — the tentpole determinism contract. Θ reductions
+/// go through per-chunk partials folded in chunk order; the RHS map
+/// writes disjoint chunk slices.
+#[test]
+fn pooled_model_rhs_is_bit_identical_to_serial_at_every_thread_count() {
+    use rumor_par::InnerPool;
+    let mut rng = StdRng::seed_from_u64(0x9A8A11E1);
+    for &n in &CLASS_COUNTS {
+        let p = params_with_classes(n);
+        let serial = RumorModel::new(&p, ConstantControl::new(0.2, 0.05));
+        for threads in [1usize, 2, 4, 8] {
+            let pool = std::sync::Arc::new(InnerPool::new(threads));
+            let pooled = RumorModel::new(&p, ConstantControl::new(0.2, 0.05))
+                .with_pool(Some(std::sync::Arc::clone(&pool)));
+            for _ in 0..5 {
+                let y = random_state(n, &mut rng);
+                assert_eq!(
+                    serial.theta_flat(&y).to_bits(),
+                    pooled.theta_flat(&y).to_bits(),
+                    "theta at n = {n}, threads = {threads}"
+                );
+                let mut d_serial = vec![0.0; 3 * n];
+                let mut d_pooled = vec![0.0; 3 * n];
+                serial.rhs(0.0, &y, &mut d_serial);
+                pooled.rhs(0.0, &y, &mut d_pooled);
+                for i in 0..3 * n {
+                    assert_eq!(
+                        d_serial[i].to_bits(),
+                        d_pooled[i].to_bits(),
+                        "rhs at n = {n}, threads = {threads}, i = {i}"
+                    );
+                }
+            }
         }
     }
 }

@@ -47,6 +47,10 @@ struct IdInterner {
     direct: Vec<u32>,
     /// Fallback for sparse ids at or above the direct limit.
     sparse: HashMap<u64, u32>,
+    /// How many sparse slots are currently reserved ahead of use; the
+    /// map is re-reserved in geometric slabs (seeded from the node
+    /// count at first fallback) instead of rehashing per doubling.
+    sparse_reserved: usize,
     next: u32,
 }
 
@@ -58,6 +62,7 @@ impl IdInterner {
         IdInterner {
             direct: Vec::new(),
             sparse: HashMap::new(),
+            sparse_reserved: 0,
             next: 0,
         }
     }
@@ -98,6 +103,18 @@ impl IdInterner {
         match slot {
             None => self.direct[raw as usize] = id,
             Some(raw) => {
+                if self.sparse.len() == self.sparse_reserved {
+                    // The degree-histogram pass has already told us how
+                    // many nodes exist so far: seed the fallback's
+                    // capacity from that count (sparse tails are
+                    // typically a fixed fraction of the id space) and
+                    // grow it in geometric slabs, so a multi-million-id
+                    // tail rehashes O(log n) times instead of at every
+                    // HashMap doubling.
+                    let slab = self.sparse_reserved.max(self.len() / 8).max(1024);
+                    self.sparse.reserve(slab);
+                    self.sparse_reserved += slab;
+                }
                 self.sparse.insert(raw, id);
             }
         }

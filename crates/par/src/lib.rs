@@ -1,12 +1,26 @@
 //! Std-only parallel execution layer.
 //!
-//! A chunked scoped-thread executor over [`std::thread::scope`] — no
-//! external dependencies, no unsafe code — exposing [`par_map`] and
-//! [`par_map_indexed`] with **ordered, deterministic result collection**:
-//! results come back in input order regardless of which worker computed
-//! what or in which order workers finished. A run with `threads = 1`
-//! executes inline on the calling thread (no spawn), so serial and
-//! parallel callers share one code path.
+//! Two executors, one determinism contract:
+//!
+//! - **Replica-level**: a chunked scoped-thread executor over
+//!   [`std::thread::scope`] exposing [`par_map`] and [`par_map_indexed`]
+//!   with **ordered, deterministic result collection** — results come
+//!   back in input order regardless of which worker computed what or in
+//!   which order workers finished. One spawn per call, which is cheap at
+//!   ensemble granularity.
+//! - **Intra-replica**: a persistent worker pool ([`InnerPool`]) for
+//!   splitting a *single* solve (RHS/costate kernels, sharded ABM steps)
+//!   across cores without paying thread-spawn per ODE step. Task
+//!   boundaries are derived from the problem size alone and partial
+//!   results are folded in task order on the caller, so every
+//!   floating-point association is fixed by the chunk plan — a pool of
+//!   1..N threads is bit-identical to serial.
+//!
+//! A run with `threads = 1` executes inline on the calling thread (no
+//! spawn) in both executors, so serial and parallel callers share one
+//! code path. The scoped-thread executor uses no `unsafe`; the only
+//! `unsafe` in the crate is the audited lifetime-erasure inside
+//! [`inner`] (see that module's safety notes).
 //!
 //! # Determinism contract
 //!
@@ -17,19 +31,35 @@
 //! balancing), each worker tags results with their index, and the main
 //! thread reassembles the output by index — so scheduling order can
 //! never leak into the result. Worker panics propagate to the caller.
+//! [`InnerPool`] carries the same contract at sub-solve granularity (see
+//! [`inner`]).
 //!
 //! # Thread-count resolution
 //!
-//! [`resolve_threads`] resolves the worker count from, in order:
+//! [`resolve_threads`] resolves the replica-level worker count from, in
+//! order:
 //!
 //! 1. an explicit count passed by the caller (e.g. a `--threads` CLI
 //!    flag),
 //! 2. the process-wide override installed with [`set_thread_override`],
 //! 3. the `RUMOR_THREADS` environment variable,
 //! 4. [`std::thread::available_parallelism`].
+//!
+//! [`resolve_inner_threads`] resolves the *intra*-replica count:
+//! explicit argument, then [`set_inner_thread_override`], then
+//! `RUMOR_INNER_THREADS`, then the whole [`resolve_threads`] chain. The
+//! split policy is structural: ensembles fan out replicas and never
+//! construct inner pools (outer parallelism keeps the budget), while
+//! single solves (FBSM sweeps, one-off ABM runs) soak the full budget
+//! intra-replica. Because pooled kernels are bit-identical to serial,
+//! the split affects wall-clock only, never results.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod inner;
+
+pub use inner::{chunk_bounds, chunk_count, InnerPool};
 
 /// Process-wide thread-count override; 0 means "unset".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -73,6 +103,51 @@ pub fn resolve_threads(explicit: Option<usize>) -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Process-wide intra-replica thread-count override; 0 means "unset".
+static INNER_THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs (or clears, with `None`) a process-wide override for the
+/// *intra*-replica thread count, consulted by [`resolve_inner_threads`]
+/// after an explicit argument but before the `RUMOR_INNER_THREADS`
+/// environment variable. The CLI wires its `--inner-threads` flag
+/// through this.
+///
+/// A count of `Some(0)` is treated as `Some(1)`.
+pub fn set_inner_thread_override(threads: Option<usize>) {
+    INNER_THREAD_OVERRIDE.store(threads.map_or(0, |t| t.max(1)), Ordering::Relaxed);
+}
+
+/// The currently installed intra-replica override, if any.
+pub fn inner_thread_override() -> Option<usize> {
+    match INNER_THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => None,
+        t => Some(t),
+    }
+}
+
+/// Resolves the intra-replica thread count for a *single* solve:
+/// explicit argument, then the [`set_inner_thread_override`] override,
+/// then `RUMOR_INNER_THREADS`, then the whole [`resolve_threads`] chain
+/// (`--threads`/`RUMOR_THREADS`/available parallelism). Single solves
+/// therefore soak the full thread budget by default; ensembles keep the
+/// budget at replica level by never constructing inner pools.
+pub fn resolve_inner_threads(explicit: Option<usize>) -> usize {
+    if let Some(t) = explicit {
+        return t.max(1);
+    }
+    if let Some(t) = inner_thread_override() {
+        return t;
+    }
+    if let Ok(raw) = std::env::var("RUMOR_INNER_THREADS") {
+        if let Ok(t) = raw.trim().parse::<usize>() {
+            if t >= 1 {
+                return t;
+            }
+        }
+    }
+    resolve_threads(None)
 }
 
 /// Maps `f` over `0..n` with up to `threads` workers, returning results
@@ -230,6 +305,25 @@ mod tests {
         // Without an override, the result is >= 1 whatever the
         // environment says.
         assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn resolve_inner_threads_precedence() {
+        // Explicit always wins and is clamped to >= 1.
+        assert_eq!(resolve_inner_threads(Some(3)), 3);
+        assert_eq!(resolve_inner_threads(Some(0)), 1);
+        // The inner override beats the environment/outer-chain fallback.
+        set_inner_thread_override(Some(6));
+        assert_eq!(inner_thread_override(), Some(6));
+        assert_eq!(resolve_inner_threads(None), 6);
+        assert_eq!(resolve_inner_threads(Some(2)), 2);
+        set_inner_thread_override(Some(0));
+        assert_eq!(inner_thread_override(), Some(1));
+        set_inner_thread_override(None);
+        assert_eq!(inner_thread_override(), None);
+        // Without an override the chain bottoms out at >= 1 whatever the
+        // environment says.
+        assert!(resolve_inner_threads(None) >= 1);
     }
 
     #[test]

@@ -254,6 +254,14 @@ pub fn optimize_with_warm(
                 tolerance: 1e-4,
                 relaxation: 0.3,
                 initial_control: initial,
+                // Split policy: an optimize request (and each point of a
+                // durable optimize_sweep campaign) is a *single* solve,
+                // so the intra-replica kernels soak the whole thread
+                // budget — `None` resolves through RUMOR_INNER_THREADS,
+                // then the --threads/RUMOR_THREADS chain. Ensembles keep
+                // their replica-level parallelism instead and never
+                // construct inner pools.
+                inner_threads: None,
                 ..Default::default()
             },
             ..Default::default()

@@ -349,6 +349,316 @@ pub fn run_reference(
     Ok(traj)
 }
 
+/// Shard width of the deterministic parallel stepper: node-id ranges of
+/// `SHARD` nodes are the unit of work handed to the inner pool. The
+/// boundaries are fixed by the node count alone — never by the thread
+/// count — so the trajectory is a pure function of
+/// `(graph, params, cfg, seed)`.
+pub const SHARD: usize = 1 << 16;
+
+/// Sentinel "step" used for the initial-seeding RNG stream, disjoint
+/// from every real step index `1..=n_steps`.
+const SEED_STREAM: u64 = u64::MAX;
+
+/// SplitMix64 finalizer (Steele, Lea & Flood 2014).
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Counter-based per-`(seed, step, node)` random stream.
+///
+/// The sequential simulators ([`run`], [`run_reference`]) consume one
+/// global RNG in node order, which makes their draw sequence inherently
+/// unshardable: node `u`'s randomness depends on every decision before
+/// it. The sharded stepper instead derives an independent SplitMix64
+/// stream per `(seed, step, node)` triple, so any node's draws can be
+/// reproduced in isolation — shards may execute in any order, on any
+/// number of threads, and the result is bitwise identical.
+struct NodeRng {
+    state: u64,
+}
+
+impl NodeRng {
+    #[inline]
+    fn new(seed: u64, step: u64, node: u64) -> Self {
+        let s = mix(seed ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(node.wrapping_mul(0xD2B7_4407_B1CE_6E93));
+        NodeRng { state: mix(s) }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.state)
+    }
+
+    /// Uniform in `[0, 1)` from the top 53 bits.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `0..n` by modulo. The bias is ≤ n/2⁶⁴ — far
+    /// below Monte Carlo noise at any realistic degree — and the
+    /// reduction is branch-free, which matters in the per-node hot loop.
+    #[inline]
+    fn gen_index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Seeds initial states from the counter stream: node `u` starts
+/// infected iff it is non-isolated and its private draw falls below
+/// `frac`. Order-free by construction.
+fn seed_states_counter(graph: &Graph, frac: f64, seed: u64) -> Vec<NodeState> {
+    (0..graph.node_count())
+        .map(|u| {
+            if graph.degree(u) > 0 && NodeRng::new(seed, SEED_STREAM, u as u64).next_f64() < frac {
+                NodeState::Infected
+            } else {
+                NodeState::Susceptible
+            }
+        })
+        .collect()
+}
+
+/// Advances every node in `out`'s shard (`lo..lo + out.len()`) by one
+/// synchronous step, reading the committed snapshot `cur` and writing
+/// only this shard's slice of the staging buffer.
+#[allow(clippy::too_many_arguments)]
+fn step_shard(
+    lo: usize,
+    cur: &[NodeState],
+    out: &mut [NodeState],
+    graph: &Graph,
+    tables: &RateTables,
+    recycle_prob: &[f64],
+    p_immunize: f64,
+    p_block: f64,
+    dt: f64,
+    seed: u64,
+    step: u64,
+) {
+    for (rel, slot) in out.iter_mut().enumerate() {
+        let u = lo + rel;
+        if tables.class[u] == usize::MAX {
+            continue; // isolated nodes never participate
+        }
+        let mut rng = NodeRng::new(seed, step, u as u64);
+        match cur[u] {
+            NodeState::Susceptible => {
+                if p_immunize > 0.0 && rng.next_f64() < p_immunize {
+                    *slot = NodeState::Recovered;
+                    continue;
+                }
+                let nb = graph.neighbors(u);
+                let v = nb[rng.gen_index(nb.len())] as usize;
+                if cur[v] == NodeState::Infected {
+                    let hazard = tables.lambda[u] * tables.omega_over_k[v];
+                    let p_inf = 1.0 - (-hazard * dt).exp();
+                    if p_inf > 0.0 && rng.next_f64() < p_inf.min(1.0) {
+                        *slot = NodeState::Infected;
+                    }
+                }
+            }
+            NodeState::Infected => {
+                if p_block > 0.0 && rng.next_f64() < p_block {
+                    *slot = NodeState::Recovered;
+                }
+            }
+            NodeState::Recovered => {
+                let p = recycle_prob[tables.class[u]];
+                if p > 0.0 && rng.next_f64() < p {
+                    *slot = NodeState::Susceptible;
+                }
+            }
+        }
+    }
+}
+
+/// Synchronous ABM stepping over fixed node-range shards with
+/// counter-based randomness — the intra-replica parallel simulator.
+///
+/// Unlike [`run`], which threads one sequential RNG through the node
+/// walk, this variant derives every node's draws from the
+/// `(seed, step, node)` counter stream (`NodeRng`), steps the arena
+/// in [`SHARD`]-wide node ranges with disjoint writes to the staging
+/// buffer, and merges per-class statistics in shard order. The
+/// trajectory is bitwise identical for `pool = None` and every pool
+/// size — pinned by [`run_sharded_reference`] and
+/// `tests/determinism.rs` — but is a *different* (equally valid) sample
+/// path from [`run`] at the same seed, since the draw streams differ.
+///
+/// # Errors
+///
+/// Same conditions as [`run`].
+pub fn run_sharded(
+    graph: &Graph,
+    params: &ModelParams,
+    cfg: &AbmConfig,
+    seed: u64,
+    pool: Option<&rumor_par::InnerPool>,
+) -> Result<SimTrajectory> {
+    validate(cfg)?;
+    let tables = build_tables(graph, params)?;
+    let n = graph.node_count();
+    let mut arena = StateArena::new(seed_states_counter(graph, cfg.initial_infected, seed));
+    let active = BitSet::from_pred(n, |u| tables.class[u] != usize::MAX);
+    let active_count = active.count().max(1);
+
+    let p_immunize = 1.0 - (-cfg.eps1 * cfg.dt).exp();
+    let p_block = 1.0 - (-cfg.eps2 * cfg.dt).exp();
+
+    let n_steps = (cfg.tf / cfg.dt).round() as usize;
+    let mut traj = SimTrajectory::new(tables.class_size.len());
+    record(&mut traj, 0.0, arena.current(), &tables, active_count);
+
+    let n_shards = rumor_par::chunk_count(n, SHARD);
+    let n_class = tables.class_size.len();
+    let mut recovered_per_class = vec![0usize; n_class];
+    let mut recycle_prob = vec![0.0_f64; n_class];
+    for step in 1..=n_steps {
+        // Recycle probabilities need the global per-class recovered
+        // counts; integer sums in ascending node order, computed once
+        // per step on the caller before the shards fan out.
+        recycle_prob.iter_mut().for_each(|p| *p = 0.0);
+        if cfg.alpha > 0.0 {
+            recovered_per_class.iter_mut().for_each(|c| *c = 0);
+            for u in active.iter() {
+                if arena.get(u) == NodeState::Recovered {
+                    recovered_per_class[tables.class[u]] += 1;
+                }
+            }
+            for c in 0..n_class {
+                if recovered_per_class[c] > 0 {
+                    recycle_prob[c] = (cfg.alpha * tables.class_size[c] as f64 * cfg.dt
+                        / recovered_per_class[c] as f64)
+                        .min(1.0);
+                }
+            }
+        }
+        let (cur, next) = arena.buffers();
+        let shards: Vec<(usize, &mut [NodeState])> = next.chunks_mut(SHARD).enumerate().collect();
+        debug_assert_eq!(shards.len(), n_shards);
+        let step_one = |(sidx, out): (usize, &mut [NodeState])| {
+            let (lo, hi) = rumor_par::chunk_bounds(n, SHARD, sidx);
+            debug_assert_eq!(hi - lo, out.len());
+            step_shard(
+                lo,
+                cur,
+                out,
+                graph,
+                &tables,
+                &recycle_prob,
+                p_immunize,
+                p_block,
+                cfg.dt,
+                seed,
+                step as u64,
+            );
+        };
+        match pool {
+            Some(pool) if pool.threads() > 1 && n_shards > 1 => {
+                pool.scatter(shards, |_t, item| step_one(item));
+            }
+            _ => {
+                for item in shards {
+                    step_one(item);
+                }
+            }
+        }
+        arena.commit();
+        if step % cfg.record_every == 0 || step == n_steps {
+            record(
+                &mut traj,
+                step as f64 * cfg.dt,
+                arena.current(),
+                &tables,
+                active_count,
+            );
+        }
+    }
+    Ok(traj)
+}
+
+/// Serial mirror of [`run_sharded`]: a plain ascending-node loop over
+/// the same counter streams, with no arena sharding and no pool. The
+/// determinism suite pins [`run_sharded`] against this bit for bit at
+/// every pool size. Not part of the public API.
+#[doc(hidden)]
+pub fn run_sharded_reference(
+    graph: &Graph,
+    params: &ModelParams,
+    cfg: &AbmConfig,
+    seed: u64,
+) -> Result<SimTrajectory> {
+    validate(cfg)?;
+    let tables = build_tables(graph, params)?;
+    let n = graph.node_count();
+    let mut states = seed_states_counter(graph, cfg.initial_infected, seed);
+    let mut next_states = states.clone();
+    let active: Vec<usize> = (0..n).filter(|&u| tables.class[u] != usize::MAX).collect();
+    let active_count = active.len().max(1);
+
+    let p_immunize = 1.0 - (-cfg.eps1 * cfg.dt).exp();
+    let p_block = 1.0 - (-cfg.eps2 * cfg.dt).exp();
+
+    let n_steps = (cfg.tf / cfg.dt).round() as usize;
+    let mut traj = SimTrajectory::new(tables.class_size.len());
+    record(&mut traj, 0.0, &states, &tables, active_count);
+
+    let n_class = tables.class_size.len();
+    let mut recovered_per_class = vec![0usize; n_class];
+    let mut recycle_prob = vec![0.0_f64; n_class];
+    for step in 1..=n_steps {
+        recycle_prob.iter_mut().for_each(|p| *p = 0.0);
+        if cfg.alpha > 0.0 {
+            recovered_per_class.iter_mut().for_each(|c| *c = 0);
+            for &u in &active {
+                if states[u] == NodeState::Recovered {
+                    recovered_per_class[tables.class[u]] += 1;
+                }
+            }
+            for c in 0..n_class {
+                if recovered_per_class[c] > 0 {
+                    recycle_prob[c] = (cfg.alpha * tables.class_size[c] as f64 * cfg.dt
+                        / recovered_per_class[c] as f64)
+                        .min(1.0);
+                }
+            }
+        }
+        step_shard(
+            0,
+            &states,
+            &mut next_states,
+            graph,
+            &tables,
+            &recycle_prob,
+            p_immunize,
+            p_block,
+            cfg.dt,
+            seed,
+            step as u64,
+        );
+        states.copy_from_slice(&next_states);
+        if step % cfg.record_every == 0 || step == n_steps {
+            record(
+                &mut traj,
+                step as f64 * cfg.dt,
+                &states,
+                &tables,
+                active_count,
+            );
+        }
+    }
+    Ok(traj)
+}
+
 fn record(
     traj: &mut SimTrajectory,
     t: f64,
@@ -534,6 +844,82 @@ mod tests {
             },
         ] {
             assert!(run(&g, &p, &bad, &mut rng).is_err());
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_reference_at_every_pool_size() {
+        let (g, p) = setup(700, 0.5);
+        let cfg = AbmConfig {
+            tf: 8.0,
+            eps1: 0.03,
+            eps2: 0.08,
+            alpha: 0.01,
+            ..Default::default()
+        };
+        let reference = run_sharded_reference(&g, &p, &cfg, 42).unwrap();
+        assert_eq!(run_sharded(&g, &p, &cfg, 42, None).unwrap(), reference);
+        for threads in [1usize, 2, 4, 8] {
+            let pool = rumor_par::InnerPool::new(threads);
+            let pooled = run_sharded(&g, &p, &cfg, 42, Some(&pool)).unwrap();
+            assert_eq!(pooled, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_behaviorally_sound() {
+        let (g, p) = setup(800, 0.3);
+        let cfg = AbmConfig {
+            tf: 120.0,
+            eps1: 0.05,
+            eps2: 0.3,
+            ..Default::default()
+        };
+        let traj = run_sharded(&g, &p, &cfg, 5, None).unwrap();
+        for idx in 0..traj.len() {
+            let total = traj.s()[idx] + traj.i()[idx] + traj.r()[idx];
+            assert!((total - 1.0).abs() < 1e-9, "t index {idx}: {total}");
+        }
+        // Countermeasures drive the rumor extinct, exactly as in the
+        // sequential simulator's scenario.
+        assert!(
+            traj.final_infected() < 0.01,
+            "infection should die out, got {}",
+            traj.final_infected()
+        );
+    }
+
+    #[test]
+    fn sharded_seed_changes_the_sample_path() {
+        let (g, p) = setup(400, 0.5);
+        let cfg = AbmConfig {
+            tf: 5.0,
+            ..Default::default()
+        };
+        let a = run_sharded(&g, &p, &cfg, 1, None).unwrap();
+        let b = run_sharded(&g, &p, &cfg, 2, None).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counter_rng_streams_are_decorrelated_across_nodes_and_steps() {
+        // Coarse uniformity check: the per-node first draws across a
+        // range of (step, node) pairs fill [0, 1) evenly.
+        let mut buckets = [0usize; 10];
+        let mut count = 0usize;
+        for step in 1..=20u64 {
+            for node in 0..500u64 {
+                let x = NodeRng::new(7, step, node).next_f64();
+                buckets[(x * 10.0) as usize] += 1;
+                count += 1;
+            }
+        }
+        let expected = count / 10;
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!(
+                (b as f64 - expected as f64).abs() < 0.1 * expected as f64,
+                "bucket {i}: {b} vs expected {expected}"
+            );
         }
     }
 

@@ -170,6 +170,14 @@ impl StateArena {
     pub fn commit(&mut self) {
         self.current.copy_from_slice(&self.next);
     }
+
+    /// Split borrow for sharded stepping: the committed states as a
+    /// shared slice plus the staging buffer as an exclusive slice, so a
+    /// worker pool can hand out disjoint `next` shards while every
+    /// shard reads the full `current` snapshot.
+    pub fn buffers(&mut self) -> (&[NodeState], &mut [NodeState]) {
+        (&self.current, &mut self.next)
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use rumor_core::params::ModelParams;
 use rumor_net::degree::DegreeClasses;
 use rumor_net::generators::barabasi_albert;
 use rumor_net::graph::Graph;
-use rumor_sim::abm::AbmConfig;
+use rumor_sim::abm::{run_sharded, run_sharded_reference, AbmConfig, SHARD};
 use rumor_sim::ensemble::{
     run_ensemble_isolated_threads, run_ensemble_isolated_with_threads, run_ensemble_threads,
     EnsembleResult, IsolationPolicy, Simulator,
@@ -171,6 +171,100 @@ fn json_tracing_does_not_perturb_ensemble_output() {
         snap.span_stat("sim.replica").map_or(0, |s| s.count) >= 16,
         "rollup missed replica spans"
     );
+}
+
+/// A graph wide enough to span several [`SHARD`]-sized node ranges, so
+/// the sharded stepper genuinely fans out instead of collapsing to its
+/// single-shard serial path.
+fn multi_shard_setup() -> (Graph, ModelParams) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 2 * SHARD + 1_000;
+    let g = barabasi_albert(n, 2, &mut rng).unwrap();
+    let classes = DegreeClasses::from_graph(&g).unwrap();
+    let p = ModelParams::builder(classes)
+        .alpha(0.0)
+        .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.5 })
+        .infectivity(Infectivity::paper_default())
+        .build()
+        .unwrap();
+    (g, p)
+}
+
+#[test]
+fn sharded_abm_bit_identical_across_inner_pool_sizes() {
+    // Tentpole contract, ABM leg: across multiple shards, the pooled
+    // stepper reproduces the serial reference bit for bit at every
+    // inner pool size.
+    let (g, p) = multi_shard_setup();
+    let cfg = AbmConfig {
+        tf: 1.0,
+        eps1: 0.02,
+        eps2: 0.1,
+        alpha: 0.01,
+        record_every: 2,
+        ..cfg()
+    };
+    let reference = run_sharded_reference(&g, &p, &cfg, 77).unwrap();
+    assert_eq!(
+        run_sharded(&g, &p, &cfg, 77, None).unwrap(),
+        reference,
+        "no pool"
+    );
+    for t in THREAD_COUNTS {
+        let pool = rumor_par::InnerPool::new(t);
+        let pooled = run_sharded(&g, &p, &cfg, 77, Some(&pool)).unwrap();
+        assert_eq!(pooled, reference, "{t} inner threads");
+    }
+}
+
+#[test]
+fn sharded_replicas_with_faults_bit_identical_across_outer_and_inner_threads() {
+    // Nested parallelism: replica-level (outer) workers each stepping a
+    // multi-shard ABM through their own inner pool, with injected
+    // replica faults. Statistics and exclusion records must match the
+    // fully serial run bit for bit over the whole outer x inner matrix.
+    let (g, p) = multi_shard_setup();
+    let cfg = AbmConfig {
+        tf: 1.0,
+        eps1: 0.02,
+        eps2: 0.1,
+        record_every: 5,
+        ..cfg()
+    };
+    let policy = IsolationPolicy::default();
+    let runner = |inner: usize| {
+        let (g, p, cfg) = (&g, &p, &cfg);
+        move |r: usize, seed: u64| -> Result<SimTrajectory, SimError> {
+            if r % 4 == 3 {
+                return Err(SimError::Inconsistent(format!(
+                    "injected fault in replica {r}"
+                )));
+            }
+            let pool = rumor_par::InnerPool::new(inner);
+            run_sharded(g, p, cfg, seed, Some(&pool))
+        }
+    };
+    let serial = run_ensemble_isolated_with_threads(6, 900, &policy, Some(1), runner(1)).unwrap();
+    assert!(serial.degraded());
+    assert_eq!(serial.failures.len(), 1);
+    assert_eq!(serial.result.runs, 5);
+    for outer in [1usize, 2, 4] {
+        for inner in [1usize, 2, 4] {
+            let par =
+                run_ensemble_isolated_with_threads(6, 900, &policy, Some(outer), runner(inner))
+                    .unwrap();
+            assert_bit_identical(
+                &serial.result,
+                &par.result,
+                &format!("outer {outer} x inner {inner}"),
+            );
+            assert_eq!(
+                serial.failures, par.failures,
+                "outer {outer} x inner {inner}: failures"
+            );
+            assert_eq!(serial.attempted, par.attempted);
+        }
+    }
 }
 
 /// Deterministic synthetic trajectory whose level encodes the seed, so
