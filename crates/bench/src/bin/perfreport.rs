@@ -1,6 +1,6 @@
 //! `perfreport` — headline performance numbers for the allocation-free
 //! hot path, the parallel ensemble layer, and the HTTP service, written
-//! as machine-readable JSON to `BENCH_PR8.json` at the workspace root.
+//! as machine-readable JSON to `BENCH_PR9.json` at the workspace root.
 //! Runs with `rumor-obs` rollups enabled, so the report also carries a
 //! `span_rollup` section: per-span-name call counts and total wall time
 //! plus the instrumentation counters (steps, sweeps, replicas) observed
@@ -25,7 +25,7 @@
 //! order-of-magnitude regressions (a dropped `--release`, an
 //! accidentally quadratic loop), not percent-level noise.
 //!
-//! Nine canonical workloads (the ninth behind `--heavy`):
+//! Twelve canonical workloads (the last behind `--heavy`):
 //!
 //! 1. **RHS evals/s** — the heterogeneous SIR right-hand side on the
 //!    Digg-calibrated class structure (the kernel every integrator step
@@ -71,7 +71,12 @@
 //!     list whose node ids all sit at or above the interner's 2^24
 //!     direct-map limit, exercising the hash fallback and its geometric
 //!     capacity reservation.
-//! 11. **synthetic_1m** (`--heavy`, nightly) — a deterministic
+//! 11. **two_rumor** — the competing two-rumor compartment model:
+//!     4-band RHS evals/s on the small-tier Digg classes (directly
+//!     comparable with workload 1) plus one capped multi-control FBSM
+//!     sweep on the canonical two-rumor small tier, asserting a final
+//!     residual <= 1e-4.
+//! 12. **synthetic_1m** (`--heavy`, nightly) — a deterministic
 //!     million-node edge list streamed from disk through the two-pass
 //!     CSR ingest (`rumor_datasets::streaming`), then a synchronous ABM
 //!     replica stepped over all million agents on the flat state arena;
@@ -129,7 +134,7 @@ struct Config {
 
 fn parse_args() -> Config {
     let mut config = Config {
-        out: PathBuf::from("BENCH_PR8.json"),
+        out: PathBuf::from("BENCH_PR9.json"),
         check: None,
         tolerance: 0.25,
         heavy: false,
@@ -179,7 +184,7 @@ fn main() {
     println!("perfreport: host has {cores} available core(s)");
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"pr\": 8,");
+    let _ = writeln!(json, "  \"pr\": 9,");
     let _ = writeln!(json, "  \"generated_by\": \"perfreport\",");
     let _ = writeln!(
         json,
@@ -302,9 +307,12 @@ fn main() {
     // tolerance — defines a fixed-size workload whose wall time is
     // comparable across runs. `optimize_monitored` skips the divergence
     // gate that `optimize` applies to non-converged sweeps. Convergence
-    // is then finished off by warm-started continuation rounds,
-    // reported (with the final residual) separately from the timed
-    // sweep so the gate metric keeps its fixed-size meaning.
+    // is then finished off by warm-started continuation rounds (each
+    // restart resets the relaxation, and the default backtracking
+    // under-relaxation carries it past the ~4e-3 plateau), reported
+    // (with the final residual) separately from the timed sweep so the
+    // gate metric keeps its fixed-size meaning; three continuation
+    // rounds settle it, pinned in crates/bench/tests/fbsm_small_tier.rs.
     // `inner_threads` is pinned to 1 on every gated sweep so the wall
     // time the perf gate watches stays comparable across hosts with
     // different core counts (and to the single-core baseline).
@@ -324,8 +332,13 @@ fn main() {
         &bounds,
         &weights,
         &options,
-        3,
-        false,
+        6,
+        true,
+    );
+    assert!(
+        fbsm.converged_final && fbsm.final_residual_after <= 1e-4,
+        "small-tier FBSM continuation failed to converge: residual {}",
+        fbsm.final_residual_after
     );
     println!(
         "fbsm: {} classes, tf = {tf}: {}",
@@ -594,7 +607,10 @@ fn main() {
     // ---- Workload 10: sparse-id streaming ingest (hash fallback). ---
     let _ = writeln!(json, "  \"ingest_sparse\": {},", ingest_sparse_section());
 
-    // ---- Workload 11 (--heavy): million-node ingest + ABM stepping. --
+    // ---- Workload 11: the competing two-rumor compartment model. ----
+    let _ = writeln!(json, "  \"two_rumor\": {},", two_rumor_section());
+
+    // ---- Workload 12 (--heavy): million-node ingest + ABM stepping. --
     if config.heavy {
         let _ = writeln!(json, "  \"synthetic_1m\": {},", synthetic_1m_section());
     }
@@ -1115,13 +1131,120 @@ fn synthetic_1m_section() -> String {
     )
 }
 
+/// The competing two-rumor compartment model: RHS throughput of the
+/// generalized 4-band kernels on the small-tier Digg classes, plus one
+/// capped multi-control FBSM sweep on the canonical two-rumor small
+/// tier (byte-for-byte the configuration of
+/// `crates/control/tests/two_rumor_fbsm.rs` and the EXPERIMENTS.md
+/// cost-effectiveness study), asserting genuine convergence.
+fn two_rumor_section() -> String {
+    use rumor_compartments::model::{CompartmentModel, CompartmentOde};
+    use rumor_compartments::schedule::ConstantMultiControl;
+    use rumor_control::multi::{
+        optimize_compartments_monitored, MultiControlBounds, MultiFbsmOptions,
+    };
+    use rumor_models::two_rumor::TwoRumorModel;
+
+    // RHS throughput on the same small-tier class structure as the
+    // paper-model `rhs` workload, so the 4-band generalized kernel cost
+    // is directly comparable with the 3-band legacy one.
+    let ds = digg_dataset(Scale::Small);
+    let params = fig4_params(&ds);
+    let model =
+        TwoRumorModel::from_params(&params, 0.03, 0.05, 0.08, 0.5, 5.0, 10.0).expect("model");
+    let n = model.n_classes();
+    let ode = CompartmentOde::new(&model, ConstantMultiControl::new(vec![0.2, 0.05]));
+    let mut y = vec![0.0; model.state_dim()];
+    for j in 0..n {
+        y[j] = 0.88;
+        y[n + j] = 0.1;
+        y[2 * n + j] = 0.02;
+    }
+    let mut dydt = vec![0.0; y.len()];
+    for _ in 0..100 {
+        ode.rhs(0.0, &y, &mut dydt);
+    }
+    let (evals, rhs_wall, rhs_rate) = best_rate_window(200, || ode.rhs(0.0, &y, &mut dydt));
+    println!(
+        "two_rumor rhs: {n} classes x 4 compartments, {evals} evals in {rhs_wall:.3} s = {rhs_rate:.0} evals/s (best of {RATE_WINDOWS} windows)"
+    );
+
+    // The canonical two-rumor small tier: 12 degree classes, bounds
+    // [0.2, 0.2] (wider boxes put grid nodes on the clamp boundary and
+    // the Picard iteration cycles), 51 grid nodes over tf = 40. The cap
+    // bounds the workload; the sweep in fact converges well inside it
+    // and the final residual is asserted, so a regression in the
+    // multi-control numerics fails the report instead of skewing it.
+    let degrees: Vec<usize> = (0..24).map(|i| 1 + i % 12).collect();
+    let classes = DegreeClasses::from_degrees(&degrees).expect("classes");
+    let fbsm_params = ModelParams::builder(classes)
+        .alpha(0.002)
+        .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.02 })
+        .infectivity(Infectivity::paper_default())
+        .build()
+        .expect("two-rumor params");
+    let fbsm_model = TwoRumorModel::from_params(&fbsm_params, 0.03, 0.05, 0.08, 0.5, 5.0, 10.0)
+        .expect("two-rumor model");
+    let nn = fbsm_model.n_classes();
+    let mut y0 = vec![0.0; fbsm_model.state_dim()];
+    for j in 0..nn {
+        y0[j] = 0.88;
+        y0[nn + j] = 0.1;
+        y0[2 * nn + j] = 0.02;
+    }
+    let bounds = MultiControlBounds::new(vec![0.2, 0.2]).expect("bounds");
+    let options = MultiFbsmOptions {
+        n_nodes: 51,
+        max_iterations: 150,
+        tolerance: 1e-4,
+        relaxation: 0.4,
+        ode: AdaptiveConfig {
+            rtol: 1e-6,
+            atol: 1e-8,
+            ..Default::default()
+        },
+        inner_threads: Some(1),
+        ..Default::default()
+    };
+    let tf = 40.0;
+    let start = Instant::now();
+    let sweep = optimize_compartments_monitored(&fbsm_model, &y0, tf, &bounds, &options)
+        .expect("two-rumor sweep");
+    let fbsm_wall = start.elapsed().as_secs_f64();
+    let residual = sweep
+        .change_history
+        .last()
+        .copied()
+        .unwrap_or(f64::INFINITY);
+    assert!(
+        sweep.converged && residual <= 1e-4,
+        "two-rumor multi-control sweep must converge to <= 1e-4, got converged {} residual {residual:.3e}",
+        sweep.converged
+    );
+    println!(
+        "two_rumor fbsm: {nn} classes, 2 control channels: {} iterations in {fbsm_wall:.3} s, residual {residual:.3e}, J = {:.4}",
+        sweep.iterations,
+        sweep.cost.total()
+    );
+
+    format!(
+        "{{\n    \"rhs\": {{ \"n_classes\": {n}, \"n_compartments\": 4, \"evals\": {evals}, \"wall_s\": {rhs_wall:.4}, \"evals_per_s\": {rhs_rate:.1} }},\n    \"fbsm\": {{ \"n_classes\": {nn}, \"n_controls\": 2, \"grid_nodes\": {}, \"tf\": {tf}, \"iterations\": {}, \"converged\": {}, \"wall_s\": {fbsm_wall:.4}, \"final_residual\": {residual:.6e}, \"cost_total\": {:.6} }}\n  }}",
+        options.n_nodes,
+        sweep.iterations,
+        sweep.converged,
+        sweep.cost.total()
+    )
+}
+
 /// The headline metrics the regression gate watches: a dotted JSON path
 /// and whether larger values are better (throughputs) or worse (wall
 /// times). The `synthetic_1m.*` paths only exist in `--heavy` reports;
 /// the gate skips paths missing from either side, so one baseline
 /// serves both the per-PR and the nightly tier.
-const GATE_METRICS: [(&str, bool); 11] = [
+const GATE_METRICS: [(&str, bool); 13] = [
     ("rhs.evals_per_s", true),
+    ("two_rumor.rhs.evals_per_s", true),
+    ("two_rumor.fbsm.wall_s", false),
     ("wire.parse_validate_per_s", true),
     ("jobs.points_per_s", true),
     ("fbsm.wall_s", false),

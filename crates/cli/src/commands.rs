@@ -2,7 +2,11 @@
 
 use crate::args::Args;
 use crate::error::CliError;
+use rumor_compartments::model::CompartmentModel;
+use rumor_compartments::schedule::ConstantMultiControl;
+use rumor_compartments::simulate::{simulate_compartments, CompartmentSimOptions};
 use rumor_control::fbsm::FbsmOptions;
+use rumor_control::multi::{optimize_compartments_monitored, MultiControlBounds, MultiFbsmOptions};
 use rumor_control::watchdog::{optimize_guarded, SweepSource, WatchdogOptions};
 use rumor_control::{ControlBounds, CostWeights};
 use rumor_core::control::ConstantControl;
@@ -80,6 +84,85 @@ fn model_params(args: &Args, classes: DegreeClasses) -> Result<ModelParams, CliE
         .build()?)
 }
 
+/// Which propagation model `--model` selects (simulate/optimize only;
+/// the threshold theory and the ABM only speak the paper model).
+enum CliModelKind {
+    Paper,
+    TwoRumor {
+        lambda20: f64,
+        gamma1: f64,
+        gamma2: f64,
+        mu: f64,
+    },
+    TieStrength {
+        beta: f64,
+    },
+}
+
+fn model_kind(args: &Args) -> Result<CliModelKind, CliError> {
+    match args.get("model").unwrap_or("paper") {
+        "paper" => Ok(CliModelKind::Paper),
+        "two_rumor" => Ok(CliModelKind::TwoRumor {
+            lambda20: args.get_f64("lambda20", 0.03)?,
+            gamma1: args.get_f64("gamma1", 0.05)?,
+            gamma2: args.get_f64("gamma2", 0.08)?,
+            mu: args.get_f64("mu", 0.5)?,
+        }),
+        "tie_strength" => Ok(CliModelKind::TieStrength {
+            beta: args.get_f64("beta", 0.5)?,
+        }),
+        other => Err(CliError::usage(format!(
+            "--model {other:?} is not one of: paper, two_rumor, tie_strength"
+        ))),
+    }
+}
+
+/// Builds the selected compartment model from the shared parameters.
+/// Returns `None` for the paper kind (which runs the legacy engines).
+fn build_compartment_model(
+    kind: &CliModelKind,
+    params: &ModelParams,
+    c1: f64,
+    c2: f64,
+) -> Result<Option<CompartmentKindModel>, CliError> {
+    Ok(match kind {
+        CliModelKind::Paper => None,
+        CliModelKind::TwoRumor {
+            lambda20,
+            gamma1,
+            gamma2,
+            mu,
+        } => Some(CompartmentKindModel::TwoRumor(
+            rumor_models::two_rumor::TwoRumorModel::from_params(
+                params, *lambda20, *gamma1, *gamma2, *mu, c1, c2,
+            )?,
+        )),
+        CliModelKind::TieStrength { beta } => Some(CompartmentKindModel::TieStrength(
+            rumor_models::tie_strength::tie_strength_model(params, *beta, c1, c2)?,
+        )),
+    })
+}
+
+/// The two selectable compartment models, monomorphized per arm so the
+/// generic simulate/optimize paths below stay `dyn`-free.
+enum CompartmentKindModel {
+    TwoRumor(rumor_models::two_rumor::TwoRumorModel),
+    TieStrength(rumor_compartments::paper::PaperSir),
+}
+
+/// Uniform initial condition on a compartment model: every class starts
+/// with `1 − i0` susceptible and `i0` in compartment 1 (the rumor
+/// spreaders), mirroring `NetworkState::initial_uniform`.
+fn uniform_compartment_initial<M: CompartmentModel>(model: &M, i0: f64) -> Vec<f64> {
+    let n = model.n_classes();
+    let mut y = vec![0.0; model.state_dim()];
+    for j in 0..n {
+        y[j] = 1.0 - i0;
+        y[n + j] = i0;
+    }
+    y
+}
+
 /// `rumor analyze`: dataset statistics, threshold, equilibria, stability.
 pub fn analyze(args: &Args) -> CliResult {
     let net = load_network(args, false)?;
@@ -155,10 +238,70 @@ threshold sensitivities:"
     Ok(())
 }
 
-/// `rumor simulate`: integrate the dynamics, print milestones, optional CSV.
+/// Simulate path for the compartment-model kinds (`--model two_rumor` /
+/// `tie_strength`): the constant `--eps1/--eps2` map onto the model's
+/// two control channels in order.
+fn simulate_compartment_kind<M: CompartmentModel>(args: &Args, model: &M) -> CliResult {
+    let (eps1, eps2) = (args.get_f64("eps1", 0.2)?, args.get_f64("eps2", 0.05)?);
+    let tf = args.get_f64("tf", 150.0)?;
+    let i0 = args.get_f64("i0", 0.1)?;
+    let traj = simulate_compartments(
+        model,
+        ConstantMultiControl::new(vec![eps1, eps2]),
+        &uniform_compartment_initial(model, i0),
+        tf,
+        &CompartmentSimOptions::default(),
+        None,
+    )?;
+    let names = model.compartment_names();
+    println!(
+        "simulated {} classes x {} compartments ({}) over (0, {tf}]",
+        model.n_classes(),
+        model.n_compartments(),
+        names.join("/")
+    );
+    print!("\n{:>10}", "t");
+    for name in names {
+        print!(" {:>12}", format!("mean {name}"));
+    }
+    println!();
+    let n = model.n_classes() as f64;
+    let means: Vec<Vec<f64>> = (0..model.n_compartments())
+        .map(|c| traj.total_series(c).iter().map(|x| x / n).collect())
+        .collect();
+    for idx in (0..traj.len()).step_by((traj.len() / 10).max(1)) {
+        print!("{:>10.2}", traj.times()[idx]);
+        for series in &means {
+            print!(" {:>12.6}", series[idx]);
+        }
+        println!();
+    }
+    if let Some(path) = args.get("out") {
+        let mut f = std::fs::File::create(path)?;
+        let header: Vec<String> = names.iter().map(|name| format!("mean_{name}")).collect();
+        writeln!(f, "t,{}", header.join(","))?;
+        for (idx, t) in traj.times().iter().enumerate() {
+            let row: Vec<String> = means.iter().map(|s| s[idx].to_string()).collect();
+            writeln!(f, "{t},{}", row.join(","))?;
+        }
+        println!("\ntrajectory written to {path}");
+    }
+    Ok(())
+}
+
+/// `rumor simulate`: integrate the dynamics, print milestones, optional
+/// CSV. `--model` selects the engine: the paper model runs the legacy
+/// path below, the other kinds run their compartment models.
 pub fn simulate(args: &Args) -> CliResult {
     let net = load_network(args, false)?;
     let params = model_params(args, net.classes)?;
+    // Cost weights only enter the FBSM objective; the paper defaults
+    // keep model construction valid here.
+    match build_compartment_model(&model_kind(args)?, &params, 5.0, 10.0)? {
+        None => {}
+        Some(CompartmentKindModel::TwoRumor(m)) => return simulate_compartment_kind(args, &m),
+        Some(CompartmentKindModel::TieStrength(m)) => return simulate_compartment_kind(args, &m),
+    }
     let (eps1, eps2) = (args.get_f64("eps1", 0.2)?, args.get_f64("eps2", 0.05)?);
     let tf = args.get_f64("tf", 150.0)?;
     let i0 = args.get_f64("i0", 0.1)?;
@@ -208,15 +351,94 @@ pub fn simulate(args: &Args) -> CliResult {
     Ok(())
 }
 
-/// `rumor optimize`: watchdog-guarded forward–backward sweep, schedule
-/// table, optional CSV. With `--strict`, a degraded result (best-so-far
-/// checkpoint or heuristic fallback) becomes a fatal error.
+/// Optimize path for the compartment-model kinds: the multi-control
+/// forward–backward sweep, with `--epsmax` bounding every channel.
+fn optimize_compartment_kind<M: CompartmentModel>(args: &Args, model: &M) -> CliResult {
+    let tf = args.get_f64("tf", 100.0)?;
+    let i0 = args.get_f64("i0", 0.05)?;
+    let epsmax = args.get_f64("epsmax", 0.7)?;
+    let bounds = MultiControlBounds::new(vec![epsmax; model.n_controls()])?;
+    println!(
+        "multi-control sweep: {} classes, channels ({}) over (0, {tf}], bounds {epsmax}...",
+        model.n_classes(),
+        model.control_names().join(", ")
+    );
+    let result = optimize_compartments_monitored(
+        model,
+        &uniform_compartment_initial(model, i0),
+        tf,
+        &bounds,
+        &MultiFbsmOptions {
+            n_nodes: 101,
+            max_iterations: args.get_usize("max-iters", 300)?,
+            tolerance: 1e-4,
+            relaxation: 0.3,
+            ..Default::default()
+        },
+    )?;
+    if !result.converged && args.has_flag("strict") {
+        return Err(CliError::degraded(format!(
+            "multi-control sweep did not converge in {} iterations under --strict",
+            result.iterations
+        )));
+    }
+    println!(
+        "finished after {} iterations (converged: {}); J = {:.4}, running cost = {:.4}",
+        result.iterations,
+        result.converged,
+        result.cost.total(),
+        result.cost.running()
+    );
+    println!(
+        "terminal objective: {:.6}",
+        model.terminal_objective(result.trajectory.last_state())
+    );
+    let names = model.control_names();
+    print!("\n{:>8}", "t");
+    for name in names {
+        print!(" {:>10}", name);
+    }
+    println!();
+    let grid = result.control.grid();
+    for idx in (0..grid.len()).step_by((grid.len() / 10).max(1)) {
+        print!("{:>8.1}", grid[idx]);
+        for c in 0..model.n_controls() {
+            print!(" {:>10.4}", result.control.values(c)[idx]);
+        }
+        println!();
+    }
+    if let Some(path) = args.get("out") {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "t,{}", names.join(","))?;
+        for (idx, t) in grid.iter().enumerate() {
+            let row: Vec<String> = (0..model.n_controls())
+                .map(|c| result.control.values(c)[idx].to_string())
+                .collect();
+            writeln!(f, "{t},{}", row.join(","))?;
+        }
+        println!("\nschedule written to {path}");
+    }
+    Ok(())
+}
+
+/// `rumor optimize`: the cheapest countermeasure schedule, a schedule
+/// table, optional CSV. The paper model runs the watchdog-guarded
+/// forward–backward sweep; `--model two_rumor`/`tie_strength` run the
+/// multi-control sweep. With `--strict`, a degraded result (best-so-far
+/// checkpoint, heuristic fallback, or a non-converged multi sweep)
+/// becomes a fatal error.
 pub fn optimize(args: &Args) -> CliResult {
     let net = load_network(args, false)?;
     let params = model_params(args, net.classes)?;
+    let (c1, c2) = (args.get_f64("c1", 5.0)?, args.get_f64("c2", 10.0)?);
+    match build_compartment_model(&model_kind(args)?, &params, c1, c2)? {
+        None => {}
+        Some(CompartmentKindModel::TwoRumor(m)) => return optimize_compartment_kind(args, &m),
+        Some(CompartmentKindModel::TieStrength(m)) => return optimize_compartment_kind(args, &m),
+    }
     let tf = args.get_f64("tf", 100.0)?;
     let i0 = args.get_f64("i0", 0.05)?;
-    let weights = CostWeights::new(args.get_f64("c1", 5.0)?, args.get_f64("c2", 10.0)?)?;
+    let weights = CostWeights::new(c1, c2)?;
     let epsmax = args.get_f64("epsmax", 0.7)?;
     let bounds = ControlBounds::new(epsmax, epsmax)?;
     let initial = NetworkState::initial_uniform(params.n_classes(), i0)?;

@@ -46,9 +46,21 @@ NETWORK SOURCE (all commands):
 
 MODEL PARAMETERS:
     --alpha A        inflow rate (default 0.01)
-    --lambda0 L      acceptance scale, lambda(k) = L*k (default 0.02)
+    --lambda0 L      acceptance scale, lambda(k) = L*k (default 0.02;
+                     the rumor acceptance for --model two_rumor)
     --eps1 E         truth-spreading rate (default 0.2)
     --eps2 E         blocking rate (default 0.05)
+
+MODEL SELECTION (simulate and optimize):
+    --model M        paper (default) | two_rumor | tie_strength
+    two_rumor:       competing rumor/truth-campaign dynamics with
+                     truth-seeding and blocking control channels
+                     --lambda20 L  truth acceptance scale (default 0.03)
+                     --gamma1 G    rumor recovery rate (default 0.05)
+                     --gamma2 G    truth retirement rate (default 0.08)
+                     --mu F        spreader conversion fraction (default 0.5)
+    tie_strength:    paper model with lambda_eff(k) = lambda(k)*k^(-beta)
+                     --beta B      tie-strength exponent (default 0.5)
 
 ROBUSTNESS:
     --strict         turn degraded results (quarantined windows, excluded
@@ -122,6 +134,12 @@ fn main() -> ExitCode {
         "seed",
         "alpha",
         "lambda0",
+        "model",
+        "lambda20",
+        "gamma1",
+        "gamma2",
+        "mu",
+        "beta",
         "eps1",
         "eps2",
         "tf",

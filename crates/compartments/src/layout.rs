@@ -1,0 +1,237 @@
+//! The flat-state layout contract shared by every compartment model.
+//!
+//! A state is stored compartment-major: band `c` occupies
+//! `flat[c·n .. (c+1)·n]` for `n = n_classes`. The paper's
+//! `[S.., I.., R..]` layout is the `n_compartments = 3` special case, so
+//! [`rumor_core::state::NetworkState::to_flat`] already produces this
+//! shape and the generalized code paths interoperate with the legacy
+//! ones without any reshuffling.
+
+use crate::{CoreError, Result};
+
+/// A fixed `(n_classes, n_compartments)` flat layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompartmentLayout {
+    n_classes: usize,
+    n_compartments: usize,
+}
+
+impl CompartmentLayout {
+    /// Creates a layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if either dimension is
+    /// zero.
+    pub fn new(n_classes: usize, n_compartments: usize) -> Result<Self> {
+        if n_classes == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "n_classes",
+                message: "layout needs at least one degree class".into(),
+            });
+        }
+        if n_compartments == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "n_compartments",
+                message: "layout needs at least one compartment".into(),
+            });
+        }
+        Ok(CompartmentLayout {
+            n_classes,
+            n_compartments,
+        })
+    }
+
+    /// Number of degree classes per band.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of compartment bands.
+    pub fn n_compartments(&self) -> usize {
+        self.n_compartments
+    }
+
+    /// Length of a flat state vector: `n_classes × n_compartments`.
+    pub fn flat_dim(&self) -> usize {
+        self.n_classes * self.n_compartments
+    }
+
+    /// Band `c` of a flat state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= n_compartments` or the slice is shorter than the
+    /// layout's flat dimension.
+    pub fn band<'a>(&self, flat: &'a [f64], c: usize) -> &'a [f64] {
+        assert!(c < self.n_compartments, "band {c} out of range");
+        &flat[c * self.n_classes..(c + 1) * self.n_classes]
+    }
+
+    /// Mutable band `c` of a flat state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= n_compartments` or the slice is too short.
+    pub fn band_mut<'a>(&self, flat: &'a mut [f64], c: usize) -> &'a mut [f64] {
+        assert!(c < self.n_compartments, "band {c} out of range");
+        &mut flat[c * self.n_classes..(c + 1) * self.n_classes]
+    }
+
+    /// Packs per-compartment bands into the flat form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] on a wrong band count or
+    /// band length, and [`CoreError::InvalidParameter`] on a negative or
+    /// non-finite density (same contract as
+    /// [`rumor_core::state::NetworkState::new`]).
+    pub fn pack(&self, bands: &[Vec<f64>]) -> Result<Vec<f64>> {
+        if bands.len() != self.n_compartments {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.n_compartments,
+                found: bands.len(),
+            });
+        }
+        let mut flat = Vec::with_capacity(self.flat_dim());
+        for band in bands {
+            if band.len() != self.n_classes {
+                return Err(CoreError::DimensionMismatch {
+                    expected: self.n_classes,
+                    found: band.len(),
+                });
+            }
+            if band.iter().any(|x| !x.is_finite() || *x < 0.0) {
+                return Err(CoreError::InvalidParameter {
+                    name: "density",
+                    message: "compartment band contains a negative or non-finite value".into(),
+                });
+            }
+            flat.extend_from_slice(band);
+        }
+        Ok(flat)
+    }
+
+    /// Unpacks a flat state into per-compartment bands, clamping tiny
+    /// integrator-induced negatives to zero — the generalized analogue of
+    /// [`rumor_core::state::NetworkState::from_flat`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] on a malformed length and
+    /// [`CoreError::InvalidParameter`] on non-finite values.
+    pub fn unpack(&self, flat: &[f64]) -> Result<Vec<Vec<f64>>> {
+        if flat.len() != self.flat_dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.flat_dim(),
+                found: flat.len(),
+            });
+        }
+        if flat.iter().any(|x| !x.is_finite()) {
+            return Err(CoreError::InvalidParameter {
+                name: "flat",
+                message: "state contains non-finite values".into(),
+            });
+        }
+        let n = self.n_classes;
+        Ok((0..self.n_compartments)
+            .map(|c| {
+                flat[c * n..(c + 1) * n]
+                    .iter()
+                    .map(|x| x.max(0.0))
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Validates a flat state in place: length must match, values must be
+    /// finite, and tiny negatives are clamped to zero with exactly the
+    /// `x.max(0.0)` rule of
+    /// [`rumor_core::state::NetworkState::from_flat`] — so sanitized
+    /// samples are bit-identical to the legacy path on the 3-band layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] on a malformed length and
+    /// [`CoreError::InvalidParameter`] on non-finite values.
+    pub fn sanitize(&self, flat: &mut [f64]) -> Result<()> {
+        if flat.len() != self.flat_dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.flat_dim(),
+                found: flat.len(),
+            });
+        }
+        if flat.iter().any(|x| !x.is_finite()) {
+            return Err(CoreError::InvalidParameter {
+                name: "flat",
+                message: "state contains non-finite values".into(),
+            });
+        }
+        for x in flat.iter_mut() {
+            *x = x.max(0.0);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_dimensions() {
+        assert!(CompartmentLayout::new(0, 3).is_err());
+        assert!(CompartmentLayout::new(3, 0).is_err());
+        let l = CompartmentLayout::new(5, 4).unwrap();
+        assert_eq!(l.n_classes(), 5);
+        assert_eq!(l.n_compartments(), 4);
+        assert_eq!(l.flat_dim(), 20);
+    }
+
+    #[test]
+    fn bands_slice_compartment_major() {
+        let l = CompartmentLayout::new(2, 3).unwrap();
+        let flat = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(l.band(&flat, 0), &[1.0, 2.0]);
+        assert_eq!(l.band(&flat, 1), &[3.0, 4.0]);
+        assert_eq!(l.band(&flat, 2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let l = CompartmentLayout::new(3, 2).unwrap();
+        let bands = vec![vec![0.1, 0.2, 0.3], vec![0.4, 0.5, 0.6]];
+        let flat = l.pack(&bands).unwrap();
+        assert_eq!(flat, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        assert_eq!(l.unpack(&flat).unwrap(), bands);
+    }
+
+    #[test]
+    fn pack_rejects_bad_shapes_and_values() {
+        let l = CompartmentLayout::new(2, 2).unwrap();
+        assert!(l.pack(&[vec![0.1, 0.2]]).is_err());
+        assert!(l.pack(&[vec![0.1], vec![0.2, 0.3]]).is_err());
+        assert!(l.pack(&[vec![0.1, -0.2], vec![0.2, 0.3]]).is_err());
+        assert!(l.pack(&[vec![0.1, f64::NAN], vec![0.2, 0.3]]).is_err());
+    }
+
+    #[test]
+    fn unpack_rejects_malformed_lengths() {
+        let l = CompartmentLayout::new(2, 2).unwrap();
+        assert!(l.unpack(&[0.1; 3]).is_err());
+        assert!(l.unpack(&[]).is_err());
+        assert!(l.unpack(&[0.1, 0.2, 0.3, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn unpack_and_sanitize_clamp_negatives() {
+        let l = CompartmentLayout::new(1, 3).unwrap();
+        let bands = l.unpack(&[-1e-12, 0.5, 0.5]).unwrap();
+        assert_eq!(bands[0][0], 0.0);
+        let mut flat = [-1e-12, 0.5, 0.5];
+        l.sanitize(&mut flat).unwrap();
+        assert_eq!(flat[0], 0.0);
+        let mut short = [0.1, 0.2];
+        assert!(l.sanitize(&mut short).is_err());
+    }
+}

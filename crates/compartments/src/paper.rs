@@ -1,0 +1,360 @@
+//! The paper's heterogeneous S/I/R model ported onto the generalized
+//! abstraction — the reference implementation.
+//!
+//! Every numeric path routes through exactly the same
+//! `rumor_core::kernels` calls, in the same order, as
+//! [`rumor_core::model::RumorModel`] and
+//! `rumor_control::costate::CostateSystem`, so trajectories, adjoints,
+//! and FBSM schedules are **bit-identical** to the legacy
+//! implementation (pinned in `tests/paper_identity.rs` and
+//! `crates/control/tests/compartment_identity.rs`). That identity is the
+//! port's whole point: the generalized layer provably changes nothing
+//! for the paper model, so the new models built on it inherit a
+//! trustworthy foundation.
+
+use crate::model::CompartmentModel;
+use crate::{CoreError, Result};
+use rumor_core::kernels;
+use rumor_core::model::MassConvention;
+use rumor_core::params::ModelParams;
+use rumor_par::InnerPool;
+
+/// The paper model as a [`CompartmentModel`]: 3 compartments
+/// `[S, I, R]`, 2 controls `[ε1, ε2]`, 2 costates `[ψ, φ]`.
+#[derive(Debug, Clone)]
+pub struct PaperSir {
+    lambda: Vec<f64>,
+    theta_w: Vec<f64>,
+    alpha: f64,
+    c1: f64,
+    c2: f64,
+    convention: MassConvention,
+}
+
+impl PaperSir {
+    /// Builds the port from validated model parameters and the cost
+    /// weights `(c1, c2)` of paper Eq. (13).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for non-positive or
+    /// non-finite cost weights.
+    pub fn from_params(params: &ModelParams, c1: f64, c2: f64) -> Result<Self> {
+        Self::from_parts(
+            params.lambda().to_vec(),
+            params.theta_weights().to_vec(),
+            params.alpha(),
+            c1,
+            c2,
+        )
+    }
+
+    /// Builds a model from raw per-class tables — the seam the
+    /// tie-strength variant uses to install its `ω(k)`-modulated
+    /// acceptance rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] when the tables differ in
+    /// length or are empty, and [`CoreError::InvalidParameter`] for bad
+    /// scalars.
+    pub fn from_parts(
+        lambda: Vec<f64>,
+        theta_w: Vec<f64>,
+        alpha: f64,
+        c1: f64,
+        c2: f64,
+    ) -> Result<Self> {
+        if lambda.is_empty() || lambda.len() != theta_w.len() {
+            return Err(CoreError::DimensionMismatch {
+                expected: lambda.len().max(1),
+                found: theta_w.len(),
+            });
+        }
+        if !(alpha >= 0.0) || !alpha.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "alpha",
+                message: format!("must be non-negative and finite, got {alpha}"),
+            });
+        }
+        for (name, w) in [("c1", c1), ("c2", c2)] {
+            if !(w > 0.0) || !w.is_finite() {
+                return Err(CoreError::InvalidParameter {
+                    name: "cost_weight",
+                    message: format!("{name} must be positive and finite, got {w}"),
+                });
+            }
+        }
+        Ok(PaperSir {
+            lambda,
+            theta_w,
+            alpha,
+            c1,
+            c2,
+            convention: MassConvention::default(),
+        })
+    }
+
+    /// Selects the `R`-inflow convention (default: mass-conserving, the
+    /// same default as `RumorModel`).
+    pub fn with_convention(mut self, convention: MassConvention) -> Self {
+        self.convention = convention;
+        self
+    }
+
+    /// The per-class acceptance rates `λ(k_i)`.
+    pub fn lambda(&self) -> &[f64] {
+        &self.lambda
+    }
+
+    /// The fused `ϕ_i/⟨k⟩` table used by the Θ reduction.
+    pub fn theta_weights(&self) -> &[f64] {
+        &self.theta_w
+    }
+
+    /// `Θ` from a flat state, via the same partitioned reduction as
+    /// `RumorModel::theta_flat`.
+    pub fn theta_flat(&self, y: &[f64], pool: Option<&InnerPool>) -> f64 {
+        let n = self.lambda.len();
+        let i = &y[n..2 * n];
+        match pool {
+            Some(pool) => kernels::dot_pooled(pool, &self.theta_w, i),
+            None => kernels::dot_partitioned(&self.theta_w, i),
+        }
+    }
+}
+
+impl CompartmentModel for PaperSir {
+    fn n_classes(&self) -> usize {
+        self.lambda.len()
+    }
+
+    fn n_compartments(&self) -> usize {
+        3
+    }
+
+    fn n_controls(&self) -> usize {
+        2
+    }
+
+    fn n_costates(&self) -> usize {
+        2
+    }
+
+    fn compartment_names(&self) -> &'static [&'static str] {
+        &["s", "i", "r"]
+    }
+
+    fn control_names(&self) -> &'static [&'static str] {
+        &["eps1", "eps2"]
+    }
+
+    fn rhs(&self, y: &[f64], u: &[f64], pool: Option<&InnerPool>, dydt: &mut [f64]) {
+        let n = self.lambda.len();
+        let alpha = self.alpha;
+        let (eps1, eps2) = (u[0], u[1]);
+        let theta = self.theta_flat(y, pool);
+        let recycle = match self.convention {
+            MassConvention::Conserving => alpha,
+            MassConvention::AsPrinted => 0.0,
+        };
+        let (s, rest) = y.split_at(n);
+        let inf = &rest[..n];
+        let (ds, rest) = dydt.split_at_mut(n);
+        let (di, dr) = rest.split_at_mut(n);
+        match pool {
+            Some(pool) => kernels::sir_rhs_pooled(
+                pool,
+                s,
+                inf,
+                &self.lambda,
+                theta,
+                alpha,
+                eps1,
+                eps2,
+                recycle,
+                ds,
+                di,
+                dr,
+            ),
+            None => kernels::sir_rhs(
+                s,
+                inf,
+                &self.lambda,
+                theta,
+                alpha,
+                eps1,
+                eps2,
+                recycle,
+                ds,
+                di,
+                dr,
+            ),
+        }
+    }
+
+    fn adjoint_rhs(
+        &self,
+        state: &[f64],
+        p: &[f64],
+        u: &[f64],
+        pool: Option<&InnerPool>,
+        dpdt: &mut [f64],
+    ) {
+        let n = self.lambda.len();
+        let (eps1, eps2) = (u[0], u[1]);
+        let s = &state[..n];
+        let i = &state[n..2 * n];
+        let theta = match pool {
+            Some(pool) => kernels::dot_pooled(pool, &self.theta_w, i),
+            None => kernels::dot_partitioned(&self.theta_w, i),
+        };
+        let (psi, phi) = p.split_at(n);
+        let (dpsi, dphi) = dpdt.split_at_mut(n);
+        let c1e1sq2 = 2.0 * self.c1 * eps1 * eps1;
+        let c2e2sq2 = 2.0 * self.c2 * eps2 * eps2;
+        match pool {
+            Some(pool) => {
+                let coupling = kernels::coupling_sum_pooled(pool, psi, phi, &self.lambda, s);
+                kernels::costate_rhs_pooled(
+                    pool,
+                    s,
+                    i,
+                    psi,
+                    phi,
+                    &self.lambda,
+                    &self.theta_w,
+                    theta,
+                    coupling,
+                    c1e1sq2,
+                    c2e2sq2,
+                    eps1,
+                    eps2,
+                    dpsi,
+                    dphi,
+                );
+            }
+            None => {
+                let coupling = kernels::coupling_sum_partitioned(psi, phi, &self.lambda, s);
+                kernels::costate_rhs(
+                    s,
+                    i,
+                    psi,
+                    phi,
+                    &self.lambda,
+                    &self.theta_w,
+                    theta,
+                    coupling,
+                    c1e1sq2,
+                    c2e2sq2,
+                    eps1,
+                    eps2,
+                    dpsi,
+                    dphi,
+                );
+            }
+        }
+    }
+
+    fn terminal_condition(&self, weight: f64, out: &mut [f64]) {
+        let n = self.lambda.len();
+        for v in out[..n].iter_mut() {
+            *v = 0.0;
+        }
+        for v in out[n..2 * n].iter_mut() {
+            *v = weight;
+        }
+    }
+
+    fn stationary_controls(&self, state: &[f64], p: &[f64], out: &mut [f64]) {
+        let n = self.lambda.len();
+        let (s, i) = (&state[..n], &state[n..2 * n]);
+        let (psi, phi) = (&p[..n], &p[n..2 * n]);
+        let s2 = kernels::dot(s, s);
+        let i2 = kernels::dot(i, i);
+        let num1 = kernels::dot(psi, s);
+        let num2 = kernels::dot(phi, i);
+        out[0] = if s2 > 0.0 {
+            num1 / (2.0 * self.c1 * s2)
+        } else {
+            0.0
+        };
+        out[1] = if i2 > 0.0 {
+            num2 / (2.0 * self.c2 * i2)
+        } else {
+            0.0
+        };
+    }
+
+    fn running_cost(&self, state: &[f64], u: &[f64], out: &mut [f64]) {
+        let n = self.lambda.len();
+        // Naive left-fold sums, matching `rumor_control::cost::evaluate`
+        // bit for bit.
+        let s2: f64 = state[..n].iter().map(|x| x * x).sum();
+        let i2: f64 = state[n..2 * n].iter().map(|x| x * x).sum();
+        out[0] = self.c1 * u[0] * u[0] * s2;
+        out[1] = self.c2 * u[1] * u[1] * i2;
+    }
+
+    fn terminal_objective(&self, state: &[f64]) -> f64 {
+        let n = self.lambda.len();
+        state[n..2 * n].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(PaperSir::from_parts(vec![], vec![], 0.0, 5.0, 10.0).is_err());
+        assert!(PaperSir::from_parts(vec![0.1], vec![0.2, 0.3], 0.0, 5.0, 10.0).is_err());
+        assert!(PaperSir::from_parts(vec![0.1], vec![0.2], -1.0, 5.0, 10.0).is_err());
+        assert!(PaperSir::from_parts(vec![0.1], vec![0.2], 0.0, 0.0, 10.0).is_err());
+        assert!(PaperSir::from_parts(vec![0.1], vec![0.2], 0.0, 5.0, f64::NAN).is_err());
+        let m = PaperSir::from_parts(vec![0.1, 0.2], vec![0.3, 0.4], 0.01, 5.0, 10.0).unwrap();
+        assert_eq!(m.n_classes(), 2);
+        assert_eq!(m.state_dim(), 6);
+        assert_eq!(m.costate_dim(), 4);
+        assert_eq!(m.compartment_names(), &["s", "i", "r"]);
+        assert_eq!(m.control_names(), &["eps1", "eps2"]);
+    }
+
+    #[test]
+    fn terminal_condition_and_objective() {
+        let m = PaperSir::from_parts(vec![0.1, 0.2], vec![0.3, 0.4], 0.01, 5.0, 10.0).unwrap();
+        let mut term = vec![f64::NAN; 4];
+        m.terminal_condition(2.5, &mut term);
+        assert_eq!(term, vec![0.0, 0.0, 2.5, 2.5]);
+        let state = [0.5, 0.6, 0.2, 0.1, 0.3, 0.3];
+        assert!((m.terminal_objective(&state) - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stationary_controls_match_closed_form() {
+        // Mirrors `costate::stationary_controls_formula` with c1=2, c2=4.
+        let m = PaperSir::from_parts(vec![0.1; 2], vec![0.3; 2], 0.0, 2.0, 4.0).unwrap();
+        // state = [s0,s1, i0,i1, r0,r1]; adjoint = [psi0,psi1, phi0,phi1].
+        // Use a 2-class embedding of the 1-class doc example for i/phi.
+        let state = [0.5, 0.5, 0.2, 0.0, 0.0, 0.0];
+        let p = [1.0, 2.0, 3.0, 0.0];
+        let mut u = [0.0; 2];
+        m.stationary_controls(&state, &p, &mut u);
+        assert!((u[0] - 0.75).abs() < 1e-12);
+        assert!((u[1] - 1.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_convention_switches_recycle_term() {
+        let m = PaperSir::from_parts(vec![0.5], vec![1.0], 0.01, 5.0, 10.0).unwrap();
+        let y = [0.8, 0.15, 0.05];
+        let mut d = [0.0; 3];
+        m.rhs(&y, &[0.1, 0.2], None, &mut d);
+        // Conserving: class mass derivative sums to zero.
+        assert!((d[0] + d[1] + d[2]).abs() < 1e-15);
+        let printed = m.clone().with_convention(MassConvention::AsPrinted);
+        printed.rhs(&y, &[0.1, 0.2], None, &mut d);
+        assert!((d[0] + d[1] + d[2] - 0.01).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,256 @@
+//! Grid simulation of compartment models — the generalized counterpart
+//! of [`rumor_core::simulate`].
+
+use crate::layout::CompartmentLayout;
+use crate::model::{CompartmentModel, CompartmentOde};
+use crate::schedule::MultiControlSchedule;
+use crate::{CoreError, Result};
+use rumor_ode::integrator::{Adaptive, AdaptiveConfig};
+use rumor_par::InnerPool;
+use std::sync::Arc;
+
+/// Output grid and integrator tolerances, mirroring the defaults of
+/// [`rumor_core::simulate::SimulateOptions`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompartmentSimOptions {
+    /// Number of uniformly spaced output samples (including both ends).
+    pub n_out: usize,
+    /// Integrator tolerances.
+    pub ode: AdaptiveConfig,
+}
+
+impl Default for CompartmentSimOptions {
+    fn default() -> Self {
+        CompartmentSimOptions {
+            n_out: 201,
+            ode: AdaptiveConfig {
+                rtol: 1e-8,
+                atol: 1e-10,
+                ..AdaptiveConfig::default()
+            },
+        }
+    }
+}
+
+/// A sampled trajectory of a compartment model: sanitized flat states on
+/// an output grid, with band access through the model's layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompartmentTrajectory {
+    layout: CompartmentLayout,
+    times: Vec<f64>,
+    states: Vec<Vec<f64>>,
+}
+
+impl CompartmentTrajectory {
+    /// Assembles a trajectory from parts (lengths must agree and states
+    /// must match the layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched lengths or an empty grid, mirroring
+    /// `Trajectory::from_parts`.
+    pub fn from_parts(layout: CompartmentLayout, times: Vec<f64>, states: Vec<Vec<f64>>) -> Self {
+        assert_eq!(times.len(), states.len(), "times/states length mismatch");
+        assert!(!times.is_empty(), "trajectory cannot be empty");
+        assert!(
+            states.iter().all(|s| s.len() == layout.flat_dim()),
+            "state length must match the layout"
+        );
+        CompartmentTrajectory {
+            layout,
+            times,
+            states,
+        }
+    }
+
+    /// The state layout.
+    pub fn layout(&self) -> CompartmentLayout {
+        self.layout
+    }
+
+    /// Sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sampled flat states.
+    pub fn states(&self) -> &[Vec<f64>] {
+        &self.states
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the trajectory is empty (never true for a constructed
+    /// trajectory).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The final flat state.
+    pub fn last_state(&self) -> &[f64] {
+        self.states.last().expect("non-empty trajectory")
+    }
+
+    /// Band `c` of sample `idx`.
+    pub fn band(&self, idx: usize, c: usize) -> &[f64] {
+        self.layout.band(&self.states[idx], c)
+    }
+
+    /// The per-sample total density of compartment `c`
+    /// (`Σ_i C_{c,i}(t)`).
+    pub fn total_series(&self, c: usize) -> Vec<f64> {
+        self.states
+            .iter()
+            .map(|s| self.layout.band(s, c).iter().sum())
+            .collect()
+    }
+}
+
+/// Simulates a compartment model on an explicit output grid
+/// (`grid[0] == 0`, non-decreasing). Samples are sanitized through
+/// [`CompartmentLayout::sanitize`], which mirrors the clamping of
+/// `NetworkState::from_flat`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for a malformed grid or
+/// initial state, and propagates integration failures.
+pub fn simulate_compartments_grid<M: CompartmentModel, C: MultiControlSchedule>(
+    model: &M,
+    control: C,
+    y0: &[f64],
+    grid: &[f64],
+    options: &CompartmentSimOptions,
+    pool: Option<Arc<InnerPool>>,
+) -> Result<CompartmentTrajectory> {
+    if grid.len() < 2 || grid[0] != 0.0 || grid.windows(2).any(|w| w[1] < w[0]) {
+        return Err(CoreError::InvalidParameter {
+            name: "grid",
+            message: "output grid must start at 0 and be non-decreasing with >= 2 nodes".into(),
+        });
+    }
+    if y0.len() != model.state_dim() {
+        return Err(CoreError::DimensionMismatch {
+            expected: model.state_dim(),
+            found: y0.len(),
+        });
+    }
+    let layout = model.layout();
+    let tf = *grid.last().expect("non-empty grid");
+    let sys = CompartmentOde::new(model, control).with_pool(pool);
+    let sol = Adaptive::with_config(options.ode).integrate(&sys, 0.0, y0, tf)?;
+    let mut states = Vec::with_capacity(grid.len());
+    for &t in grid {
+        let mut flat = sol.sample(t)?;
+        layout.sanitize(&mut flat)?;
+        states.push(flat);
+    }
+    Ok(CompartmentTrajectory::from_parts(
+        layout,
+        grid.to_vec(),
+        states,
+    ))
+}
+
+/// Simulates over `[0, tf]` on a uniform `options.n_out`-point grid.
+///
+/// # Errors
+///
+/// As [`simulate_compartments_grid`], plus
+/// [`CoreError::InvalidParameter`] for a non-positive horizon or fewer
+/// than two output points.
+pub fn simulate_compartments<M: CompartmentModel, C: MultiControlSchedule>(
+    model: &M,
+    control: C,
+    y0: &[f64],
+    tf: f64,
+    options: &CompartmentSimOptions,
+    pool: Option<Arc<InnerPool>>,
+) -> Result<CompartmentTrajectory> {
+    if !(tf > 0.0) || !tf.is_finite() {
+        return Err(CoreError::InvalidParameter {
+            name: "tf",
+            message: format!("final time must be positive and finite, got {tf}"),
+        });
+    }
+    if options.n_out < 2 {
+        return Err(CoreError::InvalidParameter {
+            name: "n_out",
+            message: "need at least two output samples".into(),
+        });
+    }
+    let grid: Vec<f64> = (0..options.n_out)
+        .map(|i| tf * i as f64 / (options.n_out - 1) as f64)
+        .collect();
+    simulate_compartments_grid(model, control, y0, &grid, options, pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::PaperSir;
+    use crate::schedule::ConstantMultiControl;
+
+    fn model() -> PaperSir {
+        PaperSir::from_parts(vec![0.1, 0.2, 0.4], vec![0.05, 0.1, 0.2], 0.01, 5.0, 10.0).unwrap()
+    }
+
+    fn y0() -> Vec<f64> {
+        vec![0.9, 0.9, 0.9, 0.1, 0.1, 0.1, 0.0, 0.0, 0.0]
+    }
+
+    #[test]
+    fn uniform_simulation_runs_and_conserves_mass() {
+        let m = model();
+        let traj = simulate_compartments(
+            &m,
+            ConstantMultiControl::new(vec![0.05, 0.02]),
+            &y0(),
+            10.0,
+            &CompartmentSimOptions {
+                n_out: 21,
+                ..Default::default()
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(traj.len(), 21);
+        assert_eq!(traj.times()[0], 0.0);
+        assert!(!traj.is_empty());
+        let last = traj.last_state();
+        for j in 0..3 {
+            let mass = last[j] + last[3 + j] + last[6 + j];
+            assert!((mass - 1.0).abs() < 1e-6, "class {j}: mass {mass}");
+        }
+        // Band access agrees with the total series.
+        let i_tot: f64 = traj.band(traj.len() - 1, 1).iter().sum();
+        assert!((traj.total_series(1).last().unwrap() - i_tot).abs() < 1e-15);
+    }
+
+    #[test]
+    fn grid_validation() {
+        let m = model();
+        let c = ConstantMultiControl::none(2);
+        let opts = CompartmentSimOptions::default();
+        assert!(simulate_compartments_grid(&m, &c, &y0(), &[0.0], &opts, None).is_err());
+        assert!(simulate_compartments_grid(&m, &c, &y0(), &[1.0, 2.0], &opts, None).is_err());
+        assert!(simulate_compartments_grid(&m, &c, &y0(), &[0.0, 2.0, 1.0], &opts, None).is_err());
+        assert!(simulate_compartments_grid(&m, &c, &[0.1; 4], &[0.0, 1.0], &opts, None).is_err());
+        assert!(simulate_compartments(&m, &c, &y0(), 0.0, &opts, None).is_err());
+        assert!(simulate_compartments(
+            &m,
+            &c,
+            &y0(),
+            1.0,
+            &CompartmentSimOptions {
+                n_out: 1,
+                ..Default::default()
+            },
+            None
+        )
+        .is_err());
+    }
+}

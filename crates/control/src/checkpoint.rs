@@ -13,13 +13,23 @@
 //! [`PiecewiseControl::from_values`], so corrupt bytes surface as a
 //! structured error, never as NaN inside a sweep.
 //!
+//! The multi-control generalization uses `magic "RCP2"` ·
+//! `n_channels: u32` · `n: u32` · `grid: n×f64` · `n_channels` value
+//! series of `n×f64` each. [`decode_multi_schedule`] also accepts RCP1
+//! bytes as a two-channel legacy form, so a durable job that upgraded
+//! mid-campaign still warm-starts from its old checkpoint.
+//!
 //! [`FbsmOptions::initial_control`]: crate::fbsm::FbsmOptions::initial_control
 
+use crate::multi::MultiPiecewiseControl;
 use crate::schedule::PiecewiseControl;
 use crate::{ControlError, Result};
 
 /// Format tag, bumped on any layout change.
 const MAGIC: &[u8; 4] = b"RCP1";
+
+/// Format tag of the multi-channel form.
+const MAGIC_MULTI: &[u8; 4] = b"RCP2";
 
 /// Encodes a schedule into the versioned checkpoint byte form.
 pub fn encode_schedule(control: &PiecewiseControl) -> Vec<u8> {
@@ -68,6 +78,67 @@ pub fn decode_schedule(bytes: &[u8]) -> Result<PiecewiseControl> {
     PiecewiseControl::from_values(grid, eps1, eps2)
 }
 
+/// Encodes a multi-channel schedule into the RCP2 byte form.
+pub fn encode_multi_schedule(control: &MultiPiecewiseControl) -> Vec<u8> {
+    let grid = control.grid();
+    let n_channels = control.n_channels();
+    let mut out = Vec::with_capacity(12 + 8 * grid.len() * (1 + n_channels));
+    out.extend_from_slice(MAGIC_MULTI);
+    out.extend_from_slice(&(n_channels as u32).to_le_bytes());
+    out.extend_from_slice(&(grid.len() as u32).to_le_bytes());
+    for &x in grid {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    for c in 0..n_channels {
+        for &x in control.values(c) {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes multi-channel checkpoint bytes. RCP1 bytes are accepted as
+/// the two-channel legacy form (`ε1 → 0`, `ε2 → 1`).
+///
+/// # Errors
+///
+/// Returns [`ControlError::InvalidConfig`] for an unrecognized magic, a
+/// truncated buffer, trailing bytes, a zero channel count, or node
+/// values the schedule validation rejects.
+pub fn decode_multi_schedule(bytes: &[u8]) -> Result<MultiPiecewiseControl> {
+    let bad = |reason: &str| ControlError::InvalidConfig(format!("control checkpoint: {reason}"));
+    if bytes.len() >= 4 && &bytes[..4] == MAGIC {
+        return Ok(MultiPiecewiseControl::from_pair(&decode_schedule(bytes)?));
+    }
+    if bytes.len() < 12 {
+        return Err(bad("truncated header"));
+    }
+    if &bytes[..4] != MAGIC_MULTI {
+        return Err(bad("unrecognized format tag"));
+    }
+    let n_channels = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    let n = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    if n_channels == 0 {
+        return Err(bad("zero control channels"));
+    }
+    let expected = 12 + 8 * n * (1 + n_channels);
+    if bytes.len() != expected {
+        return Err(bad(&format!(
+            "expected {expected} bytes for {n_channels} channels of {n} nodes, got {}",
+            bytes.len()
+        )));
+    }
+    let f64_at = |i: usize| {
+        let start = 12 + 8 * i;
+        f64::from_le_bytes(bytes[start..start + 8].try_into().expect("8 bytes"))
+    };
+    let grid: Vec<f64> = (0..n).map(f64_at).collect();
+    let channels: Vec<Vec<f64>> = (0..n_channels)
+        .map(|c| ((c + 1) * n..(c + 2) * n).map(f64_at).collect())
+        .collect();
+    MultiPiecewiseControl::from_values(grid, channels)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +172,58 @@ mod tests {
         let mut nan_value = bytes;
         nan_value[8 + 8 * 5..8 + 8 * 6].copy_from_slice(&f64::NAN.to_le_bytes());
         assert!(decode_schedule(&nan_value).is_err());
+    }
+
+    #[test]
+    fn multi_round_trips_a_schedule() {
+        let mc = MultiPiecewiseControl::from_values(
+            vec![0.0, 1.5, 4.0],
+            vec![
+                vec![0.4, 0.25, 0.0],
+                vec![0.0, 0.125, 0.5],
+                vec![0.2, 0.2, 0.2],
+            ],
+        )
+        .unwrap();
+        let bytes = encode_multi_schedule(&mc);
+        let back = decode_multi_schedule(&bytes).unwrap();
+        assert_eq!(back, mc);
+        // Byte-identity of re-encoding: resume-across-SIGKILL contract.
+        assert_eq!(encode_multi_schedule(&back), bytes);
+    }
+
+    #[test]
+    fn multi_accepts_legacy_pair_bytes() {
+        let pc = PiecewiseControl::from_values(
+            vec![0.0, 2.0, 5.0],
+            vec![0.3, 0.2, 0.1],
+            vec![0.05, 0.1, 0.15],
+        )
+        .unwrap();
+        let legacy = encode_schedule(&pc);
+        let mc = decode_multi_schedule(&legacy).unwrap();
+        assert_eq!(mc.n_channels(), 2);
+        assert_eq!(mc.to_pair().unwrap(), pc);
+    }
+
+    #[test]
+    fn multi_rejects_corrupt_bytes() {
+        let mc = MultiPiecewiseControl::constant(2.0, 5, &[0.3, 0.1, 0.2]).unwrap();
+        let bytes = encode_multi_schedule(&mc);
+        assert!(decode_multi_schedule(&[]).is_err());
+        assert!(decode_multi_schedule(&bytes[..bytes.len() - 1]).is_err());
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[3] = b'9';
+        assert!(decode_multi_schedule(&wrong_magic).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_multi_schedule(&trailing).is_err());
+        let mut zero_channels = bytes.clone();
+        zero_channels[4..8].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_multi_schedule(&zero_channels).is_err());
+        // A negative node value fails schedule validation on decode.
+        let mut negative = bytes;
+        negative[12 + 8 * 5..12 + 8 * 6].copy_from_slice(&(-1.0f64).to_le_bytes());
+        assert!(decode_multi_schedule(&negative).is_err());
     }
 }

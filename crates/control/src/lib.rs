@@ -58,6 +58,7 @@ pub mod cost;
 pub mod costate;
 pub mod fbsm;
 pub mod heuristic;
+pub mod multi;
 pub mod schedule;
 pub mod watchdog;
 

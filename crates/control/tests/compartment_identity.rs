@@ -1,0 +1,213 @@
+//! Bit-identity of the generalized multi-control FBSM against the
+//! legacy sweep on the ported paper model.
+//!
+//! Same discipline as the kernel/arena identity suites: the
+//! generalization earns its keep only if `optimize_compartments*` on
+//! [`PaperSir`] reproduces `optimize_monitored` bit for bit — adjoint
+//! RHS evaluations, iteration counts, cost/change histories, and every
+//! node of the optimized schedules, serial and pooled, cold- and
+//! warm-started.
+
+use rumor_compartments::model::CompartmentAdjoint;
+use rumor_compartments::paper::PaperSir;
+use rumor_compartments::schedule::PairSchedule;
+use rumor_control::costate::CostateSystem;
+use rumor_control::fbsm::{optimize_monitored, FbsmOptions};
+use rumor_control::multi::{
+    optimize_compartments_monitored, MultiControlBounds, MultiFbsmOptions, MultiPiecewiseControl,
+};
+use rumor_control::schedule::PiecewiseControl;
+use rumor_control::{ControlBounds, CostWeights};
+use rumor_core::control::ConstantControl;
+use rumor_core::functions::{AcceptanceRate, Infectivity};
+use rumor_core::model::RumorModel;
+use rumor_core::params::ModelParams;
+use rumor_core::state::NetworkState;
+use rumor_net::degree::DegreeClasses;
+use rumor_ode::integrator::Adaptive;
+use rumor_ode::system::OdeSystem;
+
+fn params_for(n: usize) -> ModelParams {
+    let degrees: Vec<usize> = (0..n).map(|i| 1 + i % 40).collect();
+    let classes = DegreeClasses::from_degrees(&degrees).unwrap();
+    ModelParams::builder(classes)
+        .alpha(0.002)
+        .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.002 })
+        .infectivity(Infectivity::paper_default())
+        .build()
+        .unwrap()
+}
+
+/// The legacy and generic sweeps configured identically.
+fn option_pair(inner_threads: Option<usize>) -> (FbsmOptions, MultiFbsmOptions) {
+    let legacy = FbsmOptions {
+        n_nodes: 21,
+        max_iterations: 5,
+        tolerance: 1e-3,
+        relaxation: 0.5,
+        inner_threads,
+        ..Default::default()
+    };
+    let multi = MultiFbsmOptions {
+        n_nodes: legacy.n_nodes,
+        max_iterations: legacy.max_iterations,
+        tolerance: legacy.tolerance,
+        relaxation: legacy.relaxation,
+        relaxation_floor: legacy.relaxation_floor,
+        ode: legacy.ode,
+        terminal_weight: legacy.terminal_weight,
+        initial_control: None,
+        inner_threads,
+        backtracking: legacy.backtracking,
+    };
+    (legacy, multi)
+}
+
+#[test]
+fn adjoint_rhs_is_bit_identical_to_costate_system() {
+    for n in [7usize, 264] {
+        let p = params_for(n);
+        let n = p.n_classes();
+        let w = CostWeights::paper_default();
+        let ctl = ConstantControl::new(0.15, 0.07);
+        let port = PaperSir::from_params(&p, w.c1, w.c2).unwrap();
+
+        // A real forward trajectory for the adjoint to sample.
+        let model = RumorModel::new(&p, ctl);
+        let mut y0 = vec![0.0; 3 * n];
+        for j in 0..n {
+            y0[j] = 0.9;
+            y0[n + j] = 0.1;
+        }
+        let forward = Adaptive::new().integrate(&model, 0.0, &y0, 15.0).unwrap();
+
+        let legacy = CostateSystem::new(&p, &forward, &ctl, w);
+        let generic = CompartmentAdjoint::new(&port, &forward, PairSchedule(ctl));
+        assert_eq!(legacy.dim(), generic.dim());
+        assert_eq!(
+            legacy.weighted_terminal_condition(2.5),
+            generic.weighted_terminal_condition(2.5)
+        );
+
+        let psi0 = legacy.weighted_terminal_condition(1.0);
+        let mut d_legacy = vec![0.0; 2 * n];
+        let mut d_generic = vec![0.0; 2 * n];
+        for t in [0.0, 3.7, 9.2, 15.0] {
+            legacy.rhs(t, &psi0, &mut d_legacy);
+            generic.rhs(t, &psi0, &mut d_generic);
+            for (a, b) in d_legacy.iter().zip(&d_generic) {
+                assert_eq!(a.to_bits(), b.to_bits(), "adjoint rhs at n = {n}, t = {t}");
+            }
+        }
+
+        // Backward integrations agree bit for bit.
+        let a = Adaptive::new()
+            .integrate(&legacy, 15.0, &psi0, 0.0)
+            .unwrap();
+        let b = Adaptive::new()
+            .integrate(&generic, 15.0, &psi0, 0.0)
+            .unwrap();
+        assert_eq!(a.len(), b.len());
+        for (ya, yb) in a.flat_states().iter().zip(b.flat_states()) {
+            assert_eq!(ya.to_bits(), yb.to_bits(), "backward pass at n = {n}");
+        }
+    }
+}
+
+/// Asserts one legacy/generic sweep pair is bit-identical end to end.
+fn assert_sweeps_identical(
+    p: &ModelParams,
+    init: &NetworkState,
+    tf: f64,
+    legacy_opts: &FbsmOptions,
+    multi_opts: &MultiFbsmOptions,
+) {
+    let w = CostWeights::paper_default();
+    let bounds = ControlBounds::new(0.6, 0.6).unwrap();
+    let legacy = optimize_monitored(p, init, tf, &bounds, &w, legacy_opts).unwrap();
+
+    let port = PaperSir::from_params(p, w.c1, w.c2).unwrap();
+    let multi_bounds = MultiControlBounds::new(vec![bounds.eps1_max, bounds.eps2_max]).unwrap();
+    let generic =
+        optimize_compartments_monitored(&port, &init.to_flat(), tf, &multi_bounds, multi_opts)
+            .unwrap();
+
+    assert_eq!(legacy.iterations, generic.iterations);
+    assert_eq!(legacy.converged, generic.converged);
+    assert_eq!(legacy.relaxation_backoffs, generic.relaxation_backoffs);
+    assert_eq!(
+        legacy.final_relaxation.to_bits(),
+        generic.final_relaxation.to_bits()
+    );
+    assert_eq!(legacy.restored_checkpoint, generic.restored_checkpoint);
+    assert_eq!(legacy.change_history.len(), generic.change_history.len());
+    for (a, b) in legacy.change_history.iter().zip(&generic.change_history) {
+        assert_eq!(a.to_bits(), b.to_bits(), "change history");
+    }
+    for (a, b) in legacy.cost_history.iter().zip(&generic.cost_history) {
+        assert_eq!(a.to_bits(), b.to_bits(), "cost history");
+    }
+    assert_eq!(
+        legacy.cost.total().to_bits(),
+        generic.cost.total().to_bits(),
+        "final cost"
+    );
+    for (c, series) in [legacy.control.eps1_values(), legacy.control.eps2_values()]
+        .into_iter()
+        .enumerate()
+    {
+        for (a, b) in series.iter().zip(generic.control.values(c)) {
+            assert_eq!(a.to_bits(), b.to_bits(), "schedule channel {c}");
+        }
+    }
+}
+
+#[test]
+fn generic_sweep_is_bit_identical_serial() {
+    let p = params_for(30);
+    let init = NetworkState::initial_uniform(p.n_classes(), 0.1).unwrap();
+    let (legacy_opts, multi_opts) = option_pair(Some(1));
+    assert_sweeps_identical(&p, &init, 10.0, &legacy_opts, &multi_opts);
+}
+
+#[test]
+fn generic_sweep_is_bit_identical_pooled() {
+    // 300 classes spans multiple kernel partitions, so the inner pool
+    // actually dispatches in both sweeps.
+    let p = params_for(300);
+    let init = NetworkState::initial_uniform(p.n_classes(), 0.1).unwrap();
+    for threads in [2usize, 4] {
+        let (legacy_opts, multi_opts) = option_pair(Some(threads));
+        assert_sweeps_identical(&p, &init, 10.0, &legacy_opts, &multi_opts);
+    }
+}
+
+#[test]
+fn generic_sweep_is_bit_identical_warm_started() {
+    let p = params_for(30);
+    let init = NetworkState::initial_uniform(p.n_classes(), 0.1).unwrap();
+    let prior = PiecewiseControl::from_values(
+        vec![0.0, 4.0, 10.0],
+        vec![0.5, 0.3, 0.1],
+        vec![0.05, 0.2, 0.4],
+    )
+    .unwrap();
+    let (mut legacy_opts, mut multi_opts) = option_pair(Some(1));
+    legacy_opts.initial_control = Some(prior.clone());
+    multi_opts.initial_control = Some(MultiPiecewiseControl::from_pair(&prior));
+    assert_sweeps_identical(&p, &init, 10.0, &legacy_opts, &multi_opts);
+}
+
+#[test]
+fn generic_sweep_runs_to_convergence_like_the_legacy_sweep() {
+    // Full convergence (not just a capped prefix): both sweeps stop at
+    // the same iteration with the same schedule.
+    let p = params_for(12);
+    let init = NetworkState::initial_uniform(p.n_classes(), 0.1).unwrap();
+    let (mut legacy_opts, mut multi_opts) = option_pair(Some(1));
+    legacy_opts.max_iterations = 120;
+    legacy_opts.tolerance = 1e-4;
+    multi_opts.max_iterations = 120;
+    multi_opts.tolerance = 1e-4;
+    assert_sweeps_identical(&p, &init, 16.0, &legacy_opts, &multi_opts);
+}

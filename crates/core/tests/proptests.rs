@@ -195,6 +195,47 @@ proptest! {
     }
 
     #[test]
+    fn flat_roundtrip_across_kernel_class_counts(
+        size_idx in 0usize..5,
+        seed in 0u64..u64::MAX,
+    ) {
+        // Class counts straddling the lane and partition widths, matching
+        // the kernel identity suites (and the generalized-layout proptests
+        // in rumor-compartments).
+        let n = [1usize, 7, 8, 9, 264][size_idx];
+        // Deterministic SplitMix64 fill, uniformly in [0, 1).
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let s: Vec<f64> = (0..n).map(|_| next()).collect();
+        let i: Vec<f64> = (0..n).map(|_| next()).collect();
+        let r: Vec<f64> = (0..n).map(|_| next()).collect();
+        let st = NetworkState::new(s, i, r).expect("state");
+        let flat = st.to_flat();
+        prop_assert_eq!(flat.len(), 3 * n);
+        let back = NetworkState::from_flat(&flat).expect("roundtrip");
+        prop_assert_eq!(back.n_classes(), n);
+        prop_assert_eq!(st, back);
+    }
+
+    #[test]
+    fn from_flat_rejects_malformed_lengths(
+        len in 1usize..200,
+        value in 0.0..1.0_f64,
+    ) {
+        prop_assume!(len % 3 != 0);
+        let flat = vec![value; len];
+        prop_assert!(NetworkState::from_flat(&flat).is_err());
+        prop_assert!(NetworkState::from_flat(&[]).is_err());
+    }
+
+    #[test]
     fn dist_inf_is_a_metric(
         i0 in 0.01..0.9_f64,
         i1 in 0.01..0.9_f64,

@@ -15,8 +15,18 @@
 //!   (Zhu–Fu–Chen 2012), the reference the paper borrows its `ω(k)`
 //!   family from.
 //!
-//! All models implement [`rumor_ode::system::OdeSystem`] and integrate
-//! with any driver from `rumor-ode`.
+//! Beyond the baselines, two *scenario* models ride on the generalized
+//! compartment abstraction of `rumor-compartments`:
+//!
+//! * [`two_rumor`] — competing two-rumor dynamics: a rumor and a truth
+//!   campaign racing for shared susceptibles, with truth-seeding and
+//!   blocking control channels for the multi-control FBSM.
+//! * [`tie_strength`] — the paper model with degree-dependent
+//!   tie-strength modulation `λ_eff(k) = λ(k)·k^(−β)`.
+//!
+//! The baseline models implement [`rumor_ode::system::OdeSystem`] and
+//! integrate with any driver from `rumor-ode`; the scenario models
+//! implement `rumor_compartments::model::CompartmentModel`.
 
 // Deliberate idioms throughout this workspace:
 // * `!(x > 0.0)` rejects NaN alongside non-positive values, which the
@@ -31,3 +41,5 @@ pub mod dk;
 pub mod homogeneous;
 pub mod mt;
 pub mod sis;
+pub mod tie_strength;
+pub mod two_rumor;

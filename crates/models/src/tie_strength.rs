@@ -1,0 +1,124 @@
+//! Degree-dependent tie-strength variant of the paper model.
+//!
+//! Onnela et al.'s weighted-network observation — high-degree hubs
+//! spread over *weaker* ties — enters the mean-field model as a
+//! multiplicative modulation of the acceptance rate:
+//! `λ_eff(k) = λ(k)·k^(−β)`, with `β ≥ 0` the tie-strength exponent.
+//! At `β = 0` the modulation is exactly `1.0` for every class
+//! (`k^0 = 1` bitwise in IEEE 754), so the variant degrades to the
+//! paper model **bit for bit** — pinned in the tests below.
+//!
+//! Structurally this is still a 3-compartment S/I/R system with the
+//! paper's two control channels, so the variant is simply a
+//! [`PaperSir`] constructor: everything downstream (simulation,
+//! multi-control FBSM, serve handlers) works unchanged.
+
+use rumor_compartments::paper::PaperSir;
+use rumor_compartments::CoreError;
+use rumor_core::params::ModelParams;
+
+type Result<T> = std::result::Result<T, CoreError>;
+
+/// Builds the tie-strength variant: the paper model with acceptance
+/// rates modulated by `k^(−beta)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for a negative or non-finite
+/// `beta`, and propagates [`PaperSir::from_parts`] validation.
+pub fn tie_strength_model(params: &ModelParams, beta: f64, c1: f64, c2: f64) -> Result<PaperSir> {
+    if !(beta >= 0.0) || !beta.is_finite() {
+        return Err(CoreError::InvalidParameter {
+            name: "beta",
+            message: format!("tie-strength exponent must be non-negative and finite, got {beta}"),
+        });
+    }
+    let lambda_eff: Vec<f64> = params
+        .lambda()
+        .iter()
+        .zip(params.classes().degrees())
+        .map(|(&l, &k)| l * (k as f64).powf(-beta))
+        .collect();
+    PaperSir::from_parts(
+        lambda_eff,
+        params.theta_weights().to_vec(),
+        params.alpha(),
+        c1,
+        c2,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_compartments::model::CompartmentModel;
+    use rumor_core::functions::{AcceptanceRate, Infectivity};
+    use rumor_net::degree::DegreeClasses;
+
+    fn params() -> ModelParams {
+        let classes = DegreeClasses::from_degrees(&[1, 2, 2, 3, 6, 9]).unwrap();
+        ModelParams::builder(classes)
+            .alpha(0.002)
+            .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.02 })
+            .infectivity(Infectivity::paper_default())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn beta_zero_is_bit_identical_to_the_paper_model() {
+        let p = params();
+        let paper = PaperSir::from_params(&p, 5.0, 10.0).unwrap();
+        let tied = tie_strength_model(&p, 0.0, 5.0, 10.0).unwrap();
+        for (a, b) in paper.lambda().iter().zip(tied.lambda()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let n = p.n_classes();
+        let mut y = vec![0.0; 3 * n];
+        for j in 0..n {
+            y[j] = 0.9;
+            y[n + j] = 0.1;
+        }
+        let mut d_paper = vec![0.0; 3 * n];
+        let mut d_tied = vec![0.0; 3 * n];
+        paper.rhs(&y, &[0.1, 0.05], None, &mut d_paper);
+        tied.rhs(&y, &[0.1, 0.05], None, &mut d_tied);
+        for (a, b) in d_paper.iter().zip(&d_tied) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn positive_beta_weakens_hub_acceptance() {
+        let p = params();
+        let paper = PaperSir::from_params(&p, 5.0, 10.0).unwrap();
+        let tied = tie_strength_model(&p, 0.7, 5.0, 10.0).unwrap();
+        // Every class with k > 1 is weakened; the modulation grows with
+        // degree.
+        let degrees = p.classes().degrees();
+        for (j, (&l_paper, &l_tied)) in paper.lambda().iter().zip(tied.lambda()).enumerate() {
+            if degrees[j] > 1 {
+                assert!(l_tied < l_paper, "class {j} not weakened");
+            } else {
+                assert!((l_tied - l_paper).abs() < 1e-15);
+            }
+        }
+        let ratios: Vec<f64> = paper
+            .lambda()
+            .iter()
+            .zip(tied.lambda())
+            .map(|(&a, &b)| b / a)
+            .collect();
+        for w in ratios.windows(2) {
+            assert!(w[1] <= w[0] + 1e-15, "modulation must fall with degree");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_beta() {
+        let p = params();
+        assert!(tie_strength_model(&p, -0.1, 5.0, 10.0).is_err());
+        assert!(tie_strength_model(&p, f64::NAN, 5.0, 10.0).is_err());
+        assert!(tie_strength_model(&p, f64::INFINITY, 5.0, 10.0).is_err());
+    }
+}

@@ -162,13 +162,54 @@ impl NetworkSpec {
     }
 }
 
+/// Which propagation model a request drives. The paper model is the
+/// default; the other kinds ride on the generalized compartment
+/// abstraction (`rumor-compartments`) and carry their own parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelKind {
+    /// The paper's heterogeneous SIR model, Eq. (1).
+    Paper,
+    /// Competing two-rumor dynamics: a rumor and a truth campaign
+    /// racing for shared susceptibles.
+    TwoRumor {
+        /// Truth acceptance scale: `λ2(k) = λ20·k`.
+        lambda20: f64,
+        /// Rumor recovery rate.
+        gamma1: f64,
+        /// Truth retirement rate.
+        gamma2: f64,
+        /// Fraction of truth-contacted spreaders that convert.
+        mu: f64,
+    },
+    /// The paper model with tie-strength modulation
+    /// `λ_eff(k) = λ(k)·k^(−β)`.
+    TieStrength {
+        /// Tie-strength exponent `β ≥ 0`.
+        beta: f64,
+    },
+}
+
+impl ModelKind {
+    /// The wire spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Paper => "paper",
+            ModelKind::TwoRumor { .. } => "two_rumor",
+            ModelKind::TieStrength { .. } => "tie_strength",
+        }
+    }
+}
+
 /// Model parameters shared by every endpoint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelSpec {
     /// Population inflow rate `α`.
     pub alpha: f64,
-    /// Acceptance scale: `λ(k) = λ0·k`.
+    /// Acceptance scale: `λ(k) = λ0·k` (the *rumor* acceptance for the
+    /// two-rumor kind).
     pub lambda0: f64,
+    /// Which model the parameters drive.
+    pub kind: ModelKind,
 }
 
 impl Default for ModelSpec {
@@ -176,29 +217,122 @@ impl Default for ModelSpec {
         ModelSpec {
             alpha: 0.01,
             lambda0: 0.02,
+            kind: ModelKind::Paper,
         }
     }
 }
 
 impl ModelSpec {
-    /// Parses `{"alpha", "lambda0"}`.
+    /// Is this the paper model (the only kind the threshold theory and
+    /// the ABM ensemble support)?
+    pub fn is_paper(&self) -> bool {
+        matches!(self.kind, ModelKind::Paper)
+    }
+
+    /// Parses `{"alpha", "lambda0", "kind", ...kind parameters}`. Kind
+    /// parameters are only accepted under the kind they belong to, so a
+    /// stray `beta` on a `two_rumor` request fails loudly instead of
+    /// being silently dropped.
     pub fn from_value(v: &Value) -> Result<Self> {
-        check_keys(v, "model", &["alpha", "lambda0"])?;
+        check_keys(
+            v,
+            "model",
+            &[
+                "alpha", "lambda0", "kind", "lambda20", "gamma1", "gamma2", "mu", "beta",
+            ],
+        )?;
         let d = ModelSpec::default();
-        let spec = ModelSpec {
-            alpha: get_f64(v, "alpha", d.alpha)?,
-            lambda0: get_f64(v, "lambda0", d.lambda0)?,
+        let alpha = get_f64(v, "alpha", d.alpha)?;
+        let lambda0 = get_f64(v, "lambda0", d.lambda0)?;
+        check_range("alpha", alpha, 0.0, 10.0)?;
+        check_positive("lambda0", lambda0, 10.0)?;
+        let kind_name = match v.get("kind") {
+            None => "paper",
+            Some(item) => item
+                .as_str()
+                .ok_or_else(|| field_err("kind", "must be a string"))?,
         };
-        check_range("alpha", spec.alpha, 0.0, 10.0)?;
-        check_positive("lambda0", spec.lambda0, 10.0)?;
-        Ok(spec)
+        let reject_foreign = |keys: &[&str]| -> Result<()> {
+            for key in keys {
+                if v.get(key).is_some() {
+                    return Err(field_err(
+                        key,
+                        format!("not a parameter of model kind {kind_name:?}"),
+                    ));
+                }
+            }
+            Ok(())
+        };
+        let kind = match kind_name {
+            "paper" => {
+                reject_foreign(&["lambda20", "gamma1", "gamma2", "mu", "beta"])?;
+                ModelKind::Paper
+            }
+            "two_rumor" => {
+                reject_foreign(&["beta"])?;
+                let lambda20 = get_f64(v, "lambda20", 0.03)?;
+                let gamma1 = get_f64(v, "gamma1", 0.05)?;
+                let gamma2 = get_f64(v, "gamma2", 0.08)?;
+                let mu = get_f64(v, "mu", 0.5)?;
+                check_positive("lambda20", lambda20, 10.0)?;
+                check_range("gamma1", gamma1, 0.0, 10.0)?;
+                check_range("gamma2", gamma2, 0.0, 10.0)?;
+                check_range("mu", mu, 0.0, 1.0)?;
+                ModelKind::TwoRumor {
+                    lambda20,
+                    gamma1,
+                    gamma2,
+                    mu,
+                }
+            }
+            "tie_strength" => {
+                reject_foreign(&["lambda20", "gamma1", "gamma2", "mu"])?;
+                let beta = get_f64(v, "beta", 0.5)?;
+                check_range("beta", beta, 0.0, 10.0)?;
+                ModelKind::TieStrength { beta }
+            }
+            other => {
+                return Err(field_err(
+                    "kind",
+                    format!("must be one of paper, two_rumor, tie_strength, got {other:?}"),
+                ))
+            }
+        };
+        Ok(ModelSpec {
+            alpha,
+            lambda0,
+            kind,
+        })
     }
 
     fn canonical(&self) -> Value {
-        Value::obj([
+        // The paper kind serializes exactly as it did before the kinds
+        // existed, so the canonical cache key of every historical
+        // request is unchanged.
+        let mut fields = vec![
             ("alpha", Value::Num(self.alpha)),
             ("lambda0", Value::Num(self.lambda0)),
-        ])
+        ];
+        match &self.kind {
+            ModelKind::Paper => {}
+            ModelKind::TwoRumor {
+                lambda20,
+                gamma1,
+                gamma2,
+                mu,
+            } => {
+                fields.push(("kind", Value::Str("two_rumor".to_string())));
+                fields.push(("lambda20", Value::Num(*lambda20)));
+                fields.push(("gamma1", Value::Num(*gamma1)));
+                fields.push(("gamma2", Value::Num(*gamma2)));
+                fields.push(("mu", Value::Num(*mu)));
+            }
+            ModelKind::TieStrength { beta } => {
+                fields.push(("kind", Value::Str("tie_strength".to_string())));
+                fields.push(("beta", Value::Num(*beta)));
+            }
+        }
+        Value::obj(fields)
     }
 }
 
@@ -313,6 +447,16 @@ impl ThresholdRequest {
         };
         check_range("eps1", req.eps1, 0.0, 1.0)?;
         check_range("eps2", req.eps2, 0.0, 1.0)?;
+        // The r0/equilibrium theory is stated for the paper model only.
+        if !req.model.is_paper() {
+            return Err(field_err(
+                "model.kind",
+                format!(
+                    "threshold analysis supports only the paper kind, got {:?}",
+                    req.model.kind.name()
+                ),
+            ));
+        }
         Ok(req)
     }
 
@@ -465,6 +609,16 @@ impl EnsembleRequest {
         if !(req.quorum > 0.0 && req.quorum <= 1.0) {
             return Err(field_err("quorum", "must lie in (0, 1]"));
         }
+        // The microscopic ABM implements the paper's transition rules.
+        if !req.model.is_paper() {
+            return Err(field_err(
+                "model.kind",
+                format!(
+                    "ensemble simulation supports only the paper kind, got {:?}",
+                    req.model.kind.name()
+                ),
+            ));
+        }
         Ok(req)
     }
 
@@ -550,6 +704,69 @@ mod tests {
             canonical_key("/v1/simulate", &a.canonical()),
             canonical_key("/v1/simulate", &b.canonical())
         );
+    }
+
+    #[test]
+    fn model_kinds_parse_validate_and_canonicalize() {
+        // Default and explicit paper spell the same canonical bytes as
+        // the pre-kind wire format.
+        let bare = SimulateRequest::from_value(&parse("{}").unwrap()).unwrap();
+        let explicit =
+            SimulateRequest::from_value(&parse(r#"{"model": {"kind": "paper"}}"#).unwrap())
+                .unwrap();
+        assert_eq!(
+            crate::wire::serialize(&bare.canonical()),
+            crate::wire::serialize(&explicit.canonical())
+        );
+        assert!(
+            !crate::wire::serialize(&bare.canonical()).contains("kind"),
+            "paper canonical form must not grow a kind field"
+        );
+
+        let two = SimulateRequest::from_value(
+            &parse(r#"{"model": {"kind": "two_rumor", "gamma1": 0.1}}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(two.model.kind.name(), "two_rumor");
+        let round = SimulateRequest::from_value(&two.canonical()).unwrap();
+        assert_eq!(two, round);
+
+        let tied = OptimizeRequest::from_value(
+            &parse(r#"{"model": {"kind": "tie_strength", "beta": 0.8}}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(tied.model.kind, ModelKind::TieStrength { beta: 0.8 });
+        let round = OptimizeRequest::from_value(&tied.canonical()).unwrap();
+        assert_eq!(tied, round);
+
+        for bad in [
+            r#"{"model": {"kind": "nope"}}"#,
+            r#"{"model": {"kind": 7}}"#,
+            r#"{"model": {"beta": 0.5}}"#,
+            r#"{"model": {"kind": "two_rumor", "beta": 0.5}}"#,
+            r#"{"model": {"kind": "tie_strength", "mu": 0.5}}"#,
+            r#"{"model": {"kind": "two_rumor", "mu": 1.5}}"#,
+            r#"{"model": {"kind": "two_rumor", "lambda20": 0}}"#,
+            r#"{"model": {"kind": "tie_strength", "beta": -1}}"#,
+        ] {
+            assert!(
+                SimulateRequest::from_value(&parse(bad).unwrap()).is_err(),
+                "accepted {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_and_ensemble_accept_only_the_paper_kind() {
+        let two = r#"{"model": {"kind": "two_rumor"},
+                      "network": {"nodes": 300, "k_max": 25, "mean_degree": 4}}"#;
+        let err = ThresholdRequest::from_value(&parse(two).unwrap()).unwrap_err();
+        assert!(err.0.contains("paper"), "{err}");
+        let err = EnsembleRequest::from_value(&parse(two).unwrap()).unwrap_err();
+        assert!(err.0.contains("paper"), "{err}");
+        // Simulate and optimize take all kinds.
+        assert!(SimulateRequest::from_value(&parse(two).unwrap()).is_ok());
+        assert!(OptimizeRequest::from_value(&parse(two).unwrap()).is_ok());
     }
 
     #[test]

@@ -8,10 +8,18 @@
 //! integration, a lost quorum — is a server-side failure (`500`).
 
 use crate::api::{
-    EnsembleRequest, ModelSpec, NetworkSpec, OptimizeRequest, SimulateRequest, ThresholdRequest,
+    EnsembleRequest, ModelKind, ModelSpec, NetworkSpec, OptimizeRequest, SimulateRequest,
+    ThresholdRequest,
 };
 use crate::wire::Value;
+use rumor_compartments::model::CompartmentModel;
+use rumor_compartments::schedule::ConstantMultiControl;
+use rumor_compartments::simulate::{simulate_compartments, CompartmentSimOptions};
+use rumor_control::checkpoint::{
+    decode_multi_schedule, decode_schedule, encode_multi_schedule, encode_schedule,
+};
 use rumor_control::fbsm::FbsmOptions;
+use rumor_control::multi::{optimize_compartments_monitored, MultiControlBounds, MultiFbsmOptions};
 use rumor_control::schedule::PiecewiseControl;
 use rumor_control::watchdog::{optimize_guarded, SweepSource, WatchdogOptions};
 use rumor_control::{ControlBounds, CostWeights};
@@ -24,6 +32,8 @@ use rumor_core::simulate::{simulate as run_simulation, SimulateOptions};
 use rumor_core::stability::theorem2_consistency;
 use rumor_core::state::NetworkState;
 use rumor_datasets::digg::{DiggConfig, DiggDataset};
+use rumor_models::tie_strength::tie_strength_model;
+use rumor_models::two_rumor::TwoRumorModel;
 use rumor_net::degree::DegreeClasses;
 use rumor_sim::abm::AbmConfig;
 use rumor_sim::ensemble::{
@@ -140,11 +150,82 @@ fn build_params(classes: DegreeClasses, model: &ModelSpec) -> Result<ModelParams
         .build()?)
 }
 
-/// `POST /v1/simulate`: Eq. (1) trajectories under constant
-/// countermeasures, reported as population means per sample.
+/// Uniform initial condition on a compartment model: every class starts
+/// with `1 − i0` susceptible and `i0` in compartment 1 (the rumor
+/// spreaders), mirroring [`NetworkState::initial_uniform`].
+fn uniform_initial<M: CompartmentModel>(model: &M, i0: f64) -> Vec<f64> {
+    let n = model.n_classes();
+    let mut y = vec![0.0; model.state_dim()];
+    for j in 0..n {
+        y[j] = 1.0 - i0;
+        y[n + j] = i0;
+    }
+    y
+}
+
+/// Shared simulate path for the compartment-model kinds: the request's
+/// constant `(eps1, eps2)` map onto the model's two control channels in
+/// order (truth-seeding then blocking for `two_rumor`). Mean series are
+/// labelled by the model's own compartment names.
+fn simulate_kind<M: CompartmentModel>(model: &M, req: &SimulateRequest) -> Result<Value> {
+    let control = ConstantMultiControl::new(vec![req.eps1, req.eps2]);
+    let traj = simulate_compartments(
+        model,
+        &control,
+        &uniform_initial(model, req.i0),
+        req.tf,
+        &CompartmentSimOptions {
+            n_out: req.n_out,
+            ..Default::default()
+        },
+        None,
+    )?;
+    let n = model.n_classes() as f64;
+    let mut fields = vec![
+        (
+            "kind".to_string(),
+            Value::Str(req.model.kind.name().to_string()),
+        ),
+        ("n_classes".to_string(), Value::Num(n)),
+        ("times".to_string(), Value::num_arr(traj.times())),
+    ];
+    for (c, name) in model.compartment_names().iter().enumerate() {
+        let mean: Vec<f64> = traj.total_series(c).iter().map(|x| x / n).collect();
+        fields.push((format!("mean_{name}"), Value::num_arr(&mean)));
+    }
+    fields.push((
+        "terminal_infected".to_string(),
+        Value::Num(model.terminal_objective(traj.last_state())),
+    ));
+    Ok(Value::Obj(fields))
+}
+
+/// `POST /v1/simulate`: trajectories under constant countermeasures,
+/// reported as population means per sample. The paper kind runs Eq. (1)
+/// through the legacy engine; the other kinds run their compartment
+/// models through `rumor-compartments`.
 pub fn simulate(req: &SimulateRequest) -> Result<Value> {
     let dataset = synthesize(&req.network)?;
     let params = build_params(dataset.classes().clone(), &req.model)?;
+    match &req.model.kind {
+        ModelKind::Paper => {}
+        ModelKind::TwoRumor {
+            lambda20,
+            gamma1,
+            gamma2,
+            mu,
+        } => {
+            // Cost weights only enter the FBSM objective; the paper
+            // defaults keep model construction valid here.
+            let m =
+                TwoRumorModel::from_params(&params, *lambda20, *gamma1, *gamma2, *mu, 5.0, 10.0)?;
+            return simulate_kind(&m, req);
+        }
+        ModelKind::TieStrength { beta } => {
+            let m = tie_strength_model(&params, *beta, 5.0, 10.0)?;
+            return simulate_kind(&m, req);
+        }
+    }
     let initial = NetworkState::initial_uniform(params.n_classes(), req.i0)?;
     let traj = run_simulation(
         &params,
@@ -222,27 +303,117 @@ pub fn threshold(req: &ThresholdRequest) -> Result<Value> {
     ]))
 }
 
-/// `POST /v1/optimize`: the watchdog-guarded forward–backward sweep of
-/// Eqs. (15)–(19), returning the `ε1/ε2` schedule and the cost `J`.
+/// `POST /v1/optimize`: the optimal countermeasure schedule — the
+/// watchdog-guarded forward–backward sweep of Eqs. (15)–(19) for the
+/// paper kind, the multi-control sweep for the compartment kinds.
 pub fn optimize(req: &OptimizeRequest) -> Result<Value> {
-    optimize_with_warm(req, None).map(|(value, _)| value)
+    optimize_with_warm_bytes(req, None).map(|(value, _)| value)
 }
 
-/// [`optimize`] with an optional warm-start schedule (a neighbouring
-/// sweep point's solution), also returning the optimized schedule so a
-/// campaign can thread it into the next point. Used by the durable-jobs
-/// `optimize_sweep` runner; the plain endpoint always starts cold.
-pub fn optimize_with_warm(
+/// [`optimize`] with an optional warm-start checkpoint (a neighbouring
+/// sweep point's encoded schedule), also returning the optimized
+/// schedule re-encoded so a campaign can thread it into the next point.
+/// The byte codec is kind-dependent — RCP1 for the paper model's pair
+/// schedule, RCP2 for the multi-control kinds — which keeps the
+/// durable-jobs runner codec-agnostic. Corrupt or wrong-kind warm bytes
+/// degrade to a cold start instead of poisoning the point: the warm
+/// start is an accelerant, not an input the answer is allowed to depend
+/// on for validity.
+pub fn optimize_with_warm_bytes(
+    req: &OptimizeRequest,
+    warm: Option<&[u8]>,
+) -> Result<(Value, Vec<u8>)> {
+    let dataset = synthesize(&req.network)?;
+    let params = build_params(dataset.classes().clone(), &req.model)?;
+    match &req.model.kind {
+        ModelKind::Paper => {
+            let initial = warm.and_then(|bytes| decode_schedule(bytes).ok());
+            let (value, control) = optimize_paper(&params, req, initial)?;
+            Ok((value, encode_schedule(&control)))
+        }
+        ModelKind::TwoRumor {
+            lambda20,
+            gamma1,
+            gamma2,
+            mu,
+        } => {
+            let m = TwoRumorModel::from_params(
+                &params, *lambda20, *gamma1, *gamma2, *mu, req.c1, req.c2,
+            )?;
+            optimize_kind(&m, req, warm)
+        }
+        ModelKind::TieStrength { beta } => {
+            let m = tie_strength_model(&params, *beta, req.c1, req.c2)?;
+            optimize_kind(&m, req, warm)
+        }
+    }
+}
+
+/// The multi-control sweep path shared by the compartment-model kinds.
+fn optimize_kind<M: CompartmentModel>(
+    model: &M,
+    req: &OptimizeRequest,
+    warm: Option<&[u8]>,
+) -> Result<(Value, Vec<u8>)> {
+    let bounds = MultiControlBounds::new(vec![req.eps_max; model.n_controls()])?;
+    let initial = warm
+        .and_then(|bytes| decode_multi_schedule(bytes).ok())
+        .filter(|c| c.n_channels() == model.n_controls());
+    let options = MultiFbsmOptions {
+        n_nodes: 101,
+        max_iterations: req.max_iters,
+        tolerance: 1e-4,
+        relaxation: 0.3,
+        initial_control: initial,
+        // Same split policy as the paper path: a single solve soaks the
+        // whole intra-replica thread budget.
+        inner_threads: None,
+        ..Default::default()
+    };
+    let result = optimize_compartments_monitored(
+        model,
+        &uniform_initial(model, req.i0),
+        req.tf,
+        &bounds,
+        &options,
+    )?;
+    let mut schedule = vec![("t".to_string(), Value::num_arr(result.control.grid()))];
+    for (c, name) in model.control_names().iter().enumerate() {
+        schedule.push((name.to_string(), Value::num_arr(result.control.values(c))));
+    }
+    let value = Value::obj([
+        ("kind", Value::Str(req.model.kind.name().to_string())),
+        ("converged", Value::Bool(result.converged)),
+        ("iterations", Value::Num(result.iterations as f64)),
+        ("source", Value::Str("multi_fbsm".to_string())),
+        (
+            "cost",
+            Value::obj([
+                ("running", Value::Num(result.cost.running())),
+                ("total", Value::Num(result.cost.total())),
+                ("channels", Value::num_arr(&result.cost.channel_costs)),
+            ]),
+        ),
+        (
+            "terminal_infected",
+            Value::Num(model.terminal_objective(result.trajectory.last_state())),
+        ),
+        ("schedule", Value::Obj(schedule)),
+    ]);
+    Ok((value, encode_multi_schedule(&result.control)))
+}
+
+/// The guarded legacy sweep for the paper kind.
+fn optimize_paper(
+    params: &ModelParams,
     req: &OptimizeRequest,
     initial: Option<PiecewiseControl>,
 ) -> Result<(Value, PiecewiseControl)> {
-    let dataset = synthesize(&req.network)?;
-    let params = build_params(dataset.classes().clone(), &req.model)?;
     let weights = CostWeights::new(req.c1, req.c2)?;
     let bounds = ControlBounds::new(req.eps_max, req.eps_max)?;
     let initial_state = NetworkState::initial_uniform(params.n_classes(), req.i0)?;
     let guarded = optimize_guarded(
-        &params,
+        params,
         &initial_state,
         req.tf,
         &bounds,

@@ -17,7 +17,6 @@
 use crate::handlers::{self, HandlerError};
 use crate::jobs_api::{JobKind, JobSubmitRequest};
 use crate::wire::{self, Value};
-use rumor_control::checkpoint::{decode_schedule, encode_schedule};
 use rumor_jobs::{JobSpec, PointOutcome, PointRunner};
 use std::time::Duration;
 
@@ -95,18 +94,19 @@ impl CampaignRunner {
             Ok(r) => r,
             Err(e) => return PointOutcome::Permanent(format!("point {index}: {e}")),
         };
-        // Corrupt warm bytes degrade to a cold start instead of
-        // poisoning the point: the warm start is an accelerant, not an
-        // input the answer is allowed to depend on for validity.
-        let initial = warm.and_then(|bytes| decode_schedule(bytes).ok());
-        match handlers::optimize_with_warm(&point, initial) {
-            Ok((out, schedule)) => PointOutcome::Ok {
+        // The warm bytes pass through opaquely: the handler picks the
+        // codec for the request's model kind (RCP1 pair schedules for
+        // the paper model, RCP2 for the multi-control kinds) and
+        // degrades corrupt bytes to a cold start, so this runner never
+        // learns a schedule format.
+        match handlers::optimize_with_warm_bytes(&point, warm) {
+            Ok((out, schedule_bytes)) => PointOutcome::Ok {
                 payload: result_payload(vec![
                     ("point", Value::Num(index as f64)),
                     ("lambda0", Value::Num(lambda0)),
                     ("result", out),
                 ]),
-                warm: Some(encode_schedule(&schedule)),
+                warm: Some(schedule_bytes),
             },
             Err(e) => classify(e),
         }
@@ -178,6 +178,7 @@ impl PointRunner for CampaignRunner {
 mod tests {
     use super::*;
     use crate::wire::parse;
+    use rumor_control::checkpoint::{decode_multi_schedule, decode_schedule};
 
     fn small_sweep(kind: &str, points: u64) -> JobSpec {
         let body = format!(
@@ -270,6 +271,45 @@ mod tests {
             .unwrap();
         assert!(iters >= 1.0);
         // Corrupt warm bytes fall back to a cold start, not a failure.
+        assert!(matches!(
+            runner.run_point(&spec, 1, 0, Some(b"garbage")),
+            PointOutcome::Ok { .. }
+        ));
+    }
+
+    #[test]
+    fn two_rumor_optimize_points_thread_rcp2_warm_bytes() {
+        let runner = CampaignRunner { workers: 1 };
+        let spec = JobSubmitRequest::from_value(
+            &parse(
+                r#"{"kind": "optimize_sweep", "points": 2,
+                    "sweep": {"from": 0.02, "to": 0.022},
+                    "base": {"tf": 15, "max_iters": 60, "eps_max": 0.2,
+                             "model": {"kind": "two_rumor"},
+                             "network": {"nodes": 300, "k_max": 25, "mean_degree": 4}}}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+        .to_spec();
+        let PointOutcome::Ok { warm, payload } = runner.run_point(&spec, 0, 0, None) else {
+            panic!("cold two-rumor point failed");
+        };
+        let text = String::from_utf8(payload).unwrap();
+        assert!(text.contains("\"kind\":\"two_rumor\""), "{text}");
+        let warm = warm.expect("optimize points must emit warm bytes");
+        // Multi-control kinds persist RCP2, not the pair codec — and the
+        // bytes round-trip exactly, which is the resume contract.
+        let schedule = decode_multi_schedule(&warm).expect("RCP2 warm bytes");
+        assert_eq!(schedule.n_channels(), 2);
+        assert!(decode_schedule(&warm).is_err(), "must not be RCP1");
+        assert!(matches!(
+            runner.run_point(&spec, 1, 0, Some(&warm)),
+            PointOutcome::Ok { .. }
+        ));
+        // Foreign bytes (an RCP1 pair schedule is still decodable as a
+        // legacy 2-channel warm start; true garbage is not) degrade to a
+        // cold start rather than failing the point.
         assert!(matches!(
             runner.run_point(&spec, 1, 0, Some(b"garbage")),
             PointOutcome::Ok { .. }

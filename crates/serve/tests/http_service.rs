@@ -169,6 +169,73 @@ fn threshold_optimize_and_ensemble_answer() {
 }
 
 #[test]
+fn two_rumor_and_tie_strength_kinds_answer_and_cache() {
+    let server = start(ServeConfig::default());
+
+    // Two-rumor simulate: compartment series under the model's own
+    // names, served through the same canonical-form cache.
+    let two_body = r#"{"network": {"nodes": 300, "k_max": 25, "mean_degree": 4},
+        "model": {"kind": "two_rumor", "gamma1": 0.1}, "tf": 10, "n_out": 41}"#;
+    let cold = request(&server, "POST", "/v1/simulate", two_body);
+    assert_eq!(cold.status, 200, "body: {}", cold.body_text());
+    assert_eq!(cold.header("X-Cache"), Some("miss"));
+    let text = cold.body_text();
+    assert!(text.contains("\"kind\":\"two_rumor\""), "body: {text}");
+    assert!(text.contains("\"mean_i1\""), "body: {text}");
+    assert!(text.contains("\"mean_i2\""), "body: {text}");
+
+    // Same request, reordered fields: byte-identical cache hit.
+    let reordered = r#"{"n_out": 41, "tf": 10,
+        "model": {"gamma1": 0.1, "kind": "two_rumor"},
+        "network": {"mean_degree": 4, "k_max": 25, "nodes": 300}}"#;
+    let hit = request(&server, "POST", "/v1/simulate", reordered);
+    assert_eq!(hit.status, 200);
+    assert_eq!(hit.header("X-Cache"), Some("hit"));
+    assert_eq!(hit.body, cold.body, "cache hit must be byte-identical");
+
+    // Tie-strength simulate keeps the paper's S/I/R shape.
+    let tied = request(
+        &server,
+        "POST",
+        "/v1/simulate",
+        r#"{"network": {"nodes": 300, "k_max": 25, "mean_degree": 4},
+            "model": {"kind": "tie_strength", "beta": 0.5}, "tf": 10, "n_out": 41}"#,
+    );
+    assert_eq!(tied.status, 200, "body: {}", tied.body_text());
+    let text = tied.body_text();
+    assert!(text.contains("\"kind\":\"tie_strength\""), "body: {text}");
+    assert!(text.contains("\"mean_i\""), "body: {text}");
+
+    // Two-rumor optimize: the multi-control sweep's schedule carries
+    // the model's channel names.
+    let optimized = request(
+        &server,
+        "POST",
+        "/v1/optimize",
+        r#"{"network": {"nodes": 300, "k_max": 25, "mean_degree": 4},
+            "model": {"kind": "two_rumor"},
+            "tf": 15, "eps_max": 0.2, "max_iters": 60}"#,
+    );
+    assert_eq!(optimized.status, 200, "body: {}", optimized.body_text());
+    let text = optimized.body_text();
+    assert!(text.contains("\"source\":\"multi_fbsm\""), "body: {text}");
+    assert!(text.contains("\"truth\""), "body: {text}");
+    assert!(text.contains("\"blocking\""), "body: {text}");
+
+    // The threshold theory and the ABM only speak the paper model.
+    let refused = request(
+        &server,
+        "POST",
+        "/v1/threshold",
+        r#"{"model": {"kind": "two_rumor"},
+            "network": {"nodes": 300, "k_max": 25, "mean_degree": 4}}"#,
+    );
+    assert_eq!(refused.status, 400, "body: {}", refused.body_text());
+    assert!(refused.body_text().contains("paper"));
+    server.shutdown_and_join();
+}
+
+#[test]
 fn malformed_and_unknown_requests_get_4xx() {
     let server = start(ServeConfig::default());
     assert_eq!(
@@ -443,6 +510,51 @@ fn job_campaign_runs_retries_and_quarantines_over_http() {
         request(&server, "POST", &format!("/v1/jobs/{id}/bogus"), "").status,
         404
     );
+
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_rumor_optimize_campaign_round_trips_through_the_jobs_journal() {
+    let dir = temp_jobs_dir("two-rumor");
+    let server = start(ServeConfig {
+        jobs_dir: Some(dir.to_string_lossy().into_owned()),
+        ..ServeConfig::default()
+    });
+
+    // A two-point multi-control campaign: point 1 warm-starts from
+    // point 0's RCP2 checkpoint through the durable journal.
+    let submitted = request(
+        &server,
+        "POST",
+        "/v1/jobs",
+        r#"{"kind": "optimize_sweep", "points": 2,
+            "sweep": {"from": 0.02, "to": 0.022},
+            "base": {"tf": 15, "max_iters": 60, "eps_max": 0.2,
+                     "model": {"kind": "two_rumor"},
+                     "network": {"nodes": 300, "k_max": 25, "mean_degree": 4}}}"#,
+    );
+    assert_eq!(submitted.status, 200, "body: {}", submitted.body_text());
+    let text = submitted.body_text();
+    let id = text
+        .split("\"id\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("job id")
+        .to_string();
+
+    let finished = wait_for_finish(&server, &id, Duration::from_secs(120));
+    assert!(finished.contains("\"state\":\"done\""), "{finished}");
+    assert!(finished.contains("\"completed\":2"), "{finished}");
+
+    let results = request(&server, "GET", &format!("/v1/jobs/{id}/results"), "");
+    assert_eq!(results.status, 200);
+    let body = results.body_text();
+    assert_eq!(body.matches("\"point\":").count(), 2, "{body}");
+    assert!(body.contains("\"kind\":\"two_rumor\""), "{body}");
+    assert!(body.contains("\"truth\""), "{body}");
+    assert!(body.contains("\"blocking\""), "{body}");
 
     server.shutdown_and_join();
     let _ = std::fs::remove_dir_all(&dir);

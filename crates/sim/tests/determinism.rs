@@ -267,6 +267,150 @@ fn sharded_replicas_with_faults_bit_identical_across_outer_and_inner_threads() {
     }
 }
 
+/// Two-rumor compartment model on the small-tier Digg classes (264 of
+/// them, so the partitioned kernels genuinely split and the inner pool
+/// dispatches instead of collapsing to the single-chunk serial path).
+fn two_rumor_params() -> rumor_core::params::ModelParams {
+    let dataset =
+        rumor_datasets::digg::DiggDataset::synthesize(rumor_datasets::digg::DiggConfig::small())
+            .expect("digg small tier");
+    ModelParams::builder(dataset.classes().clone())
+        .alpha(0.01)
+        .acceptance(AcceptanceRate::LinearInDegree { lambda0: 0.02 })
+        .infectivity(Infectivity::paper_default())
+        .build()
+        .expect("two-rumor params")
+}
+
+fn two_rumor_initial(n: usize, i0: f64) -> Vec<f64> {
+    let mut y0 = vec![0.0; 4 * n];
+    for j in 0..n {
+        y0[j] = 1.0 - i0;
+        y0[n + j] = i0;
+    }
+    y0
+}
+
+#[test]
+fn two_rumor_trajectory_bit_identical_across_inner_pool_sizes() {
+    // Tentpole contract, compartment leg: the two-rumor RHS runs through
+    // the same partitioned kernels as the paper model, so the full state
+    // trajectory must be bit-identical with and without an inner pool,
+    // at every pool size.
+    use rumor_compartments::model::CompartmentModel;
+    use rumor_compartments::schedule::ConstantMultiControl;
+    use rumor_compartments::simulate::{simulate_compartments, CompartmentSimOptions};
+    use rumor_models::two_rumor::TwoRumorModel;
+
+    let p = two_rumor_params();
+    let model = TwoRumorModel::from_params(&p, 0.03, 0.05, 0.08, 0.5, 5.0, 10.0).unwrap();
+    assert!(
+        rumor_core::kernels::partition_count(model.n_classes()) > 1,
+        "class count must span several kernel partitions"
+    );
+    let y0 = two_rumor_initial(model.n_classes(), 0.1);
+    let options = CompartmentSimOptions {
+        n_out: 41,
+        ..Default::default()
+    };
+    let run = |pool: Option<std::sync::Arc<rumor_par::InnerPool>>| {
+        simulate_compartments(
+            &model,
+            ConstantMultiControl::new(vec![0.05, 0.1]),
+            &y0,
+            10.0,
+            &options,
+            pool,
+        )
+        .unwrap()
+    };
+    let reference = run(None);
+    for t in THREAD_COUNTS {
+        let pooled = run(Some(std::sync::Arc::new(rumor_par::InnerPool::new(t))));
+        assert_eq!(pooled.times(), reference.times(), "{t} inner threads");
+        for (k, (a, b)) in pooled
+            .states()
+            .iter()
+            .zip(reference.states().iter())
+            .enumerate()
+        {
+            for (c, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{t} inner threads: state[{k}][{c}] differs: {x} vs {y}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn two_rumor_ensemble_bit_identical_across_outer_and_inner_threads() {
+    // CI's RUMOR_INNER_THREADS axis, two-rumor leg: replica-level
+    // (outer) ensemble workers each integrating the two-rumor
+    // compartment ODE through their own inner pool. Merged statistics
+    // must match the fully serial run bit for bit over the whole
+    // {1,4} x {1,4} outer x inner matrix.
+    use rumor_compartments::schedule::ConstantMultiControl;
+    use rumor_compartments::simulate::{simulate_compartments, CompartmentSimOptions};
+    use rumor_models::two_rumor::TwoRumorModel;
+
+    let p = two_rumor_params();
+    let n = p.n_classes();
+    let policy = IsolationPolicy::default();
+    let runner = |inner: usize| {
+        let p = &p;
+        move |_r: usize, seed: u64| -> Result<SimTrajectory, SimError> {
+            let model = TwoRumorModel::from_params(p, 0.03, 0.05, 0.08, 0.5, 5.0, 10.0)
+                .map_err(|e| SimError::Inconsistent(e.to_string()))?;
+            // Seed-dependent initial prevalence, deterministic per replica.
+            let i0 = 0.02 + (seed % 11) as f64 / 100.0;
+            let options = CompartmentSimOptions {
+                n_out: 21,
+                ..Default::default()
+            };
+            let pool = std::sync::Arc::new(rumor_par::InnerPool::new(inner));
+            let sol = simulate_compartments(
+                &model,
+                ConstantMultiControl::new(vec![0.05, 0.1]),
+                &two_rumor_initial(n, i0),
+                10.0,
+                &options,
+                Some(pool),
+            )
+            .map_err(|e| SimError::Inconsistent(e.to_string()))?;
+            // Fold the 4-band trajectory into the ensemble's s/i/r shape:
+            // both rumors count as "infected", the truth level rides in
+            // the per-class channel so it enters the merged statistics.
+            let mut traj = SimTrajectory::new(1);
+            for (k, state) in sol.states().iter().enumerate() {
+                let mean = |c: usize| state[c * n..(c + 1) * n].iter().sum::<f64>() / n as f64;
+                let (s, i1, i2, r) = (mean(0), mean(1), mean(2), mean(3));
+                traj.push(sol.times()[k], s, i1 + i2, r, &[i2]);
+            }
+            Ok(traj)
+        }
+    };
+    let serial = run_ensemble_isolated_with_threads(6, 4242, &policy, Some(1), runner(1)).unwrap();
+    assert!(!serial.degraded());
+    assert_eq!(serial.result.runs, 6);
+    for outer in [1usize, 4] {
+        for inner in [1usize, 4] {
+            let par =
+                run_ensemble_isolated_with_threads(6, 4242, &policy, Some(outer), runner(inner))
+                    .unwrap();
+            assert_bit_identical(
+                &serial.result,
+                &par.result,
+                &format!("two-rumor, outer {outer} x inner {inner}"),
+            );
+            assert_eq!(serial.failures, par.failures);
+            assert_eq!(serial.attempted, par.attempted);
+        }
+    }
+}
+
 /// Deterministic synthetic trajectory whose level encodes the seed, so
 /// the merged statistics expose any replica-order mixup.
 fn synth_traj(len: usize, seed: u64) -> SimTrajectory {
