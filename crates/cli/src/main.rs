@@ -5,7 +5,7 @@
 //! rumor simulate  [--edges FILE | --nodes N] [--tf T] [--out FILE] ...
 //! rumor optimize  [--edges FILE | --nodes N] [--tf T] [--c1 C] [--c2 C] ...
 //! rumor abm       [--edges FILE | --nodes N] [--runs R] [--tf T] ...
-//! rumor serve     [--addr A] [--threads N] [--queue-depth D] [--cache-entries C]
+//! rumor serve     [--addr A] [--threads N] [--queue-depth D] [--io-backend B] ...
 //! ```
 //!
 //! Run `rumor help` for the full option list. Networks come from an edge
@@ -96,6 +96,11 @@ COMMAND OPTIONS:
               --deadline-ms MS (default 30000; late requests answer 504)
               --jobs-dir DIR (enable durable campaign jobs persisted in DIR;
                               a restart resumes interrupted campaigns)
+              --io-backend B (threads, the default, or epoll: one event
+                              loop owns every socket and workers only run
+                              compute; Linux only, rejected elsewhere)
+              --max-connections N (default 1024; epoll backend sheds
+                              connections beyond it with 503 at accept)
               endpoints: GET /healthz /metrics,
                          POST /v1/{simulate,threshold,optimize,ensemble},
                          POST/GET /v1/jobs (with --jobs-dir)
@@ -158,6 +163,8 @@ fn main() -> ExitCode {
         "cache-entries",
         "deadline-ms",
         "jobs-dir",
+        "io-backend",
+        "max-connections",
         "spec",
         "log-format",
         "trace-out",

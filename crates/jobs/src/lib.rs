@@ -41,7 +41,9 @@ pub mod spec;
 pub mod state;
 pub mod store;
 
-pub use manager::{JobManager, JobManagerConfig, JobStatus, PointOutcome, PointRunner};
+pub use manager::{
+    JobManager, JobManagerConfig, JobStatus, PointOutcome, PointRunner, QuarantineEntry,
+};
 pub use metrics::JobsMetrics;
 pub use retry::RetryPolicy;
 pub use spec::{Checkpoint, JobSpec};

@@ -1,11 +1,19 @@
 //! The durable job manager: submission, execution, recovery, retry,
 //! cancellation, and resume.
 //!
-//! One background worker drains a FIFO of job IDs and iterates each
-//! campaign's points through the embedder-supplied [`PointRunner`].
-//! Points run sequentially on purpose — optimize sweeps thread a
-//! warm-start schedule from point to point, and the per-point engines
-//! already parallelize internally.
+//! One background scheduler thread interleaves **checkpoint-sized
+//! slices** across every runnable campaign in deficit-round-robin
+//! order: each job in turn executes up to `checkpoint_interval` points
+//! through the embedder-supplied [`PointRunner`], lands a durable
+//! checkpoint, and yields the thread to the next runnable job. Two
+//! concurrent campaigns therefore make proportional progress instead
+//! of the second waiting for the first to drain (the fairness
+//! contract; see DESIGN.md §13). Within a job, points still run
+//! sequentially on purpose — optimize sweeps thread a warm-start
+//! schedule from point to point, and the per-point engines already
+//! parallelize internally; because each job's points execute in the
+//! same order with the same warm chain as a FIFO drain, results stay
+//! byte-identical.
 //!
 //! Durability contract (see the crate docs for the full argument):
 //!
@@ -18,10 +26,10 @@
 //!   checkpoint — replay re-queues the job and execution continues at
 //!   the first point without a result record.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Sender};
+use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -30,6 +38,7 @@ use rumor_obs::FieldValue;
 
 use crate::journal::JournalRecord;
 use crate::metrics::JobsMetrics;
+use crate::record::RecordWriter;
 use crate::retry::RetryPolicy;
 use crate::spec::{Checkpoint, JobSpec};
 use crate::state::JobState;
@@ -94,7 +103,9 @@ pub struct JobManagerConfig {
     /// Retry/backoff policy applied to every point.
     pub retry: RetryPolicy,
     /// Points between durable checkpoints (results fsync + checkpoint
-    /// rename). Smaller = less work lost to `kill -9`, more I/O.
+    /// rename). Smaller = less work lost to `kill -9`, more I/O. Also
+    /// the round-robin quantum: a running job yields the scheduler
+    /// thread to other runnable jobs after this many points.
     pub checkpoint_interval: u64,
 }
 
@@ -109,8 +120,19 @@ impl JobManagerConfig {
     }
 }
 
+/// One quarantined point in a job's partial-result manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// The quarantined point index.
+    pub point: u64,
+    /// Attempts consumed before quarantine.
+    pub attempts: u32,
+    /// The final attempt's error message.
+    pub error: String,
+}
+
 /// A point-in-time view of one job, including its partial-result
-/// manifest (`quarantined` + `missing`).
+/// manifest (`quarantined` detail + `missing`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobStatus {
     /// Job ID (`job-NNNNNN`).
@@ -125,6 +147,10 @@ pub struct JobStatus {
     pub completed: u64,
     /// Quarantined point indices, ascending.
     pub quarantined: Vec<u64>,
+    /// Per-point quarantine detail, ascending by point. Rebuilt from
+    /// the journal on recovery, so it is identical whether or not the
+    /// process crashed in between.
+    pub manifest: Vec<QuarantineEntry>,
     /// Retried attempts so far.
     pub retries: u64,
     /// Most recent point failure, if any.
@@ -144,6 +170,7 @@ struct JobInner {
     state: JobState,
     completed: u64,
     quarantined: BTreeSet<u64>,
+    manifest: BTreeMap<u64, (u32, String)>,
     retries: u64,
     last_error: Option<String>,
 }
@@ -167,10 +194,45 @@ impl JobEntry {
             total: self.spec.n_points,
             completed: inner.completed,
             quarantined: inner.quarantined.iter().copied().collect(),
+            manifest: inner
+                .manifest
+                .iter()
+                .map(|(&point, (attempts, error))| QuarantineEntry {
+                    point,
+                    attempts: *attempts,
+                    error: error.clone(),
+                })
+                .collect(),
             retries: inner.retries,
             last_error: inner.last_error.clone(),
         }
     }
+}
+
+/// Execution state of one job held across scheduler slices: the open
+/// journal/results writers and the point cursor, so a yield costs one
+/// checkpoint, not a reopen-and-replay of the whole directory.
+struct ActiveRun {
+    entry: Arc<JobEntry>,
+    journal: RecordWriter,
+    results: RecordWriter,
+    completed: BTreeSet<u64>,
+    quarantined: BTreeSet<u64>,
+    warm: Option<Vec<u8>>,
+    next_index: u64,
+    /// Spans the whole run, across slices; ends when the run retires.
+    _span: rumor_obs::Span,
+}
+
+/// How a scheduler slice ended.
+enum SliceEnd {
+    /// Quantum exhausted with work remaining; checkpointed and yielded.
+    Yielded,
+    /// All points visited (or the job was cancelled); a terminal
+    /// transition was journaled.
+    Finished,
+    /// The stop flag was observed; the job was parked back to `queued`.
+    Parked,
 }
 
 /// The durable job manager. Construct with [`JobManager::open`]; share
@@ -281,6 +343,7 @@ impl JobManager {
                     state,
                     completed: loaded.completed.len() as u64,
                     quarantined: loaded.quarantined,
+                    manifest: loaded.manifest,
                     retries: loaded.retries,
                     last_error: loaded.last_error,
                 }),
@@ -307,14 +370,7 @@ impl JobManager {
         let for_worker = Arc::clone(&manager);
         let handle = std::thread::Builder::new()
             .name("rumor-jobs-worker".into())
-            .spawn(move || {
-                while let Ok(id) = rx.recv() {
-                    if for_worker.stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    for_worker.run_job(&id);
-                }
-            })
+            .spawn(move || for_worker.scheduler_loop(&rx))
             .map_err(|e| JobsError::Io {
                 context: "spawn jobs worker".into(),
                 source: e,
@@ -368,6 +424,7 @@ impl JobManager {
                 state: JobState::Queued,
                 completed: 0,
                 quarantined: BTreeSet::new(),
+                manifest: BTreeMap::new(),
                 retries: 0,
                 last_error: None,
             }),
@@ -528,6 +585,7 @@ impl JobManager {
                     source: e,
                 })?;
             inner.quarantined.clear();
+            inner.manifest.clear();
             inner.state = JobState::Queued;
             entry.cancel.store(false, Ordering::Relaxed);
         }
@@ -555,89 +613,171 @@ impl JobManager {
         }
     }
 
-    fn run_job(&self, id: &str) {
-        let Some(entry) = self.entry(id) else { return };
-        // A stale queue entry (e.g. cancelled while queued) is skipped.
+    /// Deficit-round-robin scheduler: every runnable job in turn runs
+    /// one checkpoint-sized slice, lands a durable checkpoint, and goes
+    /// to the back of the round. Submissions observed at a slice
+    /// boundary join the round *before* the yielding job re-queues, so
+    /// the interleave is the same whether a submission raced the slice
+    /// or arrived ahead of it — the property the two-job fairness test
+    /// pins.
+    fn scheduler_loop(&self, rx: &Receiver<String>) {
+        let mut round: VecDeque<ActiveRun> = VecDeque::new();
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                for run in round.drain(..) {
+                    self.park(run);
+                }
+                return;
+            }
+            if round.is_empty() {
+                // Idle: block until a submission arrives or shutdown
+                // drops the sender.
+                match rx.recv() {
+                    Ok(id) => {
+                        if let Some(run) = self.activate(&id) {
+                            round.push_back(run);
+                        }
+                        continue; // re-check the stop flag first
+                    }
+                    Err(_) => return,
+                }
+            }
+            let Some(mut run) = round.pop_front() else {
+                continue;
+            };
+            let end = self.run_slice(&mut run);
+            while let Ok(id) = rx.try_recv() {
+                if let Some(next) = self.activate(&id) {
+                    round.push_back(next);
+                }
+            }
+            match end {
+                Ok(SliceEnd::Yielded) => round.push_back(run),
+                Ok(SliceEnd::Finished | SliceEnd::Parked) => self.retire(run),
+                Err(e) => {
+                    // Persistence failed mid-run; surface through
+                    // status and leave the on-disk state for the next
+                    // recovery scan.
+                    {
+                        let mut inner = run.entry.inner.lock().unwrap_or_else(|p| p.into_inner());
+                        inner.last_error = Some(e.to_string());
+                    }
+                    rumor_obs::event(
+                        "jobs.error",
+                        &[
+                            ("job", FieldValue::from(run.entry.id.as_str())),
+                            ("error", FieldValue::from(e.to_string())),
+                        ],
+                    );
+                    self.retire(run);
+                }
+            }
+        }
+    }
+
+    /// Opens a runnable job's durable state for slicing: journals the
+    /// `running` transition, opens the journal and results writers,
+    /// and seeds the warm-start bytes from the last checkpoint.
+    /// Returns `None` for stale queue entries (e.g. cancelled while
+    /// queued) and records — without propagating — activation
+    /// failures.
+    fn activate(&self, id: &str) -> Option<ActiveRun> {
+        let entry = self.entry(id)?;
         {
             let inner = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
             if inner.state != JobState::Queued {
-                return;
+                return None;
             }
         }
         let mut span = rumor_obs::span("jobs.run");
         span.field("job", entry.id.as_str());
         span.field("points", entry.spec.n_points);
-        self.metrics.running.inc();
-        let outcome = self.run_job_inner(&entry);
-        self.metrics.running.dec();
-        if let Err(e) = outcome {
-            // Persistence failed mid-run; surface through status and
-            // leave the on-disk state for the next recovery scan.
-            let mut inner = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
-            inner.last_error = Some(e.to_string());
-            rumor_obs::event(
-                "jobs.error",
-                &[
-                    ("job", FieldValue::from(entry.id.as_str())),
-                    ("error", FieldValue::from(e.to_string())),
-                ],
-            );
+        let opened = (|| -> Result<_, JobsError> {
+            let mut journal = store::open_journal(&entry.dir)?;
+            journal_transition(&entry, &mut journal, JobState::Running, "start")?;
+            let (results, completed) = store::open_results(&entry.dir)?;
+            let warm = store::read_checkpoint(&entry.dir)?
+                .map(|c| c.warm)
+                .filter(|w| !w.is_empty());
+            Ok((journal, results, completed, warm))
+        })();
+        match opened {
+            Ok((journal, results, completed, warm)) => {
+                let quarantined = entry
+                    .inner
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .quarantined
+                    .clone();
+                self.metrics.running.inc();
+                Some(ActiveRun {
+                    entry,
+                    journal,
+                    results,
+                    completed,
+                    quarantined,
+                    warm,
+                    next_index: 0,
+                    _span: span,
+                })
+            }
+            Err(e) => {
+                {
+                    let mut inner = entry.inner.lock().unwrap_or_else(|p| p.into_inner());
+                    inner.last_error = Some(e.to_string());
+                }
+                rumor_obs::event(
+                    "jobs.error",
+                    &[
+                        ("job", FieldValue::from(entry.id.as_str())),
+                        ("error", FieldValue::from(e.to_string())),
+                    ],
+                );
+                None
+            }
         }
     }
 
-    fn run_job_inner(&self, entry: &JobEntry) -> Result<(), JobsError> {
-        let mut journal = store::open_journal(&entry.dir)?;
-        journal_transition(entry, &mut journal, JobState::Running, "start")?;
-
-        let (mut results, mut completed) = store::open_results(&entry.dir)?;
-        let mut warm: Option<Vec<u8>> = store::read_checkpoint(&entry.dir)?
-            .map(|c| c.warm)
-            .filter(|w| !w.is_empty());
-        let mut quarantined: BTreeSet<u64> = entry
-            .inner
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .quarantined
-            .clone();
+    /// Runs up to `checkpoint_interval` points of one job, then lands
+    /// a durable checkpoint and yields. Already-completed (or
+    /// quarantined) indices are skipped without charging the quantum,
+    /// so a recovered job spends its slice on real work.
+    fn run_slice(&self, run: &mut ActiveRun) -> Result<SliceEnd, JobsError> {
         let retry = self.config.retry;
         let deadline = retry.attempt_deadline();
-        let mut since_checkpoint = 0u64;
+        let mut budget = self.config.checkpoint_interval;
 
-        let write_results_error = |e: std::io::Error| JobsError::Io {
-            context: format!("append result ({})", entry.dir.display()),
-            source: e,
-        };
-
-        for index in 0..entry.spec.n_points {
+        while run.next_index < run.entry.spec.n_points {
             if self.stop.load(Ordering::Relaxed) {
                 // Graceful shutdown: park the job back in the queue
                 // durably; the next open re-enqueues it.
-                results.sync().map_err(write_results_error)?;
-                store::write_checkpoint(
-                    &entry.dir,
-                    &Checkpoint {
-                        completed: completed.len() as u64,
-                        warm: warm.clone().unwrap_or_default(),
-                    },
-                )?;
-                return journal_transition(entry, &mut journal, JobState::Queued, "shutdown");
+                self.checkpoint(run)?;
+                journal_transition(&run.entry, &mut run.journal, JobState::Queued, "shutdown")?;
+                return Ok(SliceEnd::Parked);
             }
-            if entry.cancel.load(Ordering::Relaxed) {
-                results.sync().map_err(write_results_error)?;
-                journal_transition(entry, &mut journal, JobState::Cancelled, "cancel")?;
+            if run.entry.cancel.load(Ordering::Relaxed) {
+                run.results.sync().map_err(|e| results_error(run, e))?;
+                journal_transition(&run.entry, &mut run.journal, JobState::Cancelled, "cancel")?;
                 self.metrics.cancelled.inc();
-                return Ok(());
+                return Ok(SliceEnd::Finished);
             }
-            if completed.contains(&index) || quarantined.contains(&index) {
+            let index = run.next_index;
+            if run.completed.contains(&index) || run.quarantined.contains(&index) {
+                run.next_index += 1;
                 continue;
             }
+            if budget == 0 {
+                self.checkpoint(run)?;
+                return Ok(SliceEnd::Yielded);
+            }
+            budget -= 1;
 
             let mut attempt = 0u32;
             loop {
                 let started = Instant::now();
-                let outcome = self
-                    .runner
-                    .run_point(&entry.spec, index, attempt, warm.as_deref());
+                let outcome =
+                    self.runner
+                        .run_point(&run.entry.spec, index, attempt, run.warm.as_deref());
                 let elapsed = started.elapsed();
                 let outcome = if elapsed > deadline {
                     PointOutcome::Transient(format!(
@@ -650,36 +790,24 @@ impl JobManager {
                 };
                 match outcome {
                     PointOutcome::Ok { payload, warm: w } => {
-                        results
+                        run.results
                             .append(&store::encode_result(index, &payload))
-                            .map_err(write_results_error)?;
-                        completed.insert(index);
+                            .map_err(|e| results_error(run, e))?;
+                        run.completed.insert(index);
                         if let Some(w) = w {
-                            warm = Some(w);
+                            run.warm = Some(w);
                         }
                         self.metrics.points_completed.inc();
                         rumor_obs::add("jobs.points_completed", 1);
                         {
-                            let mut inner = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
-                            inner.completed = completed.len() as u64;
-                        }
-                        since_checkpoint += 1;
-                        if since_checkpoint >= self.config.checkpoint_interval {
-                            results.sync().map_err(write_results_error)?;
-                            store::write_checkpoint(
-                                &entry.dir,
-                                &Checkpoint {
-                                    completed: completed.len() as u64,
-                                    warm: warm.clone().unwrap_or_default(),
-                                },
-                            )?;
-                            since_checkpoint = 0;
-                            rumor_obs::add("jobs.checkpoints", 1);
+                            let mut inner =
+                                run.entry.inner.lock().unwrap_or_else(|e| e.into_inner());
+                            inner.completed = run.completed.len() as u64;
                         }
                         break;
                     }
                     PointOutcome::Transient(error) => {
-                        journal
+                        run.journal
                             .append_sync(
                                 &JournalRecord::PointRetry {
                                     index,
@@ -689,7 +817,7 @@ impl JobManager {
                                 .encode(),
                             )
                             .map_err(|e| JobsError::Io {
-                                context: format!("journal retry ({})", entry.dir.display()),
+                                context: format!("journal retry ({})", run.entry.dir.display()),
                                 source: e,
                             })?;
                         self.metrics.points_retried.inc();
@@ -697,36 +825,37 @@ impl JobManager {
                         rumor_obs::event(
                             "jobs.retry",
                             &[
-                                ("job", FieldValue::from(entry.id.as_str())),
+                                ("job", FieldValue::from(run.entry.id.as_str())),
                                 ("point", FieldValue::from(index)),
                                 ("attempt", FieldValue::from(attempt)),
                                 ("error", FieldValue::from(error.as_str())),
                             ],
                         );
                         {
-                            let mut inner = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
+                            let mut inner =
+                                run.entry.inner.lock().unwrap_or_else(|e| e.into_inner());
                             inner.retries += 1;
                             inner.last_error = Some(error.clone());
                         }
                         attempt += 1;
                         if attempt >= retry.max_attempts {
                             self.quarantine(
-                                entry,
-                                &mut journal,
-                                &mut quarantined,
+                                &run.entry,
+                                &mut run.journal,
+                                &mut run.quarantined,
                                 index,
                                 attempt,
                                 error,
                             )?;
                             break;
                         }
-                        std::thread::sleep(retry.backoff(entry.seq, index, attempt - 1));
+                        std::thread::sleep(retry.backoff(run.entry.seq, index, attempt - 1));
                     }
                     PointOutcome::Permanent(error) => {
                         self.quarantine(
-                            entry,
-                            &mut journal,
-                            &mut quarantined,
+                            &run.entry,
+                            &mut run.journal,
+                            &mut run.quarantined,
                             index,
                             attempt + 1,
                             error,
@@ -735,26 +864,22 @@ impl JobManager {
                     }
                 }
             }
+            run.next_index += 1;
         }
 
-        results.sync().map_err(write_results_error)?;
-        store::write_checkpoint(
-            &entry.dir,
-            &Checkpoint {
-                completed: completed.len() as u64,
-                warm: warm.unwrap_or_default(),
-            },
-        )?;
-        let final_state = if entry.cancel.load(Ordering::Relaxed) {
+        self.checkpoint(run)?;
+        let final_state = if run.entry.cancel.load(Ordering::Relaxed) {
             JobState::Cancelled
-        } else if quarantined.is_empty() && completed.len() as u64 == entry.spec.n_points {
+        } else if run.quarantined.is_empty()
+            && run.completed.len() as u64 == run.entry.spec.n_points
+        {
             JobState::Done
-        } else if completed.is_empty() {
+        } else if run.completed.is_empty() {
             JobState::Failed
         } else {
             JobState::Partial
         };
-        journal_transition(entry, &mut journal, final_state, "finished")?;
+        journal_transition(&run.entry, &mut run.journal, final_state, "finished")?;
         match final_state {
             JobState::Done => self.metrics.done.inc(),
             JobState::Partial => self.metrics.partial.inc(),
@@ -762,7 +887,42 @@ impl JobManager {
             JobState::Cancelled => self.metrics.cancelled.inc(),
             _ => {}
         }
+        Ok(SliceEnd::Finished)
+    }
+
+    /// Fsyncs the results log and atomically replaces the checkpoint —
+    /// the durable slice boundary.
+    fn checkpoint(&self, run: &mut ActiveRun) -> Result<(), JobsError> {
+        run.results.sync().map_err(|e| results_error(run, e))?;
+        store::write_checkpoint(
+            &run.entry.dir,
+            &Checkpoint {
+                completed: run.completed.len() as u64,
+                warm: run.warm.clone().unwrap_or_default(),
+            },
+        )?;
+        rumor_obs::add("jobs.checkpoints", 1);
         Ok(())
+    }
+
+    /// Parks an in-flight run durably back to `queued` ahead of
+    /// shutdown; the next `open` of the directory re-enqueues it.
+    fn park(&self, mut run: ActiveRun) {
+        let parked = self.checkpoint(&mut run).and_then(|()| {
+            journal_transition(&run.entry, &mut run.journal, JobState::Queued, "shutdown")
+        });
+        if let Err(e) = parked {
+            let mut inner = run.entry.inner.lock().unwrap_or_else(|p| p.into_inner());
+            inner.last_error = Some(e.to_string());
+        }
+        self.retire(run);
+    }
+
+    /// Drops a finished or parked run: closes its writers and span and
+    /// releases its `running` gauge slot.
+    fn retire(&self, run: ActiveRun) {
+        self.metrics.running.dec();
+        drop(run);
     }
 
     fn quarantine(
@@ -801,8 +961,16 @@ impl JobManager {
         );
         let mut inner = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.quarantined.insert(index);
+        inner.manifest.insert(index, (attempts, error.clone()));
         inner.last_error = Some(error);
         Ok(())
+    }
+}
+
+fn results_error(run: &ActiveRun, e: std::io::Error) -> JobsError {
+    JobsError::Io {
+        context: format!("append result ({})", run.entry.dir.display()),
+        source: e,
     }
 }
 

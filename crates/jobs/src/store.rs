@@ -14,7 +14,7 @@
 //! by a crash; the manager re-queues it and execution continues at the
 //! first point without a result record — never from zero.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 use crate::journal::JournalRecord;
@@ -40,6 +40,9 @@ pub struct LoadedJob {
     pub state: JobState,
     /// Quarantined point indices (after any `ClearQuarantine`).
     pub quarantined: BTreeSet<u64>,
+    /// Per-point quarantine detail: `index -> (attempts, error)`,
+    /// tracking `quarantined` exactly (cleared by `ClearQuarantine`).
+    pub manifest: BTreeMap<u64, (u32, String)>,
     /// Total retry records seen.
     pub retries: u64,
     /// Most recent point failure message, if any.
@@ -155,6 +158,7 @@ pub fn load_job(dir: &Path) -> Result<LoadedJob, JobsError> {
         record::replay(&journal_path).map_err(|e| io_err("read journal", &journal_path, e))?;
     let mut state = JobState::Queued;
     let mut quarantined = BTreeSet::new();
+    let mut manifest: BTreeMap<u64, (u32, String)> = BTreeMap::new();
     let mut retries = 0u64;
     let mut last_error = None;
     for rec in &journal.records {
@@ -164,11 +168,19 @@ pub fn load_job(dir: &Path) -> Result<LoadedJob, JobsError> {
                 retries += 1;
                 last_error = Some(error);
             }
-            Some(JournalRecord::PointQuarantined { index, error, .. }) => {
+            Some(JournalRecord::PointQuarantined {
+                index,
+                attempts,
+                error,
+            }) => {
                 quarantined.insert(index);
-                last_error = Some(error);
+                last_error = Some(error.clone());
+                manifest.insert(index, (attempts, error));
             }
-            Some(JournalRecord::ClearQuarantine) => quarantined.clear(),
+            Some(JournalRecord::ClearQuarantine) => {
+                quarantined.clear();
+                manifest.clear();
+            }
             // Forward compatibility: skip records this build cannot read.
             None => {}
         }
@@ -195,6 +207,7 @@ pub fn load_job(dir: &Path) -> Result<LoadedJob, JobsError> {
         spec,
         state,
         quarantined,
+        manifest,
         retries,
         last_error,
         completed,

@@ -487,3 +487,136 @@ fn unknown_job_and_illegal_transitions_are_errors() {
     assert!(mgr.submit(spec(0)).is_err());
     mgr.shutdown();
 }
+
+#[test]
+fn two_jobs_interleave_in_checkpoint_sized_slices() {
+    let root = temp_root("fairness");
+    // Record (kind, index) for every executed point. The gate holds
+    // the very first point until both submissions have returned, so
+    // the recorded interleave is deterministic: whichever way the
+    // submit calls race the scheduler, job B always joins the round at
+    // the first slice boundary.
+    let order: Arc<std::sync::Mutex<Vec<(String, u64)>>> =
+        Arc::new(std::sync::Mutex::new(Vec::new()));
+    let gate = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let runner: Arc<dyn PointRunner> = {
+        let order = Arc::clone(&order);
+        let gate = Arc::clone(&gate);
+        Arc::new(
+            move |spec: &JobSpec, index: u64, _attempt: u32, _warm: Option<&[u8]>| {
+                let (lock, cvar) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cvar.wait(open).unwrap();
+                }
+                drop(open);
+                order.lock().unwrap().push((spec.kind.clone(), index));
+                PointOutcome::Ok {
+                    payload: format!("{}:{index}", spec.kind).into_bytes(),
+                    warm: None,
+                }
+            },
+        )
+    };
+    let cfg = JobManagerConfig {
+        checkpoint_interval: 2, // two-point quantum
+        ..config(&root)
+    };
+    let mgr = JobManager::open(cfg, runner, JobsMetrics::standalone()).unwrap();
+    let job = |kind: &str| JobSpec {
+        kind: kind.into(),
+        n_points: 6,
+        payload: vec![],
+    };
+    let a = mgr.submit(job("A")).unwrap();
+    let b = mgr.submit(job("B")).unwrap();
+    {
+        let (lock, cvar) = &*gate;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+    }
+    assert_eq!(
+        wait_finished(&mgr, &a, Duration::from_secs(10)),
+        JobState::Done
+    );
+    assert_eq!(
+        wait_finished(&mgr, &b, Duration::from_secs(10)),
+        JobState::Done
+    );
+
+    let recorded = order.lock().unwrap().clone();
+    let expect: Vec<(String, u64)> = [
+        ("A", 0),
+        ("A", 1),
+        ("B", 0),
+        ("B", 1),
+        ("A", 2),
+        ("A", 3),
+        ("B", 2),
+        ("B", 3),
+        ("A", 4),
+        ("A", 5),
+        ("B", 4),
+        ("B", 5),
+    ]
+    .iter()
+    .map(|&(k, i)| (k.to_string(), i))
+    .collect();
+    assert_eq!(recorded, expect, "deficit-round-robin interleave is pinned");
+
+    // Interleaving must not disturb per-job results: ascending indices
+    // with the same payloads a FIFO drain would have produced.
+    for (id, kind) in [(&a, "A"), (&b, "B")] {
+        let results = mgr.results(id).unwrap();
+        assert_eq!(results.len(), 6);
+        for (i, (idx, payload)) in results.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(payload, format!("{kind}:{i}").as_bytes());
+        }
+    }
+    mgr.shutdown();
+}
+
+#[test]
+fn quarantine_manifest_in_status_survives_reopen() {
+    let root = temp_root("manifest");
+    let runner: Arc<dyn PointRunner> = Arc::new(
+        |_spec: &JobSpec, index: u64, _attempt: u32, _warm: Option<&[u8]>| {
+            if index == 2 {
+                PointOutcome::Permanent("grid point rejected".into())
+            } else {
+                PointOutcome::Ok {
+                    payload: index.to_string().into_bytes(),
+                    warm: None,
+                }
+            }
+        },
+    );
+    let mgr = JobManager::open(
+        config(&root),
+        Arc::clone(&runner),
+        JobsMetrics::standalone(),
+    )
+    .unwrap();
+    let id = mgr.submit(spec(5)).unwrap();
+    assert_eq!(
+        wait_finished(&mgr, &id, Duration::from_secs(10)),
+        JobState::Partial
+    );
+    let st = mgr.status(&id).unwrap();
+    assert_eq!(st.quarantined, vec![2]);
+    assert_eq!(st.manifest.len(), 1);
+    assert_eq!(st.manifest[0].point, 2);
+    assert_eq!(st.manifest[0].attempts, 1, "permanent = one attempt");
+    assert_eq!(st.manifest[0].error, "grid point rejected");
+    mgr.shutdown();
+
+    // The manifest is rebuilt from the journal on reopen — identical
+    // to the live view, which is what lets streaming and refetch
+    // consumers agree on the terminal payload across restarts.
+    let mgr2 = JobManager::open(config(&root), runner, JobsMetrics::standalone()).unwrap();
+    let st2 = mgr2.status(&id).unwrap();
+    assert_eq!(st2.manifest, st.manifest);
+    assert_eq!(st2.state, JobState::Partial);
+    mgr2.shutdown();
+}

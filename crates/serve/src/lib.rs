@@ -41,6 +41,8 @@
 
 pub mod api;
 pub mod cache;
+#[cfg(target_os = "linux")]
+pub mod event_loop;
 pub mod handlers;
 pub mod http;
 pub mod jobs_api;
@@ -50,7 +52,7 @@ pub mod server;
 pub mod signal;
 pub mod wire;
 
-pub use server::{serve, ServeConfig, Server, ServerHandle};
+pub use server::{serve, IoBackend, ServeConfig, Server, ServerHandle};
 
 use std::fmt;
 

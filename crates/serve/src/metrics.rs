@@ -60,6 +60,8 @@ pub struct Metrics {
     pub rejected_body_too_large: Arc<Counter>,
     /// Requests rejected with `400`/`501` (malformed / unsupported).
     pub rejected_malformed: Arc<Counter>,
+    /// Connections shed with `503` at the epoll connection cap.
+    pub rejected_max_connections: Arc<Counter>,
     /// Requests that exceeded their wall-clock deadline (`504`).
     pub deadline_exceeded: Arc<Counter>,
     /// Requests that timed out mid-read (`408`).
@@ -72,6 +74,14 @@ pub struct Metrics {
     pub cache_misses: Arc<Counter>,
     /// Result-cache evictions.
     pub cache_evictions: Arc<Counter>,
+    /// `epoll_wait` returns on the event loop (idle or not).
+    pub epoll_wakeups: Arc<Counter>,
+    /// Connections currently registered with the event loop.
+    pub epoll_connections: Arc<Gauge>,
+    /// Compute tasks queued for the worker pool (epoll backend).
+    pub ready_queue_depth: Arc<Gauge>,
+    /// Data chunks written on `/v1/jobs/{id}/stream` responses.
+    pub stream_chunks: Arc<Counter>,
     per_endpoint: [EndpointSeries; ENDPOINTS.len()],
     /// Durable-job series (shared with the [`rumor_jobs::JobManager`]),
     /// rendered at the end of the page.
@@ -96,12 +106,18 @@ impl Metrics {
             registry.counter("rumor_serve_rejected_total{reason=\"body_too_large\"}");
         let rejected_malformed =
             registry.counter("rumor_serve_rejected_total{reason=\"malformed\"}");
+        let rejected_max_connections =
+            registry.counter("rumor_serve_rejected_total{reason=\"max_connections\"}");
         let deadline_exceeded = registry.counter("rumor_serve_deadline_exceeded_total");
         let read_timeouts = registry.counter("rumor_serve_read_timeouts_total");
         let in_flight = registry.gauge("rumor_serve_in_flight");
         let cache_hits = registry.counter("rumor_serve_cache_hits_total");
         let cache_misses = registry.counter("rumor_serve_cache_misses_total");
         let cache_evictions = registry.counter("rumor_serve_cache_evictions_total");
+        let epoll_wakeups = registry.counter("rumor_serve_epoll_wakeups_total");
+        let epoll_connections = registry.gauge("rumor_serve_epoll_connections");
+        let ready_queue_depth = registry.gauge("rumor_serve_ready_queue_depth");
+        let stream_chunks = registry.counter("rumor_serve_stream_chunks_total");
         let per_endpoint = ENDPOINTS.map(|name| EndpointSeries {
             requests: registry
                 .counter(format!("rumor_serve_requests_total{{endpoint=\"{name}\"}}")),
@@ -119,12 +135,17 @@ impl Metrics {
             rejected_queue_full,
             rejected_body_too_large,
             rejected_malformed,
+            rejected_max_connections,
             deadline_exceeded,
             read_timeouts,
             in_flight,
             cache_hits,
             cache_misses,
             cache_evictions,
+            epoll_wakeups,
+            epoll_connections,
+            ready_queue_depth,
+            stream_chunks,
             per_endpoint,
             jobs,
         }
@@ -199,6 +220,7 @@ mod tests {
         m.in_flight.set(3);
         m.cache_hits.add(5);
         m.cache_misses.add(4);
+        m.stream_chunks.add(6);
         // (endpoint, status, elapsed_ms); covers first/middle/+Inf buckets.
         let recordings: &[(usize, u16, u64)] = &[
             (0, 200, 0),
@@ -237,12 +259,21 @@ mod tests {
             "rumor_serve_rejected_total{reason=\"malformed\"}",
             0,
         );
+        line(
+            &mut expected,
+            "rumor_serve_rejected_total{reason=\"max_connections\"}",
+            0,
+        );
         line(&mut expected, "rumor_serve_deadline_exceeded_total", 2);
         line(&mut expected, "rumor_serve_read_timeouts_total", 0);
         line(&mut expected, "rumor_serve_in_flight", 3);
         line(&mut expected, "rumor_serve_cache_hits_total", 5);
         line(&mut expected, "rumor_serve_cache_misses_total", 4);
         line(&mut expected, "rumor_serve_cache_evictions_total", 0);
+        line(&mut expected, "rumor_serve_epoll_wakeups_total", 0);
+        line(&mut expected, "rumor_serve_epoll_connections", 0);
+        line(&mut expected, "rumor_serve_ready_queue_depth", 0);
+        line(&mut expected, "rumor_serve_stream_chunks_total", 6);
         for (idx, name) in ENDPOINTS.iter().enumerate() {
             let hits: Vec<(u16, u64)> = recordings
                 .iter()

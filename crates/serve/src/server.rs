@@ -48,6 +48,31 @@ use std::time::{Duration, Instant};
 /// is kept small; one wakeup per millisecond is negligible load.
 const ACCEPT_POLL: Duration = Duration::from_millis(1);
 
+/// Which connection layer drives the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoBackend {
+    /// Thread-per-connection: each admitted connection occupies a
+    /// worker for its whole lifetime. The original backend; still the
+    /// default.
+    #[default]
+    Threads,
+    /// One epoll event loop owns every socket; workers only run
+    /// compute. Idle keep-alive pollers cost an epoll slot, not a
+    /// thread. Linux only.
+    Epoll,
+}
+
+impl IoBackend {
+    /// Parses the CLI token (`threads` | `epoll`).
+    pub fn parse(s: &str) -> Option<IoBackend> {
+        match s {
+            "threads" => Some(IoBackend::Threads),
+            "epoll" => Some(IoBackend::Epoll),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of [`serve`]. `Default` matches the CLI defaults.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
@@ -70,6 +95,12 @@ pub struct ServeConfig {
     /// (those endpoints answer `503`). Opening the directory replays
     /// its journals and resumes interrupted campaigns.
     pub jobs_dir: Option<String>,
+    /// Connection layer; see [`IoBackend`].
+    pub io_backend: IoBackend,
+    /// Concurrent-connection cap for the epoll backend; beyond it new
+    /// connections are shed with `503` at accept time. The threads
+    /// backend bounds connections through `queue_depth` instead.
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +114,8 @@ impl Default for ServeConfig {
             deadline_ms: 30_000,
             io_timeout_ms: 5_000,
             jobs_dir: None,
+            io_backend: IoBackend::Threads,
+            max_connections: 1024,
         }
     }
 }
@@ -130,6 +163,16 @@ impl ServeConfig {
                 ));
             }
         }
+        if self.max_connections == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_connections: must be at least 1".into(),
+            ));
+        }
+        if self.io_backend == IoBackend::Epoll && !cfg!(target_os = "linux") {
+            return Err(ServeError::InvalidConfig(
+                "io_backend: epoll is only available on Linux".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -143,6 +186,17 @@ struct Job {
     /// client as `X-Trace-Id` — the join key between a client-observed
     /// response and the server-side trace spans.
     trace_id: u64,
+}
+
+/// Everything the connection layers need to route and execute
+/// requests; shared between the threads and epoll backends so both
+/// speak the identical dialect.
+pub(crate) struct Shared {
+    pub metrics: Arc<Metrics>,
+    pub cache: Arc<Mutex<LruCache>>,
+    pub config: ServeConfig,
+    pub workers: usize,
+    pub jobs: Option<Arc<JobManager>>,
 }
 
 /// A running server. Dropping it does **not** stop the threads; call
@@ -254,34 +308,21 @@ pub fn serve(config: &ServeConfig) -> Result<Server, ServeError> {
     };
     let cache = Arc::new(Mutex::new(LruCache::new(config.cache_entries)));
     let shutdown = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_depth);
-    let rx = Arc::new(Mutex::new(rx));
+    let shared = Arc::new(Shared {
+        metrics: Arc::clone(&metrics),
+        cache,
+        config: config.clone(),
+        workers,
+        jobs: jobs.clone(),
+    });
 
-    let mut threads = Vec::with_capacity(workers + 1);
-    for worker_id in 0..workers {
-        let rx = Arc::clone(&rx);
-        let metrics = Arc::clone(&metrics);
-        let cache = Arc::clone(&cache);
-        let config = config.clone();
-        let jobs = jobs.clone();
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("rumor-serve-worker-{worker_id}"))
-                .spawn(move || worker_loop(&rx, &metrics, &cache, &config, workers, jobs.as_ref()))
-                .map_err(ServeError::Io)?,
-        );
-    }
-    {
-        let shutdown = Arc::clone(&shutdown);
-        let metrics = Arc::clone(&metrics);
-        let io_timeout = Duration::from_millis(config.io_timeout_ms);
-        threads.push(
-            std::thread::Builder::new()
-                .name("rumor-serve-acceptor".to_string())
-                .spawn(move || accept_loop(&listener, &tx, &shutdown, &metrics, io_timeout))
-                .map_err(ServeError::Io)?,
-        );
-    }
+    let threads = match config.io_backend {
+        IoBackend::Threads => spawn_threads_backend(listener, &shared, &shutdown, workers)?,
+        #[cfg(target_os = "linux")]
+        IoBackend::Epoll => crate::event_loop::spawn(listener, &shared, &shutdown)?,
+        #[cfg(not(target_os = "linux"))]
+        IoBackend::Epoll => unreachable!("validate() rejects epoll off Linux"),
+    };
 
     Ok(Server {
         local_addr,
@@ -291,6 +332,41 @@ pub fn serve(config: &ServeConfig) -> Result<Server, ServeError> {
         threads,
         jobs,
     })
+}
+
+/// The original thread-per-connection layer: a polling acceptor feeds
+/// a bounded queue drained by blocking workers.
+fn spawn_threads_backend(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    shutdown: &Arc<AtomicBool>,
+    workers: usize,
+) -> Result<Vec<JoinHandle<()>>, ServeError> {
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(shared.config.queue_depth);
+    let rx = Arc::new(Mutex::new(rx));
+    let mut threads = Vec::with_capacity(workers + 1);
+    for worker_id in 0..workers {
+        let rx = Arc::clone(&rx);
+        let shared = Arc::clone(shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("rumor-serve-worker-{worker_id}"))
+                .spawn(move || worker_loop(&rx, &shared))
+                .map_err(ServeError::Io)?,
+        );
+    }
+    {
+        let shutdown = Arc::clone(shutdown);
+        let metrics = Arc::clone(&shared.metrics);
+        let io_timeout = Duration::from_millis(shared.config.io_timeout_ms);
+        threads.push(
+            std::thread::Builder::new()
+                .name("rumor-serve-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, &tx, &shutdown, &metrics, io_timeout))
+                .map_err(ServeError::Io)?,
+        );
+    }
+    Ok(threads)
 }
 
 /// Maps a job-store failure at startup onto the service error space.
@@ -386,14 +462,7 @@ fn drain_then_close(mut stream: TcpStream, max_wait: Duration) {
     }
 }
 
-fn worker_loop(
-    rx: &Mutex<Receiver<Job>>,
-    metrics: &Metrics,
-    cache: &Mutex<LruCache>,
-    config: &ServeConfig,
-    workers: usize,
-    jobs: Option<&Arc<JobManager>>,
-) {
+fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
     loop {
         // Hold the receiver lock only for the dequeue itself.
         let job = match rx.lock() {
@@ -403,21 +472,16 @@ fn worker_loop(
         let Ok(job) = job else {
             return; // Queue closed and drained: orderly exit.
         };
-        metrics.in_flight.inc();
-        handle_connection(job, metrics, cache, config, workers, jobs);
-        metrics.in_flight.dec();
+        shared.metrics.in_flight.inc();
+        handle_connection(job, shared);
+        shared.metrics.in_flight.dec();
     }
 }
 
 /// Everything needed to answer one connection.
-fn handle_connection(
-    job: Job,
-    metrics: &Metrics,
-    cache: &Mutex<LruCache>,
-    config: &ServeConfig,
-    workers: usize,
-    jobs: Option<&Arc<JobManager>>,
-) {
+fn handle_connection(job: Job, shared: &Shared) {
+    let metrics = &shared.metrics;
+    let config = &shared.config;
     let Job {
         mut stream,
         accepted,
@@ -483,18 +547,18 @@ fn handle_connection(
 
     let started = Instant::now();
     let endpoint = endpoint_index(&request.method, &request.target);
-    let status = route(
-        &mut stream,
-        &request,
-        endpoint,
-        trace_id,
-        accepted,
-        deadline,
-        metrics,
-        cache,
-        workers,
-        jobs,
-    );
+    let status = match route_request(&request, shared) {
+        Routed::Done(outcome) => {
+            respond_outcome(&mut stream, trace_id, &outcome);
+            outcome.status
+        }
+        Routed::Compute => {
+            let outcome = run_compute(&request, shared, accepted, trace_id);
+            respond_outcome(&mut stream, trace_id, &outcome);
+            outcome.status
+        }
+        Routed::Stream { job_id } => stream_job_blocking(&mut stream, &job_id, shared),
+    };
     if sp.active() {
         sp.field(
             "endpoint",
@@ -507,21 +571,69 @@ fn handle_connection(
     }
 }
 
-/// Routes one parsed request and returns the status that was sent.
-#[allow(clippy::too_many_arguments)]
-fn route(
-    stream: &mut TcpStream,
-    request: &Request,
-    endpoint: Option<usize>,
-    trace_id: u64,
-    accepted: Instant,
-    deadline: Duration,
-    metrics: &Metrics,
-    cache: &Mutex<LruCache>,
-    workers: usize,
-    jobs: Option<&Arc<JobManager>>,
-) -> u16 {
-    let Some(_) = endpoint else {
+/// Where a parsed request goes next. Shared by both backends: the
+/// threads backend executes `Compute` inline on its worker thread, the
+/// epoll event loop dispatches it to the compute pool; `Stream`
+/// switches the connection to chunked streaming.
+pub(crate) enum Routed {
+    /// Fully answered; frame and write the outcome.
+    Done(Outcome),
+    /// An expensive compute endpoint: run [`run_compute`].
+    Compute,
+    /// Stream job `job_id`'s points as chunks until it finishes.
+    Stream {
+        /// The (known-valid) job to stream.
+        job_id: String,
+    },
+}
+
+/// A fully-determined response, backend-agnostic: the threads backend
+/// frames it `Connection: close`, the epoll backend keep-alive; the
+/// status line, headers, and body bytes are identical either way.
+pub(crate) struct Outcome {
+    pub status: u16,
+    pub content_type: &'static str,
+    /// Extra headers (e.g. `X-Cache`, `Retry-After`), emitted before
+    /// `X-Trace-Id`.
+    pub extra: Vec<(&'static str, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Outcome {
+    pub(crate) fn json(status: u16, value: &Value) -> Outcome {
+        Outcome {
+            status,
+            content_type: "application/json",
+            extra: Vec::new(),
+            body: wire::serialize(value).into_bytes(),
+        }
+    }
+
+    pub(crate) fn error(status: u16, message: &str) -> Outcome {
+        Outcome::json(
+            status,
+            &Value::obj([("error", Value::Str(message.to_string()))]),
+        )
+    }
+
+    /// The capacity-shed response: `503` + `Retry-After`, same bytes
+    /// from the acceptor queue (threads) and the connection cap
+    /// (epoll).
+    pub(crate) fn overloaded() -> Outcome {
+        Outcome {
+            status: 503,
+            content_type: "application/json",
+            extra: vec![("Retry-After", "1".to_string())],
+            body: br#"{"error":"server is at capacity, retry shortly"}"#.to_vec(),
+        }
+    }
+}
+
+/// Routes one parsed request. Pure with respect to the connection:
+/// everything socket-shaped stays with the caller, so both backends
+/// share exactly this dialect.
+pub(crate) fn route_request(request: &Request, shared: &Shared) -> Routed {
+    if endpoint_index(&request.method, &request.target).is_none() {
         let target = request.target.as_str();
         let known_path = matches!(
             target,
@@ -538,62 +650,35 @@ fn route(
         } else {
             (404, "no such endpoint")
         };
-        respond_error(stream, trace_id, status, message);
-        return status;
-    };
+        return Routed::Done(Outcome::error(status, message));
+    }
 
     match (request.method.as_str(), request.target.as_str()) {
-        ("GET", "/healthz") => {
-            let body = wire::serialize(&Value::obj([("status", Value::Str("ok".into()))]));
-            respond(
-                stream,
-                trace_id,
-                200,
-                "application/json",
-                &[],
-                body.as_bytes(),
-            );
-            200
-        }
-        ("GET", "/metrics") => {
-            let body = metrics.render();
-            respond(
-                stream,
-                trace_id,
-                200,
-                "text/plain; charset=utf-8",
-                &[],
-                body.as_bytes(),
-            );
-            200
-        }
+        ("GET", "/healthz") => Routed::Done(Outcome::json(
+            200,
+            &Value::obj([("status", Value::Str("ok".into()))]),
+        )),
+        ("GET", "/metrics") => Routed::Done(Outcome {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            extra: Vec::new(),
+            body: shared.metrics.render().into_bytes(),
+        }),
         (method, target) if target == "/v1/jobs" || target.starts_with("/v1/jobs/") => {
-            jobs_endpoint(stream, request, method, target, trace_id, jobs)
+            jobs_request(request, method, target, shared)
         }
-        (_, target) => compute_endpoint(
-            stream, request, target, trace_id, accepted, deadline, metrics, cache, workers,
-        ),
+        _ => Routed::Compute,
     }
 }
 
 /// The stateful `/v1/jobs` family. Responses are never cached — they
 /// describe mutable job state, not a pure function of the request.
-fn jobs_endpoint(
-    stream: &mut TcpStream,
-    request: &Request,
-    method: &str,
-    target: &str,
-    trace_id: u64,
-    jobs: Option<&Arc<JobManager>>,
-) -> u16 {
-    let Some(manager) = jobs else {
-        respond_error(
-            stream,
-            trace_id,
+fn jobs_request(request: &Request, method: &str, target: &str, shared: &Shared) -> Routed {
+    let Some(manager) = &shared.jobs else {
+        return Routed::Done(Outcome::error(
             503,
             "durable jobs are not enabled (start the server with a jobs directory)",
-        );
-        return 503;
+        ));
     };
 
     // `/v1/jobs` | `/v1/jobs/{id}` | `/v1/jobs/{id}/{action}`.
@@ -601,6 +686,17 @@ fn jobs_endpoint(
     let mut parts = rest.trim_start_matches('/').splitn(2, '/');
     let id = parts.next().unwrap_or_default();
     let action = parts.next().unwrap_or_default();
+
+    if method == "GET" && !id.is_empty() && action == "stream" {
+        // Existence is checked here so an unknown job answers a plain
+        // 404 instead of opening a stream that instantly dies.
+        return match manager.status(id) {
+            Some(_) => Routed::Stream {
+                job_id: id.to_string(),
+            },
+            None => Routed::Done(Outcome::error(404, &format!("unknown job {id:?}"))),
+        };
+    }
 
     let outcome: Result<(u16, Value), (u16, String)> = match (method, id, action) {
         ("POST", "", "") => jobs_submit(request, manager),
@@ -639,24 +735,10 @@ fn jobs_endpoint(
         ("GET" | "POST", _, _) => Err((404, "no such jobs endpoint".to_string())),
         _ => Err((405, "method not allowed for this endpoint".to_string())),
     };
-    match outcome {
-        Ok((status, value)) => {
-            let body = wire::serialize(&value);
-            respond(
-                stream,
-                trace_id,
-                status,
-                "application/json",
-                &[],
-                body.as_bytes(),
-            );
-            status
-        }
-        Err((status, message)) => {
-            respond_error(stream, trace_id, status, &message);
-            status
-        }
-    }
+    Routed::Done(match outcome {
+        Ok((status, value)) => Outcome::json(status, &value),
+        Err((status, message)) => Outcome::error(status, &message),
+    })
 }
 
 fn jobs_submit(
@@ -685,6 +767,57 @@ fn jobs_submit(
     ))
 }
 
+/// One durable result row as it appears in both the `results` body and
+/// the stream: parsed payload, or a placeholder for opaque bytes.
+fn row_value(index: u64, payload: &[u8]) -> Value {
+    std::str::from_utf8(payload)
+        .ok()
+        .and_then(|text| wire::parse(text).ok())
+        .unwrap_or_else(|| Value::obj([("point", Value::Num(index as f64)), ("raw", Value::Null)]))
+}
+
+/// The quarantine manifest: which points are missing, after how many
+/// attempts, and why. The per-entry key is `index` (not `point`) so
+/// result bodies keep exactly one `"point"` occurrence per row.
+fn manifest_value(status: &JobStatus) -> Value {
+    Value::Arr(
+        status
+            .manifest
+            .iter()
+            .map(|entry| {
+                Value::obj([
+                    ("index", Value::Num(entry.point as f64)),
+                    ("attempts", Value::Num(f64::from(entry.attempts))),
+                    ("error", Value::Str(entry.error.clone())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The terminal summary shared verbatim between the `results` body and
+/// the final stream chunk, so streaming consumers and later refetchers
+/// see identical terminal payloads (manifest included).
+fn summary_fields(status: &JobStatus) -> Vec<(&'static str, Value)> {
+    vec![
+        ("state", Value::Str(status.state.as_str().to_string())),
+        ("total", Value::Num(status.total as f64)),
+        ("completed", Value::Num(status.completed as f64)),
+        (
+            "quarantined",
+            Value::Arr(
+                status
+                    .quarantined
+                    .iter()
+                    .map(|&i| Value::Num(i as f64))
+                    .collect(),
+            ),
+        ),
+        ("manifest", manifest_value(status)),
+        ("missing", Value::Num(status.missing() as f64)),
+    ]
+}
+
 /// Assembles the durable result set. The body deliberately excludes the
 /// job ID and timing so two campaigns over the same spec — one
 /// uninterrupted, one killed and recovered — produce byte-identical
@@ -694,35 +827,13 @@ fn jobs_results(manager: &Arc<JobManager>, id: &str) -> Result<(u16, Value), (u1
         .status(id)
         .ok_or_else(|| (404, format!("unknown job {id:?}")))?;
     let rows = manager.results(id).map_err(jobs_error_status)?;
-    let mut results = Vec::with_capacity(rows.len());
-    for (index, payload) in rows {
-        let parsed = std::str::from_utf8(&payload)
-            .ok()
-            .and_then(|text| wire::parse(text).ok());
-        results.push(parsed.unwrap_or_else(|| {
-            Value::obj([("point", Value::Num(index as f64)), ("raw", Value::Null)])
-        }));
-    }
-    Ok((
-        200,
-        Value::obj([
-            ("state", Value::Str(status.state.as_str().to_string())),
-            ("total", Value::Num(status.total as f64)),
-            ("completed", Value::Num(status.completed as f64)),
-            (
-                "quarantined",
-                Value::Arr(
-                    status
-                        .quarantined
-                        .iter()
-                        .map(|&i| Value::Num(i as f64))
-                        .collect(),
-                ),
-            ),
-            ("missing", Value::Num(status.missing() as f64)),
-            ("results", Value::Arr(results)),
-        ]),
-    ))
+    let results = rows
+        .iter()
+        .map(|(index, payload)| row_value(*index, payload))
+        .collect();
+    let mut fields = summary_fields(&status);
+    fields.push(("results", Value::Arr(results)));
+    Ok((200, Value::obj(fields)))
 }
 
 fn status_value(status: &JobStatus) -> Value {
@@ -742,6 +853,7 @@ fn status_value(status: &JobStatus) -> Value {
                     .collect(),
             ),
         ),
+        ("manifest", manifest_value(status)),
         ("missing", Value::Num(status.missing() as f64)),
         ("retries", Value::Num(status.retries as f64)),
         (
@@ -752,6 +864,120 @@ fn status_value(status: &JobStatus) -> Value {
             },
         ),
     ])
+}
+
+/// How often a blocking stream re-polls a still-running job. Chunks go
+/// out the moment the poll observes new completed points, so this only
+/// bounds idle latency.
+const STREAM_POLL: Duration = Duration::from_millis(20);
+
+/// Incremental cursor over a job's durable results, shared by both
+/// backends: each poll frames any newly-completed points as chunks
+/// (`one JSON row + \n` per chunk) and, once the job reaches a terminal
+/// state, appends the summary chunk — the same fields as the `results`
+/// body minus the rows — and the terminal chunk.
+pub(crate) struct JobStream {
+    job_id: String,
+    emitted: usize,
+}
+
+/// One poll's worth of stream output.
+pub(crate) struct StreamPoll {
+    /// Ready-to-write chunked framing (possibly empty).
+    pub bytes: Vec<u8>,
+    /// Data chunks framed in `bytes` (for the stream-chunk counter).
+    pub chunks: u64,
+    /// Whether the terminal chunk has been framed; stop polling.
+    pub done: bool,
+}
+
+impl JobStream {
+    pub(crate) fn new(job_id: &str) -> JobStream {
+        JobStream {
+            job_id: job_id.to_string(),
+            emitted: 0,
+        }
+    }
+
+    /// Frames everything new since the last poll.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures (and the job vanishing mid-stream);
+    /// the caller terminates the stream.
+    pub(crate) fn poll(&mut self, manager: &JobManager) -> Result<StreamPoll, JobsError> {
+        let Some(status) = manager.status(&self.job_id) else {
+            return Err(JobsError::UnknownJob(self.job_id.clone()));
+        };
+        let finished = status.state.is_finished();
+        let mut bytes = Vec::new();
+        let mut chunks = 0u64;
+        // Points execute in ascending index order, so the sorted result
+        // rows are also completion order and `emitted` is a plain
+        // prefix length. Reading the store only when the count moved
+        // keeps an idle poll cheap.
+        if finished || (status.completed as usize) > self.emitted {
+            let rows = manager.results(&self.job_id)?;
+            for (index, payload) in rows.iter().skip(self.emitted) {
+                let mut line = wire::serialize(&row_value(*index, payload)).into_bytes();
+                line.push(b'\n');
+                bytes.extend_from_slice(&http::chunk_bytes(&line));
+                chunks += 1;
+            }
+            self.emitted = rows.len();
+        }
+        if finished {
+            let mut line = wire::serialize(&Value::obj(summary_fields(&status))).into_bytes();
+            line.push(b'\n');
+            bytes.extend_from_slice(&http::chunk_bytes(&line));
+            bytes.extend_from_slice(http::terminal_chunk_bytes());
+            chunks += 1;
+        }
+        Ok(StreamPoll {
+            bytes,
+            chunks,
+            done: finished,
+        })
+    }
+}
+
+/// The threads-backend stream driver: writes the chunked head, then
+/// polls the job until it finishes, sleeping between polls. The worker
+/// thread is pinned for the stream's lifetime — the epoll backend
+/// exists so this cost is opt-out.
+fn stream_job_blocking(stream: &mut TcpStream, job_id: &str, shared: &Shared) -> u16 {
+    use std::io::Write;
+    let Some(manager) = &shared.jobs else {
+        unreachable!("jobs_request only streams when the manager exists");
+    };
+    let head = http::stream_head_bytes(200, http::reason(200), "application/json");
+    if stream.write_all(&head).is_err() {
+        return 200;
+    }
+    let mut cursor = JobStream::new(job_id);
+    loop {
+        match cursor.poll(manager) {
+            Ok(poll) => {
+                if !poll.bytes.is_empty() {
+                    shared.metrics.stream_chunks.add(poll.chunks);
+                    if stream.write_all(&poll.bytes).is_err() {
+                        return 200; // Client went away; slot reclaimed.
+                    }
+                }
+                if poll.done {
+                    return 200;
+                }
+            }
+            Err(_) => {
+                // Store failure mid-stream: the head is already out, so
+                // end the chunk stream; the missing summary chunk tells
+                // the consumer the stream died early.
+                let _ = stream.write_all(http::terminal_chunk_bytes());
+                return 200;
+            }
+        }
+        std::thread::sleep(STREAM_POLL);
+    }
 }
 
 fn jobs_error_status(e: JobsError) -> (u16, String) {
@@ -765,25 +991,22 @@ fn jobs_error_status(e: JobsError) -> (u16, String) {
 
 /// The `POST /v1/*` path: parse JSON → validate → cache lookup →
 /// compute → cache fill, with deadline checkpoints around the
-/// expensive stages.
-#[allow(clippy::too_many_arguments)]
-fn compute_endpoint(
-    stream: &mut TcpStream,
+/// expensive stages. Pure with respect to the connection — the threads
+/// backend runs it inline, the epoll backend on a compute worker.
+pub(crate) fn run_compute(
     request: &Request,
-    target: &str,
-    trace_id: u64,
+    shared: &Shared,
     accepted: Instant,
-    deadline: Duration,
-    metrics: &Metrics,
-    cache: &Mutex<LruCache>,
-    workers: usize,
-) -> u16 {
+    trace_id: u64,
+) -> Outcome {
+    let metrics = &shared.metrics;
+    let deadline = Duration::from_millis(shared.config.deadline_ms);
+    let target = request.target.as_str();
     let body_text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => {
             metrics.rejected_malformed.inc();
-            respond_error(stream, trace_id, 400, "body is not valid UTF-8");
-            return 400;
+            return Outcome::error(400, "body is not valid UTF-8");
         }
     };
     // An empty body means "all defaults" — friendlier than demanding {}.
@@ -796,8 +1019,7 @@ fn compute_endpoint(
         Ok(v) => v,
         Err(e) => {
             metrics.rejected_malformed.inc();
-            respond_error(stream, trace_id, 400, &e.to_string());
-            return 400;
+            return Outcome::error(400, &e.to_string());
         }
     };
 
@@ -811,25 +1033,19 @@ fn compute_endpoint(
     };
     let canonical = match canonical {
         Ok(v) => v,
-        Err(e) => {
-            respond_error(stream, trace_id, 400, &e.to_string());
-            return 400;
-        }
+        Err(e) => return Outcome::error(400, &e.to_string()),
     };
     let key = canonical_key(target, &canonical);
 
-    if let Ok(mut cache) = cache.lock() {
+    if let Ok(mut cache) = shared.cache.lock() {
         if let Some(body) = cache.get(&key) {
             metrics.cache_hits.inc();
-            respond(
-                stream,
-                trace_id,
-                200,
-                "application/json",
-                &[("X-Cache", "hit")],
-                &body,
-            );
-            return 200;
+            return Outcome {
+                status: 200,
+                content_type: "application/json",
+                extra: vec![("X-Cache", "hit".to_string())],
+                body: body.to_vec(),
+            };
         }
     }
     metrics.cache_misses.inc();
@@ -837,8 +1053,7 @@ fn compute_endpoint(
     // Checkpoint 2: don't start an expensive compute we can't finish.
     if accepted.elapsed() >= deadline {
         metrics.deadline_exceeded.inc();
-        respond_error(stream, trace_id, 504, "deadline exceeded before compute");
-        return 504;
+        return Outcome::error(504, "deadline exceeded before compute");
     }
 
     // The canonical form re-parses by construction (proptested), so the
@@ -860,45 +1075,35 @@ fn compute_endpoint(
         }
         "/v1/ensemble" => handlers::ensemble(
             &EnsembleRequest::from_value(&canonical).expect("canonical"),
-            workers,
+            shared.workers,
         ),
         _ => unreachable!("routed endpoints are exhaustive"),
     };
     drop(compute_span);
     let value = match computed {
         Ok(value) => value,
-        Err(HandlerError::BadRequest(m)) => {
-            respond_error(stream, trace_id, 400, &m);
-            return 400;
-        }
-        Err(HandlerError::Internal(m)) => {
-            respond_error(stream, trace_id, 500, &m);
-            return 500;
-        }
+        Err(HandlerError::BadRequest(m)) => return Outcome::error(400, &m),
+        Err(HandlerError::Internal(m)) => return Outcome::error(500, &m),
     };
     let body: Arc<[u8]> = Arc::from(wire::serialize(&value).into_bytes().into_boxed_slice());
 
     // The result is valid regardless of timing, so cache it either way;
     // checkpoint 3 only decides what this client hears.
-    if let Ok(mut cache) = cache.lock() {
+    if let Ok(mut cache) = shared.cache.lock() {
         if cache.insert(key, Arc::clone(&body)) {
             metrics.cache_evictions.inc();
         }
     }
     if accepted.elapsed() >= deadline {
         metrics.deadline_exceeded.inc();
-        respond_error(stream, trace_id, 504, "deadline exceeded during compute");
-        return 504;
+        return Outcome::error(504, "deadline exceeded during compute");
     }
-    respond(
-        stream,
-        trace_id,
-        200,
-        "application/json",
-        &[("X-Cache", "miss")],
-        &body,
-    );
-    200
+    Outcome {
+        status: 200,
+        content_type: "application/json",
+        extra: vec![("X-Cache", "miss".to_string())],
+        body: body.to_vec(),
+    }
 }
 
 fn respond(
@@ -920,6 +1125,23 @@ fn respond(
         content_type,
         &headers,
         body,
+    );
+}
+
+/// Frames an [`Outcome`] onto a blocking (threads-backend) connection.
+fn respond_outcome(stream: &mut TcpStream, trace_id: u64, outcome: &Outcome) {
+    let extra: Vec<(&str, &str)> = outcome
+        .extra
+        .iter()
+        .map(|(k, v)| (*k, v.as_str()))
+        .collect();
+    respond(
+        stream,
+        trace_id,
+        outcome.status,
+        outcome.content_type,
+        &extra,
+        &outcome.body,
     );
 }
 

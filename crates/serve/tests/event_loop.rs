@@ -1,0 +1,531 @@
+//! End-to-end tests of the epoll backend over real sockets.
+//!
+//! The mirror image of `http_service.rs`, but with
+//! `io_backend: epoll`: the same admission-control statuses (`503`
+//! shed, `413` body cap, `408` slowloris, `504` deadline), byte-exact
+//! cache identity **across backends**, plus what only the event loop
+//! offers — keep-alive connections, fragmented request delivery, the
+//! chunked job-results stream, and slot reclamation when a streaming
+//! client is killed mid-chunk.
+
+#![cfg(target_os = "linux")]
+
+use rumor_serve::{serve, IoBackend, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A parsed raw response.
+struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn epoll_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        io_backend: IoBackend::Epoll,
+        threads: Some(2),
+        ..ServeConfig::default()
+    }
+}
+
+fn start(config: ServeConfig) -> Server {
+    serve(&config).expect("bind ephemeral server")
+}
+
+fn small_sim_body() -> &'static str {
+    r#"{"network": {"nodes": 300, "k_max": 25, "mean_degree": 4}, "tf": 10, "n_out": 41}"#
+}
+
+fn connect(server: &Server) -> TcpStream {
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+}
+
+/// Writes one request on an open connection. `close` picks the
+/// `Connection:` header.
+fn send_request(stream: &mut TcpStream, method: &str, path: &str, body: &str, close: bool) {
+    let connection = if close { "close" } else { "keep-alive" };
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("send request");
+}
+
+/// Reads exactly one `Content-Length`-framed response off an open
+/// (possibly keep-alive) connection.
+fn read_response(stream: &mut TcpStream) -> Response {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read response head");
+        assert!(n > 0, "connection closed mid-head: {buf:?}");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).expect("utf8 head");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers: Vec<(String, String)> = lines
+        .map(|line| {
+            let (k, v) = line.split_once(':').expect("header line");
+            (k.trim().to_string(), v.trim().to_string())
+        })
+        .collect();
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| v.parse().expect("numeric content-length"))
+        .expect("content-length header");
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "connection closed mid-body");
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Response {
+        status,
+        headers,
+        body,
+    }
+}
+
+/// One-shot request on a fresh connection (`Connection: close`).
+fn request(server: &Server, method: &str, path: &str, body: &str) -> Response {
+    let mut stream = connect(server);
+    send_request(&mut stream, method, path, body, true);
+    read_response(&mut stream)
+}
+
+/// Decodes a chunked transfer body into its chunk payloads.
+fn decode_chunks(mut raw: &[u8]) -> Vec<Vec<u8>> {
+    let mut chunks = Vec::new();
+    loop {
+        let line_end = raw
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .expect("chunk size line");
+        let size = usize::from_str_radix(
+            std::str::from_utf8(&raw[..line_end]).expect("utf8 chunk size"),
+            16,
+        )
+        .expect("hex chunk size");
+        raw = &raw[line_end + 2..];
+        if size == 0 {
+            return chunks;
+        }
+        chunks.push(raw[..size].to_vec());
+        assert_eq!(&raw[size..size + 2], b"\r\n", "chunk terminator");
+        raw = &raw[size + 2..];
+    }
+}
+
+/// A unique, freshly created jobs directory for one test.
+fn temp_jobs_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rumor-serve-epoll-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).expect("create jobs dir");
+    dir
+}
+
+fn submit_job(server: &Server, body: &str) -> String {
+    let submitted = request(server, "POST", "/v1/jobs", body);
+    assert_eq!(submitted.status, 200, "body: {}", submitted.body_text());
+    submitted
+        .body_text()
+        .split("\"id\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("job id in response")
+        .to_string()
+}
+
+#[test]
+fn compute_and_cache_are_byte_identical_across_backends() {
+    let threads_server = start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: Some(2),
+        ..ServeConfig::default()
+    });
+    let epoll_server = start(epoll_config());
+
+    let from_threads = request(&threads_server, "POST", "/v1/simulate", small_sim_body());
+    assert_eq!(from_threads.status, 200, "{}", from_threads.body_text());
+    let cold = request(&epoll_server, "POST", "/v1/simulate", small_sim_body());
+    assert_eq!(cold.status, 200, "{}", cold.body_text());
+    assert_eq!(cold.header("X-Cache"), Some("miss"));
+    // Identical bytes from either connection layer.
+    assert_eq!(cold.body, from_threads.body);
+
+    let warm = request(&epoll_server, "POST", "/v1/simulate", small_sim_body());
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("X-Cache"), Some("hit"));
+    assert_eq!(warm.body, cold.body);
+
+    threads_server.shutdown_and_join();
+    epoll_server.shutdown_and_join();
+}
+
+#[test]
+fn keep_alive_connection_serves_sequential_requests() {
+    let server = start(epoll_config());
+    let mut stream = connect(&server);
+    for _ in 0..3 {
+        send_request(&mut stream, "GET", "/healthz", "", false);
+        let response = read_response(&mut stream);
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("Connection"), Some("keep-alive"));
+        assert_eq!(response.body_text(), r#"{"status":"ok"}"#);
+    }
+    // The whole sequence used one connection: one admission.
+    let metrics = request(&server, "GET", "/metrics", "").body_text();
+    assert!(
+        metrics.contains("rumor_serve_requests_total{endpoint=\"healthz\"} 3"),
+        "{metrics}"
+    );
+    server.shutdown_and_join();
+}
+
+#[test]
+fn fragmented_request_bytes_reassemble() {
+    let server = start(epoll_config());
+    let mut stream = connect(&server);
+    // Header split mid-line, blank line split between CR and LF, body
+    // split mid-byte: the incremental parser must reassemble all of it.
+    let body = small_sim_body();
+    let head = format!(
+        "POST /v1/simulate HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r",
+        body.len()
+    );
+    let (head_a, head_b) = head.split_at(17);
+    let (body_a, body_b) = body.split_at(body.len() / 2);
+    for fragment in [head_a, head_b, "\n", body_a, body_b] {
+        stream
+            .write_all(fragment.as_bytes())
+            .expect("send fragment");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let response = read_response(&mut stream);
+    assert_eq!(response.status, 200, "{}", response.body_text());
+    server.shutdown_and_join();
+}
+
+#[test]
+fn connection_cap_sheds_with_503() {
+    let server = start(ServeConfig {
+        max_connections: 2,
+        ..epoll_config()
+    });
+    // Two keep-alive connections occupy the whole cap...
+    let mut held_a = connect(&server);
+    send_request(&mut held_a, "GET", "/healthz", "", false);
+    assert_eq!(read_response(&mut held_a).status, 200);
+    let mut held_b = connect(&server);
+    send_request(&mut held_b, "GET", "/healthz", "", false);
+    assert_eq!(read_response(&mut held_b).status, 200);
+    // ...so the third is shed at accept with the standard 503.
+    let mut shed = connect(&server);
+    let response = read_response(&mut shed);
+    assert_eq!(response.status, 503);
+    assert_eq!(response.header("Retry-After"), Some("1"));
+    assert!(response.body_text().contains("at capacity"));
+    drop(shed);
+
+    // Releasing a held slot readmits new connections.
+    drop(held_a);
+    let released = Instant::now();
+    loop {
+        let mut retry = connect(&server);
+        send_request(&mut retry, "GET", "/healthz", "", true);
+        if read_response(&mut retry).status == 200 {
+            break;
+        }
+        assert!(
+            released.elapsed() < Duration::from_secs(5),
+            "slot was not reclaimed"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    server.shutdown_and_join();
+}
+
+#[test]
+fn slowloris_partial_request_answers_408() {
+    let server = start(ServeConfig {
+        io_timeout_ms: 200,
+        ..epoll_config()
+    });
+    let mut stream = connect(&server);
+    stream.write_all(b"GET /hea").expect("send partial");
+    let response = read_response(&mut stream);
+    assert_eq!(response.status, 408);
+    assert!(response.body_text().contains("timed out"));
+    // An *idle* keep-alive connection is exempt from the sweep: park
+    // one well past the I/O timeout, then use it.
+    let mut parked = connect(&server);
+    send_request(&mut parked, "GET", "/healthz", "", false);
+    assert_eq!(read_response(&mut parked).status, 200);
+    std::thread::sleep(Duration::from_millis(600));
+    send_request(&mut parked, "GET", "/healthz", "", false);
+    assert_eq!(read_response(&mut parked).status, 200);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn oversized_body_rejected_with_413_from_the_head() {
+    let server = start(ServeConfig {
+        max_body_bytes: 1024,
+        ..epoll_config()
+    });
+    let mut stream = connect(&server);
+    // Declared 64 KiB body, none of it sent: the head alone decides.
+    stream
+        .write_all(b"POST /v1/simulate HTTP/1.1\r\nHost: test\r\nContent-Length: 65536\r\n\r\n")
+        .expect("send head");
+    let response = read_response(&mut stream);
+    assert_eq!(response.status, 413);
+    assert!(response.body_text().contains("exceeds the 1024-byte cap"));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn deadline_covers_request_read_time_with_504() {
+    let server = start(ServeConfig {
+        deadline_ms: 100,
+        ..epoll_config()
+    });
+    let mut stream = connect(&server);
+    let body = small_sim_body();
+    let head = format!(
+        "POST /v1/simulate HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("send head");
+    // Stall past the deadline before delivering the body; the deadline
+    // clock started at the first request byte.
+    std::thread::sleep(Duration::from_millis(300));
+    stream.write_all(body.as_bytes()).expect("send body");
+    let response = read_response(&mut stream);
+    assert_eq!(response.status, 504, "{}", response.body_text());
+    assert!(response.body_text().contains("deadline exceeded"));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn job_stream_delivers_points_then_the_results_summary() {
+    let dir = temp_jobs_dir("stream");
+    let server = start(ServeConfig {
+        jobs_dir: Some(dir.to_string_lossy().into_owned()),
+        ..epoll_config()
+    });
+    let id = submit_job(
+        &server,
+        r#"{"kind": "threshold_sweep", "points": 3, "throttle_ms": 50,
+            "sweep": {"from": 0.02, "to": 0.03},
+            "base": {"network": {"nodes": 300, "k_max": 25, "mean_degree": 4}}}"#,
+    );
+
+    // Open the stream while the job is still running.
+    let mut stream = connect(&server);
+    send_request(
+        &mut stream,
+        "GET",
+        &format!("/v1/jobs/{id}/stream"),
+        "",
+        false,
+    );
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read whole stream");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.starts_with("HTTP/1.1 200 OK\r\n"),
+        "stream head: {text}"
+    );
+    assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
+
+    let body_start = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("stream head end")
+        + 4;
+    let chunks = decode_chunks(&raw[body_start..]);
+    // Three point chunks plus the terminal summary chunk.
+    assert_eq!(chunks.len(), 4, "{text}");
+    for (i, chunk) in chunks[..3].iter().enumerate() {
+        let line = String::from_utf8_lossy(chunk);
+        assert!(line.ends_with('\n'), "chunk is a line: {line:?}");
+        assert!(line.contains(&format!("\"point\":{i}")), "{line}");
+    }
+    let summary = String::from_utf8_lossy(&chunks[3]);
+    assert!(summary.contains("\"state\":\"done\""), "{summary}");
+    assert!(summary.contains("\"completed\":3"), "{summary}");
+    assert!(summary.contains("\"manifest\":[]"), "{summary}");
+
+    // Every streamed line also appears verbatim in the refetched
+    // results body: a stream consumer and a later poller agree.
+    let results = request(&server, "GET", &format!("/v1/jobs/{id}/results"), "");
+    assert_eq!(results.status, 200);
+    let results_body = results.body_text();
+    for chunk in &chunks[..3] {
+        let row = String::from_utf8_lossy(chunk);
+        assert!(results_body.contains(row.trim_end()), "{results_body}");
+    }
+    assert!(
+        results_body.starts_with(summary.trim_end().trim_end_matches('}')),
+        "terminal summary is a prefix of the results body:\n{summary}\n{results_body}"
+    );
+
+    // An unknown job answers a plain 404, not a dead stream.
+    assert_eq!(
+        request(&server, "GET", "/v1/jobs/job-999999/stream", "").status,
+        404
+    );
+
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn partial_job_stream_summary_carries_the_quarantine_manifest() {
+    let dir = temp_jobs_dir("stream-partial");
+    let server = start(ServeConfig {
+        jobs_dir: Some(dir.to_string_lossy().into_owned()),
+        ..epoll_config()
+    });
+    // Point 1 is poison: the campaign finishes partial with a manifest.
+    let id = submit_job(
+        &server,
+        r#"{"kind": "threshold_sweep", "points": 3,
+            "sweep": {"from": 0.02, "to": 0.03},
+            "inject": {"persistent": [1]},
+            "base": {"network": {"nodes": 300, "k_max": 25, "mean_degree": 4}}}"#,
+    );
+    let mut stream = connect(&server);
+    send_request(
+        &mut stream,
+        "GET",
+        &format!("/v1/jobs/{id}/stream"),
+        "",
+        false,
+    );
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read whole stream");
+    let body_start = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("stream head end")
+        + 4;
+    let chunks = decode_chunks(&raw[body_start..]);
+    let summary = String::from_utf8_lossy(chunks.last().expect("summary chunk"));
+    assert!(summary.contains("\"state\":\"partial\""), "{summary}");
+    assert!(summary.contains("\"quarantined\":[1]"), "{summary}");
+    assert!(summary.contains("\"index\":1"), "{summary}");
+    assert!(summary.contains("\"attempts\":"), "{summary}");
+    // The refetched results body carries the identical manifest.
+    let results_body = request(&server, "GET", &format!("/v1/jobs/{id}/results"), "").body_text();
+    let manifest = summary
+        .split("\"manifest\":")
+        .nth(1)
+        .and_then(|rest| rest.split(",\"missing\"").next())
+        .expect("manifest in summary");
+    assert!(results_body.contains(manifest), "{results_body}");
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_stream_client_frees_its_slot() {
+    let dir = temp_jobs_dir("stream-kill");
+    let server = start(ServeConfig {
+        jobs_dir: Some(dir.to_string_lossy().into_owned()),
+        max_connections: 2,
+        ..epoll_config()
+    });
+    // A slow campaign keeps the stream alive for several seconds.
+    let id = submit_job(
+        &server,
+        r#"{"kind": "threshold_sweep", "points": 40, "throttle_ms": 100,
+            "base": {"network": {"nodes": 300, "k_max": 25, "mean_degree": 4}}}"#,
+    );
+    let mut stream = connect(&server);
+    send_request(
+        &mut stream,
+        "GET",
+        &format!("/v1/jobs/{id}/stream"),
+        "",
+        false,
+    );
+    // Read the head plus a first chunk, then vanish mid-stream.
+    let mut first = [0u8; 256];
+    let n = stream.read(&mut first).expect("read stream head");
+    assert!(n > 0);
+    drop(stream);
+
+    // The loop notices on its next chunk write and reclaims the slot:
+    // with the cap at 2, new one-shot requests must keep succeeding.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let health = request(&server, "GET", "/healthz", "");
+        if health.status == 200 {
+            let metrics = request(&server, "GET", "/metrics", "").body_text();
+            // Only the /metrics connection itself is registered.
+            if metrics.contains("rumor_serve_epoll_connections 1") {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "stream slot was never reclaimed");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // Stop the campaign so shutdown does not wait out 40 throttled points.
+    assert_eq!(
+        request(&server, "POST", &format!("/v1/jobs/{id}/cancel"), "").status,
+        200
+    );
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_with_parked_keep_alive_connections_does_not_hang() {
+    let server = start(epoll_config());
+    let mut parked = connect(&server);
+    send_request(&mut parked, "GET", "/healthz", "", false);
+    assert_eq!(read_response(&mut parked).status, 200);
+    // The connection stays open and idle; drain must close it rather
+    // than wait for it.
+    server.shutdown_and_join();
+}
